@@ -1,0 +1,32 @@
+//! Regenerates the extension experiments (paper future-work items and
+//! model ablations) — see `bgpsim::extensions`. Set `BGPSIM_ONLY` to a
+//! comma-separated id list (e.g. `BGPSIM_ONLY=ext-ibgp,ext-policy`) to
+//! regenerate a subset.
+use std::time::Instant;
+
+fn main() {
+    let opts = bgpsim_bench::opts_from_env();
+    let only = bgpsim_bench::only_filter();
+    let total = Instant::now();
+    let mut ran = 0usize;
+    for (id, figure) in bgpsim::extensions::all_extensions() {
+        if !bgpsim_bench::selected(&only, id) {
+            continue;
+        }
+        ran += 1;
+        let started = Instant::now();
+        let data = figure(opts);
+        println!("{}", bgpsim::report::render_table(&data));
+        println!("[{id} in {:.1}s]\n", started.elapsed().as_secs_f64());
+        if let Ok(dir) = std::env::var("BGPSIM_OUT") {
+            bgpsim_bench::write_outputs(&data, std::path::Path::new(&dir));
+        }
+    }
+    println!(
+        "{ran} extension experiments in {:.1}s (nodes={}, trials={}, seed={})",
+        total.elapsed().as_secs_f64(),
+        opts.nodes,
+        opts.trials,
+        opts.base_seed
+    );
+}

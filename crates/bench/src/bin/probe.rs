@@ -1,0 +1,37 @@
+//! Quick performance/shape probe (not a paper figure).
+use bgpsim::experiment::{Experiment, TopologySpec};
+use bgpsim::scheme::Scheme;
+use bgpsim_topology::region::FailureSpec;
+
+fn run(scheme: Scheme, frac: f64) -> (f64, f64) {
+    let exp = Experiment {
+        topology: TopologySpec::seventy_thirty(120),
+        scheme,
+        failure: FailureSpec::CenterFraction(frac),
+        trials: 3,
+        base_seed: 7,
+    };
+    let agg = exp.run();
+    (agg.mean_delay_secs(), agg.mean_messages())
+}
+
+fn main() {
+    println!("V-curve, 70-30, delay(s) by MRAI for 1% / 5% failures:");
+    for mrai in [0.25, 0.5, 0.75, 1.0, 1.25, 1.5, 2.25, 3.0, 4.0] {
+        let (d1, _) = run(Scheme::constant_mrai(mrai), 0.01);
+        let (d5, _) = run(Scheme::constant_mrai(mrai), 0.05);
+        println!("  mrai={mrai:>5}  1%={d1:>8.2}  5%={d5:>8.2}");
+    }
+    println!("Schemes at 5% and 20%:");
+    for (name, s) in [
+        ("dynamic", Scheme::dynamic_default()),
+        ("batch0.5", Scheme::batching(0.5)),
+        ("batch+dyn", Scheme::batching_plus_dynamic()),
+        ("const0.5", Scheme::constant_mrai(0.5)),
+        ("const2.25", Scheme::constant_mrai(2.25)),
+    ] {
+        let (d5, m5) = run(s.clone(), 0.05);
+        let (d20, m20) = run(s, 0.20);
+        println!("  {name:>10}  5%: {d5:>8.2}s {m5:>9.0}m   20%: {d20:>8.2}s {m20:>9.0}m");
+    }
+}

@@ -1,0 +1,32 @@
+//! Renders every regenerated figure/extension in a results directory as
+//! markdown tables — the source for EXPERIMENTS.md sections.
+//!
+//! ```sh
+//! cargo run --release -p bgpsim-bench --bin summarize -- results > summary.md
+//! ```
+
+use std::path::Path;
+
+use bgpsim::figures::FigureData;
+use bgpsim::report::render_markdown;
+
+fn main() {
+    let dir = std::env::args().nth(1).unwrap_or_else(|| "results".into());
+    let mut entries: Vec<std::path::PathBuf> = std::fs::read_dir(Path::new(&dir))
+        .unwrap_or_else(|e| panic!("cannot read {dir}: {e}"))
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.extension().map(|x| x == "json").unwrap_or(false))
+        .collect();
+    entries.sort();
+    for path in entries {
+        let Ok(text) = std::fs::read_to_string(&path) else { continue };
+        let Ok(fig) = serde_json::from_str::<FigureData>(&text) else {
+            eprintln!("skipping {}: not a figure", path.display());
+            continue;
+        };
+        println!("## {} — {}\n", fig.id, fig.title);
+        println!("y: {}\n", fig.y_label);
+        println!("{}", render_markdown(&fig));
+    }
+}

@@ -1,0 +1,350 @@
+//! Validates the regenerated figures against the paper's qualitative
+//! claims (the expected-shape criteria in DESIGN.md §4).
+//!
+//! Reads the `figNN.json` artifacts produced by `all_figures` (set
+//! `BGPSIM_OUT`) from the directory given as the first argument (default
+//! `results/`) and prints PASS/FAIL per criterion. Exit code 1 if any
+//! criterion fails.
+//!
+//! ```sh
+//! BGPSIM_OUT=results cargo run --release -p bgpsim-bench --bin all_figures
+//! cargo run --release -p bgpsim-bench --bin validate -- results
+//! ```
+
+use std::path::Path;
+use std::process::ExitCode;
+
+use bgpsim::figures::FigureData;
+
+struct Checker {
+    dir: String,
+    failures: usize,
+    checks: usize,
+}
+
+impl Checker {
+    fn load(&self, id: &str) -> Option<FigureData> {
+        let path = Path::new(&self.dir).join(format!("{id}.json"));
+        let text = std::fs::read_to_string(&path)
+            .map_err(|e| eprintln!("skipping {id}: cannot read {}: {e}", path.display()))
+            .ok()?;
+        serde_json::from_str(&text)
+            .map_err(|e| eprintln!("skipping {id}: bad JSON: {e}"))
+            .ok()
+    }
+
+    fn check(&mut self, label: &str, ok: bool, detail: String) {
+        self.checks += 1;
+        if ok {
+            println!("PASS  {label}  ({detail})");
+        } else {
+            self.failures += 1;
+            println!("FAIL  {label}  ({detail})");
+        }
+    }
+}
+
+/// y value of `series` at the point whose x is closest to `x`.
+fn at(fig: &FigureData, series: &str, x: f64) -> Option<f64> {
+    let s = fig.series_named(series)?;
+    s.points
+        .iter()
+        .min_by(|a, b| {
+            (a.0 - x).abs().partial_cmp(&(b.0 - x).abs()).expect("finite x")
+        })
+        .map(|&(_, y)| y)
+}
+
+fn main() -> ExitCode {
+    let dir = std::env::args().nth(1).unwrap_or_else(|| "results".into());
+    let mut c = Checker { dir, failures: 0, checks: 0 };
+
+    if let Some(f) = c.load("fig01") {
+        let d_small_low = at(&f, "MRAI=0.5", 1.0).unwrap_or(f64::NAN);
+        let d_small_high = at(&f, "MRAI=2.25", 1.0).unwrap_or(f64::NAN);
+        let d_big_low = at(&f, "MRAI=0.5", 20.0).unwrap_or(f64::NAN);
+        let d_big_high = at(&f, "MRAI=2.25", 20.0).unwrap_or(f64::NAN);
+        c.check(
+            "fig01: low MRAI wins small failures",
+            d_small_low < d_small_high,
+            format!("0.5→{d_small_low:.1}s vs 2.25→{d_small_high:.1}s at 1%"),
+        );
+        c.check(
+            "fig01: low MRAI blows up at 20%",
+            d_big_low > 2.0 * d_big_high,
+            format!("0.5→{d_big_low:.1}s vs 2.25→{d_big_high:.1}s at 20%"),
+        );
+    }
+
+    if let Some(f) = c.load("fig02") {
+        let m_low = at(&f, "MRAI=0.5", 20.0).unwrap_or(f64::NAN);
+        let m_high = at(&f, "MRAI=2.25", 20.0).unwrap_or(f64::NAN);
+        c.check(
+            "fig02: message storm at low MRAI",
+            m_low > 2.0 * m_high,
+            format!("0.5→{m_low:.0} vs 2.25→{m_high:.0} messages at 20%"),
+        );
+    }
+
+    if let Some(f) = c.load("fig03") {
+        let opt1 = f.argmin_of("1% failure").unwrap_or(f64::NAN);
+        let opt5 = f.argmin_of("5% failure").unwrap_or(f64::NAN);
+        let opt10 = f.argmin_of("10% failure").unwrap_or(f64::NAN);
+        c.check(
+            "fig03: optimal MRAI grows with failure size",
+            opt1 <= opt5 && opt5 <= opt10 && opt1 < opt10,
+            format!("optima {opt1} ≤ {opt5} ≤ {opt10}"),
+        );
+        // V shape for 5%: interior minimum.
+        if let Some(s) = f.series_named("5% failure") {
+            let first = s.points.first().map(|&(_, y)| y).unwrap_or(f64::NAN);
+            let last = s.points.last().map(|&(_, y)| y).unwrap_or(f64::NAN);
+            let min = s.points.iter().map(|&(_, y)| y).fold(f64::INFINITY, f64::min);
+            c.check(
+                "fig03: V-shaped 5% curve",
+                min < first && min < last,
+                format!("ends {first:.1}/{last:.1}s, interior min {min:.1}s"),
+            );
+        }
+    }
+
+    if let Some(f) = c.load("fig04") {
+        let o50 = f.argmin_of("50-50").unwrap_or(f64::NAN);
+        let o70 = f.argmin_of("70-30").unwrap_or(f64::NAN);
+        let o85 = f.argmin_of("85-15").unwrap_or(f64::NAN);
+        c.check(
+            "fig04: optimum grows with hub degree",
+            o50 <= o70 && o70 <= o85 && o50 < o85,
+            format!("optima 50-50:{o50} 70-30:{o70} 85-15:{o85}"),
+        );
+    }
+
+    if let Some(f) = c.load("fig05") {
+        let sparse = f.argmin_of("avg degree 3.8").unwrap_or(f64::NAN);
+        let dense = f.argmin_of("avg degree 7.6").unwrap_or(f64::NAN);
+        let min_sparse = f
+            .series_named("avg degree 3.8")
+            .map(|s| s.points.iter().map(|&(_, y)| y).fold(f64::INFINITY, f64::min))
+            .unwrap_or(f64::NAN);
+        let min_dense = f
+            .series_named("avg degree 7.6")
+            .map(|s| s.points.iter().map(|&(_, y)| y).fold(f64::INFINITY, f64::min))
+            .unwrap_or(f64::NAN);
+        c.check(
+            "fig05: higher avg degree shifts optimum right and up",
+            sparse <= dense && min_sparse < min_dense,
+            format!("optima {sparse}→{dense}, min delays {min_sparse:.1}→{min_dense:.1}s"),
+        );
+    }
+
+    if let Some(f) = c.load("fig06") {
+        let good = at(&f, "low 0.5, high 2.25", 20.0).unwrap_or(f64::NAN);
+        let rev = at(&f, "low 2.25, high 0.5", 20.0).unwrap_or(f64::NAN);
+        let c05 = at(&f, "MRAI=0.5", 20.0).unwrap_or(f64::NAN);
+        let c225 = at(&f, "MRAI=2.25", 20.0).unwrap_or(f64::NAN);
+        c.check(
+            "fig06: high MRAI belongs at the hubs",
+            good < 1.5 * c225 && good < 0.6 * c05 && rev > 1.2 * good,
+            format!("good {good:.1}, reversed {rev:.1}, 0.5 {c05:.1}, 2.25 {c225:.1}s"),
+        );
+    }
+
+    if let Some(f) = c.load("fig07") {
+        let dyn_small = at(&f, "dynamic", 1.0).unwrap_or(f64::NAN);
+        let c05_small = at(&f, "MRAI=0.5", 1.0).unwrap_or(f64::NAN);
+        let dyn_big = at(&f, "dynamic", 20.0).unwrap_or(f64::NAN);
+        let c05_big = at(&f, "MRAI=0.5", 20.0).unwrap_or(f64::NAN);
+        let c125_big = at(&f, "MRAI=1.25", 20.0).unwrap_or(f64::NAN);
+        c.check(
+            "fig07: dynamic near best constant at both ends",
+            dyn_small < 1.5 * c05_small + 5.0 && dyn_big < c05_big * 0.6 && dyn_big <= c125_big * 1.3,
+            format!(
+                "small: dyn {dyn_small:.1} vs 0.5 {c05_small:.1}; \
+                 20%: dyn {dyn_big:.1} vs 0.5 {c05_big:.1} vs 1.25 {c125_big:.1}"
+            ),
+        );
+    }
+
+    if let Some(f) = c.load("fig08") {
+        let strict_small = at(&f, "upTh=0.05", 1.0).unwrap_or(f64::NAN);
+        let loose_small = at(&f, "upTh=1.25", 1.0).unwrap_or(f64::NAN);
+        let strict_big = at(&f, "upTh=0.05", 20.0).unwrap_or(f64::NAN);
+        let loose_big = at(&f, "upTh=1.25", 20.0).unwrap_or(f64::NAN);
+        c.check(
+            "fig08: low upTh acts like a high constant MRAI",
+            strict_small >= loose_small && strict_big <= loose_big * 1.2,
+            format!(
+                "1%: {strict_small:.1} vs {loose_small:.1}; 20%: {strict_big:.1} vs {loose_big:.1}"
+            ),
+        );
+    }
+
+    if let Some(f) = c.load("fig09") {
+        let low = at(&f, "downTh=0", 20.0).unwrap_or(f64::NAN);
+        let high = at(&f, "downTh=0.5", 20.0).unwrap_or(f64::NAN);
+        c.check(
+            "fig09: eager down-stepping hurts large failures",
+            high >= low * 0.9,
+            format!("20%: downTh=0 → {low:.1}s, downTh=0.5 → {high:.1}s"),
+        );
+    }
+
+    if let Some(f) = c.load("fig10") {
+        let batch = at(&f, "batching", 20.0).unwrap_or(f64::NAN);
+        let c05 = at(&f, "MRAI=0.5", 20.0).unwrap_or(f64::NAN);
+        let batch_small = at(&f, "batching", 1.0).unwrap_or(f64::NAN);
+        let c05_small = at(&f, "MRAI=0.5", 1.0).unwrap_or(f64::NAN);
+        c.check(
+            "fig10: batching ≥3× better at 20%",
+            c05 > 3.0 * batch,
+            format!("batching {batch:.1}s vs FIFO {c05:.1}s"),
+        );
+        c.check(
+            "fig10: batching free for small failures",
+            batch_small <= c05_small * 1.5 + 5.0,
+            format!("1%: batching {batch_small:.1}s vs FIFO {c05_small:.1}s"),
+        );
+    }
+
+    if let Some(f) = c.load("fig11") {
+        let batch = at(&f, "batching", 20.0).unwrap_or(f64::NAN);
+        let c05 = at(&f, "MRAI=0.5", 20.0).unwrap_or(f64::NAN);
+        let c225 = at(&f, "MRAI=2.25", 20.0).unwrap_or(f64::NAN);
+        c.check(
+            "fig11: batching suppresses the message storm",
+            batch < 0.5 * c05 && batch < 3.0 * c225,
+            format!("batching {batch:.0}, 0.5 {c05:.0}, 2.25 {c225:.0} messages"),
+        );
+    }
+
+    if let Some(f) = c.load("fig12") {
+        let fifo_low = at(&f, "no batching", 0.5).unwrap_or(f64::NAN);
+        let batch_low = at(&f, "batching", 0.5).unwrap_or(f64::NAN);
+        let fifo_high = at(&f, "no batching", 4.0).unwrap_or(f64::NAN);
+        let batch_high = at(&f, "batching", 4.0).unwrap_or(f64::NAN);
+        c.check(
+            "fig12: batching only matters below the optimal MRAI",
+            batch_low < fifo_low * 0.8 && (0.5..1.5).contains(&(batch_high / fifo_high)),
+            format!(
+                "MRAI 0.5: {batch_low:.1} vs {fifo_low:.1}s; MRAI 4: {batch_high:.1} vs {fifo_high:.1}s"
+            ),
+        );
+    }
+
+    if let Some(f) = c.load("fig13") {
+        let batch = at(&f, "batching", 10.0).unwrap_or(f64::NAN);
+        let dynamic = at(&f, "dynamic", 10.0).unwrap_or(f64::NAN);
+        let c05 = at(&f, "MRAI=0.5", 10.0).unwrap_or(f64::NAN);
+        c.check(
+            "fig13: schemes hold up on realistic topologies",
+            batch < c05 && dynamic < c05,
+            format!("10%: batching {batch:.1}, dynamic {dynamic:.1}, 0.5 {c05:.1}s"),
+        );
+    }
+
+    // ------------------------------------------------------------------
+    // Extension experiments (present only after `--bin extensions` ran).
+    // ------------------------------------------------------------------
+
+    if let Some(f) = c.load("ext-oracle") {
+        let oracle_small = at(&f, "oracle", 1.0).unwrap_or(f64::NAN);
+        let c05_small = at(&f, "MRAI=0.5", 1.0).unwrap_or(f64::NAN);
+        let oracle_big = at(&f, "oracle", 20.0).unwrap_or(f64::NAN);
+        let c225_big = at(&f, "MRAI=2.25", 20.0).unwrap_or(f64::NAN);
+        c.check(
+            "ext-oracle: tracks the best constant at both ends",
+            oracle_small < 1.5 * c05_small + 5.0 && oracle_big < 1.3 * c225_big,
+            format!(
+                "1%: oracle {oracle_small:.1} vs 0.5 {c05_small:.1};                  20%: oracle {oracle_big:.1} vs 2.25 {c225_big:.1}"
+            ),
+        );
+    }
+
+    if let Some(f) = c.load("ext-detectors") {
+        let work = at(&f, "unfinished work", 10.0).unwrap_or(f64::NAN);
+        let count = at(&f, "update count", 10.0).unwrap_or(f64::NAN);
+        c.check(
+            "ext-detectors: unfinished work beats raw update counts",
+            work < 0.7 * count,
+            format!("10%: work {work:.1}s vs count {count:.1}s"),
+        );
+    }
+
+    if let Some(f) = c.load("ext-expedite-msgs") {
+        let base = at(&f, "MRAI=2.25", 20.0).unwrap_or(f64::NAN);
+        let exp = at(&f, "MRAI=2.25 + expedite", 20.0).unwrap_or(f64::NAN);
+        c.check(
+            "ext-expedite: extra messages, as the paper says of [12]",
+            exp > base,
+            format!("20%: {exp:.0} vs {base:.0} messages"),
+        );
+    }
+
+    if let Some(f) = c.load("ext-policy") {
+        let without = at(&f, "no policy", 10.0).unwrap_or(f64::NAN);
+        let with = at(&f, "Gao-Rexford", 10.0).unwrap_or(f64::NAN);
+        c.check(
+            "ext-policy: valley-free export prunes path hunting",
+            with < without,
+            format!("10%: Gao-Rexford {with:.1}s vs no policy {without:.1}s"),
+        );
+    }
+
+    if let Some(f) = c.load("ext-detection") {
+        let instant = at(&f, "instant detection", 5.0).unwrap_or(f64::NAN);
+        let held = at(&f, "hold timer 90 s", 5.0).unwrap_or(f64::NAN);
+        c.check(
+            "ext-detection: the 90 s hold timer dominates",
+            held > instant + 50.0,
+            format!("5%: held {held:.1}s vs instant {instant:.1}s"),
+        );
+    }
+
+    if let Some(f) = c.load("ext-destinations") {
+        let one = at(&f, "fifo, 1 pfx/AS", 10.0).unwrap_or(f64::NAN);
+        let eight = at(&f, "fifo, 8 pfx/AS", 10.0).unwrap_or(f64::NAN);
+        let batched = at(&f, "batching, 8 pfx/AS", 10.0).unwrap_or(f64::NAN);
+        c.check(
+            "ext-destinations: more prefixes, more overload; batching rescues",
+            eight > one && batched < 0.5 * eight,
+            format!("10%: 1pfx {one:.1}, 8pfx {eight:.1}, 8pfx batched {batched:.1}s"),
+        );
+    }
+
+    if let Some(f) = c.load("ext-updown") {
+        let down = at(&f, "failure (Tdown)", 10.0).unwrap_or(f64::NAN);
+        let up = at(&f, "recovery (Tup)", 10.0).unwrap_or(f64::NAN);
+        c.check(
+            "ext-updown: recovery beats failure (Labovitz Tup/Tdown)",
+            up < down,
+            format!("10%: Tup {up:.1}s vs Tdown {down:.1}s"),
+        );
+    }
+
+    if let Some(f) = c.load("ext-links") {
+        let routers = at(&f, "router failures", 10.0).unwrap_or(f64::NAN);
+        let links = at(&f, "link failures", 10.0).unwrap_or(f64::NAN);
+        c.check(
+            "ext-links: both failure kinds converge",
+            routers.is_finite() && links.is_finite() && links > 0.0,
+            format!("10%: routers {routers:.1}s, links {links:.1}s"),
+        );
+    }
+
+    if let Some(f) = c.load("ext-damping") {
+        let plain = at(&f, "MRAI=2.25", 20.0).unwrap_or(f64::NAN);
+        let damped = at(&f, "MRAI=2.25 + damping", 20.0).unwrap_or(f64::NAN);
+        c.check(
+            "ext-damping: damping exacerbates convergence (Mao et al.)",
+            damped > plain,
+            format!("20%: damped {damped:.1}s vs plain {plain:.1}s"),
+        );
+    }
+
+    println!("\n{} checks, {} failures", c.checks, c.failures);
+    if c.failures == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

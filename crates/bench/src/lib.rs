@@ -1,0 +1,89 @@
+//! Shared driver for the figure-regeneration binaries.
+//!
+//! Each `src/bin/figNN.rs` regenerates one figure of the paper and prints
+//! the same series the figure plots. Sizing is controlled by environment
+//! variables so the full-fidelity run and the quick smoke run share one
+//! binary:
+//!
+//! | variable          | default | meaning                         |
+//! |-------------------|---------|---------------------------------|
+//! | `BGPSIM_NODES`    | 120     | nodes (ASes) per topology       |
+//! | `BGPSIM_TRIALS`   | 3       | seeded trials per point         |
+//! | `BGPSIM_SEED`     | 2006    | base seed                       |
+//! | `BGPSIM_THREADS`  | auto    | worker threads                  |
+//! | `BGPSIM_OUT`      | (none)  | directory for .txt/.csv/.json   |
+
+use std::path::Path;
+use std::time::Instant;
+
+use bgpsim::figures::{FigOpts, FigureData};
+use bgpsim::report::{render_csv, render_table};
+
+/// Reads the sizing environment variables.
+pub fn opts_from_env() -> FigOpts {
+    let mut opts = FigOpts::default();
+    if let Ok(v) = std::env::var("BGPSIM_NODES") {
+        opts.nodes = v.parse().expect("BGPSIM_NODES must be an integer");
+    }
+    if let Ok(v) = std::env::var("BGPSIM_TRIALS") {
+        opts.trials = v.parse().expect("BGPSIM_TRIALS must be an integer");
+    }
+    if let Ok(v) = std::env::var("BGPSIM_SEED") {
+        opts.base_seed = v.parse().expect("BGPSIM_SEED must be an integer");
+    }
+    if let Ok(v) = std::env::var("BGPSIM_THREADS") {
+        opts.threads = Some(v.parse().expect("BGPSIM_THREADS must be an integer"));
+    }
+    opts
+}
+
+/// Parses the `BGPSIM_ONLY` filter (comma-separated experiment ids); an
+/// empty result means "run everything".
+pub fn only_filter() -> Vec<String> {
+    std::env::var("BGPSIM_ONLY")
+        .map(|v| {
+            v.split(',')
+                .map(|s| s.trim().to_owned())
+                .filter(|s| !s.is_empty())
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
+/// Whether `id` passes the `BGPSIM_ONLY` filter.
+pub fn selected(only: &[String], id: &str) -> bool {
+    only.is_empty() || only.iter().any(|o| o == id)
+}
+
+/// Regenerates a figure, prints its table, and (if `BGPSIM_OUT` is set)
+/// writes `figNN.txt`, `figNN.csv` and `figNN.json` into that directory.
+pub fn run_and_print(figure: fn(FigOpts) -> FigureData) {
+    let opts = opts_from_env();
+    let started = Instant::now();
+    let data = figure(opts);
+    let table = render_table(&data);
+    println!("{table}");
+    println!(
+        "(nodes={}, trials={}, seed={}; regenerated in {:.1}s)",
+        opts.nodes,
+        opts.trials,
+        opts.base_seed,
+        started.elapsed().as_secs_f64()
+    );
+    if let Ok(dir) = std::env::var("BGPSIM_OUT") {
+        write_outputs(&data, Path::new(&dir));
+    }
+}
+
+/// Writes the three output files for a regenerated figure.
+pub fn write_outputs(data: &FigureData, dir: &Path) {
+    std::fs::create_dir_all(dir).expect("create output directory");
+    let base = dir.join(&data.id);
+    std::fs::write(base.with_extension("txt"), render_table(data)).expect("write table");
+    std::fs::write(base.with_extension("csv"), render_csv(data)).expect("write csv");
+    std::fs::write(
+        base.with_extension("json"),
+        serde_json::to_string_pretty(data).expect("figure serializes"),
+    )
+    .expect("write json");
+}

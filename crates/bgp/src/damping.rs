@@ -1,0 +1,293 @@
+//! Route-flap damping (RFC 2439).
+//!
+//! Damping penalizes unstable routes: every flap (withdrawal or replacement
+//! of a previously advertised route) adds to a per-(peer, prefix) penalty
+//! that decays exponentially; above the *suppress* threshold the route is
+//! excluded from the decision process until the penalty decays below the
+//! *reuse* threshold.
+//!
+//! Damping is the other deployed answer to update storms, and it interacts
+//! with this paper's topic in a famous way: during post-failure path
+//! hunting, *legitimate* alternate routes flap and get suppressed, so
+//! damping can lengthen exactly the convergence it was meant to protect
+//! against (Mao et al., SIGCOMM 2002, *Route Flap Damping Exacerbates
+//! Internet Routing Convergence*). The `ext-damping` extension reproduces
+//! that qualitative effect against this paper's schemes.
+
+use bgpsim_des::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Damping parameters (RFC 2439 terminology).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DampingConfig {
+    /// Penalty added per flap (RFC suggests 1000 per withdrawal).
+    pub penalty_per_flap: f64,
+    /// Penalty above which the route is suppressed.
+    pub suppress_threshold: f64,
+    /// Penalty below which a suppressed route is released.
+    pub reuse_threshold: f64,
+    /// Exponential-decay half life.
+    pub half_life: SimDuration,
+    /// Upper bound on the suppression time.
+    pub max_suppress: SimDuration,
+}
+
+impl DampingConfig {
+    /// The RFC 2439 / vendor-default parameters (15-minute half life —
+    /// glacial on this paper's timescale; see
+    /// [`paper_scale`](Self::paper_scale)).
+    pub fn rfc2439() -> DampingConfig {
+        DampingConfig {
+            penalty_per_flap: 1000.0,
+            suppress_threshold: 2000.0,
+            reuse_threshold: 750.0,
+            half_life: SimDuration::from_secs(15 * 60),
+            max_suppress: SimDuration::from_secs(60 * 60),
+        }
+    }
+
+    /// The same thresholds with a 30 s half life and 2-minute cap, scaled
+    /// to the convergence timescales of the paper's 120-node networks.
+    pub fn paper_scale() -> DampingConfig {
+        DampingConfig {
+            half_life: SimDuration::from_secs(30),
+            max_suppress: SimDuration::from_secs(120),
+            ..DampingConfig::rfc2439()
+        }
+    }
+
+    /// Validates the parameter relationships.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < reuse_threshold < suppress_threshold`,
+    /// `penalty_per_flap > 0` and `half_life > 0`.
+    pub fn validate(&self) {
+        assert!(self.penalty_per_flap > 0.0, "penalty_per_flap must be positive");
+        assert!(
+            0.0 < self.reuse_threshold && self.reuse_threshold < self.suppress_threshold,
+            "need 0 < reuse ({}) < suppress ({})",
+            self.reuse_threshold,
+            self.suppress_threshold
+        );
+        assert!(!self.half_life.is_zero(), "half_life must be positive");
+    }
+}
+
+/// Per-(peer, prefix) damping state.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DampingState {
+    penalty: f64,
+    last_update: SimTime,
+    suppressed: bool,
+    gen: u64,
+}
+
+impl DampingState {
+    /// Fresh, unpenalized state.
+    pub fn new() -> DampingState {
+        DampingState { penalty: 0.0, last_update: SimTime::ZERO, suppressed: false, gen: 0 }
+    }
+
+    /// The penalty decayed to `now`.
+    pub fn penalty_at(&self, now: SimTime, cfg: &DampingConfig) -> f64 {
+        let dt = now.saturating_since(self.last_update).as_secs_f64();
+        self.penalty * 0.5_f64.powf(dt / cfg.half_life.as_secs_f64())
+    }
+
+    /// Whether the route is currently suppressed.
+    pub fn is_suppressed(&self) -> bool {
+        self.suppressed
+    }
+
+    /// Records one flap at `now`. Returns `true` if this flap *newly*
+    /// suppressed the route (the caller should start a reuse timer).
+    pub fn record_flap(&mut self, now: SimTime, cfg: &DampingConfig) -> bool {
+        self.penalty = self.penalty_at(now, cfg) + cfg.penalty_per_flap;
+        self.last_update = now;
+        if !self.suppressed && self.penalty > cfg.suppress_threshold {
+            self.suppressed = true;
+            self.gen += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// How long from `now` until the penalty decays to the reuse threshold
+    /// (capped at `max_suppress`). Zero if already below.
+    ///
+    /// When the penalty sits epsilon above the threshold the analytic
+    /// delay can round to zero nanoseconds, which would re-arm the reuse
+    /// timer at the same instant forever; the result is therefore floored
+    /// at one millisecond whenever it is nonzero.
+    pub fn reuse_delay(&self, now: SimTime, cfg: &DampingConfig) -> SimDuration {
+        let p = self.penalty_at(now, cfg);
+        if p <= cfg.reuse_threshold {
+            return SimDuration::ZERO;
+        }
+        let dt = cfg.half_life.as_secs_f64() * (p / cfg.reuse_threshold).log2();
+        SimDuration::from_secs_f64(dt)
+            .max(SimDuration::from_millis(1))
+            .min(cfg.max_suppress)
+    }
+
+    /// The generation stamp for the current suppression (stale reuse
+    /// timers are ignored, as with MRAI timers).
+    pub fn gen(&self) -> u64 {
+        self.gen
+    }
+
+    /// Attempts to release a suppressed route at `now` for suppression
+    /// generation `gen`. Returns:
+    ///
+    /// * `Some(true)` — released (or force-released by the `max_suppress`
+    ///   cap even if the penalty is still above the reuse threshold);
+    /// * `Some(false)` — not yet, re-arm after
+    ///   [`reuse_delay`](Self::reuse_delay);
+    /// * `None` — stale generation; ignore.
+    pub fn try_release(
+        &mut self,
+        now: SimTime,
+        gen: u64,
+        cfg: &DampingConfig,
+        capped: bool,
+    ) -> Option<bool> {
+        if !self.suppressed || gen != self.gen {
+            return None;
+        }
+        if capped || self.penalty_at(now, cfg) <= cfg.reuse_threshold {
+            self.suppressed = false;
+            self.penalty = self.penalty_at(now, cfg);
+            self.last_update = now;
+            Some(true)
+        } else {
+            Some(false)
+        }
+    }
+}
+
+impl Default for DampingState {
+    fn default() -> DampingState {
+        DampingState::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> DampingConfig {
+        DampingConfig::paper_scale()
+    }
+
+    #[test]
+    fn presets_validate() {
+        DampingConfig::rfc2439().validate();
+        DampingConfig::paper_scale().validate();
+    }
+
+    #[test]
+    fn penalty_decays_with_half_life() {
+        let mut s = DampingState::new();
+        s.record_flap(SimTime::ZERO, &cfg());
+        let p0 = s.penalty_at(SimTime::ZERO, &cfg());
+        assert_eq!(p0, 1000.0);
+        let p_half = s.penalty_at(SimTime::from_secs(30), &cfg());
+        assert!((p_half - 500.0).abs() < 1e-6, "half life off: {p_half}");
+        let p_two = s.penalty_at(SimTime::from_secs(60), &cfg());
+        assert!((p_two - 250.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn suppression_kicks_in_above_threshold() {
+        let mut s = DampingState::new();
+        assert!(!s.record_flap(SimTime::ZERO, &cfg()), "1000 < 2000");
+        assert!(!s.record_flap(SimTime::from_secs(1), &cfg()), "≈1977 < 2000");
+        assert!(s.record_flap(SimTime::from_secs(2), &cfg()), "third flap suppresses");
+        assert!(s.is_suppressed());
+        // Further flaps while suppressed do not re-trigger.
+        assert!(!s.record_flap(SimTime::from_secs(3), &cfg()));
+    }
+
+    #[test]
+    fn reuse_delay_and_release() {
+        let c = cfg();
+        let mut s = DampingState::new();
+        for t in 0..3 {
+            s.record_flap(SimTime::from_secs(t), &c);
+        }
+        assert!(s.is_suppressed());
+        let gen = s.gen();
+        let delay = s.reuse_delay(SimTime::from_secs(2), &c);
+        assert!(delay > SimDuration::ZERO && delay <= c.max_suppress);
+        // Too early: not released.
+        assert_eq!(s.try_release(SimTime::from_secs(3), gen, &c, false), Some(false));
+        // After the computed delay the penalty is at/below reuse.
+        let at = SimTime::from_secs(2) + delay + SimDuration::from_secs(1);
+        assert_eq!(s.try_release(at, gen, &c, false), Some(true));
+        assert!(!s.is_suppressed());
+    }
+
+    #[test]
+    fn stale_generation_ignored() {
+        let c = cfg();
+        let mut s = DampingState::new();
+        for t in 0..3 {
+            s.record_flap(SimTime::from_secs(t), &c);
+        }
+        let gen = s.gen();
+        assert_eq!(s.try_release(SimTime::from_secs(500), gen + 1, &c, false), None);
+        assert!(s.is_suppressed());
+    }
+
+    #[test]
+    fn cap_forces_release() {
+        let c = cfg();
+        let mut s = DampingState::new();
+        for t in 0..20 {
+            s.record_flap(SimTime::from_secs(t), &c);
+        }
+        assert!(s.is_suppressed());
+        // Penalty is enormous; the cap releases anyway.
+        assert_eq!(
+            s.try_release(SimTime::from_secs(20), s.gen(), &c, true),
+            Some(true)
+        );
+    }
+
+    #[test]
+    fn reuse_delay_never_rounds_to_zero() {
+        // Penalty epsilon above the threshold: the analytic delay is below
+        // a nanosecond; the floor must keep the timer making progress
+        // (regression test for a same-instant re-arm livelock).
+        let c = cfg();
+        let mut s = DampingState::new();
+        for t in 0..3 {
+            s.record_flap(SimTime::from_secs(t), &c);
+        }
+        // Decay to just above the reuse threshold, then ask for the delay.
+        let p_now = s.penalty_at(SimTime::from_secs(2), &c);
+        let dt_to_reuse =
+            c.half_life.as_secs_f64() * (p_now / (c.reuse_threshold + 1e-9)).log2();
+        let just_above = SimTime::from_secs(2)
+            + SimDuration::from_secs_f64(dt_to_reuse.max(0.0));
+        let d = s.reuse_delay(just_above, &c);
+        if s.penalty_at(just_above, &c) > c.reuse_threshold {
+            assert!(
+                d >= SimDuration::from_millis(1),
+                "delay {d} would livelock the reuse timer"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "reuse")]
+    fn validate_rejects_inverted_thresholds() {
+        let c = DampingConfig {
+            reuse_threshold: 3000.0,
+            ..DampingConfig::rfc2439()
+        };
+        c.validate();
+    }
+}

@@ -1,0 +1,136 @@
+//! The BGP decision process.
+//!
+//! The paper configures SSFNet so that "the path length (i.e., number of
+//! hops along the route) was the only criterion used for selecting the
+//! routes and there were no policy based restrictions" (§3.2). We rank:
+//!
+//! 1. lowest policy rank (only relevant when Gao–Rexford policies are on:
+//!    customer < peer < provider, the `LOCAL_PREF` idiom; rank is uniformly
+//!    0 otherwise, matching the paper);
+//! 2. shortest AS path;
+//! 3. eBGP-learned over iBGP-learned (only relevant in multi-router ASes);
+//! 4. lowest advertising-peer id (a deterministic stand-in for the
+//!    router-id tie-break).
+
+use bgpsim_topology::RouterId;
+
+use crate::rib::{AdjRibIn, NextHop, RouteEntry, Selected};
+use crate::msg::Prefix;
+
+/// Selects the best route for `prefix` among the Adj-RIB-In candidates.
+///
+/// Returns `None` if no peer advertises a (loop-free) route. Locally
+/// originated prefixes never reach this function — the node always prefers
+/// its own zero-length route.
+///
+/// ```
+/// use bgpsim_bgp::decision::select_best;
+/// use bgpsim_bgp::rib::{AdjRibIn, RouteEntry};
+/// use bgpsim_bgp::{AsPath, Prefix};
+/// use bgpsim_topology::{AsId, RouterId};
+///
+/// let mut rib = AdjRibIn::new();
+/// let p = Prefix::new(0);
+/// rib.insert(p, RouterId::new(9), RouteEntry {
+///     path: AsPath::from_hops([AsId::new(1)]), ibgp: false, rank: 0 });
+/// rib.insert(p, RouterId::new(2), RouteEntry {
+///     path: AsPath::from_hops([AsId::new(3), AsId::new(1)]), ibgp: false, rank: 0 });
+/// let best = select_best(p, &rib).expect("a candidate exists");
+/// assert_eq!(best.path.len(), 1, "shortest path wins");
+/// ```
+pub fn select_best(prefix: Prefix, rib_in: &AdjRibIn) -> Option<Selected> {
+    let mut best: Option<(RouterId, &RouteEntry)> = None;
+    for (peer, entry) in rib_in.candidates(prefix) {
+        best = Some(match best {
+            None => (peer, entry),
+            Some(current) => {
+                if ranks_higher((peer, entry), current) {
+                    (peer, entry)
+                } else {
+                    current
+                }
+            }
+        });
+    }
+    best.map(|(peer, entry)| Selected {
+        path: entry.path.clone(),
+        next_hop: NextHop::Peer(peer),
+        via_ibgp: entry.ibgp,
+        rank: entry.rank,
+    })
+}
+
+/// Whether candidate `a` outranks candidate `b`.
+fn ranks_higher(a: (RouterId, &RouteEntry), b: (RouterId, &RouteEntry)) -> bool {
+    let key = |(peer, entry): (RouterId, &RouteEntry)| {
+        (entry.rank, entry.path.len(), entry.ibgp, peer)
+    };
+    key(a) < key(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::path::AsPath;
+    use bgpsim_topology::AsId;
+
+    fn entry(hops: &[u32], ibgp: bool) -> RouteEntry {
+        RouteEntry { path: AsPath::from_hops(hops.iter().map(|&h| AsId::new(h))), ibgp, rank: 0 }
+    }
+
+    fn rid(i: u32) -> RouterId {
+        RouterId::new(i)
+    }
+
+    #[test]
+    fn empty_rib_gives_none() {
+        let rib = AdjRibIn::new();
+        assert!(select_best(Prefix::new(0), &rib).is_none());
+    }
+
+    #[test]
+    fn shortest_path_wins() {
+        let mut rib = AdjRibIn::new();
+        let p = Prefix::new(0);
+        rib.insert(p, rid(1), entry(&[1, 2, 3], false));
+        rib.insert(p, rid(2), entry(&[4, 3], false));
+        let best = select_best(p, &rib).unwrap();
+        assert_eq!(best.next_hop, NextHop::Peer(rid(2)));
+        assert_eq!(best.path.len(), 2);
+    }
+
+    #[test]
+    fn ebgp_beats_ibgp_on_equal_length() {
+        let mut rib = AdjRibIn::new();
+        let p = Prefix::new(0);
+        rib.insert(p, rid(1), entry(&[7, 8], true));
+        rib.insert(p, rid(2), entry(&[5, 8], false));
+        let best = select_best(p, &rib).unwrap();
+        assert_eq!(best.next_hop, NextHop::Peer(rid(2)));
+        assert!(!best.via_ibgp);
+    }
+
+    #[test]
+    fn lowest_peer_id_breaks_full_ties() {
+        let mut rib = AdjRibIn::new();
+        let p = Prefix::new(0);
+        // All candidates tie on length (1) and session type (eBGP).
+        rib.insert(p, rid(9), entry(&[1], false));
+        rib.insert(p, rid(3), entry(&[2], false));
+        rib.insert(p, rid(7), entry(&[4], false));
+        let best = select_best(p, &rib).unwrap();
+        assert_eq!(best.next_hop, NextHop::Peer(rid(3)));
+    }
+
+    #[test]
+    fn selection_is_deterministic_in_insertion_order() {
+        let p = Prefix::new(0);
+        let mut rib1 = AdjRibIn::new();
+        rib1.insert(p, rid(1), entry(&[1], false));
+        rib1.insert(p, rid(2), entry(&[2], false));
+        let mut rib2 = AdjRibIn::new();
+        rib2.insert(p, rid(2), entry(&[2], false));
+        rib2.insert(p, rid(1), entry(&[1], false));
+        assert_eq!(select_best(p, &rib1), select_best(p, &rib2));
+    }
+}

@@ -1,0 +1,339 @@
+//! Dynamic MRAI selection (paper §4.3).
+//!
+//! The node switches its MRAI between a small set of *levels* (the paper
+//! uses 0.5 / 1.25 / 2.25 s for 120-node networks) based on an overload
+//! signal. The paper's primary detector is **unfinished work**: input-queue
+//! length × mean per-update processing delay; above `upTh` the MRAI steps
+//! up a level, below `downTh` it steps down. The paper also reports trying
+//! a processor-**utilization** detector ("promising results") and a raw
+//! received-**update-count** detector ("not very successful — difficult to
+//! set the thresholds"); both are provided for the ablation benches.
+//!
+//! Changes take effect only when an MRAI timer is next started — running
+//! timers are never modified (paper: "we do not modify the values of the
+//! running timers ... the change takes effect only when the timers are
+//! restarted").
+
+use bgpsim_des::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// The overload signal driving level changes.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum Detector {
+    /// Unfinished work = (queued + in-service updates) × `mean_processing`.
+    /// The paper's scheme, with `upTh` = 0.65 s and `downTh` = 0.05 s in
+    /// Fig 7.
+    UnfinishedWork {
+        /// Step the level up when unfinished work exceeds this.
+        up: SimDuration,
+        /// Step the level down when unfinished work is below this.
+        down: SimDuration,
+        /// Mean per-update processing delay (15.5 ms for U(1, 30) ms).
+        mean_processing: SimDuration,
+    },
+    /// Fraction of wall-clock the processor was busy since the previous
+    /// evaluation.
+    Utilization {
+        /// Step up above this busy fraction.
+        up: f64,
+        /// Step down below this busy fraction.
+        down: f64,
+    },
+    /// Raw number of updates received since the previous evaluation.
+    UpdateCount {
+        /// Step up above this count.
+        up: u64,
+        /// Step down below this count.
+        down: u64,
+    },
+}
+
+/// Configuration of the dynamic MRAI scheme.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DynamicMraiConfig {
+    /// MRAI levels in increasing order (paper: 0.5, 1.25, 2.25 s).
+    pub levels: Vec<SimDuration>,
+    /// The overload detector and its thresholds.
+    pub detector: Detector,
+}
+
+impl DynamicMraiConfig {
+    /// The paper's Fig 7 configuration: levels {0.5, 1.25, 2.25} s,
+    /// unfinished-work detector with `upTh` = 0.65 s, `downTh` = 0.05 s,
+    /// mean processing delay 15.5 ms.
+    pub fn paper_default() -> DynamicMraiConfig {
+        DynamicMraiConfig {
+            levels: vec![
+                SimDuration::from_millis(500),
+                SimDuration::from_millis(1250),
+                SimDuration::from_millis(2250),
+            ],
+            detector: Detector::UnfinishedWork {
+                up: SimDuration::from_millis(650),
+                down: SimDuration::from_millis(50),
+                mean_processing: SimDuration::from_micros(15_500),
+            },
+        }
+    }
+
+    /// Same levels as [`paper_default`](Self::paper_default) but custom
+    /// unfinished-work thresholds (the Fig 8/9 sweeps).
+    pub fn with_thresholds(up: SimDuration, down: SimDuration) -> DynamicMraiConfig {
+        let mut cfg = DynamicMraiConfig::paper_default();
+        cfg.detector = Detector::UnfinishedWork {
+            up,
+            down,
+            mean_processing: SimDuration::from_micros(15_500),
+        };
+        cfg
+    }
+}
+
+/// Runtime state of the dynamic MRAI controller for one node.
+///
+/// ```
+/// use bgpsim_bgp::dynmrai::{DynamicMraiConfig, DynMraiController};
+/// use bgpsim_des::{SimDuration, SimTime};
+///
+/// let mut ctrl = DynMraiController::new(DynamicMraiConfig::paper_default());
+/// assert_eq!(ctrl.current_mrai(), SimDuration::from_millis(500));
+/// // 100 queued updates × 15.5 ms = 1.55 s of unfinished work > 0.65 s.
+/// ctrl.evaluate(SimTime::from_secs(1), 100);
+/// assert_eq!(ctrl.current_mrai(), SimDuration::from_millis(1250));
+/// ```
+#[derive(Clone, Debug)]
+pub struct DynMraiController {
+    cfg: DynamicMraiConfig,
+    level: usize,
+    level_changes: u64,
+    last_change: Option<SimTime>,
+    window_start: SimTime,
+    busy_in_window: SimDuration,
+    updates_in_window: u64,
+}
+
+impl DynMraiController {
+    /// Creates a controller starting at the lowest level (the paper starts
+    /// every node at 0.5 s because small failures are the common case).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.levels` is empty or not strictly increasing.
+    pub fn new(cfg: DynamicMraiConfig) -> DynMraiController {
+        assert!(!cfg.levels.is_empty(), "dynamic MRAI needs at least one level");
+        assert!(
+            cfg.levels.windows(2).all(|w| w[0] < w[1]),
+            "dynamic MRAI levels must be strictly increasing"
+        );
+        DynMraiController {
+            cfg,
+            level: 0,
+            level_changes: 0,
+            last_change: None,
+            window_start: SimTime::ZERO,
+            busy_in_window: SimDuration::ZERO,
+            updates_in_window: 0,
+        }
+    }
+
+    /// The MRAI to use for the next timer start.
+    pub fn current_mrai(&self) -> SimDuration {
+        self.cfg.levels[self.level]
+    }
+
+    /// Current level index.
+    pub fn level(&self) -> usize {
+        self.level
+    }
+
+    /// Total level changes so far.
+    pub fn level_changes(&self) -> u64 {
+        self.level_changes
+    }
+
+    /// Records processor busy time (drives the utilization detector).
+    pub fn note_busy(&mut self, dur: SimDuration) {
+        self.busy_in_window += dur;
+    }
+
+    /// Records a received update (drives the update-count detector).
+    pub fn note_update_received(&mut self) {
+        self.updates_in_window += 1;
+    }
+
+    /// Evaluates the overload signal and moves at most one level.
+    ///
+    /// Called when an MRAI timer is (re)started, per the paper. At most one
+    /// level change happens per distinct instant, so several peers
+    /// restarting timers simultaneously cannot ratchet the level multiple
+    /// steps on the same evidence.
+    pub fn evaluate(&mut self, now: SimTime, pending_updates: usize) {
+        if self.last_change == Some(now) {
+            return;
+        }
+        let direction = match self.cfg.detector {
+            Detector::UnfinishedWork { up, down, mean_processing } => {
+                let work = mean_processing * pending_updates as u64;
+                signal_direction(work, up, down)
+            }
+            Detector::Utilization { up, down } => {
+                let elapsed = now.saturating_since(self.window_start);
+                if elapsed.is_zero() {
+                    return;
+                }
+                let util = self.busy_in_window.as_secs_f64() / elapsed.as_secs_f64();
+                self.window_start = now;
+                self.busy_in_window = SimDuration::ZERO;
+                if util > up {
+                    1
+                } else if util < down {
+                    -1
+                } else {
+                    0
+                }
+            }
+            Detector::UpdateCount { up, down } => {
+                let count = self.updates_in_window;
+                self.updates_in_window = 0;
+                if count > up {
+                    1
+                } else if count < down {
+                    -1
+                } else {
+                    0
+                }
+            }
+        };
+        let new_level = match direction {
+            1 => (self.level + 1).min(self.cfg.levels.len() - 1),
+            -1 => self.level.saturating_sub(1),
+            _ => self.level,
+        };
+        if new_level != self.level {
+            self.level = new_level;
+            self.level_changes += 1;
+            self.last_change = Some(now);
+        }
+    }
+}
+
+fn signal_direction(value: SimDuration, up: SimDuration, down: SimDuration) -> i32 {
+    if value > up {
+        1
+    } else if value < down {
+        -1
+    } else {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctrl() -> DynMraiController {
+        DynMraiController::new(DynamicMraiConfig::paper_default())
+    }
+
+    #[test]
+    fn starts_at_lowest_level() {
+        let c = ctrl();
+        assert_eq!(c.level(), 0);
+        assert_eq!(c.current_mrai(), SimDuration::from_millis(500));
+    }
+
+    #[test]
+    fn overload_steps_up_and_saturates() {
+        let mut c = ctrl();
+        // 100 pending × 15.5 ms = 1.55 s > 0.65 s.
+        c.evaluate(SimTime::from_secs(1), 100);
+        assert_eq!(c.level(), 1);
+        c.evaluate(SimTime::from_secs(2), 100);
+        assert_eq!(c.level(), 2);
+        c.evaluate(SimTime::from_secs(3), 100);
+        assert_eq!(c.level(), 2, "saturates at the top level");
+        assert_eq!(c.level_changes(), 2);
+    }
+
+    #[test]
+    fn idle_steps_down_and_saturates() {
+        let mut c = ctrl();
+        c.evaluate(SimTime::from_secs(1), 100);
+        assert_eq!(c.level(), 1);
+        // 1 pending × 15.5 ms = 15.5 ms < 50 ms ⇒ down.
+        c.evaluate(SimTime::from_secs(2), 1);
+        assert_eq!(c.level(), 0);
+        c.evaluate(SimTime::from_secs(3), 0);
+        assert_eq!(c.level(), 0, "saturates at the bottom");
+    }
+
+    #[test]
+    fn middle_band_holds_level() {
+        let mut c = ctrl();
+        c.evaluate(SimTime::from_secs(1), 100);
+        assert_eq!(c.level(), 1);
+        // 20 pending × 15.5 ms = 310 ms: between 50 ms and 650 ms ⇒ hold.
+        c.evaluate(SimTime::from_secs(2), 20);
+        assert_eq!(c.level(), 1);
+    }
+
+    #[test]
+    fn at_most_one_change_per_instant() {
+        let mut c = ctrl();
+        let t = SimTime::from_secs(5);
+        c.evaluate(t, 1000);
+        c.evaluate(t, 1000);
+        c.evaluate(t, 1000);
+        assert_eq!(c.level(), 1, "same-instant evaluations must not ratchet");
+    }
+
+    #[test]
+    fn utilization_detector() {
+        let mut c = DynMraiController::new(DynamicMraiConfig {
+            levels: vec![SimDuration::from_millis(500), SimDuration::from_millis(2250)],
+            detector: Detector::Utilization { up: 0.8, down: 0.2 },
+        });
+        c.note_busy(SimDuration::from_millis(950));
+        c.evaluate(SimTime::from_secs(1), 0); // util 0.95 > 0.8
+        assert_eq!(c.level(), 1);
+        // New window, nearly idle.
+        c.note_busy(SimDuration::from_millis(10));
+        c.evaluate(SimTime::from_secs(2), 0); // util 0.01 < 0.2
+        assert_eq!(c.level(), 0);
+    }
+
+    #[test]
+    fn update_count_detector_resets_window() {
+        let mut c = DynMraiController::new(DynamicMraiConfig {
+            levels: vec![SimDuration::from_millis(500), SimDuration::from_millis(2250)],
+            detector: Detector::UpdateCount { up: 50, down: 5 },
+        });
+        for _ in 0..100 {
+            c.note_update_received();
+        }
+        c.evaluate(SimTime::from_secs(1), 0);
+        assert_eq!(c.level(), 1);
+        // Window reset: no new updates ⇒ below `down`.
+        c.evaluate(SimTime::from_secs(2), 0);
+        assert_eq!(c.level(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn rejects_unordered_levels() {
+        let _ = DynMraiController::new(DynamicMraiConfig {
+            levels: vec![SimDuration::from_secs(2), SimDuration::from_secs(1)],
+            detector: Detector::UpdateCount { up: 1, down: 0 },
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one level")]
+    fn rejects_empty_levels() {
+        let _ = DynMraiController::new(DynamicMraiConfig {
+            levels: vec![],
+            detector: Detector::UpdateCount { up: 1, down: 0 },
+        });
+    }
+}

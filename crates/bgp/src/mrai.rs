@@ -1,0 +1,125 @@
+//! MRAI timer state.
+//!
+//! RFC 1771's MinRouteAdvertisementInterval forbids sending a new
+//! advertisement for the *same destination* to the *same peer* within the
+//! interval. Real routers (and the paper, §2–3.2) approximate this with a
+//! single **per-peer** timer: while it runs, changed routes accumulate; on
+//! expiry everything pending is sent and the timer restarts. The
+//! per-destination variant — one timer per (peer, destination) — is the
+//! "straightforward" but unscalable implementation the paper describes;
+//! both are supported so their behaviour can be compared.
+//!
+//! Timers here are pure state machines; actual scheduling is done by the
+//! driver via generation-stamped expiry events (a stale generation means
+//! the logical timer was restarted or cancelled — the event is ignored).
+
+use serde::{Deserialize, Serialize};
+
+/// Whether the MRAI applies per peer (deployed practice, the paper's
+/// configuration) or per (peer, destination) (RFC-literal, unscalable).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum MraiScope {
+    /// One timer per peer; pending changes batch behind it.
+    #[default]
+    PerPeer,
+    /// One timer per (peer, destination).
+    PerDestination,
+}
+
+/// A single logical MRAI timer with generation-based cancellation.
+///
+/// ```
+/// use bgpsim_bgp::mrai::MraiTimer;
+///
+/// let mut t = MraiTimer::new();
+/// assert!(!t.is_running());
+/// let gen = t.start();
+/// assert!(t.is_running());
+/// assert!(!t.expire(gen + 1), "stale generation ignored");
+/// assert!(t.expire(gen));
+/// assert!(!t.is_running());
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MraiTimer {
+    running: bool,
+    gen: u64,
+}
+
+impl MraiTimer {
+    /// A stopped timer.
+    pub fn new() -> MraiTimer {
+        MraiTimer::default()
+    }
+
+    /// Whether the timer is currently running.
+    pub fn is_running(&self) -> bool {
+        self.running
+    }
+
+    /// Starts (or restarts) the timer, returning the generation the expiry
+    /// event must carry to be honoured.
+    pub fn start(&mut self) -> u64 {
+        self.gen += 1;
+        self.running = true;
+        self.gen
+    }
+
+    /// Handles an expiry event. Returns `true` if it matched the live
+    /// generation (the timer genuinely expired); stale events return
+    /// `false` and change nothing.
+    pub fn expire(&mut self, gen: u64) -> bool {
+        if self.running && gen == self.gen {
+            self.running = false;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Stops the timer; any in-flight expiry event becomes stale.
+    pub fn cancel(&mut self) {
+        self.running = false;
+        self.gen += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifecycle() {
+        let mut t = MraiTimer::new();
+        assert!(!t.is_running());
+        let g1 = t.start();
+        assert!(t.is_running());
+        assert!(t.expire(g1));
+        assert!(!t.is_running());
+        assert!(!t.expire(g1), "double expiry ignored");
+    }
+
+    #[test]
+    fn restart_invalidates_previous_generation() {
+        let mut t = MraiTimer::new();
+        let g1 = t.start();
+        let g2 = t.start();
+        assert_ne!(g1, g2);
+        assert!(!t.expire(g1));
+        assert!(t.is_running(), "stale expiry must not stop the timer");
+        assert!(t.expire(g2));
+    }
+
+    #[test]
+    fn cancel_invalidates_inflight_expiry() {
+        let mut t = MraiTimer::new();
+        let g = t.start();
+        t.cancel();
+        assert!(!t.is_running());
+        assert!(!t.expire(g));
+    }
+
+    #[test]
+    fn default_scope_is_per_peer() {
+        assert_eq!(MraiScope::default(), MraiScope::PerPeer);
+    }
+}

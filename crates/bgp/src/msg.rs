@@ -1,0 +1,128 @@
+//! BGP UPDATE messages.
+//!
+//! Updates are modeled at per-destination granularity: one message carries
+//! the new route (or a withdrawal) for exactly one prefix, matching the
+//! per-update processing-cost model of the paper (§3.2: "the BGP update
+//! processing delay ... uniformly distributed between 1 and 30
+//! milliseconds") and making the batching scheme's per-destination queueing
+//! (§4.4) exact.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::path::AsPath;
+
+/// A routed destination. The paper's networks originate one prefix per AS,
+/// so prefixes are dense indices (usually equal to the origin AS index).
+#[derive(
+    Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct Prefix(u32);
+
+impl Prefix {
+    /// Creates a prefix id from a dense index.
+    pub const fn new(index: u32) -> Prefix {
+        Prefix(index)
+    }
+
+    /// The dense index backing this prefix.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Prefix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// The content of an UPDATE for one prefix.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum UpdateAction {
+    /// Announce a (new) route with the given AS path, replacing whatever the
+    /// sender previously advertised for the prefix.
+    Advertise(AsPath),
+    /// Withdraw the sender's route for the prefix.
+    Withdraw,
+}
+
+impl UpdateAction {
+    /// Whether this is an advertisement.
+    pub fn is_advertise(&self) -> bool {
+        matches!(self, UpdateAction::Advertise(_))
+    }
+}
+
+/// A BGP UPDATE message for a single prefix.
+///
+/// ```
+/// use bgpsim_bgp::{AsPath, Prefix, UpdateAction, UpdateMsg};
+///
+/// let msg = UpdateMsg::withdraw(Prefix::new(3));
+/// assert!(!msg.action.is_advertise());
+/// let msg = UpdateMsg::advertise(Prefix::new(3), AsPath::local());
+/// assert!(msg.action.is_advertise());
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UpdateMsg {
+    /// The destination this update concerns.
+    pub prefix: Prefix,
+    /// Announce or withdraw.
+    pub action: UpdateAction,
+    /// Policy rank carried over iBGP sessions (the `LOCAL_PREF` idiom):
+    /// tells interior routers whether the border router learned the route
+    /// from a customer (0), peer (1) or provider (2). `None` on eBGP
+    /// sessions and when policies are off.
+    pub local_pref: Option<u8>,
+}
+
+impl UpdateMsg {
+    /// Convenience constructor for an announcement.
+    pub fn advertise(prefix: Prefix, path: AsPath) -> UpdateMsg {
+        UpdateMsg { prefix, action: UpdateAction::Advertise(path), local_pref: None }
+    }
+
+    /// An announcement carrying a policy rank (iBGP with policies on).
+    pub fn advertise_with_pref(prefix: Prefix, path: AsPath, pref: u8) -> UpdateMsg {
+        UpdateMsg { prefix, action: UpdateAction::Advertise(path), local_pref: Some(pref) }
+    }
+
+    /// Convenience constructor for a withdrawal.
+    pub fn withdraw(prefix: Prefix) -> UpdateMsg {
+        UpdateMsg { prefix, action: UpdateAction::Withdraw, local_pref: None }
+    }
+}
+
+impl fmt::Display for UpdateMsg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.action {
+            UpdateAction::Advertise(path) => write!(f, "UPDATE {} via [{}]", self.prefix, path),
+            UpdateAction::Withdraw => write!(f, "WITHDRAW {}", self.prefix),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgpsim_topology::AsId;
+
+    #[test]
+    fn constructors_and_display() {
+        let a = UpdateMsg::advertise(Prefix::new(1), AsPath::from_hops([AsId::new(2)]));
+        assert!(a.action.is_advertise());
+        assert_eq!(a.to_string(), "UPDATE p1 via [AS2]");
+        let w = UpdateMsg::withdraw(Prefix::new(1));
+        assert!(!w.action.is_advertise());
+        assert_eq!(w.to_string(), "WITHDRAW p1");
+    }
+
+    #[test]
+    fn prefix_index_round_trip() {
+        assert_eq!(Prefix::new(7).index(), 7);
+        assert_eq!(Prefix::new(7).to_string(), "p7");
+        assert!(Prefix::new(1) < Prefix::new(2));
+    }
+}

@@ -1,0 +1,1658 @@
+//! The BGP router engine.
+//!
+//! [`BgpNode`] is a *sans-io* state machine: event handlers take the current
+//! simulation time and return [`Action`]s for the driver to execute. The
+//! processing model is a single server — one batch of queued updates is in
+//! service at a time, for the sum of the per-update U(proc_min, proc_max)
+//! delays — which is precisely the overload mechanism the paper studies:
+//! while the server is behind, the MRAI timer can expire and advertise a
+//! route that queued-but-unprocessed updates are about to invalidate,
+//! generating extra (invalid) updates downstream (§2).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use bgpsim_des::rng::{jittered, uniform_duration};
+use bgpsim_des::{SimDuration, SimTime};
+use bgpsim_topology::{AsId, RouterId};
+use rand::rngs::SmallRng;
+
+use crate::config::{MraiPolicy, NodeConfig};
+use crate::damping::DampingState;
+use crate::decision::select_best;
+use crate::dynmrai::DynMraiController;
+use crate::mrai::{MraiScope, MraiTimer};
+use crate::msg::{Prefix, UpdateAction, UpdateMsg};
+use crate::path::AsPath;
+use crate::policy::{may_export, PolicyMode, Relationship, RANK_PEER};
+use crate::queue::{InputQueue, WorkItem};
+use crate::rib::{AdjRibIn, AdjRibOut, LocRib, NextHop, RouteEntry, Selected};
+use crate::stats::NodeStats;
+
+/// An instruction the node hands back to the simulation driver.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Action {
+    /// Transmit `msg` to peer `to` (the driver adds the link delay).
+    Send {
+        /// Destination router.
+        to: RouterId,
+        /// The message.
+        msg: UpdateMsg,
+    },
+    /// The node's processor is now busy for `duration`; deliver a
+    /// processing-completion event afterwards.
+    StartProcessing {
+        /// Busy period (sum of the batch's per-update delays).
+        duration: SimDuration,
+    },
+    /// Start an MRAI timer; deliver an expiry event carrying the same
+    /// `(peer, prefix, gen)` after `delay`.
+    StartMrai {
+        /// The peer whose timer this is.
+        peer: RouterId,
+        /// `None` in per-peer scope; the destination in per-destination
+        /// scope.
+        prefix: Option<Prefix>,
+        /// The (already jittered) interval.
+        delay: SimDuration,
+        /// Generation stamp; stale expiries are ignored.
+        gen: u64,
+    },
+    /// Start a route-flap-damping reuse timer; deliver a reuse event
+    /// carrying the same `(peer, prefix, gen)` after `delay`.
+    StartReuse {
+        /// The peer whose route was suppressed.
+        peer: RouterId,
+        /// The suppressed destination.
+        prefix: Prefix,
+        /// When to re-evaluate the penalty.
+        delay: SimDuration,
+        /// Suppression generation; stale events are ignored.
+        gen: u64,
+    },
+}
+
+/// Per-peer session state.
+#[derive(Clone, Debug)]
+struct PeerSession {
+    ibgp: bool,
+    /// The neighbor's business relationship to us (policy mode only).
+    rel: Option<Relationship>,
+    timer: MraiTimer,
+    dest_timers: BTreeMap<Prefix, MraiTimer>,
+    rib_out: AdjRibOut,
+    dirty: BTreeSet<Prefix>,
+}
+
+impl PeerSession {
+    fn new(ibgp: bool, rel: Option<Relationship>) -> PeerSession {
+        PeerSession {
+            ibgp,
+            rel,
+            timer: MraiTimer::new(),
+            dest_timers: BTreeMap::new(),
+            rib_out: AdjRibOut::new(),
+            dirty: BTreeSet::new(),
+        }
+    }
+}
+
+/// A simulated BGP router.
+///
+/// # Example
+///
+/// Two routers in different ASes; drive the exchange by hand:
+///
+/// ```
+/// use bgpsim_bgp::{Action, BgpNode, NodeConfig, Prefix};
+/// use bgpsim_des::SimTime;
+/// use bgpsim_topology::{AsId, RouterId};
+/// use rand::{rngs::SmallRng, SeedableRng};
+///
+/// let cfg = NodeConfig::default();
+/// let mut a = BgpNode::new(RouterId::new(0), AsId::new(0), cfg.clone(),
+///                          SmallRng::seed_from_u64(1));
+/// a.add_peer(RouterId::new(1), false);
+/// let actions = a.originate(SimTime::ZERO, Prefix::new(0));
+/// assert!(actions.iter().any(|act| matches!(act, Action::Send { .. })));
+/// ```
+#[derive(Clone, Debug)]
+pub struct BgpNode {
+    id: RouterId,
+    as_id: AsId,
+    own_prefixes: BTreeSet<Prefix>,
+    peers: BTreeMap<RouterId, PeerSession>,
+    rib_in: AdjRibIn,
+    loc_rib: LocRib,
+    queue: InputQueue,
+    in_service: Vec<WorkItem>,
+    cfg: NodeConfig,
+    dyn_ctrl: Option<DynMraiController>,
+    /// Flap-damping state per (peer, prefix) — only populated when damping
+    /// is configured.
+    damp: BTreeMap<(RouterId, Prefix), DampingState>,
+    /// The latest route state received while suppressed (`None` =
+    /// withdrawn); applied to the Adj-RIB-In at release time.
+    suppressed_routes: BTreeMap<(RouterId, Prefix), Option<RouteEntry>>,
+    rng: SmallRng,
+    stats: NodeStats,
+}
+
+impl BgpNode {
+    /// Creates a router with no peers and no routes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` is invalid (see [`NodeConfig::validate`]).
+    pub fn new(id: RouterId, as_id: AsId, cfg: NodeConfig, rng: SmallRng) -> BgpNode {
+        cfg.validate();
+        let dyn_ctrl = match &cfg.mrai {
+            MraiPolicy::Dynamic(d) => Some(DynMraiController::new(d.clone())),
+            MraiPolicy::Constant(_) => None,
+        };
+        let queue = InputQueue::new(cfg.queue);
+        BgpNode {
+            id,
+            as_id,
+            own_prefixes: BTreeSet::new(),
+            peers: BTreeMap::new(),
+            rib_in: AdjRibIn::new(),
+            loc_rib: LocRib::new(),
+            queue,
+            in_service: Vec::new(),
+            cfg,
+            dyn_ctrl,
+            damp: BTreeMap::new(),
+            suppressed_routes: BTreeMap::new(),
+            rng,
+            stats: NodeStats::default(),
+        }
+    }
+
+    /// This router's id.
+    pub fn id(&self) -> RouterId {
+        self.id
+    }
+
+    /// This router's AS.
+    pub fn as_id(&self) -> AsId {
+        self.as_id
+    }
+
+    /// Registers a BGP session with `peer` (`ibgp` if both routers share an
+    /// AS). Call before the simulation starts.
+    pub fn add_peer(&mut self, peer: RouterId, ibgp: bool) {
+        self.peers.insert(peer, PeerSession::new(ibgp, None));
+    }
+
+    /// Registers an eBGP session with a business relationship (used when
+    /// [`PolicyMode::GaoRexford`] is configured).
+    pub fn add_peer_with_relationship(
+        &mut self,
+        peer: RouterId,
+        ibgp: bool,
+        rel: Relationship,
+    ) {
+        self.peers.insert(peer, PeerSession::new(ibgp, Some(rel)));
+    }
+
+    /// Ids of current peers, ascending.
+    pub fn peer_ids(&self) -> Vec<RouterId> {
+        self.peers.keys().copied().collect()
+    }
+
+    /// Read access to the Loc-RIB.
+    pub fn loc_rib(&self) -> &LocRib {
+        &self.loc_rib
+    }
+
+    /// Read access to the Adj-RIB-In.
+    pub fn rib_in(&self) -> &AdjRibIn {
+        &self.rib_in
+    }
+
+    /// Accumulated counters.
+    pub fn stats(&self) -> &NodeStats {
+        self.stats_with_queue()
+    }
+
+    fn stats_with_queue(&self) -> &NodeStats {
+        &self.stats
+    }
+
+    /// Zeroes the counters, including the queue's stale-deletion and peak
+    /// trackers (done after initial convergence so only post-failure
+    /// activity is measured).
+    pub fn reset_stats(&mut self) {
+        self.stats.reset();
+        self.queue.reset_counters();
+    }
+
+    /// Switches this node to a constant MRAI from now on (used by the
+    /// oracle failure-size-aware scheme: the paper's future-work item of
+    /// "accurately and quickly setting the MRAI consistent with the extent
+    /// of failure"). Running timers are unaffected; the new value applies
+    /// from the next timer start, like the dynamic scheme's level changes.
+    pub fn set_constant_mrai(&mut self, mrai: SimDuration) {
+        self.cfg.mrai = MraiPolicy::Constant(mrai);
+        self.dyn_ctrl = None;
+    }
+
+    /// Stale updates the batching discipline deleted unprocessed.
+    pub fn stale_deleted(&self) -> u64 {
+        self.queue.deleted_stale()
+    }
+
+    /// Largest input-queue length observed.
+    pub fn queue_peak(&self) -> usize {
+        self.queue.peak_len()
+    }
+
+    /// Updates waiting to be processed (excluding the batch in service).
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Whether a batch is currently in service.
+    pub fn is_busy(&self) -> bool {
+        !self.in_service.is_empty()
+    }
+
+    /// Current dynamic-MRAI level, if the node runs the dynamic scheme.
+    pub fn dynamic_level(&self) -> Option<usize> {
+        self.dyn_ctrl.as_ref().map(DynMraiController::level)
+    }
+
+    /// Routes currently suppressed by flap damping.
+    pub fn suppressed_count(&self) -> usize {
+        self.damp.values().filter(|s| s.is_suppressed()).count()
+    }
+
+    /// Originates `prefix` locally: it becomes one of this node's own
+    /// prefixes, is installed in the Loc-RIB and advertised to every peer.
+    /// A node may originate any number of prefixes.
+    pub fn originate(&mut self, now: SimTime, prefix: Prefix) -> Vec<Action> {
+        self.own_prefixes.insert(prefix);
+        self.loc_rib.install(prefix, Selected::local());
+        self.stats.best_changes += 1;
+        self.mark_dirty(prefix);
+        self.flush_all(now)
+    }
+
+    /// Handles an UPDATE arriving from `from`.
+    pub fn on_update(&mut self, now: SimTime, from: RouterId, msg: UpdateMsg) -> Vec<Action> {
+        self.stats.updates_received += 1;
+        if !self.peers.contains_key(&from) {
+            // Session already torn down; the message is lost.
+            return Vec::new();
+        }
+        if let Some(ctrl) = &mut self.dyn_ctrl {
+            ctrl.note_update_received();
+        }
+        self.queue.push(WorkItem::Update { from, msg });
+        self.maybe_start_processing(now)
+    }
+
+    /// Handles the completion of the batch in service.
+    pub fn on_proc_done(&mut self, now: SimTime) -> Vec<Action> {
+        let batch = std::mem::take(&mut self.in_service);
+        debug_assert!(!batch.is_empty(), "processing completed with nothing in service");
+        let mut affected: BTreeSet<Prefix> = BTreeSet::new();
+        let mut damping_actions: Vec<Action> = Vec::new();
+        for item in batch {
+            self.stats.updates_processed += 1;
+            affected.insert(item.prefix());
+            damping_actions.extend(self.apply_item(now, item));
+        }
+        let mut changed: BTreeSet<Prefix> = BTreeSet::new();
+        for prefix in affected {
+            if self.run_decision(prefix) {
+                self.mark_dirty(prefix);
+                changed.insert(prefix);
+            }
+        }
+        let mut actions = damping_actions;
+        if self.cfg.expedite_improvements && !changed.is_empty() {
+            actions.extend(self.expedite_flush(now, &changed));
+        }
+        actions.extend(self.flush_all(now));
+        actions.extend(self.maybe_start_processing(now));
+        actions
+    }
+
+    /// Deshpande & Sikdar's timer-cancelling scheme: when a change would
+    /// *improve* (shorten or create) the route a peer holds from us, cancel
+    /// that peer's running MRAI timer and send immediately.
+    fn expedite_flush(&mut self, now: SimTime, changed: &BTreeSet<Prefix>) -> Vec<Action> {
+        let peers: Vec<RouterId> = self.peers.keys().copied().collect();
+        let mut actions = Vec::new();
+        for peer in peers {
+            let improving: Vec<Prefix> =
+                changed.iter().copied().filter(|&p| self.improves(peer, p)).collect();
+            if improving.is_empty() {
+                continue;
+            }
+            let sess = self.peers.get_mut(&peer).expect("peer exists");
+            let mut cancelled = false;
+            match self.cfg.mrai_scope {
+                MraiScope::PerPeer => {
+                    if sess.timer.is_running() {
+                        sess.timer.cancel();
+                        cancelled = true;
+                    }
+                }
+                MraiScope::PerDestination => {
+                    for p in &improving {
+                        if let Some(t) = sess.dest_timers.get_mut(p) {
+                            if t.is_running() {
+                                t.cancel();
+                                cancelled = true;
+                            }
+                        }
+                    }
+                }
+            }
+            if cancelled {
+                actions.extend(self.flush_peer(now, peer));
+            }
+        }
+        actions
+    }
+
+    /// Whether what we would now send `peer` for `prefix` improves on what
+    /// they last heard from us (shorter path, or a route where they hold
+    /// none).
+    fn improves(&self, peer: RouterId, prefix: Prefix) -> bool {
+        let Some(sess) = self.peers.get(&peer) else { return false };
+        match (self.path_towards(peer, prefix), sess.rib_out.get(prefix)) {
+            (Some((new, _)), Some(old)) => new.len() < old.len(),
+            (Some(_), None) => true,
+            (None, _) => false,
+        }
+    }
+
+    /// Handles an MRAI expiry event (ignores stale generations and dead
+    /// peers).
+    pub fn on_mrai_expiry(
+        &mut self,
+        now: SimTime,
+        peer: RouterId,
+        prefix: Option<Prefix>,
+        gen: u64,
+    ) -> Vec<Action> {
+        let Some(sess) = self.peers.get_mut(&peer) else { return Vec::new() };
+        match prefix {
+            None => {
+                if !sess.timer.expire(gen) {
+                    return Vec::new();
+                }
+                self.flush_peer(now, peer)
+            }
+            Some(p) => {
+                let live = sess
+                    .dest_timers
+                    .get_mut(&p)
+                    .map(|t| t.expire(gen))
+                    .unwrap_or(false);
+                if !live {
+                    return Vec::new();
+                }
+                self.flush_peer(now, peer)
+            }
+        }
+    }
+
+    /// Handles the (re-)establishment of a session with `peer`: registers
+    /// it and schedules the initial table exchange — every Loc-RIB route is
+    /// marked dirty towards the new peer, exactly like a real BGP session
+    /// coming up (RFC 1771 §3: "initially, the entire BGP routing table is
+    /// exchanged"). Export filters (split horizon, policies) apply as
+    /// usual when the routes are emitted.
+    pub fn on_peer_up(
+        &mut self,
+        now: SimTime,
+        peer: RouterId,
+        ibgp: bool,
+        rel: Option<Relationship>,
+    ) -> Vec<Action> {
+        self.peers.insert(peer, PeerSession::new(ibgp, rel));
+        let prefixes: Vec<Prefix> = self.loc_rib.iter().map(|(p, _)| p).collect();
+        let sess = self.peers.get_mut(&peer).expect("just inserted");
+        for p in prefixes {
+            sess.dirty.insert(p);
+        }
+        self.flush_peer(now, peer)
+    }
+
+    /// Handles the loss of the session to `peer` (link or router failure).
+    ///
+    /// All routes learned from the peer must be revalidated; one
+    /// [`WorkItem::ImplicitWithdraw`] per affected prefix is queued so the
+    /// cleanup costs processing time, exactly like received withdrawals
+    /// would.
+    pub fn on_peer_down(&mut self, now: SimTime, peer: RouterId) -> Vec<Action> {
+        if self.peers.remove(&peer).is_none() {
+            return Vec::new();
+        }
+        // Damping state dies with the session (any in-flight reuse timer
+        // becomes stale via the generation check in finish_release).
+        self.damp.retain(|&(p, _), _| p != peer);
+        self.suppressed_routes.retain(|&(p, _), _| p != peer);
+        for prefix in self.rib_in.prefixes_via(peer) {
+            self.queue.push(WorkItem::ImplicitWithdraw { peer, prefix });
+        }
+        self.maybe_start_processing(now)
+    }
+
+    // ------------------------------------------------------------------
+    // Internals
+    // ------------------------------------------------------------------
+
+    /// Applies one work item to the RIBs. Returns a damping action to
+    /// execute (a reuse-timer start) if the update newly suppressed a
+    /// route.
+    fn apply_item(&mut self, now: SimTime, item: WorkItem) -> Option<Action> {
+        match item {
+            WorkItem::Update { from, msg } => {
+                if !self.peers.contains_key(&from) {
+                    // Session died while the update sat in the queue.
+                    return None;
+                }
+                let prefix = msg.prefix;
+                // Translate the wire update into the new route state
+                // (`None` = withdrawn); looped paths count as withdrawals.
+                let new_entry: Option<RouteEntry> = match msg.action {
+                    UpdateAction::Advertise(path) if !path.contains(self.as_id) => {
+                        let sess = &self.peers[&from];
+                        let rank = match self.cfg.policy {
+                            PolicyMode::None => 0,
+                            PolicyMode::GaoRexford => {
+                                if sess.ibgp {
+                                    // LOCAL_PREF carried over iBGP.
+                                    msg.local_pref.unwrap_or(RANK_PEER)
+                                } else {
+                                    sess.rel.map(Relationship::rank).unwrap_or(RANK_PEER)
+                                }
+                            }
+                        };
+                        Some(RouteEntry { path, ibgp: sess.ibgp, rank })
+                    }
+                    _ => None,
+                };
+                let ibgp = self.peers[&from].ibgp;
+                if let Some(damping) = self.cfg.damping.filter(|_| !ibgp) {
+                    let key = (from, prefix);
+                    let state = self.damp.entry(key).or_default();
+                    if state.is_suppressed() {
+                        // Track the latest state; apply it at release time.
+                        self.suppressed_routes.insert(key, new_entry);
+                        state.record_flap(now, &damping);
+                        return None;
+                    }
+                    let existing = self.rib_in.get(prefix, from);
+                    let changed = match (&existing, &new_entry) {
+                        (None, None) => false,
+                        (Some(old), Some(new)) => old.path != new.path,
+                        _ => true,
+                    };
+                    // A change is a flap once the route has history (a
+                    // prior route or a prior penalty); the very first
+                    // announcement is free.
+                    let has_history =
+                        existing.is_some() || state.penalty_at(now, &damping) > 0.0;
+                    if changed && has_history && state.record_flap(now, &damping) {
+                        // Newly suppressed: pull the route out of the
+                        // decision process and park the new state.
+                        self.rib_in.remove(prefix, from);
+                        self.suppressed_routes.insert(key, new_entry);
+                        let delay = state.reuse_delay(now, &damping);
+                        return Some(Action::StartReuse {
+                            peer: from,
+                            prefix,
+                            delay,
+                            gen: state.gen(),
+                        });
+                    }
+                }
+                match new_entry {
+                    Some(entry) => {
+                        self.rib_in.insert(prefix, from, entry);
+                    }
+                    None => {
+                        self.rib_in.remove(prefix, from);
+                    }
+                }
+                None
+            }
+            WorkItem::ImplicitWithdraw { peer, prefix } => {
+                self.rib_in.remove(prefix, peer);
+                None
+            }
+        }
+    }
+
+    /// Handles a damping reuse-timer expiry: releases the route if the
+    /// penalty has decayed (re-arming otherwise) and re-runs the decision
+    /// process with the parked state.
+    pub fn on_reuse_expiry(
+        &mut self,
+        now: SimTime,
+        peer: RouterId,
+        prefix: Prefix,
+        gen: u64,
+    ) -> Vec<Action> {
+        let Some(damping) = self.cfg.damping else { return Vec::new() };
+        let key = (peer, prefix);
+        let Some(state) = self.damp.get_mut(&key) else { return Vec::new() };
+        match state.try_release(now, gen, &damping, false) {
+            None => Vec::new(),
+            Some(false) => {
+                // Not decayed yet: re-arm, forcing release at the cap.
+                let delay = state.reuse_delay(now, &damping);
+                if delay >= damping.max_suppress {
+                    let released = state.try_release(now, gen, &damping, true);
+                    debug_assert_eq!(released, Some(true));
+                    self.finish_release(now, key)
+                } else {
+                    vec![Action::StartReuse { peer, prefix, delay, gen }]
+                }
+            }
+            Some(true) => self.finish_release(now, key),
+        }
+    }
+
+    fn finish_release(&mut self, now: SimTime, key: (RouterId, Prefix)) -> Vec<Action> {
+        let (peer, prefix) = key;
+        let parked = self.suppressed_routes.remove(&key).flatten();
+        if self.peers.contains_key(&peer) {
+            match parked {
+                Some(entry) => {
+                    self.rib_in.insert(prefix, peer, entry);
+                }
+                None => {
+                    self.rib_in.remove(prefix, peer);
+                }
+            }
+        }
+        let mut actions = Vec::new();
+        if self.run_decision(prefix) {
+            self.mark_dirty(prefix);
+            actions.extend(self.flush_all(now));
+        }
+        actions
+    }
+
+    /// Re-runs the decision process for `prefix`; returns whether the best
+    /// route changed.
+    fn run_decision(&mut self, prefix: Prefix) -> bool {
+        self.stats.decision_runs += 1;
+        if self.own_prefixes.contains(&prefix) {
+            // Locally originated: the zero-hop local route always wins.
+            return false;
+        }
+        let new = select_best(prefix, &self.rib_in);
+        let old = self.loc_rib.get(prefix);
+        if new.as_ref() == old {
+            return false;
+        }
+        match new {
+            Some(sel) => {
+                self.loc_rib.install(prefix, sel);
+            }
+            None => {
+                self.loc_rib.remove(prefix);
+            }
+        }
+        self.stats.best_changes += 1;
+        true
+    }
+
+    fn mark_dirty(&mut self, prefix: Prefix) {
+        for sess in self.peers.values_mut() {
+            sess.dirty.insert(prefix);
+        }
+    }
+
+    fn maybe_start_processing(&mut self, _now: SimTime) -> Vec<Action> {
+        if self.is_busy() {
+            return Vec::new();
+        }
+        let batch = self.queue.pop_batch();
+        if batch.is_empty() {
+            return Vec::new();
+        }
+        let duration: SimDuration = batch
+            .iter()
+            .map(|_| uniform_duration(self.cfg.proc_min, self.cfg.proc_max, &mut self.rng))
+            .sum();
+        self.stats.busy_time += duration;
+        if let Some(ctrl) = &mut self.dyn_ctrl {
+            ctrl.note_busy(duration);
+        }
+        self.in_service = batch;
+        vec![Action::StartProcessing { duration }]
+    }
+
+    fn flush_all(&mut self, now: SimTime) -> Vec<Action> {
+        let peers: Vec<RouterId> = self.peers.keys().copied().collect();
+        let mut actions = Vec::new();
+        for peer in peers {
+            actions.extend(self.flush_peer(now, peer));
+        }
+        actions
+    }
+
+    /// Sends whatever the MRAI currently permits to `peer`.
+    fn flush_peer(&mut self, now: SimTime, peer: RouterId) -> Vec<Action> {
+        match self.cfg.mrai_scope {
+            MraiScope::PerPeer => self.flush_peer_scoped(now, peer),
+            MraiScope::PerDestination => self.flush_per_destination(now, peer),
+        }
+    }
+
+    fn flush_peer_scoped(&mut self, now: SimTime, peer: RouterId) -> Vec<Action> {
+        {
+            let Some(sess) = self.peers.get(&peer) else { return Vec::new() };
+            if sess.timer.is_running() || sess.dirty.is_empty() {
+                return Vec::new();
+            }
+        }
+        let dirty: Vec<Prefix> = {
+            let sess = self.peers.get_mut(&peer).expect("checked above");
+            let d = sess.dirty.iter().copied().collect();
+            sess.dirty.clear();
+            d
+        };
+        let (mut actions, sent_advert, sent_any) = self.emit_updates(peer, &dirty);
+        let start_timer =
+            sent_advert || (self.cfg.withdrawal_rate_limiting && sent_any);
+        if start_timer {
+            if let Some(delay) = self.next_mrai_interval(now, peer) {
+                let sess = self.peers.get_mut(&peer).expect("peer exists");
+                let gen = sess.timer.start();
+                self.stats.mrai_starts += 1;
+                actions.push(Action::StartMrai { peer, prefix: None, delay, gen });
+            }
+        }
+        actions
+    }
+
+    fn flush_per_destination(&mut self, now: SimTime, peer: RouterId) -> Vec<Action> {
+        let Some(sess) = self.peers.get(&peer) else { return Vec::new() };
+        // Only prefixes whose own timer is idle may be sent now.
+        let ready: Vec<Prefix> = sess
+            .dirty
+            .iter()
+            .copied()
+            .filter(|p| !sess.dest_timers.get(p).map(MraiTimer::is_running).unwrap_or(false))
+            .collect();
+        if ready.is_empty() {
+            return Vec::new();
+        }
+        {
+            let sess = self.peers.get_mut(&peer).expect("checked above");
+            for p in &ready {
+                sess.dirty.remove(p);
+            }
+        }
+        let mut actions = Vec::new();
+        for p in ready {
+            let (mut acts, sent_advert, sent_any) = self.emit_updates(peer, &[p]);
+            actions.append(&mut acts);
+            let start_timer =
+                sent_advert || (self.cfg.withdrawal_rate_limiting && sent_any);
+            if start_timer {
+                if let Some(delay) = self.next_mrai_interval(now, peer) {
+                    let sess = self.peers.get_mut(&peer).expect("peer exists");
+                    let gen = sess.dest_timers.entry(p).or_default().start();
+                    self.stats.mrai_starts += 1;
+                    actions.push(Action::StartMrai { peer, prefix: Some(p), delay, gen });
+                }
+            }
+        }
+        actions
+    }
+
+    /// Computes and records the updates for `prefixes` towards `peer`.
+    /// Returns `(actions, sent_advertisement, sent_anything)`.
+    fn emit_updates(
+        &mut self,
+        peer: RouterId,
+        prefixes: &[Prefix],
+    ) -> (Vec<Action>, bool, bool) {
+        let mut actions = Vec::new();
+        let (mut sent_advert, mut sent_any) = (false, false);
+        for &prefix in prefixes {
+            let advertised = self.path_towards(peer, prefix);
+            let sess = self.peers.get_mut(&peer).expect("peer exists");
+            match (advertised, sess.rib_out.get(prefix)) {
+                (Some((path, _)), Some(old)) if &path == old => {
+                    // Redundant: what we'd send equals what they have.
+                }
+                (Some((path, pref)), _) => {
+                    sess.rib_out.advertise(prefix, path.clone());
+                    self.stats.announcements_sent += 1;
+                    sent_advert = true;
+                    sent_any = true;
+                    let msg = match pref {
+                        Some(p) => UpdateMsg::advertise_with_pref(prefix, path, p),
+                        None => UpdateMsg::advertise(prefix, path),
+                    };
+                    actions.push(Action::Send { to: peer, msg });
+                }
+                (None, Some(_)) => {
+                    sess.rib_out.withdraw(prefix);
+                    self.stats.withdrawals_sent += 1;
+                    sent_any = true;
+                    actions.push(Action::Send { to: peer, msg: UpdateMsg::withdraw(prefix) });
+                }
+                (None, None) => {}
+            }
+        }
+        (actions, sent_advert, sent_any)
+    }
+
+    /// The AS path this node would advertise to `peer` for `prefix`
+    /// (plus the iBGP `LOCAL_PREF` to carry), or `None` if the route must
+    /// be suppressed: unreachable, split horizon, iBGP no-transit, or — in
+    /// policy mode — a valley-free export violation.
+    fn path_towards(&self, peer: RouterId, prefix: Prefix) -> Option<(AsPath, Option<u8>)> {
+        let sess = self.peers.get(&peer)?;
+        let best = self.loc_rib.get(prefix)?;
+        if best.next_hop == NextHop::Peer(peer) {
+            // Split horizon: never advertise a route back to its source.
+            return None;
+        }
+        if sess.ibgp {
+            if best.via_ibgp && !self.cfg.route_reflector {
+                // Regular iBGP speakers do not re-advertise iBGP-learned
+                // routes (full-mesh rule); route reflectors do (RFC 4456 —
+                // split horizon above already keeps it away from the
+                // advertising client).
+                return None;
+            }
+            let pref = match self.cfg.policy {
+                PolicyMode::None => None,
+                PolicyMode::GaoRexford => Some(best.rank),
+            };
+            Some((best.path.clone(), pref))
+        } else {
+            if self.cfg.policy == PolicyMode::GaoRexford {
+                let to = sess.rel.unwrap_or(Relationship::Peer);
+                if !may_export(best.rank, to) {
+                    return None;
+                }
+            }
+            Some((best.path.prepend(self.as_id), None))
+        }
+    }
+
+    /// The jittered MRAI interval for the next timer towards `peer`, or
+    /// `None` if the effective MRAI is zero (no pacing).
+    fn next_mrai_interval(&mut self, now: SimTime, peer: RouterId) -> Option<SimDuration> {
+        let ibgp = self.peers.get(&peer)?.ibgp;
+        let base = if ibgp {
+            self.cfg.ibgp_mrai
+        } else {
+            match &self.cfg.mrai {
+                MraiPolicy::Constant(d) => *d,
+                MraiPolicy::Dynamic(_) => {
+                    let pending = self.queue.len() + self.in_service.len();
+                    let ctrl = self.dyn_ctrl.as_mut().expect("dynamic policy has controller");
+                    ctrl.evaluate(now, pending);
+                    ctrl.current_mrai()
+                }
+            }
+        };
+        if base.is_zero() {
+            return None;
+        }
+        Some(if self.cfg.jitter { jittered(base, &mut self.rng) } else { base })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dynmrai::DynamicMraiConfig;
+    use crate::queue::QueueDiscipline;
+    use rand::SeedableRng;
+
+    fn rid(i: u32) -> RouterId {
+        RouterId::new(i)
+    }
+
+    fn asn(i: u32) -> AsId {
+        AsId::new(i)
+    }
+
+    fn pfx(i: u32) -> Prefix {
+        Prefix::new(i)
+    }
+
+    fn node(id: u32, cfg: NodeConfig) -> BgpNode {
+        BgpNode::new(rid(id), asn(id), cfg, SmallRng::seed_from_u64(1000 + u64::from(id)))
+    }
+
+    fn fast_cfg() -> NodeConfig {
+        NodeConfig::builder()
+            .mrai_constant(SimDuration::from_millis(500))
+            .jitter(false)
+            .build()
+    }
+
+    fn sends(actions: &[Action]) -> Vec<(RouterId, UpdateMsg)> {
+        actions
+            .iter()
+            .filter_map(|a| match a {
+                Action::Send { to, msg } => Some((*to, msg.clone())),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Delivers the expiry event for every MRAI timer started in `acts`.
+    fn fire_mrai(n: &mut BgpNode, t: SimTime, acts: &[Action]) -> Vec<Action> {
+        let mut out = Vec::new();
+        for a in acts {
+            if let Action::StartMrai { peer, prefix, gen, .. } = a {
+                out.extend(n.on_mrai_expiry(t, *peer, *prefix, *gen));
+            }
+        }
+        out
+    }
+
+    /// Runs one update through a node: deliver, then complete processing.
+    fn process_one(n: &mut BgpNode, t: SimTime, from: u32, msg: UpdateMsg) -> Vec<Action> {
+        let acts = n.on_update(t, rid(from), msg);
+        assert!(
+            acts.iter().any(|a| matches!(a, Action::StartProcessing { .. })),
+            "expected processing to start"
+        );
+        n.on_proc_done(t + SimDuration::from_millis(30))
+    }
+
+    #[test]
+    fn originate_advertises_with_prepend_and_starts_timer() {
+        let mut n = node(0, fast_cfg());
+        n.add_peer(rid(1), false);
+        let acts = n.originate(SimTime::ZERO, pfx(0));
+        let s = sends(&acts);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s[0].0, rid(1));
+        match &s[0].1.action {
+            UpdateAction::Advertise(p) => assert_eq!(p.hops(), &[asn(0)]),
+            other => panic!("expected advertise, got {other:?}"),
+        }
+        assert!(acts.iter().any(|a| matches!(
+            a,
+            Action::StartMrai { peer, prefix: None, delay, .. }
+                if *peer == rid(1) && *delay == SimDuration::from_millis(500)
+        )));
+        assert!(n.loc_rib().get(pfx(0)).is_some());
+    }
+
+    #[test]
+    fn update_propagates_with_split_horizon() {
+        let mut n = node(1, fast_cfg());
+        n.add_peer(rid(0), false);
+        n.add_peer(rid(2), false);
+        let acts = process_one(
+            &mut n,
+            SimTime::ZERO,
+            0,
+            UpdateMsg::advertise(pfx(0), AsPath::from_hops([asn(0)])),
+        );
+        let s = sends(&acts);
+        // Only to peer 2; split horizon suppresses the echo to peer 0.
+        assert_eq!(s.len(), 1);
+        assert_eq!(s[0].0, rid(2));
+        match &s[0].1.action {
+            UpdateAction::Advertise(p) => assert_eq!(p.hops(), &[asn(1), asn(0)]),
+            other => panic!("expected advertise, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn busy_node_queues_updates() {
+        let mut n = node(1, fast_cfg());
+        n.add_peer(rid(0), false);
+        let a1 = n.on_update(
+            SimTime::ZERO,
+            rid(0),
+            UpdateMsg::advertise(pfx(0), AsPath::from_hops([asn(0)])),
+        );
+        assert_eq!(a1.len(), 1, "first update starts processing");
+        let a2 = n.on_update(
+            SimTime::ZERO,
+            rid(0),
+            UpdateMsg::advertise(pfx(1), AsPath::from_hops([asn(0)])),
+        );
+        assert!(a2.is_empty(), "server busy; second update just queues");
+        assert_eq!(n.queue_len(), 1);
+        assert!(n.is_busy());
+    }
+
+    #[test]
+    fn withdrawal_falls_back_to_alternate_path() {
+        let mut n = node(1, fast_cfg());
+        n.add_peer(rid(0), false);
+        n.add_peer(rid(2), false);
+        n.add_peer(rid(3), false);
+        // Primary (short) via peer 0, backup (long) via peer 2.
+        let acts = process_one(&mut n, SimTime::ZERO, 0, UpdateMsg::advertise(pfx(9), AsPath::from_hops([asn(0)])));
+        fire_mrai(&mut n, SimTime::from_secs(1), &acts);
+        process_one(
+            &mut n,
+            SimTime::from_secs(10),
+            2,
+            UpdateMsg::advertise(pfx(9), AsPath::from_hops([asn(2), asn(5), asn(0)])),
+        );
+        assert_eq!(n.loc_rib().get(pfx(9)).unwrap().next_hop, NextHop::Peer(rid(0)));
+        // Withdraw the primary: best flips to the backup.
+        let acts =
+            process_one(&mut n, SimTime::from_secs(20), 0, UpdateMsg::withdraw(pfx(9)));
+        assert_eq!(n.loc_rib().get(pfx(9)).unwrap().next_hop, NextHop::Peer(rid(2)));
+        // Peer 3 must hear the new (longer) path.
+        let to3: Vec<_> = sends(&acts).into_iter().filter(|(to, _)| *to == rid(3)).collect();
+        assert_eq!(to3.len(), 1);
+        match &to3[0].1.action {
+            UpdateAction::Advertise(p) => assert_eq!(p.len(), 4),
+            other => panic!("expected advertise, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn looped_path_is_rejected() {
+        let mut n = node(1, fast_cfg());
+        n.add_peer(rid(0), false);
+        let acts = process_one(
+            &mut n,
+            SimTime::ZERO,
+            0,
+            UpdateMsg::advertise(pfx(0), AsPath::from_hops([asn(0), asn(1), asn(9)])),
+        );
+        assert!(n.loc_rib().get(pfx(0)).is_none(), "looped route must not be used");
+        assert!(sends(&acts).is_empty());
+    }
+
+    #[test]
+    fn mrai_gates_second_advertisement_until_expiry() {
+        let mut n = node(1, fast_cfg());
+        n.add_peer(rid(0), false);
+        n.add_peer(rid(2), false);
+        // First route: advertised immediately; timer starts for peer 2.
+        let acts = process_one(
+            &mut n,
+            SimTime::ZERO,
+            0,
+            UpdateMsg::advertise(pfx(0), AsPath::from_hops([asn(0)])),
+        );
+        let gen = acts
+            .iter()
+            .find_map(|a| match a {
+                Action::StartMrai { peer, gen, .. } if *peer == rid(2) => Some(*gen),
+                _ => None,
+            })
+            .expect("timer started for peer 2");
+        // Route changes while the timer runs: nothing sent yet.
+        let acts = process_one(
+            &mut n,
+            SimTime::from_millis(100),
+            0,
+            UpdateMsg::advertise(pfx(0), AsPath::from_hops([asn(0), asn(7)])),
+        );
+        assert!(sends(&acts).is_empty(), "gated by the running MRAI timer");
+        // Expiry: the pending change goes out and the timer restarts.
+        let acts = n.on_mrai_expiry(SimTime::from_millis(600), rid(2), None, gen);
+        let s = sends(&acts);
+        assert_eq!(s.len(), 1);
+        match &s[0].1.action {
+            UpdateAction::Advertise(p) => assert_eq!(p.len(), 3),
+            other => panic!("expected advertise, got {other:?}"),
+        }
+        assert!(acts.iter().any(|a| matches!(a, Action::StartMrai { .. })));
+    }
+
+    #[test]
+    fn stale_mrai_expiry_is_ignored() {
+        let mut n = node(1, fast_cfg());
+        n.add_peer(rid(0), false);
+        n.add_peer(rid(2), false);
+        let acts = process_one(
+            &mut n,
+            SimTime::ZERO,
+            0,
+            UpdateMsg::advertise(pfx(0), AsPath::from_hops([asn(0)])),
+        );
+        let gen = acts
+            .iter()
+            .find_map(|a| match a {
+                Action::StartMrai { peer, gen, .. } if *peer == rid(2) => Some(*gen),
+                _ => None,
+            })
+            .unwrap();
+        assert!(n.on_mrai_expiry(SimTime::from_secs(1), rid(2), None, gen + 7).is_empty());
+        // Real expiry with empty dirty set: nothing sent, timer not restarted.
+        let acts = n.on_mrai_expiry(SimTime::from_secs(1), rid(2), None, gen);
+        assert!(acts.is_empty());
+    }
+
+    #[test]
+    fn redundant_advertisement_suppressed_after_flap() {
+        let mut n = node(1, fast_cfg());
+        n.add_peer(rid(0), false);
+        n.add_peer(rid(2), false);
+        let acts = process_one(
+            &mut n,
+            SimTime::ZERO,
+            0,
+            UpdateMsg::advertise(pfx(0), AsPath::from_hops([asn(0)])),
+        );
+        let gen = acts
+            .iter()
+            .find_map(|a| match a {
+                Action::StartMrai { peer, gen, .. } if *peer == rid(2) => Some(*gen),
+                _ => None,
+            })
+            .unwrap();
+        // Flap A -> B -> A while the timer runs.
+        process_one(&mut n, SimTime::from_millis(50), 0,
+            UpdateMsg::advertise(pfx(0), AsPath::from_hops([asn(0), asn(9)])));
+        process_one(&mut n, SimTime::from_millis(100), 0,
+            UpdateMsg::advertise(pfx(0), AsPath::from_hops([asn(0)])));
+        let acts = n.on_mrai_expiry(SimTime::from_millis(600), rid(2), None, gen);
+        assert!(
+            sends(&acts).is_empty(),
+            "net-zero flap must not generate an update"
+        );
+    }
+
+    #[test]
+    fn peer_down_queues_implicit_withdraws_and_propagates() {
+        let mut n = node(1, fast_cfg());
+        n.add_peer(rid(0), false);
+        n.add_peer(rid(2), false);
+        let acts = process_one(&mut n, SimTime::ZERO, 0,
+            UpdateMsg::advertise(pfx(0), AsPath::from_hops([asn(0)])));
+        fire_mrai(&mut n, SimTime::from_millis(600), &acts);
+        let acts = process_one(&mut n, SimTime::from_secs(1), 0,
+            UpdateMsg::advertise(pfx(5), AsPath::from_hops([asn(0), asn(5)])));
+        fire_mrai(&mut n, SimTime::from_secs(2), &acts);
+        // Session to peer 0 dies: two implicit withdraws queue up.
+        let acts = n.on_peer_down(SimTime::from_secs(10), rid(0));
+        assert!(acts.iter().any(|a| matches!(a, Action::StartProcessing { .. })));
+        let acts = n.on_proc_done(SimTime::from_secs(11));
+        // Batched per prefix under FIFO: first prefix processed; run to
+        // completion for the second if still queued.
+        let mut all = sends(&acts);
+        if n.is_busy() {
+            all.extend(sends(&n.on_proc_done(SimTime::from_secs(12))));
+        }
+        let withdrawn: BTreeSet<Prefix> = all
+            .iter()
+            .filter(|(to, m)| *to == rid(2) && !m.action.is_advertise())
+            .map(|(_, m)| m.prefix)
+            .collect();
+        assert_eq!(withdrawn, BTreeSet::from([pfx(0), pfx(5)]));
+        assert!(n.loc_rib().get(pfx(0)).is_none());
+        assert!(n.loc_rib().get(pfx(5)).is_none());
+    }
+
+    #[test]
+    fn update_from_dead_peer_is_dropped() {
+        let mut n = node(1, fast_cfg());
+        n.add_peer(rid(0), false);
+        n.on_peer_down(SimTime::ZERO, rid(0));
+        let acts = n.on_update(
+            SimTime::from_millis(1),
+            rid(0),
+            UpdateMsg::advertise(pfx(0), AsPath::from_hops([asn(0)])),
+        );
+        assert!(acts.is_empty());
+        assert_eq!(n.queue_len(), 0);
+    }
+
+    #[test]
+    fn withdrawal_only_send_does_not_start_timer_without_wrate() {
+        let mut n = node(1, fast_cfg());
+        n.add_peer(rid(0), false);
+        n.add_peer(rid(2), false);
+        let acts = process_one(&mut n, SimTime::ZERO, 0,
+            UpdateMsg::advertise(pfx(0), AsPath::from_hops([asn(0)])));
+        // Let peer 2's timer expire with nothing pending.
+        fire_mrai(&mut n, SimTime::from_millis(600), &acts);
+        // Now a pure withdrawal: no alternate route exists.
+        let acts = process_one(&mut n, SimTime::from_secs(5), 0, UpdateMsg::withdraw(pfx(0)));
+        let withdraws: Vec<_> =
+            sends(&acts).into_iter().filter(|(_, m)| !m.action.is_advertise()).collect();
+        assert_eq!(withdraws.len(), 1);
+        let mrai_starts: Vec<_> = acts
+            .iter()
+            .filter(|a| matches!(a, Action::StartMrai { .. }))
+            .collect();
+        assert!(mrai_starts.is_empty(), "withdrawal-only send must not start MRAI");
+    }
+
+    #[test]
+    fn wrate_starts_timer_on_withdrawal() {
+        let cfg = NodeConfig::builder()
+            .mrai_constant(SimDuration::from_millis(500))
+            .jitter(false)
+            .withdrawal_rate_limiting(true)
+            .build();
+        let mut n = node(1, cfg);
+        n.add_peer(rid(0), false);
+        n.add_peer(rid(2), false);
+        let acts = process_one(&mut n, SimTime::ZERO, 0,
+            UpdateMsg::advertise(pfx(0), AsPath::from_hops([asn(0)])));
+        let gen = acts
+            .iter()
+            .find_map(|a| match a {
+                Action::StartMrai { peer, gen, .. } if *peer == rid(2) => Some(*gen),
+                _ => None,
+            })
+            .unwrap();
+        n.on_mrai_expiry(SimTime::from_secs(1), rid(2), None, gen);
+        let acts = process_one(&mut n, SimTime::from_secs(5), 0, UpdateMsg::withdraw(pfx(0)));
+        assert!(
+            acts.iter().any(|a| matches!(a, Action::StartMrai { peer, .. } if *peer == rid(2))),
+            "WRATE must rate-limit withdrawals too"
+        );
+    }
+
+    #[test]
+    fn ibgp_semantics() {
+        // Node 1 (AS 1) with iBGP peer 10 (same AS) and eBGP peer 0 (AS 0).
+        let mut n = BgpNode::new(rid(1), asn(1), fast_cfg(), SmallRng::seed_from_u64(5));
+        n.add_peer(rid(0), false);
+        n.add_peer(rid(10), true);
+        // eBGP-learned route goes to the iBGP peer unprepended.
+        let acts = process_one(&mut n, SimTime::ZERO, 0,
+            UpdateMsg::advertise(pfx(0), AsPath::from_hops([asn(0)])));
+        let to_ibgp: Vec<_> =
+            sends(&acts).into_iter().filter(|(to, _)| *to == rid(10)).collect();
+        assert_eq!(to_ibgp.len(), 1);
+        match &to_ibgp[0].1.action {
+            UpdateAction::Advertise(p) => {
+                assert_eq!(p.hops(), &[asn(0)], "no prepend over iBGP");
+            }
+            other => panic!("expected advertise, got {other:?}"),
+        }
+        // iBGP-learned route is NOT re-advertised to another iBGP peer.
+        let mut n2 = BgpNode::new(rid(2), asn(1), fast_cfg(), SmallRng::seed_from_u64(6));
+        n2.add_peer(rid(10), true);
+        n2.add_peer(rid(11), true);
+        n2.add_peer(rid(5), false);
+        let acts = process_one(&mut n2, SimTime::ZERO, 10,
+            UpdateMsg::advertise(pfx(0), AsPath::from_hops([asn(0)])));
+        let s = sends(&acts);
+        assert!(
+            s.iter().all(|(to, _)| *to != rid(11)),
+            "iBGP routes must not transit to iBGP peers"
+        );
+        // ... but it IS advertised to the eBGP peer, with prepend.
+        let to_ebgp: Vec<_> = s.iter().filter(|(to, _)| *to == rid(5)).collect();
+        assert_eq!(to_ebgp.len(), 1);
+        match &to_ebgp[0].1.action {
+            UpdateAction::Advertise(p) => assert_eq!(p.hops(), &[asn(1), asn(0)]),
+            other => panic!("expected advertise, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ibgp_mrai_zero_means_unpaced() {
+        let mut n = BgpNode::new(rid(1), asn(1), fast_cfg(), SmallRng::seed_from_u64(5));
+        n.add_peer(rid(10), true);
+        n.add_peer(rid(0), false);
+        let acts = process_one(&mut n, SimTime::ZERO, 0,
+            UpdateMsg::advertise(pfx(0), AsPath::from_hops([asn(0)])));
+        assert!(
+            !acts
+                .iter()
+                .any(|a| matches!(a, Action::StartMrai { peer, .. } if *peer == rid(10))),
+            "zero iBGP MRAI must not start timers"
+        );
+    }
+
+    #[test]
+    fn per_destination_scope_runs_independent_timers() {
+        let cfg = NodeConfig::builder()
+            .mrai_constant(SimDuration::from_millis(500))
+            .jitter(false)
+            .mrai_scope(MraiScope::PerDestination)
+            .build();
+        let mut n = node(1, cfg);
+        n.add_peer(rid(0), false);
+        n.add_peer(rid(2), false);
+        // Prefix 0 advertised: starts p0's timer towards peer 2.
+        process_one(&mut n, SimTime::ZERO, 0,
+            UpdateMsg::advertise(pfx(0), AsPath::from_hops([asn(0)])));
+        // Prefix 1 changes while p0's timer runs: p1 goes out immediately.
+        let acts = process_one(&mut n, SimTime::from_millis(100), 0,
+            UpdateMsg::advertise(pfx(1), AsPath::from_hops([asn(0), asn(3)])));
+        let s: Vec<_> = sends(&acts).into_iter().filter(|(to, _)| *to == rid(2)).collect();
+        assert_eq!(s.len(), 1);
+        assert_eq!(s[0].1.prefix, pfx(1), "independent destination not gated");
+        // But a p0 change IS gated.
+        let acts = process_one(&mut n, SimTime::from_millis(200), 0,
+            UpdateMsg::advertise(pfx(0), AsPath::from_hops([asn(0), asn(4)])));
+        assert!(
+            sends(&acts).iter().all(|(to, m)| !(*to == rid(2) && m.prefix == pfx(0))),
+            "same destination must be gated by its timer"
+        );
+    }
+
+    #[test]
+    fn dynamic_mrai_rises_under_backlog() {
+        let cfg = NodeConfig::builder()
+            .mrai_dynamic(DynamicMraiConfig::paper_default())
+            .jitter(false)
+            .build();
+        let mut n = node(1, cfg);
+        n.add_peer(rid(0), false);
+        n.add_peer(rid(2), false);
+        assert_eq!(n.dynamic_level(), Some(0));
+        // Pile up a large backlog while the server is busy.
+        n.on_update(SimTime::ZERO, rid(0),
+            UpdateMsg::advertise(pfx(0), AsPath::from_hops([asn(0)])));
+        for i in 1..60 {
+            n.on_update(SimTime::ZERO, rid(0),
+                UpdateMsg::advertise(pfx(i), AsPath::from_hops([asn(0)])));
+        }
+        // Complete the first batch: the flush evaluates the controller with
+        // ~59 pending updates (≈ 0.91 s unfinished work > 0.65 s).
+        let acts = n.on_proc_done(SimTime::from_millis(20));
+        assert_eq!(n.dynamic_level(), Some(1), "level must step up under backlog");
+        let delay = acts.iter().find_map(|a| match a {
+            Action::StartMrai { delay, .. } => Some(*delay),
+            _ => None,
+        });
+        assert_eq!(delay, Some(SimDuration::from_millis(1250)));
+    }
+
+    #[test]
+    fn batched_queue_deletes_stale_and_applies_newest() {
+        let cfg = NodeConfig::builder()
+            .mrai_constant(SimDuration::from_millis(500))
+            .jitter(false)
+            .queue(QueueDiscipline::Batched)
+            .build();
+        let mut n = node(1, cfg);
+        n.add_peer(rid(0), false);
+        n.add_peer(rid(2), false);
+        n.on_update(SimTime::ZERO, rid(0),
+            UpdateMsg::advertise(pfx(0), AsPath::from_hops([asn(0)])));
+        // While busy, three more for the same prefix from the same peer.
+        n.on_update(SimTime::ZERO, rid(0),
+            UpdateMsg::advertise(pfx(0), AsPath::from_hops([asn(0), asn(2)])));
+        n.on_update(SimTime::ZERO, rid(0),
+            UpdateMsg::advertise(pfx(0), AsPath::from_hops([asn(0), asn(3)])));
+        n.on_update(SimTime::ZERO, rid(0),
+            UpdateMsg::advertise(pfx(0), AsPath::from_hops([asn(0), asn(4)])));
+        // First completion applies msg 1 and starts the next batch, which
+        // collapses the remaining three to the newest one.
+        n.on_proc_done(SimTime::from_millis(20));
+        assert_eq!(n.stale_deleted(), 2);
+        n.on_proc_done(SimTime::from_millis(40));
+        let best = n.loc_rib().get(pfx(0)).expect("route installed");
+        assert_eq!(best.path.hops(), &[asn(0), asn(4)], "newest update wins");
+    }
+
+    #[test]
+    fn jitter_reduces_mrai_within_band() {
+        let cfg = NodeConfig::builder()
+            .mrai_constant(SimDuration::from_secs(30))
+            .jitter(true)
+            .build();
+        let mut n = node(1, cfg);
+        n.add_peer(rid(0), false);
+        n.add_peer(rid(2), false);
+        let acts = process_one(&mut n, SimTime::ZERO, 0,
+            UpdateMsg::advertise(pfx(0), AsPath::from_hops([asn(0)])));
+        let delay = acts
+            .iter()
+            .find_map(|a| match a {
+                Action::StartMrai { delay, .. } => Some(*delay),
+                _ => None,
+            })
+            .expect("timer started");
+        let base = SimDuration::from_secs(30);
+        assert!(delay <= base && delay >= base.mul_f64(0.75));
+        assert_ne!(delay, base, "jitter should almost surely not be exactly base");
+    }
+
+    #[test]
+    fn expedite_cancels_timer_for_improvements() {
+        let cfg = NodeConfig::builder()
+            .mrai_constant(SimDuration::from_millis(500))
+            .jitter(false)
+            .expedite_improvements(true)
+            .build();
+        let mut n = node(1, cfg);
+        n.add_peer(rid(0), false);
+        n.add_peer(rid(2), false);
+        // Long route advertised; timer starts towards peer 2.
+        process_one(&mut n, SimTime::ZERO, 0,
+            UpdateMsg::advertise(pfx(0), AsPath::from_hops([asn(0), asn(8), asn(9)])));
+        // A shorter route arrives while the timer runs: with expedite on,
+        // it must go out immediately.
+        let acts = process_one(&mut n, SimTime::from_millis(100), 0,
+            UpdateMsg::advertise(pfx(0), AsPath::from_hops([asn(0)])));
+        let to2: Vec<_> = sends(&acts).into_iter().filter(|(to, _)| *to == rid(2)).collect();
+        assert_eq!(to2.len(), 1, "improvement must be expedited past the MRAI");
+        match &to2[0].1.action {
+            UpdateAction::Advertise(p) => assert_eq!(p.len(), 2),
+            other => panic!("expected advertise, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn expedite_does_not_bypass_mrai_for_worsening() {
+        let cfg = NodeConfig::builder()
+            .mrai_constant(SimDuration::from_millis(500))
+            .jitter(false)
+            .expedite_improvements(true)
+            .build();
+        let mut n = node(1, cfg);
+        n.add_peer(rid(0), false);
+        n.add_peer(rid(2), false);
+        process_one(&mut n, SimTime::ZERO, 0,
+            UpdateMsg::advertise(pfx(0), AsPath::from_hops([asn(0)])));
+        // A *longer* replacement must still wait for the timer.
+        let acts = process_one(&mut n, SimTime::from_millis(100), 0,
+            UpdateMsg::advertise(pfx(0), AsPath::from_hops([asn(0), asn(8)])));
+        assert!(
+            sends(&acts).iter().all(|(to, _)| *to != rid(2)),
+            "worsening change must remain MRAI-gated"
+        );
+    }
+
+    #[test]
+    fn set_constant_mrai_switches_policy() {
+        let cfg = NodeConfig::builder()
+            .mrai_dynamic(DynamicMraiConfig::paper_default())
+            .jitter(false)
+            .build();
+        let mut n = node(1, cfg);
+        n.add_peer(rid(0), false);
+        n.add_peer(rid(2), false);
+        assert_eq!(n.dynamic_level(), Some(0));
+        n.set_constant_mrai(SimDuration::from_millis(3500));
+        assert_eq!(n.dynamic_level(), None);
+        let acts = process_one(&mut n, SimTime::ZERO, 0,
+            UpdateMsg::advertise(pfx(0), AsPath::from_hops([asn(0)])));
+        let delay = acts.iter().find_map(|a| match a {
+            Action::StartMrai { delay, .. } => Some(*delay),
+            _ => None,
+        });
+        assert_eq!(delay, Some(SimDuration::from_millis(3500)));
+    }
+
+    #[test]
+    fn reset_stats_clears_queue_counters() {
+        let cfg = NodeConfig::builder()
+            .mrai_constant(SimDuration::from_millis(500))
+            .jitter(false)
+            .queue(QueueDiscipline::Batched)
+            .build();
+        let mut n = node(1, cfg);
+        n.add_peer(rid(0), false);
+        for i in 0..4 {
+            n.on_update(SimTime::ZERO, rid(0),
+                UpdateMsg::advertise(pfx(0), AsPath::from_hops([asn(0), asn(10 + i)])));
+        }
+        n.on_proc_done(SimTime::from_millis(20));
+        assert!(n.stale_deleted() > 0);
+        assert!(n.queue_peak() > 0);
+        n.reset_stats();
+        assert_eq!(n.stale_deleted(), 0);
+        assert_eq!(n.queue_peak(), n.queue_len());
+    }
+
+    #[test]
+    fn policy_prefers_customer_over_shorter_provider_route() {
+        let cfg = NodeConfig::builder()
+            .mrai_constant(SimDuration::from_millis(500))
+            .jitter(false)
+            .policy(PolicyMode::GaoRexford)
+            .build();
+        let mut n = node(1, cfg);
+        n.add_peer_with_relationship(rid(0), false, Relationship::Provider);
+        n.add_peer_with_relationship(rid(2), false, Relationship::Customer);
+        // Short route via the provider...
+        process_one(&mut n, SimTime::ZERO, 0,
+            UpdateMsg::advertise(pfx(9), AsPath::from_hops([asn(9)])));
+        assert_eq!(n.loc_rib().get(pfx(9)).unwrap().next_hop, NextHop::Peer(rid(0)));
+        // ...loses to a longer route via the customer.
+        process_one(&mut n, SimTime::from_secs(1), 2,
+            UpdateMsg::advertise(pfx(9), AsPath::from_hops([asn(2), asn(5), asn(9)])));
+        let best = n.loc_rib().get(pfx(9)).unwrap();
+        assert_eq!(best.next_hop, NextHop::Peer(rid(2)));
+        assert_eq!(best.rank, 0, "customer routes rank 0");
+    }
+
+    #[test]
+    fn policy_export_is_valley_free() {
+        let cfg = NodeConfig::builder()
+            .mrai_constant(SimDuration::from_millis(500))
+            .jitter(false)
+            .policy(PolicyMode::GaoRexford)
+            .build();
+        let mut n = node(1, cfg);
+        n.add_peer_with_relationship(rid(0), false, Relationship::Provider);
+        n.add_peer_with_relationship(rid(2), false, Relationship::Peer);
+        n.add_peer_with_relationship(rid(3), false, Relationship::Customer);
+        // A provider-learned route must go to the customer ONLY.
+        let acts = process_one(&mut n, SimTime::ZERO, 0,
+            UpdateMsg::advertise(pfx(9), AsPath::from_hops([asn(9)])));
+        let targets: Vec<RouterId> = sends(&acts).into_iter().map(|(to, _)| to).collect();
+        assert_eq!(targets, vec![rid(3)], "provider route leaks past the customer");
+    }
+
+    #[test]
+    fn policy_customer_route_exported_everywhere() {
+        let cfg = NodeConfig::builder()
+            .mrai_constant(SimDuration::from_millis(500))
+            .jitter(false)
+            .policy(PolicyMode::GaoRexford)
+            .build();
+        let mut n = node(1, cfg);
+        n.add_peer_with_relationship(rid(0), false, Relationship::Customer);
+        n.add_peer_with_relationship(rid(2), false, Relationship::Peer);
+        n.add_peer_with_relationship(rid(3), false, Relationship::Provider);
+        let acts = process_one(&mut n, SimTime::ZERO, 0,
+            UpdateMsg::advertise(pfx(9), AsPath::from_hops([asn(9)])));
+        let mut targets: Vec<RouterId> = sends(&acts).into_iter().map(|(to, _)| to).collect();
+        targets.sort();
+        assert_eq!(targets, vec![rid(2), rid(3)], "customer routes export to all");
+    }
+
+    #[test]
+    fn policy_local_pref_carried_over_ibgp() {
+        // Border router in AS 1 learns from a provider; its iBGP message
+        // must carry rank 2 so interior routers rank it correctly.
+        let cfg = NodeConfig::builder()
+            .mrai_constant(SimDuration::from_millis(500))
+            .jitter(false)
+            .policy(PolicyMode::GaoRexford)
+            .build();
+        let mut border = BgpNode::new(rid(1), asn(1), cfg.clone(), SmallRng::seed_from_u64(7));
+        border.add_peer_with_relationship(rid(0), false, Relationship::Provider);
+        border.add_peer(rid(10), true);
+        let acts = process_one(&mut border, SimTime::ZERO, 0,
+            UpdateMsg::advertise(pfx(9), AsPath::from_hops([asn(9)])));
+        let to_ibgp: Vec<_> =
+            sends(&acts).into_iter().filter(|(to, _)| *to == rid(10)).collect();
+        assert_eq!(to_ibgp.len(), 1);
+        assert_eq!(to_ibgp[0].1.local_pref, Some(2), "provider rank must ride iBGP");
+        // The interior router installs it at the carried rank.
+        let mut interior = BgpNode::new(rid(10), asn(1), cfg, SmallRng::seed_from_u64(8));
+        interior.add_peer(rid(1), true);
+        interior.add_peer_with_relationship(rid(5), false, Relationship::Customer);
+        process_one(&mut interior, SimTime::ZERO, 1, to_ibgp[0].1.clone());
+        assert_eq!(interior.loc_rib().get(pfx(9)).unwrap().rank, 2);
+    }
+
+    #[test]
+    fn policy_off_ignores_relationships() {
+        // With PolicyMode::None, relationships are inert: shortest path wins
+        // and everything is exported (modulo split horizon).
+        let mut n = node(1, fast_cfg());
+        n.add_peer_with_relationship(rid(0), false, Relationship::Provider);
+        n.add_peer_with_relationship(rid(2), false, Relationship::Peer);
+        let acts = process_one(&mut n, SimTime::ZERO, 0,
+            UpdateMsg::advertise(pfx(9), AsPath::from_hops([asn(9)])));
+        let targets: Vec<RouterId> = sends(&acts).into_iter().map(|(to, _)| to).collect();
+        assert_eq!(targets, vec![rid(2)], "policy off: export to the peer as usual");
+        assert_eq!(n.loc_rib().get(pfx(9)).unwrap().rank, 0);
+    }
+
+    #[test]
+    fn peer_up_triggers_full_table_exchange() {
+        let mut n = node(1, fast_cfg());
+        n.add_peer(rid(0), false);
+        // Learn two routes and originate one.
+        let acts = process_one(&mut n, SimTime::ZERO, 0,
+            UpdateMsg::advertise(pfx(5), AsPath::from_hops([asn(0)])));
+        fire_mrai(&mut n, SimTime::from_secs(1), &acts);
+        let acts = n.originate(SimTime::from_secs(2), pfx(1));
+        fire_mrai(&mut n, SimTime::from_secs(3), &acts);
+        // A new session comes up: the whole Loc-RIB goes out, filtered by
+        // split horizon (nothing here was learned from the new peer).
+        let acts = n.on_peer_up(SimTime::from_secs(4), rid(2), false, None);
+        let announced: Vec<Prefix> = sends(&acts)
+            .into_iter()
+            .filter(|(to, m)| *to == rid(2) && m.action.is_advertise())
+            .map(|(_, m)| m.prefix)
+            .collect();
+        assert_eq!(announced, vec![pfx(1), pfx(5)], "full table exchange expected");
+    }
+
+    #[test]
+    fn peer_up_respects_split_horizon_and_policy() {
+        let cfg = NodeConfig::builder()
+            .mrai_constant(SimDuration::from_millis(500))
+            .jitter(false)
+            .policy(PolicyMode::GaoRexford)
+            .build();
+        let mut n = node(1, cfg);
+        n.add_peer_with_relationship(rid(0), false, Relationship::Provider);
+        // Provider-learned route.
+        process_one(&mut n, SimTime::ZERO, 0,
+            UpdateMsg::advertise(pfx(5), AsPath::from_hops([asn(0)])));
+        // A peer session comes up: the provider route must NOT be exported
+        // to a peer (valley-free), so the exchange stays empty.
+        let acts = n.on_peer_up(SimTime::from_secs(1), rid(2), false,
+            Some(Relationship::Peer));
+        assert!(sends(&acts).is_empty(), "valley-free filter must apply at session up");
+        // A customer session comes up: the route goes out.
+        let acts = n.on_peer_up(SimTime::from_secs(2), rid(3), false,
+            Some(Relationship::Customer));
+        assert_eq!(sends(&acts).len(), 1);
+    }
+
+    #[test]
+    fn damping_suppresses_flapping_route_and_releases() {
+        use crate::damping::DampingConfig;
+        let cfg = NodeConfig::builder()
+            .mrai_constant(SimDuration::from_millis(500))
+            .jitter(false)
+            .damping(DampingConfig::paper_scale())
+            .build();
+        let mut n = node(1, cfg);
+        n.add_peer(rid(0), false);
+        n.add_peer(rid(2), false);
+        // Announce, withdraw, announce, withdraw: flaps accumulate.
+        let mut t = SimTime::ZERO;
+        let mut reuse: Option<(RouterId, Prefix, SimDuration, u64)> = None;
+        for i in 0..4 {
+            let msg = if i % 2 == 0 {
+                UpdateMsg::advertise(pfx(9), AsPath::from_hops([asn(0)]))
+            } else {
+                UpdateMsg::withdraw(pfx(9))
+            };
+            let acts = process_one(&mut n, t, 0, msg);
+            for a in &acts {
+                if let Action::StartReuse { peer, prefix, delay, gen } = a {
+                    reuse = Some((*peer, *prefix, *delay, *gen));
+                }
+            }
+            fire_mrai(&mut n, t + SimDuration::from_millis(600), &acts);
+            t += SimDuration::from_secs(1);
+        }
+        let (peer, prefix, delay, gen) = reuse.expect("route must get suppressed");
+        assert_eq!(peer, rid(0));
+        assert_eq!(prefix, pfx(9));
+        assert_eq!(n.suppressed_count(), 1);
+        // While suppressed, a fresh announce is parked, not installed.
+        process_one(&mut n, t, 0,
+            UpdateMsg::advertise(pfx(9), AsPath::from_hops([asn(0), asn(7)])));
+        assert!(n.loc_rib().get(pfx(9)).is_none(), "suppressed route must not be used");
+        // Fire the reuse timer after the computed delay (plus slack).
+        let at = t + delay + SimDuration::from_secs(60);
+        let acts = n.on_reuse_expiry(at, peer, prefix, gen);
+        assert_eq!(n.suppressed_count(), 0);
+        let best = n.loc_rib().get(pfx(9)).expect("parked route installed at release");
+        assert_eq!(best.path.len(), 2, "latest parked state wins");
+        assert!(
+            acts.iter().any(|a| matches!(a, Action::Send { to, .. } if *to == rid(2))),
+            "release must propagate the route"
+        );
+    }
+
+    #[test]
+    fn damping_ignores_ibgp_sessions() {
+        use crate::damping::DampingConfig;
+        let cfg = NodeConfig::builder()
+            .mrai_constant(SimDuration::from_millis(500))
+            .jitter(false)
+            .damping(DampingConfig::paper_scale())
+            .build();
+        let mut n = BgpNode::new(rid(1), asn(1), cfg, SmallRng::seed_from_u64(3));
+        n.add_peer(rid(10), true);
+        let mut t = SimTime::ZERO;
+        for i in 0..6 {
+            let msg = if i % 2 == 0 {
+                UpdateMsg::advertise(pfx(9), AsPath::from_hops([asn(0)]))
+            } else {
+                UpdateMsg::withdraw(pfx(9))
+            };
+            process_one(&mut n, t, 10, msg);
+            t += SimDuration::from_secs(1);
+        }
+        assert_eq!(n.suppressed_count(), 0, "iBGP routes are never damped");
+    }
+
+    #[test]
+    fn stale_reuse_timer_is_ignored() {
+        use crate::damping::DampingConfig;
+        let cfg = NodeConfig::builder()
+            .mrai_constant(SimDuration::from_millis(500))
+            .jitter(false)
+            .damping(DampingConfig::paper_scale())
+            .build();
+        let mut n = node(1, cfg);
+        n.add_peer(rid(0), false);
+        let acts = n.on_reuse_expiry(SimTime::from_secs(1), rid(0), pfx(9), 7);
+        assert!(acts.is_empty(), "no state ⇒ no action");
+    }
+
+    #[test]
+    fn stats_track_messages() {
+        let mut n = node(1, fast_cfg());
+        n.add_peer(rid(0), false);
+        n.add_peer(rid(2), false);
+        process_one(&mut n, SimTime::ZERO, 0,
+            UpdateMsg::advertise(pfx(0), AsPath::from_hops([asn(0)])));
+        let s = n.stats();
+        assert_eq!(s.updates_received, 1);
+        assert_eq!(s.updates_processed, 1);
+        assert_eq!(s.announcements_sent, 1);
+        assert_eq!(s.decision_runs, 1);
+        assert_eq!(s.best_changes, 1);
+        assert!(s.busy_time > SimDuration::ZERO);
+        let mut n2 = n.clone();
+        n2.reset_stats();
+        assert_eq!(n2.stats().messages_sent(), 0);
+    }
+}

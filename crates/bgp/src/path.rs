@@ -1,0 +1,141 @@
+//! AS paths.
+
+use std::fmt;
+
+use bgpsim_topology::AsId;
+use serde::{Deserialize, Serialize};
+
+/// An AS path: the ordered list of ASes a route has traversed, nearest
+/// first.
+///
+/// An empty path denotes a locally originated route. Paths grow by
+/// [`prepend`](AsPath::prepend)ing the advertising AS when a route crosses
+/// an eBGP session (iBGP re-advertisement leaves the path untouched).
+///
+/// ```
+/// use bgpsim_bgp::AsPath;
+/// use bgpsim_topology::AsId;
+///
+/// let origin = AsPath::local();
+/// let at_origin_peer = origin.prepend(AsId::new(7));
+/// assert_eq!(at_origin_peer.len(), 1);
+/// assert!(at_origin_peer.contains(AsId::new(7)));
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct AsPath(Vec<AsId>);
+
+impl AsPath {
+    /// The empty path of a locally originated route.
+    pub fn local() -> AsPath {
+        AsPath(Vec::new())
+    }
+
+    /// Builds a path from nearest-first hops.
+    pub fn from_hops<I: IntoIterator<Item = AsId>>(hops: I) -> AsPath {
+        AsPath(hops.into_iter().collect())
+    }
+
+    /// Number of AS hops. This is the paper's sole route-selection metric.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether this is a local (zero-hop) path.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Whether `asn` appears anywhere in the path (BGP loop detection).
+    pub fn contains(&self, asn: AsId) -> bool {
+        self.0.contains(&asn)
+    }
+
+    /// Returns a new path with `asn` prepended (what an eBGP speaker in
+    /// `asn` advertises to its neighbors).
+    #[must_use]
+    pub fn prepend(&self, asn: AsId) -> AsPath {
+        let mut hops = Vec::with_capacity(self.0.len() + 1);
+        hops.push(asn);
+        hops.extend_from_slice(&self.0);
+        AsPath(hops)
+    }
+
+    /// The hops, nearest first.
+    pub fn hops(&self) -> &[AsId] {
+        &self.0
+    }
+
+    /// The originating AS (last hop), or `None` for a local path.
+    pub fn origin(&self) -> Option<AsId> {
+        self.0.last().copied()
+    }
+}
+
+impl fmt::Display for AsPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0.is_empty() {
+            return write!(f, "(local)");
+        }
+        for (i, asn) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{asn}")?;
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<AsId> for AsPath {
+    fn from_iter<I: IntoIterator<Item = AsId>>(iter: I) -> AsPath {
+        AsPath::from_hops(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn asn(i: u32) -> AsId {
+        AsId::new(i)
+    }
+
+    #[test]
+    fn local_path_is_empty() {
+        let p = AsPath::local();
+        assert!(p.is_empty());
+        assert_eq!(p.len(), 0);
+        assert_eq!(p.origin(), None);
+        assert_eq!(p.to_string(), "(local)");
+    }
+
+    #[test]
+    fn prepend_builds_nearest_first() {
+        let p = AsPath::local().prepend(asn(3)).prepend(asn(2)).prepend(asn(1));
+        assert_eq!(p.hops(), &[asn(1), asn(2), asn(3)]);
+        assert_eq!(p.origin(), Some(asn(3)));
+        assert_eq!(p.len(), 3);
+        assert_eq!(p.to_string(), "AS1 AS2 AS3");
+    }
+
+    #[test]
+    fn loop_detection() {
+        let p = AsPath::from_hops([asn(1), asn(2)]);
+        assert!(p.contains(asn(2)));
+        assert!(!p.contains(asn(3)));
+    }
+
+    #[test]
+    fn prepend_does_not_mutate_original() {
+        let p = AsPath::from_hops([asn(9)]);
+        let q = p.prepend(asn(8));
+        assert_eq!(p.len(), 1);
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn collect_from_iterator() {
+        let p: AsPath = [asn(4), asn(5)].into_iter().collect();
+        assert_eq!(p.hops(), &[asn(4), asn(5)]);
+    }
+}

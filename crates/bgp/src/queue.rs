@@ -1,0 +1,420 @@
+//! Update-processing queue disciplines.
+//!
+//! The router engine is a single server: it takes one *batch* of work items
+//! off the input queue, is busy for the sum of their per-item processing
+//! delays, applies them, and repeats. How batches form is the discipline:
+//!
+//! * [`QueueDiscipline::Fifo`] — default BGP: one message at a time in
+//!   arrival order.
+//! * [`QueueDiscipline::Batched`] — the paper's scheme (§4.4): a logical
+//!   queue per destination; the next batch is *every* queued update for the
+//!   oldest-waiting destination, with stale updates (all but the newest
+//!   from each neighbor) deleted unprocessed. The deletions are exactly the
+//!   processing the scheme saves; processing all of a destination's updates
+//!   before the MRAI expires is what suppresses invalid transient
+//!   advertisements.
+//! * [`QueueDiscipline::TcpBatch`] — what routers do today (§4.4's
+//!   comparison point): drain up to one buffer's worth of messages from a
+//!   single peer's connection and process them as one batch. Stale updates
+//!   for the same destination *within the batch* collapse, but updates for
+//!   the same destination from different peers or different buffers do not.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use bgpsim_topology::RouterId;
+use serde::{Deserialize, Serialize};
+
+use crate::msg::{Prefix, UpdateMsg};
+
+/// How the input queue forms processing batches.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize, Default)]
+#[non_exhaustive]
+pub enum QueueDiscipline {
+    /// One message at a time, arrival order (default BGP).
+    #[default]
+    Fifo,
+    /// Per-destination batches with stale-update deletion (the paper's
+    /// batching scheme, §4.4).
+    Batched,
+    /// Like [`Batched`](QueueDiscipline::Batched) but serving the
+    /// destination with the **most** queued updates first instead of the
+    /// oldest-waiting one — an extension in the spirit of the paper's
+    /// future work ("the batching scheme can be improved further"):
+    /// hot destinations are where stale deletion saves the most work.
+    BatchedLargestFirst,
+    /// Per-peer buffer batches of at most the given size (today's router
+    /// behaviour, §4.4).
+    TcpBatch {
+        /// Maximum messages drained from one peer per batch.
+        buffer: usize,
+    },
+}
+
+/// One unit of work for the BGP engine.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WorkItem {
+    /// A received UPDATE from a peer.
+    Update {
+        /// The advertising peer.
+        from: RouterId,
+        /// The message.
+        msg: UpdateMsg,
+    },
+    /// Local cleanup after a session loss: re-run the decision process for
+    /// one prefix previously reachable via the dead peer. Costs processing
+    /// time like a received withdrawal would.
+    ImplicitWithdraw {
+        /// The peer whose session died.
+        peer: RouterId,
+        /// The affected prefix.
+        prefix: Prefix,
+    },
+}
+
+impl WorkItem {
+    /// The destination this work concerns.
+    pub fn prefix(&self) -> Prefix {
+        match self {
+            WorkItem::Update { msg, .. } => msg.prefix,
+            WorkItem::ImplicitWithdraw { prefix, .. } => *prefix,
+        }
+    }
+
+    /// The peer this work stems from.
+    pub fn peer(&self) -> RouterId {
+        match self {
+            WorkItem::Update { from, .. } => *from,
+            WorkItem::ImplicitWithdraw { peer, .. } => *peer,
+        }
+    }
+}
+
+/// The router's input queue.
+///
+/// All disciplines share one physical arrival queue; `pop_batch` interprets
+/// it per the configured discipline. The queue tracks how many stale items
+/// the batched discipline deleted (the paper's saved work).
+#[derive(Clone, Debug)]
+pub struct InputQueue {
+    discipline: QueueDiscipline,
+    items: VecDeque<WorkItem>,
+    deleted_stale: u64,
+    peak_len: usize,
+}
+
+impl InputQueue {
+    /// Creates an empty queue with the given discipline.
+    pub fn new(discipline: QueueDiscipline) -> InputQueue {
+        InputQueue { discipline, items: VecDeque::new(), deleted_stale: 0, peak_len: 0 }
+    }
+
+    /// The configured discipline.
+    pub fn discipline(&self) -> QueueDiscipline {
+        self.discipline
+    }
+
+    /// Appends a work item.
+    pub fn push(&mut self, item: WorkItem) {
+        self.items.push_back(item);
+        self.peak_len = self.peak_len.max(self.items.len());
+    }
+
+    /// Number of queued items.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Largest queue length observed so far.
+    pub fn peak_len(&self) -> usize {
+        self.peak_len
+    }
+
+    /// Stale items deleted unprocessed by the batched discipline so far.
+    pub fn deleted_stale(&self) -> u64 {
+        self.deleted_stale
+    }
+
+    /// Zeroes the counters (stale deletions; peak resets to the current
+    /// length). Queued items are untouched.
+    pub fn reset_counters(&mut self) {
+        self.deleted_stale = 0;
+        self.peak_len = self.items.len();
+    }
+
+    /// Takes the next processing batch, per the discipline. Returns an
+    /// empty vector when the queue is empty.
+    ///
+    /// Every returned item costs one processing-delay draw; deleted stale
+    /// items cost nothing and are counted in [`deleted_stale`].
+    ///
+    /// [`deleted_stale`]: InputQueue::deleted_stale
+    pub fn pop_batch(&mut self) -> Vec<WorkItem> {
+        match self.discipline {
+            QueueDiscipline::Fifo => self.items.pop_front().into_iter().collect(),
+            QueueDiscipline::Batched => {
+                let Some(head) = self.items.front() else { return Vec::new() };
+                let prefix = head.prefix();
+                self.pop_destination_batch(prefix)
+            }
+            QueueDiscipline::BatchedLargestFirst => {
+                let Some(prefix) = self.busiest_prefix() else { return Vec::new() };
+                self.pop_destination_batch(prefix)
+            }
+            QueueDiscipline::TcpBatch { buffer } => self.pop_peer_batch(buffer.max(1)),
+        }
+    }
+
+    /// The destination with the most queued items (ties → whichever has
+    /// the oldest head item, i.e. first in arrival order).
+    fn busiest_prefix(&self) -> Option<Prefix> {
+        let mut counts: BTreeMap<Prefix, usize> = BTreeMap::new();
+        for item in &self.items {
+            *counts.entry(item.prefix()).or_insert(0) += 1;
+        }
+        let max = counts.values().copied().max()?;
+        self.items
+            .iter()
+            .map(WorkItem::prefix)
+            .find(|p| counts[p] == max)
+    }
+
+    /// Batched: drain every item for the chosen destination, keep only the
+    /// newest item per source peer, delete the rest.
+    fn pop_destination_batch(&mut self, prefix: Prefix) -> Vec<WorkItem> {
+        let mut batch: Vec<WorkItem> = Vec::new();
+        let mut rest: VecDeque<WorkItem> = VecDeque::with_capacity(self.items.len());
+        for item in self.items.drain(..) {
+            if item.prefix() == prefix {
+                batch.push(item);
+            } else {
+                rest.push_back(item);
+            }
+        }
+        self.items = rest;
+
+        // Keep only the newest (last-arrived) item from each peer; older
+        // ones are superseded and deleted without processing cost.
+        let mut newest: BTreeMap<RouterId, usize> = BTreeMap::new();
+        for (idx, item) in batch.iter().enumerate() {
+            newest.insert(item.peer(), idx);
+        }
+        let before = batch.len();
+        let mut kept: Vec<WorkItem> = Vec::with_capacity(newest.len());
+        for (idx, item) in batch.into_iter().enumerate() {
+            if newest.get(&item.peer()) == Some(&idx) {
+                kept.push(item);
+            }
+        }
+        self.deleted_stale += (before - kept.len()) as u64;
+        kept
+    }
+
+    /// TcpBatch: drain up to `buffer` items from the head item's peer,
+    /// preserving arrival order, collapsing same-destination duplicates
+    /// (same peer, so later always supersedes earlier).
+    fn pop_peer_batch(&mut self, buffer: usize) -> Vec<WorkItem> {
+        let Some(head) = self.items.front() else { return Vec::new() };
+        let peer = head.peer();
+        let mut batch: Vec<WorkItem> = Vec::new();
+        let mut rest: VecDeque<WorkItem> = VecDeque::with_capacity(self.items.len());
+        let mut taken = 0usize;
+        for item in self.items.drain(..) {
+            if taken < buffer && item.peer() == peer {
+                batch.push(item);
+                taken += 1;
+            } else {
+                rest.push_back(item);
+            }
+        }
+        self.items = rest;
+
+        // Same peer ⇒ later message supersedes earlier for the same prefix.
+        let mut newest: BTreeMap<Prefix, usize> = BTreeMap::new();
+        for (idx, item) in batch.iter().enumerate() {
+            newest.insert(item.prefix(), idx);
+        }
+        let before = batch.len();
+        let mut kept: Vec<WorkItem> = Vec::with_capacity(newest.len());
+        for (idx, item) in batch.into_iter().enumerate() {
+            if newest.get(&item.prefix()) == Some(&idx) {
+                kept.push(item);
+            }
+        }
+        self.deleted_stale += (before - kept.len()) as u64;
+        kept
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::path::AsPath;
+    use bgpsim_topology::AsId;
+
+    fn upd(from: u32, prefix: u32, hop: u32) -> WorkItem {
+        WorkItem::Update {
+            from: RouterId::new(from),
+            msg: UpdateMsg::advertise(
+                Prefix::new(prefix),
+                AsPath::from_hops([AsId::new(hop)]),
+            ),
+        }
+    }
+
+    fn wd(from: u32, prefix: u32) -> WorkItem {
+        WorkItem::Update { from: RouterId::new(from), msg: UpdateMsg::withdraw(Prefix::new(prefix)) }
+    }
+
+    #[test]
+    fn fifo_pops_one_at_a_time_in_order() {
+        let mut q = InputQueue::new(QueueDiscipline::Fifo);
+        q.push(upd(1, 0, 1));
+        q.push(upd(2, 1, 2));
+        assert_eq!(q.pop_batch(), vec![upd(1, 0, 1)]);
+        assert_eq!(q.pop_batch(), vec![upd(2, 1, 2)]);
+        assert!(q.pop_batch().is_empty());
+        assert_eq!(q.deleted_stale(), 0);
+    }
+
+    #[test]
+    fn batched_gathers_whole_destination() {
+        let mut q = InputQueue::new(QueueDiscipline::Batched);
+        // The paper's §4.4 example: interleaved destinations X (0) and Y (1).
+        q.push(upd(1, 0, 1)); // X from peer 1
+        q.push(upd(2, 1, 1)); // Y from peer 2
+        q.push(upd(3, 0, 2)); // X from peer 3
+        q.push(upd(4, 1, 2)); // Y from peer 4
+        let batch = q.pop_batch();
+        assert_eq!(batch.len(), 2, "both X updates processed together");
+        assert!(batch.iter().all(|i| i.prefix() == Prefix::new(0)));
+        let batch = q.pop_batch();
+        assert!(batch.iter().all(|i| i.prefix() == Prefix::new(1)));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn batched_deletes_stale_same_peer_updates() {
+        let mut q = InputQueue::new(QueueDiscipline::Batched);
+        q.push(upd(1, 0, 1)); // superseded
+        q.push(upd(1, 0, 2)); // superseded
+        q.push(wd(1, 0)); // newest from peer 1
+        q.push(upd(2, 0, 9)); // newest (only) from peer 2
+        let batch = q.pop_batch();
+        assert_eq!(batch.len(), 2);
+        assert_eq!(batch[0], wd(1, 0));
+        assert_eq!(batch[1], upd(2, 0, 9));
+        assert_eq!(q.deleted_stale(), 2);
+    }
+
+    #[test]
+    fn batched_preserves_destination_fifo_order() {
+        let mut q = InputQueue::new(QueueDiscipline::Batched);
+        q.push(upd(1, 5, 1));
+        q.push(upd(1, 3, 1));
+        let first = q.pop_batch();
+        assert_eq!(first[0].prefix(), Prefix::new(5), "head destination first");
+    }
+
+    #[test]
+    fn implicit_withdraws_batch_like_updates() {
+        let mut q = InputQueue::new(QueueDiscipline::Batched);
+        q.push(WorkItem::ImplicitWithdraw { peer: RouterId::new(1), prefix: Prefix::new(0) });
+        q.push(upd(1, 0, 4));
+        let batch = q.pop_batch();
+        // Same peer: the later update supersedes the implicit withdraw.
+        assert_eq!(batch, vec![upd(1, 0, 4)]);
+        assert_eq!(q.deleted_stale(), 1);
+    }
+
+    #[test]
+    fn tcp_batch_drains_single_peer_up_to_buffer() {
+        let mut q = InputQueue::new(QueueDiscipline::TcpBatch { buffer: 2 });
+        q.push(upd(1, 0, 1));
+        q.push(upd(2, 1, 1));
+        q.push(upd(1, 2, 1));
+        q.push(upd(1, 3, 1));
+        let batch = q.pop_batch();
+        assert_eq!(batch.len(), 2, "buffer caps the batch");
+        assert!(batch.iter().all(|i| i.peer() == RouterId::new(1)));
+        assert_eq!(batch[0].prefix(), Prefix::new(0));
+        assert_eq!(batch[1].prefix(), Prefix::new(2));
+        // Next batch starts at the new head (peer 2).
+        let batch = q.pop_batch();
+        assert_eq!(batch[0].peer(), RouterId::new(2));
+    }
+
+    #[test]
+    fn tcp_batch_collapses_same_prefix_within_batch() {
+        let mut q = InputQueue::new(QueueDiscipline::TcpBatch { buffer: 8 });
+        q.push(upd(1, 0, 1));
+        q.push(upd(1, 0, 2));
+        q.push(upd(1, 1, 1));
+        let batch = q.pop_batch();
+        assert_eq!(batch.len(), 2);
+        assert_eq!(batch[0], upd(1, 0, 2));
+        assert_eq!(q.deleted_stale(), 1);
+    }
+
+    #[test]
+    fn peak_len_tracks_high_water_mark() {
+        let mut q = InputQueue::new(QueueDiscipline::Fifo);
+        for i in 0..5 {
+            q.push(upd(1, i, 1));
+        }
+        q.pop_batch();
+        q.push(upd(1, 9, 1));
+        assert_eq!(q.peak_len(), 5);
+        assert_eq!(q.len(), 5);
+    }
+
+    #[test]
+    fn empty_pop_is_empty_for_all_disciplines() {
+        for d in [
+            QueueDiscipline::Fifo,
+            QueueDiscipline::Batched,
+            QueueDiscipline::BatchedLargestFirst,
+            QueueDiscipline::TcpBatch { buffer: 4 },
+        ] {
+            assert!(InputQueue::new(d).pop_batch().is_empty());
+        }
+    }
+
+    #[test]
+    fn largest_first_serves_hottest_destination() {
+        let mut q = InputQueue::new(QueueDiscipline::BatchedLargestFirst);
+        q.push(upd(1, 0, 1)); // prefix 0: 1 item (arrived first)
+        q.push(upd(1, 7, 1)); // prefix 7: 3 items from 3 peers
+        q.push(upd(2, 7, 2));
+        q.push(upd(3, 7, 3));
+        let batch = q.pop_batch();
+        assert_eq!(batch.len(), 3, "hot destination first");
+        assert!(batch.iter().all(|i| i.prefix() == Prefix::new(7)));
+        let batch = q.pop_batch();
+        assert_eq!(batch, vec![upd(1, 0, 1)]);
+    }
+
+    #[test]
+    fn largest_first_breaks_ties_by_arrival() {
+        let mut q = InputQueue::new(QueueDiscipline::BatchedLargestFirst);
+        q.push(upd(1, 5, 1));
+        q.push(upd(1, 3, 1));
+        let batch = q.pop_batch();
+        assert_eq!(batch[0].prefix(), Prefix::new(5), "tie goes to the oldest head");
+    }
+
+    #[test]
+    fn largest_first_still_deletes_stale() {
+        let mut q = InputQueue::new(QueueDiscipline::BatchedLargestFirst);
+        q.push(upd(1, 7, 1));
+        q.push(upd(1, 7, 2));
+        q.push(upd(1, 7, 3));
+        let batch = q.pop_batch();
+        assert_eq!(batch, vec![upd(1, 7, 3)]);
+        assert_eq!(q.deleted_stale(), 2);
+    }
+}

@@ -1,0 +1,304 @@
+//! Routing information bases: Adj-RIB-In, Loc-RIB, Adj-RIB-Out.
+
+use std::collections::BTreeMap;
+
+use bgpsim_topology::RouterId;
+use serde::{Deserialize, Serialize};
+
+use crate::msg::Prefix;
+use crate::path::AsPath;
+
+/// A route as stored in the Adj-RIB-In: the path a peer advertised, plus
+/// whether it arrived over an iBGP session (affects both preference and
+/// re-advertisement rules).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RouteEntry {
+    /// The AS path the peer advertised.
+    pub path: AsPath,
+    /// Whether the route was learned over iBGP.
+    pub ibgp: bool,
+    /// Policy rank (0 customer/local, 1 peer, 2 provider); always 0 when
+    /// policies are off, so it never affects selection then.
+    pub rank: u8,
+}
+
+/// Where the best route points.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum NextHop {
+    /// Locally originated (our own prefix).
+    Local,
+    /// Learned from this peer.
+    Peer(RouterId),
+}
+
+/// The selected (best) route for a prefix, as installed in the Loc-RIB.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Selected {
+    /// The AS path of the best route (empty for local origination).
+    pub path: AsPath,
+    /// Where it points.
+    pub next_hop: NextHop,
+    /// Whether it was learned over iBGP (never true for local routes).
+    pub via_ibgp: bool,
+    /// Policy rank of the selected route (0 when policies are off or the
+    /// route is local/customer-learned).
+    pub rank: u8,
+}
+
+impl Selected {
+    /// The local-origination entry for an owned prefix.
+    pub fn local() -> Selected {
+        Selected { path: AsPath::local(), next_hop: NextHop::Local, via_ibgp: false, rank: 0 }
+    }
+}
+
+/// Adj-RIB-In: every route currently advertised to us, keyed by prefix and
+/// advertising peer.
+///
+/// ```
+/// use bgpsim_bgp::rib::{AdjRibIn, RouteEntry};
+/// use bgpsim_bgp::{AsPath, Prefix};
+/// use bgpsim_topology::{AsId, RouterId};
+///
+/// let mut rib = AdjRibIn::new();
+/// let p = Prefix::new(0);
+/// let peer = RouterId::new(1);
+/// rib.insert(p, peer, RouteEntry {
+///     path: AsPath::from_hops([AsId::new(1)]), ibgp: false, rank: 0 });
+/// assert_eq!(rib.candidates(p).count(), 1);
+/// rib.remove(p, peer);
+/// assert_eq!(rib.candidates(p).count(), 0);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AdjRibIn {
+    routes: BTreeMap<Prefix, BTreeMap<RouterId, RouteEntry>>,
+}
+
+impl AdjRibIn {
+    /// Creates an empty Adj-RIB-In.
+    pub fn new() -> AdjRibIn {
+        AdjRibIn::default()
+    }
+
+    /// Installs (or replaces) the route `peer` advertises for `prefix`.
+    /// Returns the replaced entry, if any.
+    pub fn insert(
+        &mut self,
+        prefix: Prefix,
+        peer: RouterId,
+        entry: RouteEntry,
+    ) -> Option<RouteEntry> {
+        self.routes.entry(prefix).or_default().insert(peer, entry)
+    }
+
+    /// Removes `peer`'s route for `prefix` (a withdrawal). Returns the
+    /// removed entry, if any.
+    pub fn remove(&mut self, prefix: Prefix, peer: RouterId) -> Option<RouteEntry> {
+        let map = self.routes.get_mut(&prefix)?;
+        let removed = map.remove(&peer);
+        if map.is_empty() {
+            self.routes.remove(&prefix);
+        }
+        removed
+    }
+
+    /// Drops every route learned from `peer` (session teardown), returning
+    /// the affected prefixes in increasing order.
+    pub fn remove_peer(&mut self, peer: RouterId) -> Vec<Prefix> {
+        let mut affected = Vec::new();
+        self.routes.retain(|prefix, map| {
+            if map.remove(&peer).is_some() {
+                affected.push(*prefix);
+            }
+            !map.is_empty()
+        });
+        affected
+    }
+
+    /// The route `peer` currently advertises for `prefix`, if any.
+    pub fn get(&self, prefix: Prefix, peer: RouterId) -> Option<&RouteEntry> {
+        self.routes.get(&prefix)?.get(&peer)
+    }
+
+    /// All candidate routes for `prefix`, in increasing peer-id order.
+    pub fn candidates(&self, prefix: Prefix) -> impl Iterator<Item = (RouterId, &RouteEntry)> {
+        self.routes.get(&prefix).into_iter().flatten().map(|(&peer, e)| (peer, e))
+    }
+
+    /// Prefixes for which `peer` currently advertises a route.
+    pub fn prefixes_via(&self, peer: RouterId) -> Vec<Prefix> {
+        self.routes
+            .iter()
+            .filter(|(_, map)| map.contains_key(&peer))
+            .map(|(&p, _)| p)
+            .collect()
+    }
+
+    /// Total number of stored routes (over all prefixes and peers).
+    pub fn len(&self) -> usize {
+        self.routes.values().map(BTreeMap::len).sum()
+    }
+
+    /// Whether no routes are stored.
+    pub fn is_empty(&self) -> bool {
+        self.routes.is_empty()
+    }
+}
+
+/// Loc-RIB: the best route per prefix.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LocRib {
+    best: BTreeMap<Prefix, Selected>,
+}
+
+impl LocRib {
+    /// Creates an empty Loc-RIB.
+    pub fn new() -> LocRib {
+        LocRib::default()
+    }
+
+    /// The best route for `prefix`, if the prefix is reachable.
+    pub fn get(&self, prefix: Prefix) -> Option<&Selected> {
+        self.best.get(&prefix)
+    }
+
+    /// Installs `selected` as the best route for `prefix`, returning the
+    /// previous one.
+    pub fn install(&mut self, prefix: Prefix, selected: Selected) -> Option<Selected> {
+        self.best.insert(prefix, selected)
+    }
+
+    /// Removes the route for `prefix` (unreachable), returning it.
+    pub fn remove(&mut self, prefix: Prefix) -> Option<Selected> {
+        self.best.remove(&prefix)
+    }
+
+    /// Iterates over `(prefix, best)` in increasing prefix order.
+    pub fn iter(&self) -> impl Iterator<Item = (Prefix, &Selected)> {
+        self.best.iter().map(|(&p, s)| (p, s))
+    }
+
+    /// Number of reachable prefixes.
+    pub fn len(&self) -> usize {
+        self.best.len()
+    }
+
+    /// Whether nothing is reachable.
+    pub fn is_empty(&self) -> bool {
+        self.best.is_empty()
+    }
+}
+
+/// Adj-RIB-Out for one peer: exactly what we last advertised to them, used
+/// to suppress redundant updates.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AdjRibOut {
+    advertised: BTreeMap<Prefix, AsPath>,
+}
+
+impl AdjRibOut {
+    /// Creates an empty Adj-RIB-Out.
+    pub fn new() -> AdjRibOut {
+        AdjRibOut::default()
+    }
+
+    /// What we last advertised for `prefix`, if anything.
+    pub fn get(&self, prefix: Prefix) -> Option<&AsPath> {
+        self.advertised.get(&prefix)
+    }
+
+    /// Records an advertisement.
+    pub fn advertise(&mut self, prefix: Prefix, path: AsPath) {
+        self.advertised.insert(prefix, path);
+    }
+
+    /// Records a withdrawal; returns whether anything had been advertised.
+    pub fn withdraw(&mut self, prefix: Prefix) -> bool {
+        self.advertised.remove(&prefix).is_some()
+    }
+
+    /// Number of currently advertised prefixes.
+    pub fn len(&self) -> usize {
+        self.advertised.len()
+    }
+
+    /// Whether nothing is advertised.
+    pub fn is_empty(&self) -> bool {
+        self.advertised.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgpsim_topology::AsId;
+
+    fn path(hops: &[u32]) -> AsPath {
+        AsPath::from_hops(hops.iter().map(|&h| AsId::new(h)))
+    }
+
+    fn entry(hops: &[u32]) -> RouteEntry {
+        RouteEntry { path: path(hops), ibgp: false, rank: 0 }
+    }
+
+    #[test]
+    fn rib_in_insert_replace_remove() {
+        let mut rib = AdjRibIn::new();
+        let (p, peer) = (Prefix::new(0), RouterId::new(1));
+        assert!(rib.insert(p, peer, entry(&[1])).is_none());
+        let old = rib.insert(p, peer, entry(&[1, 2]));
+        assert_eq!(old.unwrap().path, path(&[1]));
+        assert_eq!(rib.len(), 1);
+        assert_eq!(rib.remove(p, peer).unwrap().path, path(&[1, 2]));
+        assert!(rib.is_empty());
+        assert!(rib.remove(p, peer).is_none());
+    }
+
+    #[test]
+    fn rib_in_candidates_sorted_by_peer() {
+        let mut rib = AdjRibIn::new();
+        let p = Prefix::new(0);
+        rib.insert(p, RouterId::new(5), entry(&[1]));
+        rib.insert(p, RouterId::new(2), entry(&[2]));
+        let peers: Vec<RouterId> = rib.candidates(p).map(|(r, _)| r).collect();
+        assert_eq!(peers, vec![RouterId::new(2), RouterId::new(5)]);
+    }
+
+    #[test]
+    fn rib_in_remove_peer_reports_affected() {
+        let mut rib = AdjRibIn::new();
+        let peer = RouterId::new(3);
+        rib.insert(Prefix::new(0), peer, entry(&[1]));
+        rib.insert(Prefix::new(2), peer, entry(&[1]));
+        rib.insert(Prefix::new(1), RouterId::new(4), entry(&[1]));
+        let affected = rib.remove_peer(peer);
+        assert_eq!(affected, vec![Prefix::new(0), Prefix::new(2)]);
+        assert_eq!(rib.len(), 1);
+        assert_eq!(rib.prefixes_via(RouterId::new(4)), vec![Prefix::new(1)]);
+    }
+
+    #[test]
+    fn loc_rib_lifecycle() {
+        let mut rib = LocRib::new();
+        let p = Prefix::new(0);
+        assert!(rib.get(p).is_none());
+        rib.install(p, Selected::local());
+        assert_eq!(rib.get(p).unwrap().next_hop, NextHop::Local);
+        assert_eq!(rib.len(), 1);
+        let removed = rib.remove(p).unwrap();
+        assert!(removed.path.is_empty());
+        assert!(rib.is_empty());
+    }
+
+    #[test]
+    fn adj_rib_out_dedup_support() {
+        let mut out = AdjRibOut::new();
+        let p = Prefix::new(0);
+        assert!(out.get(p).is_none());
+        out.advertise(p, path(&[7]));
+        assert_eq!(out.get(p), Some(&path(&[7])));
+        assert!(out.withdraw(p));
+        assert!(!out.withdraw(p), "double withdraw reports false");
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,55 @@
+//! Per-node counters.
+
+use bgpsim_des::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// Counters a [`BgpNode`](crate::BgpNode) accumulates while running.
+///
+/// All counters are cumulative; [`reset`](NodeStats::reset) zeroes them,
+/// which the experiment driver does after initial convergence so that only
+/// post-failure activity is measured.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NodeStats {
+    /// UPDATE messages received from peers.
+    pub updates_received: u64,
+    /// Work items actually processed (stale deletions excluded).
+    pub updates_processed: u64,
+    /// Advertisements sent.
+    pub announcements_sent: u64,
+    /// Withdrawals sent.
+    pub withdrawals_sent: u64,
+    /// Decision-process executions.
+    pub decision_runs: u64,
+    /// Times the best route for some prefix changed (Loc-RIB churn).
+    pub best_changes: u64,
+    /// Total processor busy time.
+    pub busy_time: SimDuration,
+    /// MRAI timer starts.
+    pub mrai_starts: u64,
+}
+
+impl NodeStats {
+    /// Total messages sent (announcements + withdrawals).
+    pub fn messages_sent(&self) -> u64 {
+        self.announcements_sent + self.withdrawals_sent
+    }
+
+    /// Zeroes every counter.
+    pub fn reset(&mut self) {
+        *self = NodeStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_reset() {
+        let mut s = NodeStats { announcements_sent: 3, withdrawals_sent: 2, ..Default::default() };
+        assert_eq!(s.messages_sent(), 5);
+        s.reset();
+        assert_eq!(s, NodeStats::default());
+        assert_eq!(s.messages_sent(), 0);
+    }
+}

@@ -1,0 +1,148 @@
+//! Analytic convergence-delay models from the paper's related work (§2).
+//!
+//! The paper contrasts its simulations with the models of Labovitz et
+//! al. \[5, 6\] and Pei et al. \[8\], which bound the convergence delay of a
+//! *single* route withdrawal when routers are **not overloaded**. These
+//! estimators are implemented here so experiments can report how far a
+//! measured delay sits from the no-overload regime — the gap *is* the
+//! processing-overload effect the paper's schemes attack. (No closed-form
+//! model exists for arbitrary failures in arbitrary networks; §2 makes
+//! exactly that point.)
+
+use bgpsim_des::SimDuration;
+use bgpsim_topology::metrics::distances_from;
+use bgpsim_topology::Topology;
+
+/// Labovitz et al. \[5\]: after a withdrawal in a **complete graph** of `n`
+/// nodes, convergence takes at least `(n − 3) · MRAI` (and up to `O(n!)`
+/// message orderings in the worst case).
+///
+/// ```
+/// use bgpsim::analysis::labovitz_full_mesh_best_case;
+/// use bgpsim_des::SimDuration;
+///
+/// let bound = labovitz_full_mesh_best_case(30, SimDuration::from_secs(30));
+/// assert_eq!(bound, SimDuration::from_secs(27 * 30));
+/// ```
+pub fn labovitz_full_mesh_best_case(n: usize, mrai: SimDuration) -> SimDuration {
+    mrai * (n.saturating_sub(3)) as u64
+}
+
+/// Labovitz et al. \[6\] / Pei et al. \[8\]-style upper estimate for a single
+/// route's convergence when no router is overloaded: path hunting explores
+/// progressively longer alternatives, each round gated by one MRAI plus
+/// message latency, so
+///
+/// `delay ≲ L · (MRAI + 2·link_delay + processing)`
+///
+/// where `L` is the longest shortest-path distance in the (surviving)
+/// topology. With overload the measured delay exceeds this — that excess
+/// is what Figs 1/3 plot.
+pub fn no_overload_upper_estimate(
+    topo: &Topology,
+    mrai: SimDuration,
+    link_delay: SimDuration,
+    mean_processing: SimDuration,
+) -> SimDuration {
+    let l = eccentricity_max(topo).max(1) as u64;
+    (mrai + link_delay * 2 + mean_processing) * l
+}
+
+/// Largest shortest-path distance (graph diameter) over connected pairs.
+fn eccentricity_max(topo: &Topology) -> usize {
+    let mut max = 0usize;
+    for src in topo.router_ids() {
+        for d in distances_from(topo, src).into_iter().flatten() {
+            max = max.max(d);
+        }
+    }
+    max
+}
+
+/// The overload factor of a measured delay relative to the no-overload
+/// estimate: values near (or below) 1 mean the MRAI regime dominated;
+/// large values mean processing overload dominated — exactly the paper's
+/// small-MRAI/large-failure corner.
+pub fn overload_factor(measured: SimDuration, estimate: SimDuration) -> f64 {
+    if estimate.is_zero() {
+        return f64::INFINITY;
+    }
+    measured.as_secs_f64() / estimate.as_secs_f64()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::{Network, SimConfig};
+    use crate::Scheme;
+    use bgpsim_topology::degree::SkewedSpec;
+    use bgpsim_topology::generators::skewed_topology;
+    use bgpsim_topology::region::FailureSpec;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn labovitz_formula() {
+        let mrai = SimDuration::from_secs(30);
+        assert_eq!(labovitz_full_mesh_best_case(10, mrai), SimDuration::from_secs(210));
+        assert_eq!(labovitz_full_mesh_best_case(3, mrai), SimDuration::ZERO);
+        assert_eq!(labovitz_full_mesh_best_case(0, mrai), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn estimate_scales_with_diameter_and_mrai() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let topo = skewed_topology(60, &SkewedSpec::seventy_thirty(), &mut rng).unwrap();
+        let small = no_overload_upper_estimate(
+            &topo,
+            SimDuration::from_millis(500),
+            SimDuration::from_millis(25),
+            SimDuration::from_micros(15_500),
+        );
+        let large = no_overload_upper_estimate(
+            &topo,
+            SimDuration::from_secs(30),
+            SimDuration::from_millis(25),
+            SimDuration::from_micros(15_500),
+        );
+        assert!(large > small * 10);
+    }
+
+    #[test]
+    fn overload_factor_reports_regimes() {
+        let est = SimDuration::from_secs(10);
+        assert!((overload_factor(SimDuration::from_secs(5), est) - 0.5).abs() < 1e-9);
+        assert!(overload_factor(SimDuration::from_secs(100), est) > 9.0);
+        assert!(overload_factor(SimDuration::from_secs(1), SimDuration::ZERO).is_infinite());
+    }
+
+    /// Empirical anchor for the model: a small failure at a generous MRAI
+    /// (no overload) must stay within the no-overload estimate, while a
+    /// large failure at a small MRAI must blow past it.
+    #[test]
+    fn measured_delays_bracket_the_estimate() {
+        let make = |scheme: &Scheme, frac: f64, seed: u64| {
+            let mut rng = SmallRng::seed_from_u64(9);
+            let topo =
+                skewed_topology(60, &SkewedSpec::seventy_thirty(), &mut rng).unwrap();
+            let estimate = no_overload_upper_estimate(
+                &topo,
+                match scheme.name.as_str() {
+                    "MRAI=2.25" => SimDuration::from_millis(2250),
+                    _ => SimDuration::from_millis(500),
+                },
+                SimDuration::from_millis(25),
+                SimDuration::from_micros(15_500),
+            );
+            let mut net = Network::new(topo, SimConfig::from_scheme(scheme, seed));
+            let stats = net.run_failure_experiment(&FailureSpec::CenterFraction(frac));
+            (overload_factor(stats.convergence_delay, estimate), estimate)
+        };
+        let (calm, _) = make(&Scheme::constant_mrai(2.25), 0.01, 5);
+        let (stormy, _) = make(&Scheme::constant_mrai(0.5), 0.20, 5);
+        // The estimate is for a single withdrawal; a 1% regional failure
+        // touches a handful of prefixes, so allow a small multiple.
+        assert!(calm < 4.0, "no-overload run should sit near the estimate: {calm:.2}");
+        assert!(stormy > 6.0, "overloaded run must blow past the estimate: {stormy:.2}");
+    }
+}

@@ -1,0 +1,252 @@
+//! Seeded multi-trial experiments.
+//!
+//! One [`Experiment`] is a point on a paper figure: a topology family, a
+//! scheme, a failure size, and a number of seeded trials. Each trial draws
+//! a fresh topology and RNG streams from `(base_seed, trial)`, runs the
+//! full pipeline (initial convergence → failure → re-convergence) and the
+//! results are aggregated. [`run_all_parallel`] fans a batch of experiment
+//! points out over worker threads (crossbeam scoped threads — trials are
+//! independent).
+
+use bgpsim_des::RngStreams;
+use bgpsim_topology::degree::{DegreeSpec, SkewedSpec};
+use bgpsim_topology::generators::{hierarchical, topology_from_spec, HierarchicalParams};
+use bgpsim_topology::multias::{generate_multi_as, MultiAsConfig};
+use bgpsim_topology::region::FailureSpec;
+use bgpsim_topology::Topology;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+pub use crate::metrics::Aggregate;
+use crate::metrics::RunStats;
+use crate::network::{Network, SimConfig};
+use crate::scheme::Scheme;
+
+/// A topology family an experiment draws from (one fresh sample per trial).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum TopologySpec {
+    /// Single-router-per-AS with a skewed degree distribution.
+    Skewed {
+        /// Number of ASes/routers.
+        n: usize,
+        /// The degree distribution.
+        spec: SkewedSpec,
+    },
+    /// Single-router-per-AS with any degree distribution.
+    FromDegrees {
+        /// Number of ASes/routers.
+        n: usize,
+        /// The degree distribution.
+        spec: DegreeSpec,
+    },
+    /// Multi-router-per-AS ("realistic", §3.1/Fig 13).
+    MultiAs(MultiAsConfig),
+    /// Engineered Internet-like hierarchy (Tier-1 clique + transit tiers);
+    /// the substrate for the routing-policy extension, where valley-free
+    /// reachability must be total for a fair comparison.
+    Hierarchical(HierarchicalParams),
+}
+
+impl TopologySpec {
+    /// The paper's default: `n` nodes, 70-30 distribution, average degree
+    /// 3.8.
+    pub fn seventy_thirty(n: usize) -> TopologySpec {
+        TopologySpec::Skewed { n, spec: SkewedSpec::seventy_thirty() }
+    }
+
+    /// `n` nodes with the 50-50 distribution (average degree 3.8).
+    pub fn fifty_fifty(n: usize) -> TopologySpec {
+        TopologySpec::Skewed { n, spec: SkewedSpec::fifty_fifty() }
+    }
+
+    /// `n` nodes with the 85-15 distribution (average degree 3.8).
+    pub fn eighty_five_fifteen(n: usize) -> TopologySpec {
+        TopologySpec::Skewed { n, spec: SkewedSpec::eighty_five_fifteen() }
+    }
+
+    /// `n` nodes with the dense 50-50 distribution (average degree 7.6).
+    pub fn fifty_fifty_dense(n: usize) -> TopologySpec {
+        TopologySpec::Skewed { n, spec: SkewedSpec::fifty_fifty_dense() }
+    }
+
+    /// The paper's realistic multi-router topology over `num_ases` ASes.
+    pub fn realistic(num_ases: usize) -> TopologySpec {
+        TopologySpec::MultiAs(MultiAsConfig::realistic(num_ases))
+    }
+
+    /// A three-tier Internet-like hierarchy of about `n` nodes.
+    pub fn hierarchical(n: usize) -> TopologySpec {
+        TopologySpec::Hierarchical(HierarchicalParams::three_tier(n))
+    }
+
+    /// Generates one topology sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if generation fails repeatedly (pathological specs).
+    pub fn generate(&self, rng: &mut impl Rng) -> Topology {
+        match self {
+            TopologySpec::Skewed { n, spec } => {
+                topology_from_spec(*n, &DegreeSpec::Skewed(spec.clone()), rng)
+                    .expect("skewed topology generation failed")
+            }
+            TopologySpec::FromDegrees { n, spec } => {
+                topology_from_spec(*n, spec, rng).expect("topology generation failed")
+            }
+            TopologySpec::MultiAs(cfg) => {
+                generate_multi_as(cfg, rng).expect("multi-AS topology generation failed")
+            }
+            TopologySpec::Hierarchical(params) => {
+                hierarchical(params, rng).expect("hierarchical topology generation failed")
+            }
+        }
+    }
+}
+
+/// One experiment point: topology family × scheme × failure × trials.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Experiment {
+    /// Topology family sampled fresh per trial.
+    pub topology: TopologySpec,
+    /// The scheme under test.
+    pub scheme: Scheme,
+    /// What fails.
+    pub failure: FailureSpec,
+    /// Number of seeded trials.
+    pub trials: u32,
+    /// Base seed; trial `i` derives all randomness from `(base_seed, i)`.
+    pub base_seed: u64,
+}
+
+impl Experiment {
+    /// Runs all trials sequentially.
+    pub fn run(&self) -> Aggregate {
+        let runs = (0..self.trials).map(|t| self.run_trial(t)).collect();
+        Aggregate::new(runs)
+    }
+
+    /// Runs a single trial.
+    pub fn run_trial(&self, trial: u32) -> RunStats {
+        let streams = RngStreams::new(self.base_seed);
+        let mut topo_rng = streams.stream("topology", u64::from(trial));
+        let topo = self.topology.generate(&mut topo_rng);
+        let sim_seed: u64 = streams.stream("sim-seed", u64::from(trial)).gen();
+        let mut cfg = SimConfig::from_scheme(&self.scheme, sim_seed);
+        if let TopologySpec::Hierarchical(params) = &self.topology {
+            // Hierarchical topologies carry ground-truth tiers for policy
+            // relationships (no inference needed).
+            cfg.policy_tiers = Some(params.tier_vector());
+        }
+        let mut net = Network::new(topo, cfg);
+        net.run_failure_experiment(&self.failure)
+    }
+}
+
+/// Runs a batch of experiment points, fanning individual trials out over
+/// `threads` workers (defaults to available parallelism). Results are in
+/// the same order as `points`.
+pub fn run_all_parallel(points: &[Experiment], threads: Option<usize>) -> Vec<Aggregate> {
+    let threads = threads
+        .or_else(|| std::thread::available_parallelism().ok().map(usize::from))
+        .unwrap_or(4)
+        .max(1);
+
+    // Flatten to (point index, trial) tasks.
+    let tasks: Vec<(usize, u32)> = points
+        .iter()
+        .enumerate()
+        .flat_map(|(i, p)| (0..p.trials).map(move |t| (i, t)))
+        .collect();
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let results: Vec<std::sync::Mutex<Vec<Option<RunStats>>>> =
+        points.iter().map(|p| std::sync::Mutex::new(vec![None; p.trials as usize])).collect();
+
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..threads.min(tasks.len().max(1)) {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                let Some(&(point_idx, trial)) = tasks.get(i) else { break };
+                let stats = points[point_idx].run_trial(trial);
+                results[point_idx].lock().expect("no poisoned trials")[trial as usize] =
+                    Some(stats);
+            });
+        }
+    })
+    .expect("experiment worker panicked");
+
+    results
+        .into_iter()
+        .map(|m| {
+            let runs = m
+                .into_inner()
+                .expect("no poisoned trials")
+                .into_iter()
+                .map(|r| r.expect("every trial ran"))
+                .collect();
+            Aggregate::new(runs)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_experiment(seed: u64) -> Experiment {
+        Experiment {
+            topology: TopologySpec::seventy_thirty(20),
+            scheme: Scheme::constant_mrai(0.5),
+            failure: FailureSpec::CenterFraction(0.1),
+            trials: 2,
+            base_seed: seed,
+        }
+    }
+
+    #[test]
+    fn sequential_run_aggregates_trials() {
+        let agg = tiny_experiment(1).run();
+        assert_eq!(agg.trials(), 2);
+        assert!(agg.mean_delay_secs() > 0.0);
+        assert!(agg.mean_messages() > 0.0);
+    }
+
+    #[test]
+    fn trials_are_reproducible() {
+        let a = tiny_experiment(2).run_trial(0);
+        let b = tiny_experiment(2).run_trial(0);
+        assert_eq!(a, b);
+        let c = tiny_experiment(2).run_trial(1);
+        assert_ne!(a, c, "different trials use different randomness");
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let points = vec![tiny_experiment(3), tiny_experiment(4)];
+        let seq: Vec<Aggregate> = points.iter().map(Experiment::run).collect();
+        let par = run_all_parallel(&points, Some(3));
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn parallel_handles_empty_batch() {
+        assert!(run_all_parallel(&[], Some(2)).is_empty());
+    }
+
+    #[test]
+    fn topology_presets_generate() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(5);
+        for spec in [
+            TopologySpec::seventy_thirty(30),
+            TopologySpec::fifty_fifty(30),
+            TopologySpec::eighty_five_fifteen(40),
+            TopologySpec::fifty_fifty_dense(30),
+            TopologySpec::realistic(12),
+            TopologySpec::hierarchical(40),
+        ] {
+            let topo = spec.generate(&mut rng);
+            assert!(topo.is_connected());
+        }
+    }
+}

@@ -1,0 +1,1633 @@
+//! The simulated BGP network: topology + routers + event loop.
+//!
+//! Reproduces the paper's SSFNet setup (§3.2):
+//!
+//! * every link has a 25 ms one-way delay (transmission + propagation +
+//!   reception);
+//! * eBGP sessions run over the topology's inter-AS links; routers inside
+//!   an AS form a full iBGP mesh (sessions are TCP overlays, so the mesh
+//!   exists regardless of the intra-AS link layout);
+//! * each AS originates one prefix (from its lowest-id router);
+//! * failures take down **all routers and links** in the failed region
+//!   simultaneously; surviving session peers detect the loss after a
+//!   configurable delay (zero by default — the paper never invokes hold
+//!   timers and its delays start near seconds, implying link-layer
+//!   notification);
+//! * the convergence delay of a failure is the time from injection to the
+//!   last routing-relevant event (message sent/delivered or processing
+//!   completed) once the event queue quiesces.
+
+use bgpsim_bgp::config::MraiPolicy;
+use bgpsim_bgp::mrai::MraiScope;
+use bgpsim_bgp::policy::{relationship_by_tier, PolicyMode, Relationship};
+use bgpsim_bgp::node::Action;
+use bgpsim_bgp::queue::QueueDiscipline;
+use bgpsim_bgp::{BgpNode, NodeConfig, Prefix, UpdateMsg};
+use bgpsim_des::{RngStreams, Scheduler, SimDuration, SimTime};
+use bgpsim_topology::region::FailureSpec;
+use bgpsim_topology::{AsId, RouterId, Topology};
+use rand::Rng;
+
+use crate::metrics::RunStats;
+use crate::scheme::{MraiAssignment, Scheme};
+
+/// One sampled point of a convergence timeline (see
+/// [`Network::enable_sampling`]).
+#[derive(Clone, Copy, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Sample {
+    /// When the sample was taken.
+    pub time: SimTime,
+    /// Updates queued (not yet in service) across all live routers.
+    pub queued_updates: usize,
+    /// Routers with a batch in service.
+    pub busy_routers: usize,
+    /// Messages sent since the last counter reset.
+    pub messages_so_far: u64,
+    /// Mean dynamic-MRAI level over nodes running the dynamic scheme
+    /// (0 if none do).
+    pub mean_dynamic_level: f64,
+}
+
+/// How routers inside an AS exchange routes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize, Default)]
+pub enum IbgpMode {
+    /// Full iBGP mesh (classic BGP; the default — what SSFNet models).
+    #[default]
+    FullMesh,
+    /// A single route reflector per AS (RFC 4456): the lowest-id router
+    /// peers with every other member, which peer only with it. Scales the
+    /// session count from O(n²) to O(n) per AS at the cost of one extra
+    /// intra-AS hop — and of the reflector as a single point of failure.
+    RouteReflector,
+}
+
+/// How surviving routers learn that a session peer died.
+#[derive(Clone, Copy, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum DetectionMode {
+    /// Link-layer notification after a fixed delay (the paper's implicit
+    /// model; zero delay by default).
+    LinkLayer(SimDuration),
+    /// BGP hold-timer expiry: with keepalives every `hold/3`, a peer death
+    /// is noticed `hold − U(0, hold/3)` after the failure (RFC 1771
+    /// defaults: hold 90 s). Makes detection, not re-convergence, the
+    /// dominant term — the ablation for the paper's instant-detection
+    /// assumption.
+    HoldTimer {
+        /// The negotiated hold time.
+        hold: SimDuration,
+    },
+}
+
+/// Simulation-wide configuration.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SimConfig {
+    /// One-way link delay (paper: 25 ms on all links).
+    pub link_delay: SimDuration,
+    /// Delay between a failure and its detection by session peers.
+    pub detection_delay: SimDuration,
+    /// Failure-detection model (the fixed `detection_delay` applies in
+    /// [`DetectionMode::LinkLayer`]).
+    pub detection: DetectionMode,
+    /// Prefixes originated per AS (paper: 1; the Internet holds thousands
+    /// per AS — raising this scales the update load per failed AS, the
+    /// §5 "200,000 destinations" observation).
+    pub prefixes_per_as: usize,
+    /// Prefix originations are spread uniformly over this window at t = 0.
+    pub origination_window: SimDuration,
+    /// How nodes get their MRAI.
+    pub mrai: MraiAssignment,
+    /// Input-queue discipline at every node.
+    pub queue: QueueDiscipline,
+    /// MRAI scope.
+    pub mrai_scope: MraiScope,
+    /// RFC 1771 timer jitter.
+    pub jitter: bool,
+    /// Withdrawal rate limiting (WRATE).
+    pub wrate: bool,
+    /// iBGP-session MRAI.
+    pub ibgp_mrai: SimDuration,
+    /// Minimum per-update processing delay (paper: 1 ms).
+    pub proc_min: SimDuration,
+    /// Maximum per-update processing delay (paper: 30 ms).
+    pub proc_max: SimDuration,
+    /// Deshpande & Sikdar timer cancelling at every node.
+    pub expedite_improvements: bool,
+    /// Gao–Rexford policies with degree-inferred relationships.
+    pub policy: bool,
+    /// RFC 2439 route-flap damping on eBGP sessions.
+    pub damping: Option<bgpsim_bgp::damping::DampingConfig>,
+    /// Intra-AS session layout.
+    pub ibgp_mode: IbgpMode,
+    /// Explicit per-AS hierarchy tiers for policy relationships (indexed by
+    /// AS index; lower = closer to the core). When `None`, tiers are
+    /// inferred from the graph (BFS depth from the maximum k-core).
+    /// Hierarchical topologies pass their ground-truth tiers here.
+    pub policy_tiers: Option<Vec<usize>>,
+    /// Root seed for all randomness in this run.
+    pub seed: u64,
+}
+
+impl SimConfig {
+    /// The paper's defaults with MRAI 30 s everywhere.
+    pub fn new(seed: u64) -> SimConfig {
+        SimConfig {
+            link_delay: SimDuration::from_millis(25),
+            detection_delay: SimDuration::ZERO,
+            detection: DetectionMode::LinkLayer(SimDuration::ZERO),
+            prefixes_per_as: 1,
+            origination_window: SimDuration::from_secs(1),
+            mrai: MraiAssignment::Uniform(MraiPolicy::Constant(SimDuration::from_secs(30))),
+            queue: QueueDiscipline::Fifo,
+            mrai_scope: MraiScope::PerPeer,
+            jitter: true,
+            wrate: false,
+            ibgp_mrai: SimDuration::ZERO,
+            proc_min: SimDuration::from_millis(1),
+            proc_max: SimDuration::from_millis(30),
+            expedite_improvements: false,
+            policy: false,
+            damping: None,
+            ibgp_mode: IbgpMode::FullMesh,
+            policy_tiers: None,
+            seed,
+        }
+    }
+
+    /// The paper's defaults with the given scheme's MRAI assignment, queue
+    /// discipline and ablation overrides applied.
+    pub fn from_scheme(scheme: &Scheme, seed: u64) -> SimConfig {
+        let mut cfg = SimConfig {
+            mrai: scheme.mrai.clone(),
+            queue: scheme.queue,
+            ..SimConfig::new(seed)
+        };
+        let o = &scheme.overrides;
+        if let Some(v) = o.jitter {
+            cfg.jitter = v;
+        }
+        if let Some(v) = o.wrate {
+            cfg.wrate = v;
+        }
+        if let Some(v) = o.detection_delay {
+            cfg.detection_delay = v;
+            cfg.detection = DetectionMode::LinkLayer(v);
+        }
+        if let Some(v) = o.hold_timer {
+            cfg.detection = DetectionMode::HoldTimer { hold: v };
+        }
+        if let Some(v) = o.prefixes_per_as {
+            cfg.prefixes_per_as = v;
+        }
+        if let Some(v) = o.mrai_scope {
+            cfg.mrai_scope = v;
+        }
+        if let Some(v) = o.expedite_improvements {
+            cfg.expedite_improvements = v;
+        }
+        if let Some(v) = o.proc_min {
+            cfg.proc_min = v;
+        }
+        if let Some(v) = o.proc_max {
+            cfg.proc_max = v;
+        }
+        if let Some(v) = o.link_delay {
+            cfg.link_delay = v;
+        }
+        if let Some(v) = o.policy {
+            cfg.policy = v;
+        }
+        if let Some(v) = o.damping {
+            cfg.damping = Some(v);
+        }
+        if let Some(v) = o.ibgp_mode {
+            cfg.ibgp_mode = v;
+        }
+        cfg
+    }
+}
+
+/// Events exchanged through the scheduler.
+#[derive(Clone, Debug)]
+enum Ev {
+    /// `node` originates one of its AS's prefixes.
+    Originate { node: RouterId, prefix: Prefix },
+    /// `msg` from `from` arrives at `to` after the link delay.
+    Deliver { to: RouterId, from: RouterId, msg: UpdateMsg },
+    /// `node`'s in-service batch completes.
+    ProcDone { node: RouterId },
+    /// An MRAI timer of `node` towards `peer` expires.
+    MraiExpiry { node: RouterId, peer: RouterId, prefix: Option<Prefix>, gen: u64 },
+    /// `node` detects the loss of its session with `peer`.
+    PeerDown { node: RouterId, peer: RouterId },
+    /// `node` (re-)establishes its session with `peer`.
+    PeerUp { node: RouterId, peer: RouterId },
+    /// A flap-damping reuse timer of `node` for `peer`'s route expires.
+    ReuseExpiry { node: RouterId, peer: RouterId, prefix: Prefix, gen: u64 },
+}
+
+/// Wall-clock gap between initial convergence and failure injection.
+const FAILURE_GAP: SimDuration = SimDuration::from_secs(1);
+
+/// Hierarchy tiers for relationship inference, indexed by AS index: BFS
+/// depth over the AS-level graph starting from the maximum-degree ASes
+/// (tier 0, the "Tier-1" analogue). Every non-top AS has a neighbor one
+/// tier up — a provider — so no customer cone is stranded behind a local
+/// degree peak, mirroring how real AS hierarchies hang off the core.
+fn as_tiers(topo: &Topology) -> Vec<usize> {
+    let num_ases = topo.num_ases();
+    // AS-level adjacency from inter-AS links.
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); num_ases];
+    for e in topo.edges() {
+        let (a, b) = (topo.router(e.a()).as_id.index(), topo.router(e.b()).as_id.index());
+        if a != b {
+            adj[a].push(b);
+            adj[b].push(a);
+        }
+    }
+    for list in &mut adj {
+        list.sort_unstable();
+        list.dedup();
+    }
+    let degrees: Vec<usize> = adj.iter().map(Vec::len).collect();
+
+    // The "Tier-1" set: the maximum k-core of the AS graph — the engineered
+    // clique in hierarchical topologies, the densest hub cluster elsewhere.
+    // When the whole graph is one core (no density differentiation, e.g. a
+    // path), fall back to the maximum-degree set.
+    let core = as_core_numbers(&adj);
+    let max_core = core.iter().copied().max().unwrap_or(0);
+    let mut tier0: Vec<usize> =
+        (0..num_ases).filter(|&a| core[a] == max_core).collect();
+    if tier0.len() == num_ases {
+        let top = degrees.iter().copied().max().unwrap_or(0);
+        tier0 = (0..num_ases).filter(|&a| degrees[a] == top).collect();
+    }
+
+    let mut tier = vec![usize::MAX; num_ases];
+    let mut queue = std::collections::VecDeque::new();
+    for a in tier0 {
+        tier[a] = 0;
+        queue.push_back(a);
+    }
+    while let Some(u) = queue.pop_front() {
+        for &v in &adj[u] {
+            if tier[v] == usize::MAX {
+                tier[v] = tier[u] + 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    // Isolated ASes (no inter-AS links) sit at the bottom.
+    for t in &mut tier {
+        if *t == usize::MAX {
+            *t = num_ases;
+        }
+    }
+    tier
+}
+
+/// Builds the per-node BGP configuration for `r` under `cfg` — the MRAI
+/// assignment is the only per-node part (degree-dependent and dynamic-at-
+/// hubs schemes read the router's degree).
+fn build_node_config(cfg: &SimConfig, topo: &Topology, r: RouterId) -> NodeConfig {
+    // In route-reflector mode the lowest-id member of each AS reflects.
+    let route_reflector = cfg.ibgp_mode == IbgpMode::RouteReflector
+        && topo.as_members(topo.router(r).as_id).first() == Some(&r);
+    let mrai = match &cfg.mrai {
+        MraiAssignment::Uniform(p) => p.clone(),
+        MraiAssignment::DegreeDependent { high_degree_min, low, high } => {
+            if topo.degree(r) >= *high_degree_min {
+                MraiPolicy::Constant(*high)
+            } else {
+                MraiPolicy::Constant(*low)
+            }
+        }
+        MraiAssignment::DynamicAtHighDegree { high_degree_min, low, dynamic } => {
+            if topo.degree(r) >= *high_degree_min {
+                MraiPolicy::Dynamic(dynamic.clone())
+            } else {
+                MraiPolicy::Constant(*low)
+            }
+        }
+        MraiAssignment::OracleFailureSize { table } => {
+            // Before the failure, nodes run the smallest MRAI (the common
+            // small-failure case); the oracle retunes them at injection.
+            MraiPolicy::Constant(table.first().expect("oracle table must not be empty").1)
+        }
+    };
+    NodeConfig {
+        mrai,
+        mrai_scope: cfg.mrai_scope,
+        ibgp_mrai: cfg.ibgp_mrai,
+        jitter: cfg.jitter,
+        withdrawal_rate_limiting: cfg.wrate,
+        proc_min: cfg.proc_min,
+        proc_max: cfg.proc_max,
+        queue: cfg.queue,
+        expedite_improvements: cfg.expedite_improvements,
+        policy: if cfg.policy { PolicyMode::GaoRexford } else { PolicyMode::None },
+        damping: cfg.damping,
+        route_reflector,
+    }
+}
+
+/// K-core numbers of the AS-level graph (peeling with running max).
+fn as_core_numbers(adj: &[Vec<usize>]) -> Vec<usize> {
+    let n = adj.len();
+    let mut degree: Vec<usize> = adj.iter().map(Vec::len).collect();
+    let mut removed = vec![false; n];
+    let mut core = vec![0usize; n];
+    let mut max_peel = 0usize;
+    for _ in 0..n {
+        let Some(u) = (0..n).filter(|&i| !removed[i]).min_by_key(|&i| degree[i]) else {
+            break;
+        };
+        max_peel = max_peel.max(degree[u]);
+        core[u] = max_peel;
+        removed[u] = true;
+        for &v in &adj[u] {
+            if !removed[v] {
+                degree[v] = degree[v].saturating_sub(1);
+            }
+        }
+    }
+    core
+}
+
+/// A fully wired simulated network.
+///
+/// Typical lifecycle: [`new`](Network::new) →
+/// [`run_initial_convergence`](Network::run_initial_convergence) →
+/// [`inject_failure`](Network::inject_failure) →
+/// [`run_to_quiescence`](Network::run_to_quiescence); or just
+/// [`run_failure_experiment`](Network::run_failure_experiment) for the
+/// whole pipeline.
+///
+/// # Example
+///
+/// ```
+/// use bgpsim::network::{Network, SimConfig};
+/// use bgpsim::Scheme;
+/// use bgpsim_topology::degree::SkewedSpec;
+/// use bgpsim_topology::generators::skewed_topology;
+/// use bgpsim_topology::region::FailureSpec;
+/// use rand::{rngs::SmallRng, SeedableRng};
+///
+/// let mut rng = SmallRng::seed_from_u64(7);
+/// let topo = skewed_topology(25, &SkewedSpec::seventy_thirty(), &mut rng)?;
+/// let mut net = Network::new(topo, SimConfig::from_scheme(&Scheme::batching(0.5), 7));
+/// let stats = net.run_failure_experiment(&FailureSpec::CenterFraction(0.1));
+/// assert!(stats.messages > 0);
+/// net.assert_routing_consistent(); // panics if any route disagrees with
+///                                  // ground-truth reachability
+/// # Ok::<(), bgpsim_topology::TopologyError>(())
+/// ```
+pub struct Network {
+    topo: Topology,
+    cfg: SimConfig,
+    sched: Scheduler<Ev>,
+    nodes: Vec<Option<BgpNode>>,
+    /// Session peers per router (eBGP link neighbors + iBGP full mesh).
+    sessions: Vec<Vec<RouterId>>,
+    /// Router that originates each prefix (prefix index == AS index).
+    origin_of_prefix: Vec<RouterId>,
+    last_activity: SimTime,
+    announcements: u64,
+    withdrawals: u64,
+    failure_time: Option<SimTime>,
+    failed_count: usize,
+    initial_convergence: SimDuration,
+    events_at_failure: u64,
+    sample_interval: Option<SimDuration>,
+    next_sample: SimTime,
+    samples: Vec<Sample>,
+    /// Failed links (normalized router-id pairs); their sessions are dead
+    /// but the endpoint routers live on.
+    dead_links: std::collections::HashSet<(u32, u32)>,
+}
+
+impl std::fmt::Debug for Network {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Network")
+            .field("routers", &self.topo.num_routers())
+            .field("ases", &self.topo.num_ases())
+            .field("now", &self.sched.now())
+            .field("failed", &self.failed_count)
+            .finish()
+    }
+}
+
+impl Network {
+    /// Wires a network: one BGP router per topology router, eBGP sessions
+    /// on inter-AS links, a full iBGP mesh inside each AS.
+    pub fn new(topo: Topology, cfg: SimConfig) -> Network {
+        let streams = RngStreams::new(cfg.seed);
+        let n = topo.num_routers();
+
+        // Session graph.
+        let mut sessions: Vec<Vec<RouterId>> = vec![Vec::new(); n];
+        for e in topo.edges() {
+            if topo.is_inter_as(e.a(), e.b()) {
+                sessions[e.a().index()].push(e.b());
+                sessions[e.b().index()].push(e.a());
+            }
+        }
+        for as_id in topo.as_ids() {
+            let members = topo.as_members(as_id);
+            match cfg.ibgp_mode {
+                IbgpMode::FullMesh => {
+                    for (i, &a) in members.iter().enumerate() {
+                        for &b in &members[i + 1..] {
+                            sessions[a.index()].push(b);
+                            sessions[b.index()].push(a);
+                        }
+                    }
+                }
+                IbgpMode::RouteReflector => {
+                    if let Some((&reflector, clients)) = members.split_first() {
+                        for &c in clients {
+                            sessions[reflector.index()].push(c);
+                            sessions[c.index()].push(reflector);
+                        }
+                    }
+                }
+            }
+        }
+        for list in &mut sessions {
+            list.sort();
+            list.dedup();
+        }
+
+        // Per-node configs.
+        let tiers = if cfg.policy {
+            match &cfg.policy_tiers {
+                Some(t) => {
+                    assert_eq!(
+                        t.len(),
+                        topo.num_ases(),
+                        "policy_tiers must have one entry per AS"
+                    );
+                    t.clone()
+                }
+                None => as_tiers(&topo),
+            }
+        } else {
+            Vec::new()
+        };
+        let mut nodes: Vec<Option<BgpNode>> = Vec::with_capacity(n);
+        for r in topo.router_ids() {
+            let node_cfg = build_node_config(&cfg, &topo, r);
+            let as_id = topo.router(r).as_id;
+            let mut node =
+                BgpNode::new(r, as_id, node_cfg, streams.stream("node", r.index() as u64));
+            for &peer in &sessions[r.index()] {
+                let ibgp = !topo.is_inter_as(r, peer);
+                if cfg.policy && !ibgp {
+                    // Relationships are an AS-level property, inferred from
+                    // hierarchy tiers (BFS depth from the top-degree ASes):
+                    // the AS closer to the core provides; equal tiers peer.
+                    let rel = relationship_by_tier(
+                        tiers[topo.router(r).as_id.index()],
+                        tiers[topo.router(peer).as_id.index()],
+                    );
+                    node.add_peer_with_relationship(peer, ibgp, rel);
+                } else {
+                    node.add_peer(peer, ibgp);
+                }
+            }
+            nodes.push(Some(node));
+        }
+
+        // `prefixes_per_as` prefixes per AS (paper: one), all originated by
+        // the AS's lowest-id member; prefix index = as_index · k + j.
+        let k = cfg.prefixes_per_as.max(1);
+        let mut origin_of_prefix: Vec<RouterId> = Vec::with_capacity(topo.num_ases() * k);
+        for a in topo.as_ids() {
+            let origin = *topo.as_members(a).first().expect("AS has members");
+            origin_of_prefix.extend(std::iter::repeat(origin).take(k));
+        }
+
+        Network {
+            topo,
+            cfg,
+            sched: Scheduler::new(),
+            nodes,
+            sessions,
+            origin_of_prefix,
+            last_activity: SimTime::ZERO,
+            announcements: 0,
+            withdrawals: 0,
+            failure_time: None,
+            failed_count: 0,
+            initial_convergence: SimDuration::ZERO,
+            events_at_failure: 0,
+            sample_interval: None,
+            next_sample: SimTime::ZERO,
+            samples: Vec::new(),
+            dead_links: std::collections::HashSet::new(),
+        }
+    }
+
+    /// Whether the session between `a` and `b` is up (both routers alive
+    /// and, for link-borne eBGP sessions, the link not failed). iBGP
+    /// sessions are TCP overlays and only die with their routers.
+    fn session_alive(&self, a: RouterId, b: RouterId) -> bool {
+        if !self.is_alive(a) || !self.is_alive(b) {
+            return false;
+        }
+        let key = if a < b {
+            (a.index() as u32, b.index() as u32)
+        } else {
+            (b.index() as u32, a.index() as u32)
+        };
+        !self.dead_links.contains(&key)
+    }
+
+    /// Fails a set of *links* at one second past the current time: the
+    /// eBGP sessions riding them go down (both ends get peer-down events)
+    /// but the routers survive — the scenario the paper sets aside as
+    /// unlikely for large-scale failures (§3.2), provided here to quantify
+    /// the difference. Links inside an AS carry no session in this model
+    /// (iBGP is a TCP overlay) and are ignored.
+    ///
+    /// Post-failure counters are reset, as in
+    /// [`inject_failure`](Network::inject_failure).
+    pub fn inject_link_failure(&mut self, links: &[bgpsim_topology::graph::Edge]) {
+        let t_f = self.sched.now() + FAILURE_GAP;
+        let mut killed = 0usize;
+        for e in links {
+            let (a, b) = (e.a(), e.b());
+            if !self.topo.is_inter_as(a, b) {
+                continue;
+            }
+            let inserted =
+                self.dead_links.insert((a.index() as u32, b.index() as u32));
+            if !inserted {
+                continue;
+            }
+            killed += 1;
+            for (node, peer) in [(a, b), (b, a)] {
+                if self.is_alive(node) {
+                    self.sched.schedule(
+                        t_f + self.cfg.detection_delay,
+                        Ev::PeerDown { node, peer },
+                    );
+                }
+            }
+        }
+        for node in self.nodes.iter_mut().flatten() {
+            node.reset_stats();
+        }
+        self.announcements = 0;
+        self.withdrawals = 0;
+        self.failure_time = Some(t_f);
+        self.last_activity = t_f;
+        self.failed_count = killed;
+        self.events_at_failure = self.sched.delivered_count();
+    }
+
+    /// Turns on timeline sampling: every `interval` of simulated time a
+    /// [`Sample`] of network-wide state (queue backlog, busy routers,
+    /// message count, mean dynamic-MRAI level) is recorded. Call before
+    /// running; read the result with [`samples`](Network::samples).
+    pub fn enable_sampling(&mut self, interval: SimDuration) {
+        assert!(!interval.is_zero(), "sampling interval must be positive");
+        self.sample_interval = Some(interval);
+        self.next_sample = self.sched.now() + interval;
+    }
+
+    /// The recorded timeline (empty unless
+    /// [`enable_sampling`](Network::enable_sampling) was called).
+    pub fn samples(&self) -> &[Sample] {
+        &self.samples
+    }
+
+    fn take_sample(&mut self, at: SimTime) {
+        let mut queued = 0usize;
+        let mut busy = 0usize;
+        let mut level_sum = 0usize;
+        let mut level_count = 0usize;
+        for node in self.nodes.iter().flatten() {
+            queued += node.queue_len();
+            busy += usize::from(node.is_busy());
+            if let Some(level) = node.dynamic_level() {
+                level_sum += level;
+                level_count += 1;
+            }
+        }
+        self.samples.push(Sample {
+            time: at,
+            queued_updates: queued,
+            busy_routers: busy,
+            messages_so_far: self.messages_sent(),
+            mean_dynamic_level: if level_count == 0 {
+                0.0
+            } else {
+                level_sum as f64 / level_count as f64
+            },
+        });
+    }
+
+    /// The topology this network runs on.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// The configuration this network was built with.
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    /// Whether `r` is still alive (not failed).
+    pub fn is_alive(&self, r: RouterId) -> bool {
+        self.nodes.get(r.index()).map(Option::is_some).unwrap_or(false)
+    }
+
+    /// Read access to a live router.
+    pub fn node(&self, r: RouterId) -> Option<&BgpNode> {
+        self.nodes.get(r.index())?.as_ref()
+    }
+
+    /// The first prefix originated by `as_id` (ASes originate
+    /// `prefixes_per_as` consecutive prefixes starting here).
+    pub fn prefix_of_as(&self, as_id: AsId) -> Prefix {
+        Prefix::new((as_id.index() * self.cfg.prefixes_per_as.max(1)) as u32)
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.sched.now()
+    }
+
+    /// Update messages sent since the last counter reset.
+    pub fn messages_sent(&self) -> u64 {
+        self.announcements + self.withdrawals
+    }
+
+    /// Originates every AS's prefix (uniformly spread over the origination
+    /// window) and runs the network until it quiesces. Returns how long the
+    /// initial convergence took.
+    pub fn run_initial_convergence(&mut self) -> SimDuration {
+        let streams = RngStreams::new(self.cfg.seed);
+        let mut rng = streams.stream("originate", 0);
+        for (idx, &origin) in self.origin_of_prefix.clone().iter().enumerate() {
+            let at = SimTime::from_nanos(
+                rng.gen_range(0..=self.cfg.origination_window.as_nanos()),
+            );
+            let prefix = Prefix::new(idx as u32);
+            self.sched.schedule(at, Ev::Originate { node: origin, prefix });
+        }
+        self.pump();
+        self.initial_convergence = self.last_activity.saturating_since(SimTime::ZERO);
+        self.initial_convergence
+    }
+
+    /// Fails `region` at one second past the current time: the selected
+    /// routers (and all their links/sessions) go down simultaneously, and
+    /// every surviving session peer gets a peer-down detection event.
+    ///
+    /// Post-failure counters (messages, queue peaks, node stats) are reset
+    /// so [`run_to_quiescence`](Network::run_to_quiescence) measures only
+    /// re-convergence activity.
+    ///
+    /// Returns the failed routers.
+    pub fn inject_failure(&mut self, region: &FailureSpec) -> Vec<RouterId> {
+        let streams = RngStreams::new(self.cfg.seed);
+        let mut rng = streams.stream("failure", 0);
+        let failed = region.resolve(&self.topo, &mut rng);
+        let t_f = self.sched.now() + FAILURE_GAP;
+
+        for &f in &failed {
+            self.nodes[f.index()] = None;
+        }
+        self.failed_count = failed.len();
+
+        // Surviving session peers detect the loss.
+        let mut detect_rng = streams.stream("detection", 1);
+        for &f in &failed {
+            for &peer in &self.sessions[f.index()] {
+                if self.is_alive(peer) {
+                    let lag = match self.cfg.detection {
+                        DetectionMode::LinkLayer(_) => self.cfg.detection_delay,
+                        DetectionMode::HoldTimer { hold } => {
+                            // Keepalives every hold/3: the timer has between
+                            // 2·hold/3 and hold left when the peer dies.
+                            let slack = detect_rng.gen_range(0..=hold.as_nanos() / 3);
+                            hold.saturating_sub(SimDuration::from_nanos(slack))
+                        }
+                    };
+                    self.sched.schedule(t_f + lag, Ev::PeerDown { node: peer, peer: f });
+                }
+            }
+        }
+
+        // The oracle scheme retunes every surviving node to the table row
+        // covering the actual failure size (paper §5 future work: "set the
+        // MRAI consistent with the extent of failure").
+        if let MraiAssignment::OracleFailureSize { table } = &self.cfg.mrai {
+            let fraction = failed.len() as f64 / self.topo.num_routers() as f64;
+            let chosen = table
+                .iter()
+                .find(|&&(max_f, _)| fraction <= max_f)
+                .or_else(|| table.last())
+                .expect("oracle table must not be empty")
+                .1;
+            for node in self.nodes.iter_mut().flatten() {
+                node.set_constant_mrai(chosen);
+            }
+        }
+
+        // Measure only post-failure activity.
+        for node in self.nodes.iter_mut().flatten() {
+            node.reset_stats();
+        }
+        self.announcements = 0;
+        self.withdrawals = 0;
+        self.failure_time = Some(t_f);
+        self.last_activity = t_f;
+        self.events_at_failure = self.sched.delivered_count();
+        failed
+    }
+
+    /// Runs until the event queue drains and reports the re-convergence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before [`inject_failure`](Network::inject_failure).
+    pub fn run_to_quiescence(&mut self) -> RunStats {
+        let failure_time =
+            self.failure_time.expect("inject_failure must be called before run_to_quiescence");
+        self.pump();
+        let mut stats = RunStats {
+            convergence_delay: self.last_activity.saturating_since(failure_time),
+            messages: self.messages_sent(),
+            announcements: self.announcements,
+            withdrawals: self.withdrawals,
+            failed_routers: self.failed_count,
+            events: self.sched.delivered_count() - self.events_at_failure,
+            initial_convergence: self.initial_convergence,
+            ..RunStats::default()
+        };
+        for node in self.nodes.iter().flatten() {
+            let s = node.stats();
+            stats.updates_processed += s.updates_processed;
+            stats.stale_deleted += node.stale_deleted();
+            stats.peak_queue = stats.peak_queue.max(node.queue_peak());
+        }
+        stats
+    }
+
+    /// The whole pipeline: initial convergence, failure, re-convergence.
+    pub fn run_failure_experiment(&mut self, region: &FailureSpec) -> RunStats {
+        self.run_initial_convergence();
+        self.inject_failure(region);
+        self.run_to_quiescence()
+    }
+
+    /// The policy relationship of `peer` towards `node` (None when
+    /// policies are off or the session is iBGP).
+    fn relationship_between(&self, node: RouterId, peer: RouterId) -> Option<Relationship> {
+        if !self.cfg.policy || !self.topo.is_inter_as(node, peer) {
+            return None;
+        }
+        let tiers = match &self.cfg.policy_tiers {
+            Some(t) => t.clone(),
+            None => as_tiers(&self.topo),
+        };
+        Some(relationship_by_tier(
+            tiers[self.topo.router(node).as_id.index()],
+            tiers[self.topo.router(peer).as_id.index()],
+        ))
+    }
+
+    /// Brings previously failed routers back: each revived router starts
+    /// with empty tables, re-originates its prefixes, and re-establishes
+    /// every session whose other end is alive (both ends perform the
+    /// initial full table exchange, RFC 1771 §3). The activity clock and
+    /// counters are reset so [`run_to_quiescence`](Network::run_to_quiescence)
+    /// measures the *recovery* convergence ("Tup" in Labovitz et al. \[5\],
+    /// the complement of the failure events the paper studies).
+    pub fn revive_routers(&mut self, routers: &[RouterId]) {
+        let streams = RngStreams::new(self.cfg.seed);
+        let t_up = self.sched.now() + FAILURE_GAP;
+        for &r in routers {
+            assert!(
+                self.nodes[r.index()].is_none(),
+                "revive_routers: router {r} is already alive"
+            );
+            let node_cfg = self.node_config_for(r);
+            let as_id = self.topo.router(r).as_id;
+            let node = BgpNode::new(
+                r,
+                as_id,
+                node_cfg,
+                streams.stream("node-revived", r.index() as u64),
+            );
+            self.nodes[r.index()] = Some(node);
+        }
+        // Sessions and originations come up at t_up.
+        for &r in routers {
+            for (p_idx, &origin) in self.origin_of_prefix.iter().enumerate() {
+                if origin == r {
+                    self.sched.schedule(
+                        t_up,
+                        Ev::Originate { node: r, prefix: Prefix::new(p_idx as u32) },
+                    );
+                }
+            }
+            for &peer in &self.sessions[r.index()] {
+                // A session only comes back if its peer is alive AND the
+                // link carrying it (for eBGP sessions) has not itself been
+                // failed via `inject_link_failure`.
+                if self.session_alive(r, peer) {
+                    self.sched.schedule(t_up, Ev::PeerUp { node: r, peer });
+                    // The reverse direction: co-revived peers schedule their
+                    // own half in their loop iteration.
+                    if !routers.contains(&peer) {
+                        self.sched.schedule(t_up, Ev::PeerUp { node: peer, peer: r });
+                    }
+                }
+            }
+        }
+        for node in self.nodes.iter_mut().flatten() {
+            node.reset_stats();
+        }
+        self.announcements = 0;
+        self.withdrawals = 0;
+        self.failure_time = Some(t_up);
+        self.last_activity = t_up;
+        self.failed_count = 0;
+        self.events_at_failure = self.sched.delivered_count();
+    }
+
+    /// The per-node configuration (used at construction and revival).
+    fn node_config_for(&self, r: RouterId) -> NodeConfig {
+        build_node_config(&self.cfg, &self.topo, r)
+    }
+
+    /// Drains the event queue.
+    fn pump(&mut self) {
+        while let Some((t, ev)) = self.sched.next() {
+            // Set BGPSIM_DEBUG_PUMP=1 to watch event-loop progress (useful
+            // when diagnosing runaway simulations).
+            if std::env::var_os("BGPSIM_DEBUG_PUMP").is_some()
+                && self.sched.delivered_count() % 1_000_000 == 0
+            {
+                eprintln!(
+                    "[pump] events={} simtime={t} pending={}",
+                    self.sched.delivered_count(),
+                    self.sched.len()
+                );
+            }
+            if let Some(interval) = self.sample_interval {
+                while self.next_sample <= t {
+                    let at = self.next_sample;
+                    self.take_sample(at);
+                    self.next_sample = at + interval;
+                }
+            }
+            self.handle(t, ev);
+        }
+    }
+
+    fn handle(&mut self, t: SimTime, ev: Ev) {
+        match ev {
+            Ev::Originate { node, prefix } => {
+                let Some(n) = self.nodes[node.index()].as_mut() else { return };
+                let actions = n.originate(t, prefix);
+                self.last_activity = t;
+                self.exec(node, actions);
+            }
+            Ev::Deliver { to, from, msg } => {
+                let Some(n) = self.nodes[to.index()].as_mut() else { return };
+                self.last_activity = t;
+                let actions = n.on_update(t, from, msg);
+                self.exec(to, actions);
+            }
+            Ev::ProcDone { node } => {
+                let Some(n) = self.nodes[node.index()].as_mut() else { return };
+                self.last_activity = t;
+                let actions = n.on_proc_done(t);
+                self.exec(node, actions);
+            }
+            Ev::MraiExpiry { node, peer, prefix, gen } => {
+                let Some(n) = self.nodes[node.index()].as_mut() else { return };
+                let actions = n.on_mrai_expiry(t, peer, prefix, gen);
+                if !actions.is_empty() {
+                    self.last_activity = t;
+                }
+                self.exec(node, actions);
+            }
+            Ev::PeerDown { node, peer } => {
+                let Some(n) = self.nodes[node.index()].as_mut() else { return };
+                let actions = n.on_peer_down(t, peer);
+                self.exec(node, actions);
+            }
+            Ev::ReuseExpiry { node, peer, prefix, gen } => {
+                let Some(n) = self.nodes[node.index()].as_mut() else { return };
+                let actions = n.on_reuse_expiry(t, peer, prefix, gen);
+                if !actions.is_empty() {
+                    self.last_activity = t;
+                }
+                self.exec(node, actions);
+            }
+            Ev::PeerUp { node, peer } => {
+                if !self.session_alive(node, peer) {
+                    return;
+                }
+                let ibgp = !self.topo.is_inter_as(node, peer);
+                let rel = self.relationship_between(node, peer);
+                let Some(n) = self.nodes[node.index()].as_mut() else { return };
+                self.last_activity = t;
+                let actions = n.on_peer_up(t, peer, ibgp, rel);
+                self.exec(node, actions);
+            }
+        }
+    }
+
+    fn exec(&mut self, origin: RouterId, actions: Vec<Action>) {
+        for action in actions {
+            match action {
+                Action::Send { to, msg } => {
+                    if msg.action.is_advertise() {
+                        self.announcements += 1;
+                    } else {
+                        self.withdrawals += 1;
+                    }
+                    self.last_activity = self.sched.now();
+                    // Messages towards failed routers are lost with the link.
+                    if self.is_alive(to) {
+                        self.sched.schedule_after(
+                            self.cfg.link_delay,
+                            Ev::Deliver { to, from: origin, msg },
+                        );
+                    }
+                }
+                Action::StartProcessing { duration } => {
+                    self.sched.schedule_after(duration, Ev::ProcDone { node: origin });
+                }
+                Action::StartMrai { peer, prefix, delay, gen } => {
+                    self.sched.schedule_after(
+                        delay,
+                        Ev::MraiExpiry { node: origin, peer, prefix, gen },
+                    );
+                }
+                Action::StartReuse { peer, prefix, delay, gen } => {
+                    self.sched.schedule_after(
+                        delay,
+                        Ev::ReuseExpiry { node: origin, peer, prefix, gen },
+                    );
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Validation helpers (used by tests and examples)
+    // ------------------------------------------------------------------
+
+    /// Ground truth under Gao–Rexford policies: a route must exist exactly
+    /// when a valley-free path to an alive origin exists over alive nodes.
+    /// Exact for single-router-per-AS topologies; for multi-router
+    /// topologies only the no-stale-routes direction is checked (the
+    /// valley-free closure is an AS-level property that partial AS failures
+    /// blur).
+    fn assert_policy_routing_consistent(&self) {
+        let single = self.topo.num_routers() == self.topo.num_ases();
+        let reach = self.valley_free_reachability();
+        for r in self.topo.router_ids() {
+            let Some(node) = self.node(r) else { continue };
+            for (p_idx, &expected) in reach[r.index()].iter().enumerate() {
+                let prefix = Prefix::new(p_idx as u32);
+                let own = self.origin_of_prefix[p_idx] == r;
+                match (expected, node.loc_rib().get(prefix).is_some()) {
+                    (true, false) if single => {
+                        panic!("router {r}: no route to valley-free-reachable {prefix}")
+                    }
+                    (false, true) if !own => {
+                        panic!("router {r}: route to {prefix} violates valley-free export")
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    /// For each origin prefix, the set of alive routers with a valley-free
+    /// path to it (Gao–Rexford propagation closure):
+    ///
+    /// 1. *free* routers hear the route from a customer chain below them
+    ///    (BFS from the origin towards providers);
+    /// 2. peers of free routers hear it once (one peer edge);
+    /// 3. everything below any route holder hears it (providers always
+    ///    export to customers).
+    fn valley_free_reachability(&self) -> Vec<Vec<bool>> {
+        let n = self.topo.num_routers();
+        let num_prefixes = self.origin_of_prefix.len();
+        let mut result = vec![vec![false; num_prefixes]; n];
+        // u's relationship towards v (what u *is* to v) — must match the
+        // construction-time inference exactly.
+        let tiers = match &self.cfg.policy_tiers {
+            Some(t) => t.clone(),
+            None => as_tiers(&self.topo),
+        };
+        let rel_to = |v: RouterId, u: RouterId| {
+            relationship_by_tier(
+                tiers[self.topo.router(v).as_id.index()],
+                tiers[self.topo.router(u).as_id.index()],
+            )
+        };
+        for (p_idx, &origin) in self.origin_of_prefix.iter().enumerate() {
+            if !self.is_alive(origin) {
+                continue;
+            }
+            // Step 1: free = customer-chain reachability (walk up to
+            // providers from the origin).
+            let mut free = vec![false; n];
+            free[origin.index()] = true;
+            let mut stack = vec![origin];
+            while let Some(u) = stack.pop() {
+                for &v in &self.sessions[u.index()] {
+                    if !self.session_alive(u, v) || free[v.index()] {
+                        continue;
+                    }
+                    // v hears from its customer u.
+                    if rel_to(v, u) == Relationship::Customer {
+                        free[v.index()] = true;
+                        stack.push(v);
+                    }
+                }
+            }
+            // Step 2: peers of free routers.
+            let mut reach = free.clone();
+            for u in self.topo.router_ids() {
+                if !free[u.index()] || !self.is_alive(u) {
+                    continue;
+                }
+                for &v in &self.sessions[u.index()] {
+                    if self.session_alive(u, v) && rel_to(v, u) == Relationship::Peer {
+                        reach[v.index()] = true;
+                    }
+                }
+            }
+            // Step 3: downward closure (everyone exports to customers).
+            let mut stack: Vec<RouterId> = self
+                .topo
+                .router_ids()
+                .filter(|r| reach[r.index()])
+                .collect();
+            while let Some(u) = stack.pop() {
+                for &v in &self.sessions[u.index()] {
+                    if !self.session_alive(u, v) || reach[v.index()] {
+                        continue;
+                    }
+                    // v hears from its provider u.
+                    if rel_to(v, u) == Relationship::Provider {
+                        reach[v.index()] = true;
+                        stack.push(v);
+                    }
+                }
+            }
+            for r in 0..n {
+                result[r][p_idx] = reach[r] && self.is_alive(RouterId::new(r as u32));
+            }
+        }
+        result
+    }
+
+    /// AS-level hop distances from every *alive* router to every alive
+    /// origin, through alive routers only. `None` means unreachable.
+    fn alive_distances(&self) -> Vec<Vec<Option<usize>>> {
+        // BFS per origin over the session graph restricted to alive nodes,
+        // counting a hop whenever an edge crosses an AS boundary.
+        // For single-router-per-AS topologies this is plain BFS.
+        let n = self.topo.num_routers();
+        let mut result = vec![vec![None; self.origin_of_prefix.len()]; n];
+        for (p_idx, &origin) in self.origin_of_prefix.iter().enumerate() {
+            if !self.is_alive(origin) {
+                continue;
+            }
+            // Dijkstra with 0/1 weights (0 inside an AS, 1 across).
+            let mut dist: Vec<Option<usize>> = vec![None; n];
+            let mut deque = std::collections::VecDeque::new();
+            dist[origin.index()] = Some(0);
+            deque.push_back(origin);
+            while let Some(u) = deque.pop_front() {
+                let du = dist[u.index()].expect("queued nodes have distances");
+                for &v in &self.sessions[u.index()] {
+                    if !self.session_alive(u, v) {
+                        continue;
+                    }
+                    let w = usize::from(self.topo.is_inter_as(u, v));
+                    let nd = du + w;
+                    if dist[v.index()].map(|d| nd < d).unwrap_or(true) {
+                        dist[v.index()] = Some(nd);
+                        if w == 0 {
+                            deque.push_front(v);
+                        } else {
+                            deque.push_back(v);
+                        }
+                    }
+                }
+            }
+            for r in 0..n {
+                result[r][p_idx] = dist[r];
+            }
+        }
+        result
+    }
+
+    /// Checks that every alive router's Loc-RIB matches ground truth:
+    /// a route exists exactly for reachable alive origins, and its AS-path
+    /// length equals the shortest alive AS-hop distance.
+    ///
+    /// # Panics
+    ///
+    /// Panics (with a diagnostic) on any mismatch — call after the network
+    /// has quiesced.
+    pub fn assert_routing_consistent(&self) {
+        if self.cfg.policy {
+            self.assert_policy_routing_consistent();
+            return;
+        }
+        let dists = self.alive_distances();
+        for r in self.topo.router_ids() {
+            let Some(node) = self.node(r) else { continue };
+            for (p_idx, expected) in dists[r.index()].iter().enumerate() {
+                let prefix = Prefix::new(p_idx as u32);
+                let own = self.origin_of_prefix[p_idx] == r;
+                let best = node.loc_rib().get(prefix);
+                match (expected, best) {
+                    (Some(d), Some(sel)) => {
+                        assert_eq!(
+                            sel.path.len(),
+                            *d,
+                            "router {r}: route to {prefix} has length {} but \
+                             shortest alive distance is {d}",
+                            sel.path.len()
+                        );
+                    }
+                    (Some(d), None) => {
+                        panic!(
+                            "router {r}: no route to reachable {prefix} (distance {d})"
+                        );
+                    }
+                    (None, Some(_)) if !own => {
+                        panic!("router {r}: stale route to unreachable {prefix}");
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgpsim_topology::degree::SkewedSpec;
+    use bgpsim_topology::generators::skewed_topology;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn small_topo(seed: u64, n: usize) -> Topology {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        skewed_topology(n, &SkewedSpec::seventy_thirty(), &mut rng).unwrap()
+    }
+
+    #[test]
+    fn initial_convergence_installs_all_routes() {
+        let topo = small_topo(1, 30);
+        let mut net = Network::new(topo, SimConfig::new(7));
+        let dur = net.run_initial_convergence();
+        assert!(dur > SimDuration::ZERO);
+        net.assert_routing_consistent();
+        // Every router has a route to all 30 prefixes.
+        for r in net.topology().router_ids() {
+            assert_eq!(net.node(r).unwrap().loc_rib().len(), 30);
+        }
+    }
+
+    #[test]
+    fn failure_reconverges_consistently() {
+        let topo = small_topo(2, 30);
+        let mut net = Network::new(topo, SimConfig::new(8));
+        let stats = net.run_failure_experiment(&FailureSpec::CenterFraction(0.10));
+        assert_eq!(stats.failed_routers, 3);
+        assert!(stats.convergence_delay > SimDuration::ZERO);
+        assert!(stats.messages > 0);
+        net.assert_routing_consistent();
+    }
+
+    #[test]
+    fn zero_failure_costs_nothing() {
+        let topo = small_topo(3, 20);
+        let mut net = Network::new(topo, SimConfig::new(9));
+        let stats = net.run_failure_experiment(&FailureSpec::CenterFraction(0.0));
+        assert_eq!(stats.failed_routers, 0);
+        assert_eq!(stats.convergence_delay, SimDuration::ZERO);
+        assert_eq!(stats.messages, 0);
+    }
+
+    #[test]
+    fn runs_are_deterministic_per_seed() {
+        let run = |seed| {
+            let topo = small_topo(4, 25);
+            let mut net = Network::new(topo, SimConfig::new(seed));
+            net.run_failure_experiment(&FailureSpec::CenterFraction(0.1))
+        };
+        let a = run(11);
+        let b = run(11);
+        let c = run(12);
+        assert_eq!(a, b, "same seed must reproduce exactly");
+        assert_ne!(a, c, "different seed should differ");
+    }
+
+    #[test]
+    fn messages_lost_towards_failed_routers() {
+        // A tiny line a–b–c: fail c explicitly; a and b reconverge.
+        use bgpsim_topology::{Point, Router};
+        let routers = vec![
+            Router { as_id: AsId::new(0), pos: Point::new(0.0, 0.0) },
+            Router { as_id: AsId::new(1), pos: Point::new(1.0, 0.0) },
+            Router { as_id: AsId::new(2), pos: Point::new(2.0, 0.0) },
+        ];
+        let topo = Topology::new(
+            routers,
+            vec![
+                (RouterId::new(0), RouterId::new(1)),
+                (RouterId::new(1), RouterId::new(2)),
+            ],
+        )
+        .unwrap();
+        let mut net = Network::new(topo, SimConfig::new(5));
+        net.run_initial_convergence();
+        net.assert_routing_consistent();
+        let failed =
+            net.inject_failure(&FailureSpec::Explicit(vec![RouterId::new(2)]));
+        assert_eq!(failed, vec![RouterId::new(2)]);
+        let stats = net.run_to_quiescence();
+        net.assert_routing_consistent();
+        assert!(!net.is_alive(RouterId::new(2)));
+        // b withdraws prefix 2 from a.
+        assert!(stats.withdrawals >= 1);
+        let a = net.node(RouterId::new(0)).unwrap();
+        assert!(a.loc_rib().get(Prefix::new(2)).is_none());
+        assert!(a.loc_rib().get(Prefix::new(1)).is_some());
+    }
+
+    #[test]
+    fn multi_as_network_converges() {
+        use bgpsim_topology::multias::{generate_multi_as, MultiAsConfig};
+        let mut rng = SmallRng::seed_from_u64(3);
+        let topo = generate_multi_as(&MultiAsConfig::realistic(20), &mut rng).unwrap();
+        let mut net = Network::new(topo, SimConfig::new(13));
+        net.run_initial_convergence();
+        net.assert_routing_consistent();
+        for r in net.topology().router_ids() {
+            let node = net.node(r).unwrap();
+            assert_eq!(
+                node.loc_rib().len(),
+                net.topology().num_ases(),
+                "router {r} missing routes"
+            );
+        }
+    }
+
+    #[test]
+    fn sampling_records_timeline() {
+        let topo = small_topo(12, 30);
+        let mut net =
+            Network::new(topo, SimConfig::from_scheme(&crate::Scheme::dynamic_default(), 40));
+        net.enable_sampling(SimDuration::from_millis(500));
+        net.run_failure_experiment(&FailureSpec::CenterFraction(0.1));
+        let samples = net.samples();
+        assert!(samples.len() > 5, "expected a timeline, got {}", samples.len());
+        assert!(
+            samples.windows(2).all(|w| w[0].time < w[1].time),
+            "samples must be time-ordered"
+        );
+        // During the storm some router must have been busy at some sample.
+        assert!(samples.iter().any(|s| s.busy_routers > 0));
+    }
+
+    #[test]
+    fn oracle_switches_nodes_at_injection() {
+        let topo = small_topo(13, 30);
+        let scheme = crate::Scheme::oracle(&[(0.025, 0.5), (1.0, 2.25)]);
+        let mut net = Network::new(topo, SimConfig::from_scheme(&scheme, 41));
+        net.run_initial_convergence();
+        net.inject_failure(&FailureSpec::CenterFraction(0.2));
+        let stats = net.run_to_quiescence();
+        assert!(stats.messages > 0);
+        net.assert_routing_consistent();
+    }
+
+    #[test]
+    fn policy_network_converges_to_valley_free_state() {
+        let topo = small_topo(20, 40);
+        let scheme = crate::Scheme::constant_mrai(0.5).with_policy();
+        let mut net = Network::new(topo, SimConfig::from_scheme(&scheme, 50));
+        net.run_initial_convergence();
+        net.assert_routing_consistent();
+        // Policies prune paths: some node pairs may be unreachable even in
+        // a connected graph, but every node keeps its own prefix.
+        for r in net.topology().router_ids() {
+            let node = net.node(r).unwrap();
+            let own = Prefix::new(node.as_id().index() as u32);
+            assert!(node.loc_rib().get(own).is_some());
+        }
+        // And recovery from failure stays valley-free consistent.
+        net.inject_failure(&FailureSpec::CenterFraction(0.1));
+        net.run_to_quiescence();
+        net.assert_routing_consistent();
+    }
+
+    #[test]
+    fn policy_reduces_messages_during_failures() {
+        let run = |policy: bool| {
+            let topo = small_topo(21, 50);
+            let scheme = if policy {
+                crate::Scheme::constant_mrai(0.5).with_policy()
+            } else {
+                crate::Scheme::constant_mrai(0.5)
+            };
+            let mut net = Network::new(topo, SimConfig::from_scheme(&scheme, 51));
+            net.run_failure_experiment(&FailureSpec::CenterFraction(0.15))
+        };
+        let without = run(false);
+        let with = run(true);
+        assert!(
+            with.messages < without.messages,
+            "valley-free export must prune path hunting              (without {} vs with {})",
+            without.messages,
+            with.messages
+        );
+    }
+
+    #[test]
+    fn hierarchical_topology_has_full_policy_reachability() {
+        use bgpsim_topology::generators::{hierarchical, HierarchicalParams};
+        let mut rng = SmallRng::seed_from_u64(80);
+        let params = HierarchicalParams::three_tier(60);
+        let topo = hierarchical(&params, &mut rng).unwrap();
+        let n = topo.num_routers();
+        let scheme = crate::Scheme::constant_mrai(0.5).with_policy();
+        let mut cfg = SimConfig::from_scheme(&scheme, 80);
+        cfg.policy_tiers = Some(params.tier_vector());
+        let mut net = Network::new(topo, cfg);
+        net.run_initial_convergence();
+        net.assert_routing_consistent();
+        // Every node reaches every prefix: the Tier-1 clique guarantees an
+        // up-peer-down path for all pairs.
+        for r in net.topology().router_ids() {
+            assert_eq!(
+                net.node(r).unwrap().loc_rib().len(),
+                n,
+                "router {r} misses prefixes despite the engineered hierarchy"
+            );
+        }
+        // And failures recover consistently under policies.
+        net.inject_failure(&FailureSpec::CenterFraction(0.1));
+        net.run_to_quiescence();
+        net.assert_routing_consistent();
+    }
+
+    #[test]
+    fn revived_routers_rejoin_consistently() {
+        let topo = small_topo(40, 30);
+        let mut net =
+            Network::new(topo, SimConfig::from_scheme(&crate::Scheme::constant_mrai(0.5), 90));
+        net.run_initial_convergence();
+        let failed = net.inject_failure(&FailureSpec::CenterFraction(0.1));
+        net.run_to_quiescence();
+        net.assert_routing_consistent();
+        // Bring everyone back: full reachability must be restored.
+        net.revive_routers(&failed);
+        let stats = net.run_to_quiescence();
+        net.assert_routing_consistent();
+        assert!(stats.messages > 0, "recovery must generate announcements");
+        for r in net.topology().router_ids() {
+            assert!(net.is_alive(r));
+            assert_eq!(
+                net.node(r).unwrap().loc_rib().len(),
+                30,
+                "router {r} missing routes after recovery"
+            );
+        }
+    }
+
+    #[test]
+    fn recovery_is_faster_than_failure_tup_tdown() {
+        // Labovitz et al. [5]: announcing a route (Tup) converges much
+        // faster than withdrawing one (Tdown) because no path hunting is
+        // needed — new information replaces old monotonically.
+        let topo = small_topo(41, 40);
+        let mut net =
+            Network::new(topo, SimConfig::from_scheme(&crate::Scheme::constant_mrai(2.25), 91));
+        net.run_initial_convergence();
+        let failed = net.inject_failure(&FailureSpec::CenterFraction(0.1));
+        let down = net.run_to_quiescence();
+        net.revive_routers(&failed);
+        let up = net.run_to_quiescence();
+        net.assert_routing_consistent();
+        assert!(
+            up.convergence_delay < down.convergence_delay,
+            "recovery ({}) should beat failure ({})",
+            up.convergence_delay,
+            down.convergence_delay
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "already alive")]
+    fn reviving_alive_router_panics() {
+        let topo = small_topo(42, 20);
+        let mut net =
+            Network::new(topo, SimConfig::from_scheme(&crate::Scheme::constant_mrai(0.5), 92));
+        net.run_initial_convergence();
+        net.inject_failure(&FailureSpec::CenterFraction(0.0));
+        net.revive_routers(&[RouterId::new(0)]);
+    }
+
+    #[test]
+    fn link_failures_reconverge_without_killing_routers() {
+        let topo = small_topo(50, 40);
+        let mut net =
+            Network::new(topo, SimConfig::from_scheme(&crate::Scheme::constant_mrai(0.5), 95));
+        net.run_initial_convergence();
+        let links =
+            bgpsim_topology::region::central_link_fraction(net.topology(), 0.15);
+        assert!(!links.is_empty());
+        net.inject_link_failure(&links);
+        let stats = net.run_to_quiescence();
+        net.assert_routing_consistent();
+        // All routers survive; only sessions died.
+        for r in net.topology().router_ids() {
+            assert!(net.is_alive(r));
+            // Every router still reaches its own prefix at least.
+            let own = Prefix::new(net.topology().router(r).as_id.index() as u32);
+            assert!(net.node(r).unwrap().loc_rib().get(own).is_some());
+        }
+        assert!(stats.messages > 0);
+    }
+
+    #[test]
+    fn link_failures_cost_less_than_router_failures() {
+        // Failing a region's links leaves its routers (and their prefixes)
+        // reachable via surviving paths; failing the routers withdraws
+        // their prefixes everywhere. Messages should reflect that.
+        let run_links = || {
+            let topo = small_topo(51, 40);
+            let mut net = Network::new(
+                topo,
+                SimConfig::from_scheme(&crate::Scheme::constant_mrai(1.25), 96),
+            );
+            net.run_initial_convergence();
+            let links =
+                bgpsim_topology::region::central_link_fraction(net.topology(), 0.10);
+            net.inject_link_failure(&links);
+            let stats = net.run_to_quiescence();
+            net.assert_routing_consistent();
+            stats
+        };
+        let run_routers = || {
+            let topo = small_topo(51, 40);
+            let mut net = Network::new(
+                topo,
+                SimConfig::from_scheme(&crate::Scheme::constant_mrai(1.25), 96),
+            );
+            net.run_failure_experiment(&FailureSpec::CenterFraction(0.10))
+        };
+        let links = run_links();
+        let routers = run_routers();
+        // Both converge; the router variant at least withdraws prefixes.
+        assert!(routers.withdrawals > 0);
+        assert!(links.messages > 0);
+    }
+
+    #[test]
+    fn route_reflection_converges_like_full_mesh() {
+        use bgpsim_topology::multias::{generate_multi_as, MultiAsConfig};
+        let mut rng = SmallRng::seed_from_u64(100);
+        let topo = generate_multi_as(&MultiAsConfig::realistic(20), &mut rng).unwrap();
+        let scheme =
+            crate::Scheme::constant_mrai(0.5).with_route_reflection().named("RR");
+        let mut net = Network::new(topo, SimConfig::from_scheme(&scheme, 101));
+        net.run_initial_convergence();
+        net.assert_routing_consistent();
+        for r in net.topology().router_ids() {
+            assert_eq!(
+                net.node(r).unwrap().loc_rib().len(),
+                net.topology().num_ases(),
+                "router {r} missing routes under route reflection"
+            );
+        }
+        // Failures still recover consistently.
+        net.inject_failure(&FailureSpec::CenterFraction(0.05));
+        net.run_to_quiescence();
+        net.assert_routing_consistent();
+    }
+
+    #[test]
+    fn route_reflection_uses_far_fewer_ibgp_sessions() {
+        use bgpsim_topology::multias::{generate_multi_as, MultiAsConfig};
+        let mut rng = SmallRng::seed_from_u64(102);
+        let topo = generate_multi_as(&MultiAsConfig::realistic(20), &mut rng).unwrap();
+        let count_sessions = |net: &Network| -> usize {
+            net.topology()
+                .router_ids()
+                .filter_map(|r| net.node(r))
+                .map(|n| n.peer_ids().len())
+                .sum()
+        };
+        let mesh = Network::new(
+            topo.clone(),
+            SimConfig::from_scheme(&crate::Scheme::constant_mrai(0.5), 103),
+        );
+        let rr_scheme = crate::Scheme::constant_mrai(0.5).with_route_reflection();
+        let rr = Network::new(topo, SimConfig::from_scheme(&rr_scheme, 103));
+        assert!(
+            count_sessions(&rr) < count_sessions(&mesh),
+            "route reflection must shrink the session count \
+             (mesh {}, rr {})",
+            count_sessions(&mesh),
+            count_sessions(&rr)
+        );
+    }
+
+    #[test]
+    fn hold_timer_detection_dominates_small_failures() {
+        let run = |scheme: crate::Scheme, seed| {
+            let topo = small_topo(30, 30);
+            let mut net = Network::new(topo, SimConfig::from_scheme(&scheme, seed));
+            net.run_failure_experiment(&FailureSpec::CenterFraction(0.05))
+        };
+        let instant = run(crate::Scheme::constant_mrai(2.25), 70);
+        let held = run(
+            crate::Scheme::constant_mrai(2.25)
+                .with_hold_timer(SimDuration::from_secs(90)),
+            70,
+        );
+        // With a 90 s hold timer, detection alone is 60-90 s.
+        assert!(
+            held.convergence_delay
+                >= instant.convergence_delay + SimDuration::from_secs(50),
+            "hold-timer detection must dominate (instant {}, held {})",
+            instant.convergence_delay,
+            held.convergence_delay
+        );
+    }
+
+    #[test]
+    fn multiple_prefixes_per_as_scale_the_load() {
+        let run = |k: usize| {
+            let topo = small_topo(31, 25);
+            let scheme = crate::Scheme::constant_mrai(1.25).with_prefixes_per_as(k);
+            let mut net = Network::new(topo, SimConfig::from_scheme(&scheme, 71));
+            net.run_initial_convergence();
+            net.assert_routing_consistent();
+            // Every router holds routes to k prefixes per AS.
+            for r in net.topology().router_ids() {
+                assert_eq!(net.node(r).unwrap().loc_rib().len(), 25 * k);
+            }
+            net.inject_failure(&FailureSpec::CenterFraction(0.1));
+            let stats = net.run_to_quiescence();
+            net.assert_routing_consistent();
+            stats
+        };
+        let one = run(1);
+        let four = run(4);
+        assert!(
+            four.messages > 2 * one.messages,
+            "more destinations per AS must generate more updates \
+             (k=1: {}, k=4: {})",
+            one.messages,
+            four.messages
+        );
+    }
+
+    #[test]
+    fn prefix_of_as_respects_multiplicity() {
+        let topo = small_topo(32, 10);
+        let scheme = crate::Scheme::constant_mrai(0.5).with_prefixes_per_as(3);
+        let net = Network::new(topo, SimConfig::from_scheme(&scheme, 72));
+        assert_eq!(net.prefix_of_as(AsId::new(0)), Prefix::new(0));
+        assert_eq!(net.prefix_of_as(AsId::new(2)), Prefix::new(6));
+    }
+
+    #[test]
+    fn degree_dependent_assignment_applies() {
+        let topo = small_topo(6, 30);
+        let mut cfg = SimConfig::new(10);
+        cfg.mrai = MraiAssignment::DegreeDependent {
+            high_degree_min: 8,
+            low: SimDuration::from_millis(500),
+            high: SimDuration::from_millis(2250),
+        };
+        let mut net = Network::new(topo, cfg);
+        let stats = net.run_failure_experiment(&FailureSpec::CenterFraction(0.1));
+        assert!(stats.messages > 0);
+        net.assert_routing_consistent();
+    }
+}

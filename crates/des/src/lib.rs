@@ -1,0 +1,46 @@
+//! # bgpsim-des — deterministic discrete-event simulation engine
+//!
+//! This crate is the simulation substrate for the `bgpsim` workspace, a
+//! reproduction of *"Improving BGP Convergence Delay for Large-Scale
+//! Failures"* (Sahoo, Kant, Mohapatra — DSN 2006). The paper used the Java
+//! SSFNet simulator; this crate provides the equivalent core facilities in
+//! Rust:
+//!
+//! * [`SimTime`] / [`SimDuration`] — integer-nanosecond simulation time, so
+//!   event ordering is exact and runs are bit-for-bit reproducible.
+//! * [`Scheduler`] — a stable future-event list: events scheduled for the
+//!   same instant are delivered in insertion order, and events can be
+//!   cancelled via their [`EventId`].
+//! * [`CalendarQueue`] — an API-compatible calendar-queue alternative
+//!   (Brown 1988), property-tested to deliver the exact same order; the
+//!   benches compare the two.
+//! * [`rng`] — deterministic per-component random-number streams derived
+//!   from a single root seed, plus the RFC 1771 timer-jitter helper.
+//!
+//! # Example
+//!
+//! ```
+//! use bgpsim_des::{Scheduler, SimDuration};
+//!
+//! let mut sched: Scheduler<&'static str> = Scheduler::new();
+//! sched.schedule_after(SimDuration::from_millis(25), "arrive");
+//! sched.schedule_after(SimDuration::from_millis(10), "depart");
+//! let (t, ev) = sched.next().expect("two events are pending");
+//! assert_eq!(ev, "depart");
+//! assert_eq!(t, bgpsim_des::SimTime::ZERO + SimDuration::from_millis(10));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod calendar;
+mod event;
+pub mod rng;
+mod sched;
+mod time;
+
+pub use calendar::CalendarQueue;
+pub use event::EventId;
+pub use rng::RngStreams;
+pub use sched::Scheduler;
+pub use time::{SimDuration, SimTime};

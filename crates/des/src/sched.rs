@@ -1,0 +1,309 @@
+//! The future-event list.
+
+use std::collections::{BinaryHeap, HashSet};
+
+use crate::event::{Entry, EventId};
+use crate::time::{SimDuration, SimTime};
+
+/// A deterministic future-event list.
+///
+/// Events are delivered in non-decreasing time order; events scheduled for
+/// the same instant are delivered in the order they were scheduled (stable
+/// FIFO). Cancellation is lazy: cancelled events stay in the heap but are
+/// skipped when popped.
+///
+/// The scheduler is the single source of "now" for a simulation: [`next`]
+/// advances the clock to the popped event's timestamp.
+///
+/// # Example
+///
+/// ```
+/// use bgpsim_des::{Scheduler, SimDuration, SimTime};
+///
+/// let mut sched: Scheduler<u32> = Scheduler::new();
+/// sched.schedule(SimTime::from_secs(2), 2);
+/// let id = sched.schedule(SimTime::from_secs(1), 1);
+/// sched.cancel(id);
+/// assert_eq!(sched.next(), Some((SimTime::from_secs(2), 2)));
+/// assert_eq!(sched.next(), None);
+/// ```
+///
+/// [`next`]: Scheduler::next
+pub struct Scheduler<E> {
+    heap: BinaryHeap<Entry<E>>,
+    cancelled: HashSet<EventId>,
+    now: SimTime,
+    next_id: u64,
+    scheduled: u64,
+    delivered: u64,
+}
+
+impl<E> std::fmt::Debug for Scheduler<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Scheduler")
+            .field("now", &self.now)
+            .field("pending", &self.len())
+            .field("scheduled", &self.scheduled)
+            .field("delivered", &self.delivered)
+            .finish()
+    }
+}
+
+impl<E> Default for Scheduler<E> {
+    fn default() -> Self {
+        Scheduler::new()
+    }
+}
+
+impl<E> Scheduler<E> {
+    /// Creates an empty scheduler with the clock at [`SimTime::ZERO`].
+    pub fn new() -> Scheduler<E> {
+        Scheduler {
+            heap: BinaryHeap::new(),
+            cancelled: HashSet::new(),
+            now: SimTime::ZERO,
+            next_id: 0,
+            scheduled: 0,
+            delivered: 0,
+        }
+    }
+
+    /// Current simulation time: the timestamp of the most recently delivered
+    /// event (or [`SimTime::ZERO`] before the first delivery).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules `payload` to fire at absolute time `at`.
+    ///
+    /// Returns an [`EventId`] that can be passed to [`cancel`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is earlier than [`now`] — the simulation cannot
+    /// schedule into its own past.
+    ///
+    /// [`cancel`]: Scheduler::cancel
+    /// [`now`]: Scheduler::now
+    pub fn schedule(&mut self, at: SimTime, payload: E) -> EventId {
+        assert!(
+            at >= self.now,
+            "cannot schedule event at {at} before current time {}",
+            self.now
+        );
+        let id = EventId(self.next_id);
+        self.next_id += 1;
+        self.scheduled += 1;
+        self.heap.push(Entry { at, id, payload });
+        id
+    }
+
+    /// Schedules `payload` to fire `delay` after the current time.
+    pub fn schedule_after(&mut self, delay: SimDuration, payload: E) -> EventId {
+        self.schedule(self.now + delay, payload)
+    }
+
+    /// Schedules `payload` to fire at the current instant, after all events
+    /// already queued for this instant.
+    pub fn schedule_now(&mut self, payload: E) -> EventId {
+        self.schedule(self.now, payload)
+    }
+
+    /// Cancels a pending event. Returns `true` if the event had not yet
+    /// fired (or been cancelled).
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        if id.0 >= self.next_id {
+            return false;
+        }
+        self.cancelled.insert(id)
+    }
+
+    /// Pops the next live event, advancing the clock to its timestamp.
+    ///
+    /// Returns `None` when no live events remain (the simulation has
+    /// quiesced).
+    pub fn next(&mut self) -> Option<(SimTime, E)> {
+        while let Some(entry) = self.heap.pop() {
+            if self.cancelled.remove(&entry.id) {
+                continue;
+            }
+            debug_assert!(entry.at >= self.now, "event queue went backwards");
+            self.now = entry.at;
+            self.delivered += 1;
+            return Some((entry.at, entry.payload));
+        }
+        None
+    }
+
+    /// Timestamp of the next live event without popping it.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        while let Some(entry) = self.heap.peek() {
+            if self.cancelled.contains(&entry.id) {
+                let entry = self.heap.pop().expect("peeked entry exists");
+                self.cancelled.remove(&entry.id);
+                continue;
+            }
+            return Some(entry.at);
+        }
+        None
+    }
+
+    /// Number of live (not yet fired, not cancelled) events.
+    pub fn len(&self) -> usize {
+        self.heap.len() - self.cancelled.len()
+    }
+
+    /// Whether no live events remain.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total events scheduled over the scheduler's lifetime.
+    pub fn scheduled_count(&self) -> u64 {
+        self.scheduled
+    }
+
+    /// Total events delivered (popped live) over the scheduler's lifetime.
+    pub fn delivered_count(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Advances the clock to `t` without delivering anything.
+    ///
+    /// Useful to stamp a known epoch (e.g. a failure-injection instant) when
+    /// the queue is momentarily empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is in the past or earlier than a pending event.
+    pub fn advance_to(&mut self, t: SimTime) {
+        assert!(t >= self.now, "cannot advance clock backwards");
+        if let Some(head) = self.peek_time() {
+            assert!(
+                t <= head,
+                "cannot advance clock past the next pending event at {head}"
+            );
+        }
+        self.now = t;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delivers_in_time_order() {
+        let mut s: Scheduler<u32> = Scheduler::new();
+        s.schedule(SimTime::from_secs(3), 3);
+        s.schedule(SimTime::from_secs(1), 1);
+        s.schedule(SimTime::from_secs(2), 2);
+        let order: Vec<u32> = std::iter::from_fn(|| s.next().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+        assert_eq!(s.now(), SimTime::from_secs(3));
+    }
+
+    #[test]
+    fn same_instant_is_fifo() {
+        let mut s: Scheduler<u32> = Scheduler::new();
+        for i in 0..100 {
+            s.schedule(SimTime::from_secs(5), i);
+        }
+        let order: Vec<u32> = std::iter::from_fn(|| s.next().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn cancel_skips_event() {
+        let mut s: Scheduler<&str> = Scheduler::new();
+        let a = s.schedule(SimTime::from_secs(1), "a");
+        s.schedule(SimTime::from_secs(2), "b");
+        assert!(s.cancel(a));
+        assert!(!s.cancel(a), "double-cancel reports false");
+        assert_eq!(s.next().map(|(_, e)| e), Some("b"));
+        assert!(s.next().is_none());
+    }
+
+    #[test]
+    fn cancel_unknown_id_is_noop() {
+        let mut s: Scheduler<()> = Scheduler::new();
+        assert!(!s.cancel(EventId(42)));
+    }
+
+    #[test]
+    fn len_accounts_for_cancellations() {
+        let mut s: Scheduler<u8> = Scheduler::new();
+        let a = s.schedule(SimTime::from_secs(1), 0);
+        s.schedule(SimTime::from_secs(2), 1);
+        assert_eq!(s.len(), 2);
+        s.cancel(a);
+        assert_eq!(s.len(), 1);
+        assert!(!s.is_empty());
+        s.next();
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn peek_time_skips_cancelled() {
+        let mut s: Scheduler<u8> = Scheduler::new();
+        let a = s.schedule(SimTime::from_secs(1), 0);
+        s.schedule(SimTime::from_secs(2), 1);
+        s.cancel(a);
+        assert_eq!(s.peek_time(), Some(SimTime::from_secs(2)));
+    }
+
+    #[test]
+    fn schedule_after_uses_current_time() {
+        let mut s: Scheduler<u8> = Scheduler::new();
+        s.schedule(SimTime::from_secs(10), 0);
+        s.next();
+        s.schedule_after(SimDuration::from_secs(5), 1);
+        assert_eq!(s.next(), Some((SimTime::from_secs(15), 1)));
+    }
+
+    #[test]
+    fn schedule_now_runs_after_pending_same_instant() {
+        let mut s: Scheduler<u8> = Scheduler::new();
+        s.schedule(SimTime::ZERO, 0);
+        s.schedule_now(1);
+        assert_eq!(s.next().unwrap().1, 0);
+        assert_eq!(s.next().unwrap().1, 1);
+    }
+
+    #[test]
+    fn counters_track_lifecycle() {
+        let mut s: Scheduler<u8> = Scheduler::new();
+        let a = s.schedule(SimTime::from_secs(1), 0);
+        s.schedule(SimTime::from_secs(2), 1);
+        s.cancel(a);
+        while s.next().is_some() {}
+        assert_eq!(s.scheduled_count(), 2);
+        assert_eq!(s.delivered_count(), 1);
+    }
+
+    #[test]
+    fn advance_to_moves_idle_clock() {
+        let mut s: Scheduler<u8> = Scheduler::new();
+        s.advance_to(SimTime::from_secs(7));
+        assert_eq!(s.now(), SimTime::from_secs(7));
+        s.schedule_after(SimDuration::from_secs(1), 9);
+        assert_eq!(s.next(), Some((SimTime::from_secs(8), 9)));
+    }
+
+    #[test]
+    #[should_panic(expected = "before current time")]
+    fn scheduling_into_past_panics() {
+        let mut s: Scheduler<u8> = Scheduler::new();
+        s.schedule(SimTime::from_secs(5), 0);
+        s.next();
+        s.schedule(SimTime::from_secs(1), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "past the next pending event")]
+    fn advance_past_pending_event_panics() {
+        let mut s: Scheduler<u8> = Scheduler::new();
+        s.schedule(SimTime::from_secs(1), 0);
+        s.advance_to(SimTime::from_secs(2));
+    }
+}

@@ -1,0 +1,131 @@
+//! Barabási–Albert preferential attachment.
+
+use rand::Rng;
+
+use crate::graph::{Point, Topology, TopologyError};
+
+/// Generates a Barabási–Albert topology: nodes join one at a time and
+/// attach `m` links to existing nodes with probability proportional to
+/// their current degree. Produces the power-law degree distributions BRITE
+/// offers (paper §3.1, ref \[16\]).
+///
+/// # Errors
+///
+/// Returns [`TopologyError::Empty`] for an empty position list and
+/// [`TopologyError::GenerationFailed`] if `m == 0` or there are fewer than
+/// `m + 1` nodes.
+///
+/// # Example
+///
+/// ```
+/// use bgpsim_topology::generators::barabasi_albert;
+/// use bgpsim_topology::placement::{place, DensityModel};
+/// use rand::{rngs::SmallRng, SeedableRng};
+///
+/// let mut rng = SmallRng::seed_from_u64(1);
+/// let pts = place(100, DensityModel::Uniform, &mut rng);
+/// let topo = barabasi_albert(&pts, 2, &mut rng)?;
+/// assert!(topo.is_connected());
+/// # Ok::<(), bgpsim_topology::TopologyError>(())
+/// ```
+pub fn barabasi_albert<R: Rng + ?Sized>(
+    positions: &[Point],
+    m: usize,
+    rng: &mut R,
+) -> Result<Topology, TopologyError> {
+    if positions.is_empty() {
+        return Err(TopologyError::Empty);
+    }
+    if m == 0 {
+        return Err(TopologyError::GenerationFailed("BA m must be ≥ 1".into()));
+    }
+    let n = positions.len();
+    if n < m + 1 {
+        return Err(TopologyError::GenerationFailed(format!(
+            "BA needs at least m+1 = {} nodes, got {n}",
+            m + 1
+        )));
+    }
+
+    // Seed: a connected clique on the first m+1 nodes.
+    let mut edges: Vec<(u32, u32)> = Vec::new();
+    // `targets` holds one entry per half-edge: sampling uniformly from it is
+    // sampling nodes proportionally to degree.
+    let mut targets: Vec<u32> = Vec::new();
+    for a in 0..=m {
+        for b in (a + 1)..=m {
+            edges.push((a as u32, b as u32));
+            targets.push(a as u32);
+            targets.push(b as u32);
+        }
+    }
+
+    for i in (m + 1)..n {
+        let mut chosen: Vec<u32> = Vec::with_capacity(m);
+        let mut guard = 50 * m + 50;
+        while chosen.len() < m {
+            if guard == 0 {
+                return Err(TopologyError::GenerationFailed(
+                    "BA attachment stalled".into(),
+                ));
+            }
+            guard -= 1;
+            let t = targets[rng.gen_range(0..targets.len())];
+            if !chosen.contains(&t) {
+                chosen.push(t);
+            }
+        }
+        for &t in &chosen {
+            edges.push((t, i as u32));
+            targets.push(t);
+            targets.push(i as u32);
+        }
+    }
+    crate::generators::single_as_topology(positions, edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::placement::{place, DensityModel};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ba_connected_with_hub_structure() {
+        let mut rng = SmallRng::seed_from_u64(12);
+        let pts = place(300, DensityModel::Uniform, &mut rng);
+        let topo = barabasi_albert(&pts, 2, &mut rng).unwrap();
+        assert!(topo.is_connected());
+        let max_deg = topo.router_ids().map(|r| topo.degree(r)).max().unwrap();
+        let avg = topo.avg_degree();
+        assert!((avg - 4.0).abs() < 0.6, "avg degree {avg}");
+        assert!(max_deg > 15, "no hubs emerged (max degree {max_deg})");
+    }
+
+    #[test]
+    fn ba_exact_edge_count() {
+        let mut rng = SmallRng::seed_from_u64(12);
+        let pts = place(50, DensityModel::Uniform, &mut rng);
+        let topo = barabasi_albert(&pts, 3, &mut rng).unwrap();
+        // Clique on 4 nodes (6 edges) + 46 nodes × 3 links.
+        assert_eq!(topo.num_edges(), 6 + 46 * 3);
+    }
+
+    #[test]
+    fn ba_is_deterministic_per_seed() {
+        let pts = place(60, DensityModel::Uniform, &mut SmallRng::seed_from_u64(1));
+        let a = barabasi_albert(&pts, 2, &mut SmallRng::seed_from_u64(3)).unwrap();
+        let b = barabasi_albert(&pts, 2, &mut SmallRng::seed_from_u64(3)).unwrap();
+        assert_eq!(a.edges(), b.edges());
+    }
+
+    #[test]
+    fn ba_rejects_bad_inputs() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        assert!(barabasi_albert(&[], 2, &mut rng).is_err());
+        let pts = place(2, DensityModel::Uniform, &mut rng);
+        assert!(barabasi_albert(&pts, 0, &mut rng).is_err());
+        assert!(barabasi_albert(&pts, 2, &mut rng).is_err());
+    }
+}

@@ -1,0 +1,190 @@
+//! GLP — Generalized Linear Preference (Bu & Towsley, INFOCOM 2002).
+//!
+//! Like Barabási–Albert but (a) attachment probability is proportional to
+//! `degree − β` for a tunable `β < 1`, letting the power-law exponent be
+//! controlled, and (b) with probability `p` a step adds `m` links between
+//! *existing* nodes instead of adding a new node, which raises clustering.
+//! One of the three AS-level generators BRITE offers (paper §3.1, ref \[17\]).
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::generators::waxman::weighted_sample_without_replacement;
+use crate::graph::{Point, Topology, TopologyError};
+
+/// Parameters of the GLP model.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct GlpParams {
+    /// Links added per step.
+    pub m: usize,
+    /// Probability a step adds links between existing nodes instead of a
+    /// new node.
+    pub p: f64,
+    /// Preference shift; must be `< 1`. Larger `beta` (towards 1) weakens
+    /// the rich-get-richer effect.
+    pub beta: f64,
+}
+
+impl Default for GlpParams {
+    fn default() -> GlpParams {
+        // Bu & Towsley's fit to the AS graph.
+        GlpParams { m: 1, p: 0.4695, beta: 0.6447 }
+    }
+}
+
+/// Generates a GLP topology over the given positions (one AS per router).
+///
+/// Link-addition steps are interleaved until all positions are consumed, so
+/// the node count always equals `positions.len()`.
+///
+/// # Errors
+///
+/// Returns [`TopologyError::Empty`] for an empty position list and
+/// [`TopologyError::GenerationFailed`] for invalid parameters
+/// (`m == 0`, `p ∉ [0, 1)`, `beta ≥ 1`, or fewer than `m + 1` nodes).
+///
+/// # Example
+///
+/// ```
+/// use bgpsim_topology::generators::{glp, GlpParams};
+/// use bgpsim_topology::placement::{place, DensityModel};
+/// use rand::{rngs::SmallRng, SeedableRng};
+///
+/// let mut rng = SmallRng::seed_from_u64(1);
+/// let pts = place(100, DensityModel::Uniform, &mut rng);
+/// let topo = glp(&pts, GlpParams { m: 2, ..Default::default() }, &mut rng)?;
+/// assert!(topo.is_connected());
+/// # Ok::<(), bgpsim_topology::TopologyError>(())
+/// ```
+pub fn glp<R: Rng + ?Sized>(
+    positions: &[Point],
+    params: GlpParams,
+    rng: &mut R,
+) -> Result<Topology, TopologyError> {
+    if positions.is_empty() {
+        return Err(TopologyError::Empty);
+    }
+    let n = positions.len();
+    if params.m == 0 {
+        return Err(TopologyError::GenerationFailed("GLP m must be ≥ 1".into()));
+    }
+    if !(0.0..1.0).contains(&params.p) {
+        return Err(TopologyError::GenerationFailed(format!(
+            "GLP p = {} outside [0, 1)",
+            params.p
+        )));
+    }
+    if params.beta >= 1.0 {
+        return Err(TopologyError::GenerationFailed(format!(
+            "GLP beta = {} must be < 1",
+            params.beta
+        )));
+    }
+    if n < params.m + 1 {
+        return Err(TopologyError::GenerationFailed(format!(
+            "GLP needs at least m+1 = {} nodes, got {n}",
+            params.m + 1
+        )));
+    }
+
+    let mut degree: Vec<f64> = vec![0.0; n];
+    let mut edges: std::collections::HashSet<(u32, u32)> = std::collections::HashSet::new();
+    let mut add_edge = |a: usize, b: usize, degree: &mut Vec<f64>| -> bool {
+        let k = if a < b { (a as u32, b as u32) } else { (b as u32, a as u32) };
+        if a == b || !edges.insert(k) {
+            return false;
+        }
+        degree[a] += 1.0;
+        degree[b] += 1.0;
+        true
+    };
+
+    // Seed: path over the first m+1 nodes.
+    let mut active = params.m + 1;
+    for i in 0..params.m {
+        add_edge(i, i + 1, &mut degree);
+    }
+
+    while active < n {
+        let weights: Vec<f64> =
+            (0..active).map(|i| (degree[i] - params.beta).max(1e-9)).collect();
+        let items: Vec<usize> = (0..active).collect();
+        if rng.gen::<f64>() < params.p {
+            // Add m links between existing nodes.
+            for _ in 0..params.m {
+                let mut placed = false;
+                for _ in 0..50 {
+                    let pick =
+                        weighted_sample_without_replacement(&items, &weights, 2, rng);
+                    if pick.len() == 2 && add_edge(pick[0], pick[1], &mut degree) {
+                        placed = true;
+                        break;
+                    }
+                }
+                if !placed {
+                    break; // dense region; skip silently, density is advisory
+                }
+            }
+        } else {
+            // Add a new node with m links.
+            let new = active;
+            let picks = weighted_sample_without_replacement(
+                &items,
+                &weights,
+                params.m.min(active),
+                rng,
+            );
+            for t in picks {
+                add_edge(new, t, &mut degree);
+            }
+            active += 1;
+        }
+    }
+    crate::generators::single_as_topology(positions, edges.into_iter().collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::placement::{place, DensityModel};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn glp_connected_and_heavy_tailed() {
+        let mut rng = SmallRng::seed_from_u64(21);
+        let pts = place(300, DensityModel::Uniform, &mut rng);
+        let topo = glp(&pts, GlpParams { m: 1, ..Default::default() }, &mut rng).unwrap();
+        assert_eq!(topo.num_routers(), 300);
+        assert!(topo.is_connected());
+        let max_deg = topo.router_ids().map(|r| topo.degree(r)).max().unwrap();
+        assert!(max_deg > 10, "no hubs (max degree {max_deg})");
+    }
+
+    #[test]
+    fn glp_is_deterministic_per_seed() {
+        let pts = place(60, DensityModel::Uniform, &mut SmallRng::seed_from_u64(1));
+        let params = GlpParams { m: 2, ..Default::default() };
+        let a = glp(&pts, params, &mut SmallRng::seed_from_u64(4)).unwrap();
+        let b = glp(&pts, params, &mut SmallRng::seed_from_u64(4)).unwrap();
+        assert_eq!(a.edges(), b.edges());
+    }
+
+    #[test]
+    fn glp_rejects_bad_params() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let pts = place(10, DensityModel::Uniform, &mut rng);
+        assert!(glp(&pts, GlpParams { m: 0, ..Default::default() }, &mut rng).is_err());
+        assert!(glp(&pts, GlpParams { p: 1.0, ..Default::default() }, &mut rng).is_err());
+        assert!(glp(&pts, GlpParams { beta: 1.0, ..Default::default() }, &mut rng).is_err());
+        assert!(glp(&[], GlpParams::default(), &mut rng).is_err());
+    }
+
+    #[test]
+    fn glp_node_count_is_exact() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let pts = place(77, DensityModel::Uniform, &mut rng);
+        let topo = glp(&pts, GlpParams { m: 2, ..Default::default() }, &mut rng).unwrap();
+        assert_eq!(topo.num_routers(), 77);
+    }
+}

@@ -1,0 +1,202 @@
+//! Waxman generator (BRITE-style incremental variant).
+//!
+//! Each newly added node connects to `m` existing nodes, chosen with
+//! probability proportional to the Waxman factor
+//! `α · exp(−d / (β · L))` where `d` is Euclidean distance and `L` the
+//! maximum possible distance. Incremental growth guarantees connectivity
+//! and an average degree close to `2m`, as in BRITE.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::graph::{Point, Topology, TopologyError};
+
+/// Parameters of the Waxman model.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct WaxmanParams {
+    /// Overall link-probability scale (BRITE default 0.15). Only the
+    /// *relative* weights matter in the incremental variant.
+    pub alpha: f64,
+    /// Distance-decay scale (BRITE default 0.2).
+    pub beta: f64,
+    /// Links added per new node.
+    pub m: usize,
+}
+
+impl Default for WaxmanParams {
+    fn default() -> WaxmanParams {
+        WaxmanParams { alpha: 0.15, beta: 0.2, m: 2 }
+    }
+}
+
+/// Generates a Waxman topology over the given positions (one AS per router).
+///
+/// # Errors
+///
+/// Returns [`TopologyError::Empty`] for an empty position list and
+/// [`TopologyError::GenerationFailed`] if `m == 0`.
+///
+/// # Example
+///
+/// ```
+/// use bgpsim_topology::generators::{waxman, WaxmanParams};
+/// use bgpsim_topology::placement::{place, DensityModel};
+/// use rand::{rngs::SmallRng, SeedableRng};
+///
+/// let mut rng = SmallRng::seed_from_u64(1);
+/// let pts = place(60, DensityModel::Uniform, &mut rng);
+/// let topo = waxman(&pts, WaxmanParams::default(), &mut rng)?;
+/// assert!(topo.is_connected());
+/// # Ok::<(), bgpsim_topology::TopologyError>(())
+/// ```
+pub fn waxman<R: Rng + ?Sized>(
+    positions: &[Point],
+    params: WaxmanParams,
+    rng: &mut R,
+) -> Result<Topology, TopologyError> {
+    if positions.is_empty() {
+        return Err(TopologyError::Empty);
+    }
+    if params.m == 0 {
+        return Err(TopologyError::GenerationFailed("waxman m must be ≥ 1".into()));
+    }
+    let n = positions.len();
+    let max_dist = positions
+        .iter()
+        .flat_map(|a| positions.iter().map(move |b| a.distance(*b)))
+        .fold(0.0_f64, f64::max)
+        .max(f64::EPSILON);
+
+    let mut edges: Vec<(u32, u32)> = Vec::new();
+    for i in 1..n {
+        let candidates: Vec<usize> = (0..i).collect();
+        let weights: Vec<f64> = candidates
+            .iter()
+            .map(|&j| {
+                let d = positions[i].distance(positions[j]);
+                params.alpha * (-d / (params.beta * max_dist)).exp()
+            })
+            .collect();
+        let picks = params.m.min(i);
+        let chosen = weighted_sample_without_replacement(&candidates, &weights, picks, rng);
+        for j in chosen {
+            edges.push((j as u32, i as u32));
+        }
+    }
+    crate::generators::single_as_topology(positions, edges)
+}
+
+/// Samples `k` distinct items with probability proportional to `weights`.
+pub(crate) fn weighted_sample_without_replacement<R: Rng + ?Sized>(
+    items: &[usize],
+    weights: &[f64],
+    k: usize,
+    rng: &mut R,
+) -> Vec<usize> {
+    debug_assert_eq!(items.len(), weights.len());
+    let mut remaining: Vec<(usize, f64)> =
+        items.iter().copied().zip(weights.iter().copied()).collect();
+    let mut out = Vec::with_capacity(k);
+    for _ in 0..k.min(remaining.len()) {
+        let total: f64 = remaining.iter().map(|&(_, w)| w.max(0.0)).sum();
+        let idx = if total <= 0.0 {
+            rng.gen_range(0..remaining.len())
+        } else {
+            let mut pick = rng.gen_range(0.0..total);
+            let mut sel = remaining.len() - 1;
+            for (pos, &(_, w)) in remaining.iter().enumerate() {
+                let w = w.max(0.0);
+                if pick < w {
+                    sel = pos;
+                    break;
+                }
+                pick -= w;
+            }
+            sel
+        };
+        out.push(remaining.swap_remove(idx).0);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::placement::{place, DensityModel};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn waxman_connected_with_expected_density() {
+        let mut rng = SmallRng::seed_from_u64(8);
+        let pts = place(120, DensityModel::Uniform, &mut rng);
+        let topo = waxman(&pts, WaxmanParams { m: 2, ..Default::default() }, &mut rng).unwrap();
+        assert!(topo.is_connected());
+        // Incremental growth: exactly m·(n−m) + C(m+... ≈ 2(n−1)−1 edges for m=2.
+        assert!((topo.avg_degree() - 4.0).abs() < 1.0, "avg {}", topo.avg_degree());
+    }
+
+    #[test]
+    fn waxman_prefers_short_links() {
+        let mut rng = SmallRng::seed_from_u64(8);
+        let pts = place(200, DensityModel::Uniform, &mut rng);
+        let topo = waxman(&pts, WaxmanParams { beta: 0.05, m: 2, alpha: 0.15 }, &mut rng)
+            .unwrap();
+        let mean_len: f64 = topo
+            .edges()
+            .iter()
+            .map(|e| topo.router(e.a()).pos.distance(topo.router(e.b()).pos))
+            .sum::<f64>()
+            / topo.num_edges() as f64;
+        // Random pairs on the unit-1000 grid average ≈ 521; strong decay
+        // must pull the mean link length well below that.
+        assert!(mean_len < 400.0, "mean link length {mean_len} not localized");
+    }
+
+    #[test]
+    fn waxman_is_deterministic_per_seed() {
+        let pts = place(50, DensityModel::Uniform, &mut SmallRng::seed_from_u64(1));
+        let a = waxman(&pts, WaxmanParams::default(), &mut SmallRng::seed_from_u64(2))
+            .unwrap();
+        let b = waxman(&pts, WaxmanParams::default(), &mut SmallRng::seed_from_u64(2))
+            .unwrap();
+        assert_eq!(a.edges(), b.edges());
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        assert!(matches!(
+            waxman(&[], WaxmanParams::default(), &mut rng),
+            Err(TopologyError::Empty)
+        ));
+        let pts = vec![Point::new(0.0, 0.0), Point::new(1.0, 1.0)];
+        assert!(waxman(&pts, WaxmanParams { m: 0, ..Default::default() }, &mut rng).is_err());
+    }
+
+    #[test]
+    fn weighted_sample_respects_weights() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let items = vec![0, 1];
+        let mut count0 = 0;
+        for _ in 0..2000 {
+            let picked =
+                weighted_sample_without_replacement(&items, &[10.0, 1.0], 1, &mut rng);
+            if picked[0] == 0 {
+                count0 += 1;
+            }
+        }
+        assert!(count0 > 1600, "heavy item picked only {count0}/2000");
+    }
+
+    #[test]
+    fn weighted_sample_distinct_items() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let items = vec![0, 1, 2];
+        let picked =
+            weighted_sample_without_replacement(&items, &[1.0, 1.0, 1.0], 3, &mut rng);
+        let mut sorted = picked.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, items);
+    }
+}

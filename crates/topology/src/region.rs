@@ -1,0 +1,243 @@
+//! Failure-region selection.
+//!
+//! The paper models large-scale failures as *contiguous areas* of the grid
+//! — "usually the center of the grid to avoid edge effects" (§3.1) — in
+//! which **all routers and links fail** (§3.2). [`FailureSpec`] also offers
+//! the scattered and edge variants the authors studied in prior work, for
+//! ablations.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::graph::{Point, RouterId, Topology};
+use crate::GRID_SIDE;
+
+/// What fails, and where.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum FailureSpec {
+    /// The `fraction` of routers nearest the grid centre fail — the paper's
+    /// contiguous central-area failure.
+    CenterFraction(f64),
+    /// The `fraction` of routers nearest the grid corner (0, 0) fail — the
+    /// edge-of-grid variant.
+    CornerFraction(f64),
+    /// A uniformly random `fraction` of routers fail (scattered failure).
+    RandomFraction(f64),
+    /// An explicit router set fails.
+    Explicit(Vec<RouterId>),
+}
+
+impl FailureSpec {
+    /// Resolves the spec against a topology, returning the sorted list of
+    /// failed routers.
+    ///
+    /// Fractions select `round(fraction · n)` routers; nearest-first with
+    /// ties broken by router id, so a given topology and spec always yield
+    /// the same region.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a fraction is outside `[0, 1]` or an explicit id is out of
+    /// range.
+    pub fn resolve<R: Rng + ?Sized>(&self, topo: &Topology, rng: &mut R) -> Vec<RouterId> {
+        match self {
+            FailureSpec::CenterFraction(f) => {
+                nearest_fraction(topo, Point::new(GRID_SIDE / 2.0, GRID_SIDE / 2.0), *f)
+            }
+            FailureSpec::CornerFraction(f) => {
+                nearest_fraction(topo, Point::new(0.0, 0.0), *f)
+            }
+            FailureSpec::RandomFraction(f) => {
+                let k = count_for_fraction(topo.num_routers(), *f);
+                let mut ids: Vec<RouterId> = topo.router_ids().collect();
+                // partial Fisher–Yates: the first k entries are the sample
+                for i in 0..k {
+                    let j = rng.gen_range(i..ids.len());
+                    ids.swap(i, j);
+                }
+                let mut out: Vec<RouterId> = ids[..k].to_vec();
+                out.sort();
+                out
+            }
+            FailureSpec::Explicit(ids) => {
+                let n = topo.num_routers();
+                for id in ids {
+                    assert!(id.index() < n, "failed router {id} out of range");
+                }
+                let mut out = ids.clone();
+                out.sort();
+                out.dedup();
+                out
+            }
+        }
+    }
+
+    /// The nominal failed fraction (explicit sets report `NaN`-free 0).
+    pub fn fraction(&self) -> f64 {
+        match self {
+            FailureSpec::CenterFraction(f)
+            | FailureSpec::CornerFraction(f)
+            | FailureSpec::RandomFraction(f) => *f,
+            FailureSpec::Explicit(_) => 0.0,
+        }
+    }
+}
+
+/// The `round(fraction · |E|)` links whose midpoints are nearest the grid
+/// centre — the link-only counterpart of [`FailureSpec::CenterFraction`].
+/// The paper sets link-only large-scale failures aside as unlikely (§3.2);
+/// this selector exists to quantify the difference.
+pub fn central_link_fraction(topo: &Topology, fraction: f64) -> Vec<crate::graph::Edge> {
+    let k = count_for_fraction(topo.num_edges(), fraction);
+    let center = Point::new(GRID_SIDE / 2.0, GRID_SIDE / 2.0);
+    let mut edges: Vec<crate::graph::Edge> = topo.edges().to_vec();
+    edges.sort_by(|x, y| {
+        let mid = |e: &crate::graph::Edge| {
+            let (a, b) = (topo.router(e.a()).pos, topo.router(e.b()).pos);
+            Point::new((a.x + b.x) / 2.0, (a.y + b.y) / 2.0).distance(center)
+        };
+        mid(x).partial_cmp(&mid(y)).expect("finite distances").then(x.cmp(y))
+    });
+    edges.truncate(k);
+    edges.sort();
+    edges
+}
+
+fn count_for_fraction(n: usize, fraction: f64) -> usize {
+    assert!(
+        (0.0..=1.0).contains(&fraction),
+        "failure fraction {fraction} outside [0, 1]"
+    );
+    (fraction * n as f64).round() as usize
+}
+
+fn nearest_fraction(topo: &Topology, origin: Point, fraction: f64) -> Vec<RouterId> {
+    let k = count_for_fraction(topo.num_routers(), fraction);
+    let mut ids: Vec<RouterId> = topo.router_ids().collect();
+    ids.sort_by(|&a, &b| {
+        let da = topo.router(a).pos.distance(origin);
+        let db = topo.router(b).pos.distance(origin);
+        da.partial_cmp(&db).expect("distances are finite").then(a.cmp(&b))
+    });
+    let mut out: Vec<RouterId> = ids[..k].to_vec();
+    out.sort();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::degree::SkewedSpec;
+    use crate::generators::skewed_topology;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn topo120(seed: u64) -> Topology {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        skewed_topology(120, &SkewedSpec::seventy_thirty(), &mut rng).unwrap()
+    }
+
+    #[test]
+    fn center_fraction_selects_exact_count_near_center() {
+        let topo = topo120(1);
+        let mut rng = SmallRng::seed_from_u64(0);
+        let failed = FailureSpec::CenterFraction(0.10).resolve(&topo, &mut rng);
+        assert_eq!(failed.len(), 12);
+        let center = Point::new(500.0, 500.0);
+        let max_failed_dist = failed
+            .iter()
+            .map(|&r| topo.router(r).pos.distance(center))
+            .fold(0.0_f64, f64::max);
+        let min_surviving_dist = topo
+            .router_ids()
+            .filter(|r| !failed.contains(r))
+            .map(|r| topo.router(r).pos.distance(center))
+            .fold(f64::INFINITY, f64::min);
+        assert!(
+            max_failed_dist <= min_surviving_dist,
+            "failure region is not the contiguous nearest set"
+        );
+    }
+
+    #[test]
+    fn corner_fraction_hugs_origin() {
+        let topo = topo120(2);
+        let mut rng = SmallRng::seed_from_u64(0);
+        let failed = FailureSpec::CornerFraction(0.05).resolve(&topo, &mut rng);
+        assert_eq!(failed.len(), 6);
+        for r in &failed {
+            let p = topo.router(*r).pos;
+            assert!(p.x < 700.0 && p.y < 700.0, "corner failure strayed to {p:?}");
+        }
+    }
+
+    #[test]
+    fn random_fraction_count_and_determinism() {
+        let topo = topo120(3);
+        let a = FailureSpec::RandomFraction(0.2)
+            .resolve(&topo, &mut SmallRng::seed_from_u64(5));
+        let b = FailureSpec::RandomFraction(0.2)
+            .resolve(&topo, &mut SmallRng::seed_from_u64(5));
+        assert_eq!(a.len(), 24);
+        assert_eq!(a, b);
+        assert!(a.windows(2).all(|w| w[0] < w[1]), "output not sorted/deduped");
+    }
+
+    #[test]
+    fn explicit_sorted_and_deduped() {
+        let topo = topo120(4);
+        let mut rng = SmallRng::seed_from_u64(0);
+        let spec = FailureSpec::Explicit(vec![
+            RouterId::new(5),
+            RouterId::new(2),
+            RouterId::new(5),
+        ]);
+        assert_eq!(
+            spec.resolve(&topo, &mut rng),
+            vec![RouterId::new(2), RouterId::new(5)]
+        );
+    }
+
+    #[test]
+    fn zero_and_full_fractions() {
+        let topo = topo120(5);
+        let mut rng = SmallRng::seed_from_u64(0);
+        assert!(FailureSpec::CenterFraction(0.0).resolve(&topo, &mut rng).is_empty());
+        assert_eq!(
+            FailureSpec::CenterFraction(1.0).resolve(&topo, &mut rng).len(),
+            120
+        );
+    }
+
+    #[test]
+    fn central_links_are_near_the_center() {
+        let topo = topo120(9);
+        let links = central_link_fraction(&topo, 0.10);
+        assert_eq!(links.len(), (0.10 * topo.num_edges() as f64).round() as usize);
+        let center = Point::new(500.0, 500.0);
+        for e in &links {
+            let (a, b) = (topo.router(e.a()).pos, topo.router(e.b()).pos);
+            let mid = Point::new((a.x + b.x) / 2.0, (a.y + b.y) / 2.0);
+            assert!(mid.distance(center) < 600.0, "link far from centre selected");
+        }
+        // Deterministic.
+        assert_eq!(links, central_link_fraction(&topo, 0.10));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1]")]
+    fn bad_fraction_panics() {
+        let topo = topo120(6);
+        let mut rng = SmallRng::seed_from_u64(0);
+        let _ = FailureSpec::CenterFraction(1.5).resolve(&topo, &mut rng);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn explicit_out_of_range_panics() {
+        let topo = topo120(7);
+        let mut rng = SmallRng::seed_from_u64(0);
+        let _ = FailureSpec::Explicit(vec![RouterId::new(999)]).resolve(&topo, &mut rng);
+    }
+}

@@ -1,0 +1,70 @@
+//! Tuning the dynamic MRAI thresholds (paper §4.3, Figs 8–9).
+//!
+//! The dynamic scheme steps a node's MRAI between {0.5, 1.25, 2.25} s when
+//! its *unfinished work* (input-queue length × mean processing delay)
+//! crosses `upTh`/`downTh`. This example sweeps both thresholds at two
+//! failure sizes and shows the paper's finding: a broad range of
+//! thresholds works, with low `upTh` behaving like a high constant MRAI
+//! (bad for small failures) and high `downTh` hurting large failures.
+//!
+//! ```sh
+//! cargo run --release --example dynamic_mrai_tuning
+//! ```
+
+use bgpsim::experiment::{run_all_parallel, Experiment, TopologySpec};
+use bgpsim::scheme::Scheme;
+use bgpsim_topology::region::FailureSpec;
+
+fn main() {
+    let topology = TopologySpec::seventy_thirty(120);
+    let fractions = [0.025, 0.15];
+
+    println!("unfinished-work thresholds vs convergence delay (70-30, 120 nodes)");
+    println!(
+        "{:<24} {:>16} {:>16}",
+        "thresholds", "2.5% failure (s)", "15% failure (s)"
+    );
+    println!("{}", "-".repeat(58));
+
+    let mut settings: Vec<(String, Scheme)> = Vec::new();
+    for up in [0.05, 0.25, 0.65, 1.25] {
+        settings.push((
+            format!("upTh={up:>4}, downTh=0.05"),
+            Scheme::dynamic(&[0.5, 1.25, 2.25], up, 0.05),
+        ));
+    }
+    for down in [0.0, 0.2, 0.5] {
+        settings.push((
+            format!("upTh=0.65, downTh={down:>4}"),
+            Scheme::dynamic(&[0.5, 1.25, 2.25], 0.65, down),
+        ));
+    }
+
+    let points: Vec<Experiment> = settings
+        .iter()
+        .flat_map(|(_, scheme)| {
+            fractions.iter().map(|&f| Experiment {
+                topology: topology.clone(),
+                scheme: scheme.clone(),
+                failure: FailureSpec::CenterFraction(f),
+                trials: 3,
+                base_seed: 65,
+            })
+        })
+        .collect();
+    let aggs = run_all_parallel(&points, None);
+
+    for (i, (label, _)) in settings.iter().enumerate() {
+        println!(
+            "{:<24} {:>16.1} {:>16.1}",
+            label,
+            aggs[i * fractions.len()].mean_delay_secs(),
+            aggs[i * fractions.len() + 1].mean_delay_secs()
+        );
+    }
+
+    println!();
+    println!("The paper's pick (upTh=0.65, downTh=0.05) sits in the plateau:");
+    println!("small enough to react to genuine overload, large enough not to");
+    println!("penalize small failures by ratcheting every node's MRAI up.");
+}

@@ -1,0 +1,49 @@
+//! A flapping region: the same central 10% of the network fails and
+//! recovers three times in a row. Scripted with [`bgpsim::scenario`];
+//! each transition is measured separately, exposing the classic
+//! Tdown/Tup asymmetry (Labovitz et al.): withdrawing routes is slow
+//! (path hunting), announcing them is fast (monotone new information).
+//!
+//! ```sh
+//! cargo run --release --example flapping_region
+//! ```
+
+use bgpsim::network::{Network, SimConfig};
+use bgpsim::scenario::Scenario;
+use bgpsim::scheme::Scheme;
+use bgpsim_topology::degree::SkewedSpec;
+use bgpsim_topology::generators::skewed_topology;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = SmallRng::seed_from_u64(5);
+    let topo = skewed_topology(120, &SkewedSpec::seventy_thirty(), &mut rng)
+        .expect("70-30 at 120 nodes is realizable");
+
+    for scheme in [
+        Scheme::constant_mrai(1.25),
+        Scheme::batching(0.5).named("batching (MRAI=0.5)"),
+    ] {
+        let mut net = Network::new(topo.clone(), SimConfig::from_scheme(&scheme, 5));
+        let stats = Scenario::flapping(0.10, 3).run(&mut net);
+        net.assert_routing_consistent();
+
+        println!("\n=== {} ===", scheme.name);
+        println!("{:>6} {:>12} {:>12} {:>12}", "step", "event", "delay (s)", "messages");
+        for (i, s) in stats.iter().enumerate() {
+            let event = if i % 2 == 0 { "fail 10%" } else { "recover" };
+            println!(
+                "{:>6} {:>12} {:>12.1} {:>12}",
+                i + 1,
+                event,
+                s.convergence_delay.as_secs_f64(),
+                s.messages
+            );
+        }
+    }
+    println!();
+    println!("Recovery (Tup) consistently beats failure (Tdown): announcements");
+    println!("replace routes monotonically, while withdrawals trigger the path");
+    println!("hunting the paper's schemes are designed to tame.");
+}

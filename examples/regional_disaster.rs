@@ -1,0 +1,56 @@
+//! A geographically concentrated disaster on a realistic multi-router
+//! topology — the scenario motivating the paper's introduction (natural or
+//! man-made disasters taking out a contiguous region of infrastructure).
+//!
+//! Compares how four configurations ride out the same 5% regional failure:
+//! the deployed default (MRAI 30 s), a small constant MRAI, the paper's
+//! dynamic MRAI, and the paper's batching scheme.
+//!
+//! ```sh
+//! cargo run --release --example regional_disaster
+//! ```
+
+use bgpsim::experiment::{Experiment, TopologySpec};
+use bgpsim::scheme::Scheme;
+use bgpsim_topology::multias::MultiAsConfig;
+use bgpsim_topology::region::FailureSpec;
+
+fn main() {
+    // 60 ASes with 1–100 routers each (heavy-tailed), geographic extent
+    // proportional to AS size, highest inter-AS degrees at the largest
+    // ASes — the paper's "realistic" construction (§3.1).
+    let topology = TopologySpec::MultiAs(MultiAsConfig::realistic(60));
+
+    let schemes = vec![
+        Scheme::constant_mrai(30.0).named("deployed default (30 s)"),
+        Scheme::constant_mrai(0.5).named("constant 0.5 s"),
+        Scheme::dynamic(&[0.5, 1.25, 3.5], 0.65, 0.05).named("dynamic MRAI"),
+        Scheme::batching(0.5).named("batched processing"),
+    ];
+
+    println!("5% regional failure on a realistic 60-AS multi-router topology");
+    println!("{:<26} {:>12} {:>12} {:>14}", "scheme", "delay (s)", "messages", "stale deleted");
+    println!("{}", "-".repeat(68));
+    for scheme in schemes {
+        let exp = Experiment {
+            topology: topology.clone(),
+            scheme: scheme.clone(),
+            failure: FailureSpec::CenterFraction(0.05),
+            trials: 3,
+            base_seed: 1906,
+        };
+        let agg = exp.run();
+        println!(
+            "{:<26} {:>12.1} {:>12.0} {:>14.0}",
+            scheme.name,
+            agg.mean_delay_secs(),
+            agg.mean_messages(),
+            agg.mean_stale_deleted()
+        );
+    }
+    println!();
+    println!("Reading the table: the deployed 30 s MRAI is slow because every");
+    println!("path-hunting round waits half a minute; a small constant MRAI is");
+    println!("fast until the update flood overloads routers; the paper's two");
+    println!("schemes keep the delay low by taming the processing backlog.");
+}

