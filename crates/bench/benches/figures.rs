@@ -66,7 +66,11 @@ fn bench_decision(c: &mut Criterion) {
         rib.insert(
             p,
             RouterId::new(peer),
-            RouteEntry { path: AsPath::from_hops(hops), ibgp: false, rank: 0 },
+            RouteEntry {
+                path: AsPath::from_hops(hops),
+                ibgp: false,
+                rank: 0,
+            },
         );
     }
     c.bench_function("bgp/decision 14 candidates", |b| {
@@ -79,10 +83,7 @@ fn filled_queue(discipline: QueueDiscipline) -> InputQueue {
     for i in 0..1000u32 {
         q.push(WorkItem::Update {
             from: RouterId::new(i % 8),
-            msg: UpdateMsg::advertise(
-                Prefix::new(i % 50),
-                AsPath::from_hops([AsId::new(i % 16)]),
-            ),
+            msg: UpdateMsg::advertise(Prefix::new(i % 50), AsPath::from_hops([AsId::new(i % 16)])),
         });
     }
     q
@@ -122,9 +123,7 @@ fn bench_topology(c: &mut Criterion) {
         b.iter(|| {
             seed += 1;
             let mut rng = SmallRng::seed_from_u64(seed);
-            black_box(
-                skewed_topology(120, &SkewedSpec::seventy_thirty(), &mut rng).unwrap(),
-            )
+            black_box(skewed_topology(120, &SkewedSpec::seventy_thirty(), &mut rng).unwrap())
         })
     });
     c.bench_function("topology/120-node hierarchical generation", |b| {
@@ -172,7 +171,12 @@ fn bench_full_runs(c: &mut Criterion) {
 fn bench_figures(c: &mut Criterion) {
     let mut g = c.benchmark_group("figures-smoke");
     g.sample_size(10);
-    let opts = FigOpts { nodes: 30, trials: 1, base_seed: 5, threads: None };
+    let opts = FigOpts {
+        nodes: 30,
+        trials: 1,
+        base_seed: 5,
+        threads: None,
+    };
     for (id, figure) in figures::all_figures() {
         g.bench_function(id, |b| b.iter(|| black_box(figure(opts))));
     }

@@ -1,0 +1,38 @@
+//! Criterion microbenchmarks for the simulator hot path.
+//!
+//! One full failure-pipeline trial per scheme on a small fixed topology —
+//! the same cells the `hotpath` binary times at scale, sized so the group
+//! finishes quickly (and quicker still with `CRITERION_FAST=1`).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use bgpsim::experiment::{Experiment, TopologySpec};
+use bgpsim::scheme::Scheme;
+use bgpsim_topology::region::FailureSpec;
+
+fn cell(scheme: Scheme) -> Experiment {
+    Experiment {
+        topology: TopologySpec::seventy_thirty(40),
+        scheme,
+        failure: FailureSpec::CenterFraction(0.10),
+        trials: 1,
+        base_seed: 777,
+    }
+}
+
+fn hotpath(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hotpath");
+    g.sample_size(10);
+    for (name, scheme) in [
+        ("constant_mrai_0.5", Scheme::constant_mrai(0.5)),
+        ("batching_0.5", Scheme::batching(0.5)),
+        ("dynamic", Scheme::dynamic_default()),
+    ] {
+        let exp = cell(scheme);
+        g.bench_function(name, |b| b.iter(|| black_box(exp.run_trial(0))));
+    }
+    g.finish();
+}
+
+criterion_group!(benches, hotpath);
+criterion_main!(benches);

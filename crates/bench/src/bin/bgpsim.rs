@@ -66,9 +66,7 @@ fn parse_args() -> Result<Args, String> {
     let mut args = Args::default();
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
-        let mut value = |name: &str| {
-            it.next().ok_or_else(|| format!("{name} requires a value"))
-        };
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
         match flag.as_str() {
             "--nodes" => {
                 args.nodes = value("--nodes")?
@@ -78,8 +76,9 @@ fn parse_args() -> Result<Args, String> {
             "--topology" => args.topology = value("--topology")?,
             "--scheme" => args.scheme = value("--scheme")?,
             "--mrai" => {
-                args.mrai =
-                    value("--mrai")?.parse().map_err(|e| format!("--mrai: {e}"))?;
+                args.mrai = value("--mrai")?
+                    .parse()
+                    .map_err(|e| format!("--mrai: {e}"))?;
             }
             "--failure" => {
                 args.failure = value("--failure")?
@@ -88,12 +87,14 @@ fn parse_args() -> Result<Args, String> {
             }
             "--region" => args.region = value("--region")?,
             "--trials" => {
-                args.trials =
-                    value("--trials")?.parse().map_err(|e| format!("--trials: {e}"))?;
+                args.trials = value("--trials")?
+                    .parse()
+                    .map_err(|e| format!("--trials: {e}"))?;
             }
             "--seed" => {
-                args.seed =
-                    value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?;
+                args.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?;
             }
             "--json" => args.json = true,
             "--policy" => args.policy = true,
@@ -168,7 +169,13 @@ fn build(args: &Args) -> Result<Experiment, String> {
         "random" => FailureSpec::RandomFraction(args.failure),
         other => return Err(format!("unknown region {other}")),
     };
-    Ok(Experiment { topology, scheme, failure, trials: args.trials, base_seed: args.seed })
+    Ok(Experiment {
+        topology,
+        scheme,
+        failure,
+        trials: args.trials,
+        base_seed: args.seed,
+    })
 }
 
 fn main() -> ExitCode {
@@ -179,7 +186,11 @@ fn main() -> ExitCode {
                 eprintln!("error: {msg}");
             }
             usage();
-            return if msg == "help" { ExitCode::SUCCESS } else { ExitCode::FAILURE };
+            return if msg == "help" {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            };
         }
     };
     let exp = match build(&args) {
@@ -201,14 +212,27 @@ fn main() -> ExitCode {
             "max_peak_queue": agg.max_peak_queue(),
             "runs": agg.runs,
         });
-        println!("{}", serde_json::to_string_pretty(&payload).expect("serializable"));
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&payload).expect("serializable")
+        );
     } else {
         println!("scheme:            {}", exp.scheme.name);
-        println!("topology:          {} ({} nodes)", args.topology, args.nodes);
-        println!("failure:           {:.1}% ({})", args.failure * 100.0, args.region);
+        println!(
+            "topology:          {} ({} nodes)",
+            args.topology, args.nodes
+        );
+        println!(
+            "failure:           {:.1}% ({})",
+            args.failure * 100.0,
+            args.region
+        );
         println!("trials:            {}", args.trials);
-        println!("mean delay:        {:.2} s (σ {:.2})",
-                 agg.mean_delay_secs(), agg.std_delay_secs());
+        println!(
+            "mean delay:        {:.2} s (σ {:.2})",
+            agg.mean_delay_secs(),
+            agg.std_delay_secs()
+        );
         println!("mean messages:     {:.0}", agg.mean_messages());
         println!("stale deleted:     {:.0}", agg.mean_stale_deleted());
         println!("max queue peak:    {}", agg.max_peak_queue());

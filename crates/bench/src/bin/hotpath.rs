@@ -1,0 +1,224 @@
+//! `hotpath` — simulator-throughput benchmark harness.
+//!
+//! Runs a fixed 3-seed × 3-scheme scenario matrix through the full failure
+//! pipeline and reports raw simulator throughput: delivered events per
+//! second, decision-process executions per second, the full-rescan ratio of
+//! the incremental best-path selection, and peak RSS. Results go to
+//! `BENCH_hotpath.json` (see README) so hot-path changes can be compared
+//! number-for-number against a recorded baseline.
+//!
+//! ```text
+//! hotpath [--fast] [--nodes N] [--threads T] [--out PATH]
+//! ```
+//!
+//! `--fast` (or `BENCH_FAST=1`) shrinks the matrix to one seed on a small
+//! topology — the CI smoke configuration.
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use bgpsim::experiment::{run_all_parallel_timed, Experiment, TopologySpec};
+use bgpsim::scheme::Scheme;
+use bgpsim_topology::region::FailureSpec;
+
+const FAILURE_FRACTION: f64 = 0.10;
+const SEEDS: [u64; 3] = [101, 202, 303];
+const FAST_SEEDS: [u64; 1] = [101];
+
+#[derive(Debug)]
+struct Args {
+    fast: bool,
+    nodes: Option<usize>,
+    threads: Option<usize>,
+    out: String,
+}
+
+impl Default for Args {
+    fn default() -> Args {
+        Args {
+            fast: std::env::var("BENCH_FAST")
+                .map(|v| v == "1")
+                .unwrap_or(false),
+            nodes: None,
+            threads: None,
+            out: "BENCH_hotpath.json".into(),
+        }
+    }
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args::default();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match flag.as_str() {
+            "--fast" => args.fast = true,
+            "--nodes" => {
+                args.nodes = Some(
+                    value("--nodes")?
+                        .parse()
+                        .map_err(|e| format!("--nodes: {e}"))?,
+                );
+            }
+            "--threads" => {
+                args.threads = Some(
+                    value("--threads")?
+                        .parse()
+                        .map_err(|e| format!("--threads: {e}"))?,
+                );
+            }
+            "--out" => args.out = value("--out")?,
+            "--help" | "-h" => return Err("help".into()),
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn usage() {
+    eprintln!("usage: hotpath [--fast] [--nodes N] [--threads T] [--out PATH]");
+}
+
+/// The scheme axis of the matrix: the paper's three main timer disciplines.
+fn schemes() -> Vec<Scheme> {
+    vec![
+        Scheme::constant_mrai(0.5),
+        Scheme::batching(0.5),
+        Scheme::dynamic_default(),
+    ]
+}
+
+/// Peak resident set size in kB, from `/proc/self/status` (`VmHWM`).
+fn peak_rss_kb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    line.split_whitespace().nth(1)?.parse().ok()
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            if msg != "help" {
+                eprintln!("error: {msg}");
+            }
+            usage();
+            return if msg == "help" {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            };
+        }
+    };
+
+    let nodes = args.nodes.unwrap_or(if args.fast { 40 } else { 120 });
+    let seeds: &[u64] = if args.fast { &FAST_SEEDS } else { &SEEDS };
+    let schemes = schemes();
+
+    // One experiment point per (scheme, seed) cell, one trial each, so the
+    // per-trial timings map 1:1 onto matrix cells.
+    let points: Vec<Experiment> = schemes
+        .iter()
+        .flat_map(|scheme| {
+            seeds.iter().map(|&seed| Experiment {
+                topology: TopologySpec::seventy_thirty(nodes),
+                scheme: scheme.clone(),
+                failure: FailureSpec::CenterFraction(FAILURE_FRACTION),
+                trials: 1,
+                base_seed: seed,
+            })
+        })
+        .collect();
+
+    let started = Instant::now();
+    let (aggregates, report) = run_all_parallel_timed(&points, args.threads);
+    let batch_wall_secs = started.elapsed().as_secs_f64();
+
+    let mut trials: Vec<serde_json::Value> = Vec::new();
+    let (mut events, mut decisions, mut full, mut fast_d, mut wall_sum) =
+        (0u64, 0u64, 0u64, 0u64, 0.0f64);
+    for (point, (exp, agg)) in points.iter().zip(&aggregates).enumerate() {
+        let run = &agg.runs[0];
+        let wall_secs = report
+            .timings
+            .iter()
+            .find(|t| t.point == point && t.trial == 0)
+            .map(|t| t.wall_secs)
+            .expect("every trial timed");
+        events += run.events;
+        decisions += run.decision_runs;
+        full += run.full_rescans;
+        fast_d += run.fast_decisions;
+        wall_sum += wall_secs;
+        trials.push(serde_json::json!({
+            "scheme": exp.scheme.name,
+            "seed": exp.base_seed,
+            "wall_secs": wall_secs,
+            "events": run.events,
+            "decisions": run.decision_runs,
+            "full_rescans": run.full_rescans,
+            "fast_decisions": run.fast_decisions,
+            "messages": run.messages,
+            "updates_processed": run.updates_processed,
+            "convergence_delay_secs": run.convergence_delay.as_secs_f64(),
+        }));
+    }
+
+    let classified = full + fast_d;
+    let full_rescan_ratio = if classified == 0 {
+        0.0
+    } else {
+        full as f64 / classified as f64
+    };
+    let events_per_sec = if wall_sum > 0.0 {
+        events as f64 / wall_sum
+    } else {
+        0.0
+    };
+    let decisions_per_sec = if wall_sum > 0.0 {
+        decisions as f64 / wall_sum
+    } else {
+        0.0
+    };
+
+    let payload = serde_json::json!({
+        "harness": "hotpath",
+        "fast": args.fast,
+        "nodes": nodes,
+        "failure_fraction": FAILURE_FRACTION,
+        "seeds": seeds.to_vec(),
+        "schemes": schemes.iter().map(|s| s.name.clone()).collect::<Vec<String>>(),
+        "threads": report.threads,
+        "trials": trials,
+        "totals": serde_json::json!({
+            "trial_wall_secs_sum": wall_sum,
+            "batch_wall_secs": batch_wall_secs,
+            "events": events,
+            "decisions": decisions,
+            "events_per_sec": events_per_sec,
+            "decisions_per_sec": decisions_per_sec,
+            "full_rescan_ratio": full_rescan_ratio,
+            "peak_rss_kb": peak_rss_kb(),
+        }),
+    });
+
+    let text = serde_json::to_string_pretty(&payload).expect("serializable") + "\n";
+    if let Err(e) = std::fs::write(&args.out, &text) {
+        eprintln!("error: cannot write {}: {e}", args.out);
+        return ExitCode::FAILURE;
+    }
+
+    println!(
+        "hotpath throughput ({} nodes, {} threads):",
+        nodes, report.threads
+    );
+    println!("  events/sec:        {events_per_sec:.0}");
+    println!("  decisions/sec:     {decisions_per_sec:.0}");
+    println!("  full-rescan ratio: {full_rescan_ratio:.3}");
+    println!("  trial wall sum:    {wall_sum:.2} s (batch {batch_wall_secs:.2} s)");
+    if let Some(rss) = peak_rss_kb() {
+        println!("  peak RSS:          {rss} kB");
+    }
+    println!("  written to {}", args.out);
+    ExitCode::SUCCESS
+}

@@ -20,7 +20,9 @@ fn main() {
         .collect();
     entries.sort();
     for path in entries {
-        let Ok(text) = std::fs::read_to_string(&path) else { continue };
+        let Ok(text) = std::fs::read_to_string(&path) else {
+            continue;
+        };
         let Ok(fig) = serde_json::from_str::<FigureData>(&text) else {
             eprintln!("skipping {}: not a figure", path.display());
             continue;

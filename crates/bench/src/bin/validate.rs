@@ -50,14 +50,21 @@ fn at(fig: &FigureData, series: &str, x: f64) -> Option<f64> {
     s.points
         .iter()
         .min_by(|a, b| {
-            (a.0 - x).abs().partial_cmp(&(b.0 - x).abs()).expect("finite x")
+            (a.0 - x)
+                .abs()
+                .partial_cmp(&(b.0 - x).abs())
+                .expect("finite x")
         })
         .map(|&(_, y)| y)
 }
 
 fn main() -> ExitCode {
     let dir = std::env::args().nth(1).unwrap_or_else(|| "results".into());
-    let mut c = Checker { dir, failures: 0, checks: 0 };
+    let mut c = Checker {
+        dir,
+        failures: 0,
+        checks: 0,
+    };
 
     if let Some(f) = c.load("fig01") {
         let d_small_low = at(&f, "MRAI=0.5", 1.0).unwrap_or(f64::NAN);
@@ -99,7 +106,11 @@ fn main() -> ExitCode {
         if let Some(s) = f.series_named("5% failure") {
             let first = s.points.first().map(|&(_, y)| y).unwrap_or(f64::NAN);
             let last = s.points.last().map(|&(_, y)| y).unwrap_or(f64::NAN);
-            let min = s.points.iter().map(|&(_, y)| y).fold(f64::INFINITY, f64::min);
+            let min = s
+                .points
+                .iter()
+                .map(|&(_, y)| y)
+                .fold(f64::INFINITY, f64::min);
             c.check(
                 "fig03: V-shaped 5% curve",
                 min < first && min < last,
@@ -124,11 +135,21 @@ fn main() -> ExitCode {
         let dense = f.argmin_of("avg degree 7.6").unwrap_or(f64::NAN);
         let min_sparse = f
             .series_named("avg degree 3.8")
-            .map(|s| s.points.iter().map(|&(_, y)| y).fold(f64::INFINITY, f64::min))
+            .map(|s| {
+                s.points
+                    .iter()
+                    .map(|&(_, y)| y)
+                    .fold(f64::INFINITY, f64::min)
+            })
             .unwrap_or(f64::NAN);
         let min_dense = f
             .series_named("avg degree 7.6")
-            .map(|s| s.points.iter().map(|&(_, y)| y).fold(f64::INFINITY, f64::min))
+            .map(|s| {
+                s.points
+                    .iter()
+                    .map(|&(_, y)| y)
+                    .fold(f64::INFINITY, f64::min)
+            })
             .unwrap_or(f64::NAN);
         c.check(
             "fig05: higher avg degree shifts optimum right and up",
@@ -157,7 +178,9 @@ fn main() -> ExitCode {
         let c125_big = at(&f, "MRAI=1.25", 20.0).unwrap_or(f64::NAN);
         c.check(
             "fig07: dynamic near best constant at both ends",
-            dyn_small < 1.5 * c05_small + 5.0 && dyn_big < c05_big * 0.6 && dyn_big <= c125_big * 1.3,
+            dyn_small < 1.5 * c05_small + 5.0
+                && dyn_big < c05_big * 0.6
+                && dyn_big <= c125_big * 1.3,
             format!(
                 "small: dyn {dyn_small:.1} vs 0.5 {c05_small:.1}; \
                  20%: dyn {dyn_big:.1} vs 0.5 {c05_big:.1} vs 1.25 {c125_big:.1}"

@@ -25,10 +25,23 @@ fn unknown_flag_fails_with_usage() {
 #[test]
 fn small_run_reports_results() {
     let out = bgpsim()
-        .args(["--nodes", "25", "--failure", "0.1", "--trials", "1", "--seed", "9"])
+        .args([
+            "--nodes",
+            "25",
+            "--failure",
+            "0.1",
+            "--trials",
+            "1",
+            "--seed",
+            "9",
+        ])
         .output()
         .expect("binary runs");
-    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("mean delay:"), "missing results: {text}");
     assert!(text.contains("mean messages:"));
@@ -38,14 +51,26 @@ fn small_run_reports_results() {
 fn json_output_is_parseable_and_complete() {
     let out = bgpsim()
         .args([
-            "--nodes", "25", "--scheme", "batching", "--failure", "0.1", "--trials",
-            "2", "--seed", "9", "--json",
+            "--nodes",
+            "25",
+            "--scheme",
+            "batching",
+            "--failure",
+            "0.1",
+            "--trials",
+            "2",
+            "--seed",
+            "9",
+            "--json",
         ])
         .output()
         .expect("binary runs");
-    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
-    let value: serde_json::Value =
-        serde_json::from_slice(&out.stdout).expect("valid JSON");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let value: serde_json::Value = serde_json::from_slice(&out.stdout).expect("valid JSON");
     assert!(value["mean_delay_secs"].as_f64().expect("delay present") > 0.0);
     assert_eq!(value["runs"].as_array().expect("runs present").len(), 2);
     assert!(value["experiment"]["scheme"]["name"]
@@ -58,8 +83,17 @@ fn json_output_is_parseable_and_complete() {
 fn same_seed_gives_identical_json() {
     let run = || {
         bgpsim()
-            .args(["--nodes", "20", "--failure", "0.1", "--trials", "1", "--seed",
-                   "44", "--json"])
+            .args([
+                "--nodes",
+                "20",
+                "--failure",
+                "0.1",
+                "--trials",
+                "1",
+                "--seed",
+                "44",
+                "--json",
+            ])
             .output()
             .expect("binary runs")
             .stdout
@@ -71,10 +105,24 @@ fn same_seed_gives_identical_json() {
 fn ablation_flags_are_accepted() {
     let out = bgpsim()
         .args([
-            "--nodes", "20", "--failure", "0.05", "--trials", "1", "--seed", "3",
-            "--policy", "--prefixes", "2", "--json",
+            "--nodes",
+            "20",
+            "--failure",
+            "0.05",
+            "--trials",
+            "1",
+            "--seed",
+            "3",
+            "--policy",
+            "--prefixes",
+            "2",
+            "--json",
         ])
         .output()
         .expect("binary runs");
-    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
 }

@@ -103,7 +103,9 @@ impl Default for NodeConfig {
 impl NodeConfig {
     /// Starts building a configuration from the defaults.
     pub fn builder() -> NodeConfigBuilder {
-        NodeConfigBuilder { cfg: NodeConfig::default() }
+        NodeConfigBuilder {
+            cfg: NodeConfig::default(),
+        }
     }
 
     /// Mean of the processing-delay distribution (15.5 ms for the paper's
@@ -258,7 +260,10 @@ mod tests {
             .processing_delay(SimDuration::from_millis(2), SimDuration::from_millis(5))
             .queue(QueueDiscipline::TcpBatch { buffer: 16 })
             .build();
-        assert_eq!(cfg.mrai, MraiPolicy::Constant(SimDuration::from_millis(1250)));
+        assert_eq!(
+            cfg.mrai,
+            MraiPolicy::Constant(SimDuration::from_millis(1250))
+        );
         assert_eq!(cfg.ibgp_mrai, SimDuration::from_millis(100));
         assert!(!cfg.jitter);
         assert!(cfg.withdrawal_rate_limiting);

@@ -63,7 +63,10 @@ impl DampingConfig {
     /// Panics unless `0 < reuse_threshold < suppress_threshold`,
     /// `penalty_per_flap > 0` and `half_life > 0`.
     pub fn validate(&self) {
-        assert!(self.penalty_per_flap > 0.0, "penalty_per_flap must be positive");
+        assert!(
+            self.penalty_per_flap > 0.0,
+            "penalty_per_flap must be positive"
+        );
         assert!(
             0.0 < self.reuse_threshold && self.reuse_threshold < self.suppress_threshold,
             "need 0 < reuse ({}) < suppress ({})",
@@ -86,7 +89,12 @@ pub struct DampingState {
 impl DampingState {
     /// Fresh, unpenalized state.
     pub fn new() -> DampingState {
-        DampingState { penalty: 0.0, last_update: SimTime::ZERO, suppressed: false, gen: 0 }
+        DampingState {
+            penalty: 0.0,
+            last_update: SimTime::ZERO,
+            suppressed: false,
+            gen: 0,
+        }
     }
 
     /// The penalty decayed to `now`.
@@ -203,8 +211,14 @@ mod tests {
     fn suppression_kicks_in_above_threshold() {
         let mut s = DampingState::new();
         assert!(!s.record_flap(SimTime::ZERO, &cfg()), "1000 < 2000");
-        assert!(!s.record_flap(SimTime::from_secs(1), &cfg()), "≈1977 < 2000");
-        assert!(s.record_flap(SimTime::from_secs(2), &cfg()), "third flap suppresses");
+        assert!(
+            !s.record_flap(SimTime::from_secs(1), &cfg()),
+            "≈1977 < 2000"
+        );
+        assert!(
+            s.record_flap(SimTime::from_secs(2), &cfg()),
+            "third flap suppresses"
+        );
         assert!(s.is_suppressed());
         // Further flaps while suppressed do not re-trigger.
         assert!(!s.record_flap(SimTime::from_secs(3), &cfg()));
@@ -222,7 +236,10 @@ mod tests {
         let delay = s.reuse_delay(SimTime::from_secs(2), &c);
         assert!(delay > SimDuration::ZERO && delay <= c.max_suppress);
         // Too early: not released.
-        assert_eq!(s.try_release(SimTime::from_secs(3), gen, &c, false), Some(false));
+        assert_eq!(
+            s.try_release(SimTime::from_secs(3), gen, &c, false),
+            Some(false)
+        );
         // After the computed delay the penalty is at/below reuse.
         let at = SimTime::from_secs(2) + delay + SimDuration::from_secs(1);
         assert_eq!(s.try_release(at, gen, &c, false), Some(true));
@@ -237,7 +254,10 @@ mod tests {
             s.record_flap(SimTime::from_secs(t), &c);
         }
         let gen = s.gen();
-        assert_eq!(s.try_release(SimTime::from_secs(500), gen + 1, &c, false), None);
+        assert_eq!(
+            s.try_release(SimTime::from_secs(500), gen + 1, &c, false),
+            None
+        );
         assert!(s.is_suppressed());
     }
 
@@ -268,10 +288,8 @@ mod tests {
         }
         // Decay to just above the reuse threshold, then ask for the delay.
         let p_now = s.penalty_at(SimTime::from_secs(2), &c);
-        let dt_to_reuse =
-            c.half_life.as_secs_f64() * (p_now / (c.reuse_threshold + 1e-9)).log2();
-        let just_above = SimTime::from_secs(2)
-            + SimDuration::from_secs_f64(dt_to_reuse.max(0.0));
+        let dt_to_reuse = c.half_life.as_secs_f64() * (p_now / (c.reuse_threshold + 1e-9)).log2();
+        let just_above = SimTime::from_secs(2) + SimDuration::from_secs_f64(dt_to_reuse.max(0.0));
         let d = s.reuse_delay(just_above, &c);
         if s.penalty_at(just_above, &c) > c.reuse_threshold {
             assert!(

@@ -14,8 +14,8 @@
 
 use bgpsim_topology::RouterId;
 
-use crate::rib::{AdjRibIn, NextHop, RouteEntry, Selected};
 use crate::msg::Prefix;
+use crate::rib::{AdjRibIn, NextHop, RouteEntry, Selected};
 
 /// Selects the best route for `prefix` among the Adj-RIB-In candidates.
 ///
@@ -52,20 +52,120 @@ pub fn select_best(prefix: Prefix, rib_in: &AdjRibIn) -> Option<Selected> {
             }
         });
     }
-    best.map(|(peer, entry)| Selected {
-        path: entry.path.clone(),
-        next_hop: NextHop::Peer(peer),
-        via_ibgp: entry.ibgp,
-        rank: entry.rank,
-    })
+    best.map(to_selected)
+}
+
+/// The candidate sort key; the decision process installs the minimum.
+///
+/// The advertising peer is the last component, so the order is *strictly*
+/// total — no two candidates compare equal. The incremental fast path
+/// leans on that: whatever lost to the installed best at the previous
+/// decision still ranks strictly below its key now, unless it changed.
+pub fn decision_key(peer: RouterId, entry: &RouteEntry) -> (u8, usize, bool, RouterId) {
+    (entry.rank, entry.path.len(), entry.ibgp, peer)
 }
 
 /// Whether candidate `a` outranks candidate `b`.
 fn ranks_higher(a: (RouterId, &RouteEntry), b: (RouterId, &RouteEntry)) -> bool {
-    let key = |(peer, entry): (RouterId, &RouteEntry)| {
-        (entry.rank, entry.path.len(), entry.ibgp, peer)
+    decision_key(a.0, a.1) < decision_key(b.0, b.1)
+}
+
+fn to_selected((peer, entry): (RouterId, &RouteEntry)) -> Selected {
+    Selected {
+        path: entry.path.clone(),
+        next_hop: NextHop::Peer(peer),
+        via_ibgp: entry.ibgp,
+        rank: entry.rank,
+    }
+}
+
+/// What [`select_incremental`] concluded.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Incremental {
+    /// The fast path determined the new best route outright (`None` =
+    /// prefix now unreachable).
+    Resolved(Option<Selected>),
+    /// The installed best route was withdrawn or worsened and no changed
+    /// candidate covers for it — only a full rescan can find the
+    /// runner-up among the unchanged candidates.
+    NeedsRescan,
+}
+
+/// Incremental decision process: recomputes the best route for `prefix`
+/// touching only the `changed` peers' candidates, given the currently
+/// `installed` best.
+///
+/// Correctness rests on one invariant: every Adj-RIB-In mutation since
+/// the previous decision for `prefix` came from a peer listed in
+/// `changed` (over-listing peers is harmless). Then every *unchanged*
+/// candidate still ranks strictly below the installed best's key, so:
+///
+/// * nothing installed — only changed peers can hold candidates at all;
+/// * installed best untouched — it competes against the changed
+///   candidates alone;
+/// * installed best changed — if some changed candidate still ranks at
+///   or above the old key it beats every unchanged candidate; otherwise
+///   the result hides among the unchanged candidates and the caller must
+///   fall back to [`select_best`] (reported via
+///   [`Incremental::NeedsRescan`]).
+///
+/// The outcome is proven bit-identical to [`select_best`] by the
+/// `incremental_selection_matches_full_rescan` property test.
+pub fn select_incremental(
+    prefix: Prefix,
+    rib_in: &AdjRibIn,
+    installed: Option<&Selected>,
+    changed: &[RouterId],
+) -> Incremental {
+    // Best among the changed peers' current candidates.
+    let mut best: Option<(RouterId, &RouteEntry)> = None;
+    for &peer in changed {
+        if let Some(entry) = rib_in.get(prefix, peer) {
+            let cand = (peer, entry);
+            best = Some(match best {
+                None => cand,
+                Some(current) => {
+                    if ranks_higher(cand, current) {
+                        cand
+                    } else {
+                        current
+                    }
+                }
+            });
+        }
+    }
+
+    let Some(installed) = installed else {
+        return Incremental::Resolved(best.map(to_selected));
     };
-    key(a) < key(b)
+    let NextHop::Peer(installed_peer) = installed.next_hop else {
+        // Locally originated prefixes never reach the decision process;
+        // be conservative if one somehow does.
+        return Incremental::NeedsRescan;
+    };
+    let installed_key = (
+        installed.rank,
+        installed.path.len(),
+        installed.via_ibgp,
+        installed_peer,
+    );
+
+    if !changed.contains(&installed_peer) {
+        // Keys are strictly total and the peers differ, so no tie-break
+        // against the installed key is possible here.
+        return Incremental::Resolved(Some(match best {
+            Some((peer, entry)) if decision_key(peer, entry) < installed_key => {
+                to_selected((peer, entry))
+            }
+            _ => installed.clone(),
+        }));
+    }
+    match best {
+        Some((peer, entry)) if decision_key(peer, entry) <= installed_key => {
+            Incremental::Resolved(Some(to_selected((peer, entry))))
+        }
+        _ => Incremental::NeedsRescan,
+    }
 }
 
 #[cfg(test)]
@@ -75,7 +175,11 @@ mod tests {
     use bgpsim_topology::AsId;
 
     fn entry(hops: &[u32], ibgp: bool) -> RouteEntry {
-        RouteEntry { path: AsPath::from_hops(hops.iter().map(|&h| AsId::new(h))), ibgp, rank: 0 }
+        RouteEntry {
+            path: AsPath::from_hops(hops.iter().map(|&h| AsId::new(h))),
+            ibgp,
+            rank: 0,
+        }
     }
 
     fn rid(i: u32) -> RouterId {

@@ -121,7 +121,10 @@ impl DynMraiController {
     ///
     /// Panics if `cfg.levels` is empty or not strictly increasing.
     pub fn new(cfg: DynamicMraiConfig) -> DynMraiController {
-        assert!(!cfg.levels.is_empty(), "dynamic MRAI needs at least one level");
+        assert!(
+            !cfg.levels.is_empty(),
+            "dynamic MRAI needs at least one level"
+        );
         assert!(
             cfg.levels.windows(2).all(|w| w[0] < w[1]),
             "dynamic MRAI levels must be strictly increasing"
@@ -173,7 +176,11 @@ impl DynMraiController {
             return;
         }
         let direction = match self.cfg.detector {
-            Detector::UnfinishedWork { up, down, mean_processing } => {
+            Detector::UnfinishedWork {
+                up,
+                down,
+                mean_processing,
+            } => {
                 let work = mean_processing * pending_updates as u64;
                 signal_direction(work, up, down)
             }
@@ -291,7 +298,10 @@ mod tests {
     #[test]
     fn utilization_detector() {
         let mut c = DynMraiController::new(DynamicMraiConfig {
-            levels: vec![SimDuration::from_millis(500), SimDuration::from_millis(2250)],
+            levels: vec![
+                SimDuration::from_millis(500),
+                SimDuration::from_millis(2250),
+            ],
             detector: Detector::Utilization { up: 0.8, down: 0.2 },
         });
         c.note_busy(SimDuration::from_millis(950));
@@ -306,7 +316,10 @@ mod tests {
     #[test]
     fn update_count_detector_resets_window() {
         let mut c = DynMraiController::new(DynamicMraiConfig {
-            levels: vec![SimDuration::from_millis(500), SimDuration::from_millis(2250)],
+            levels: vec![
+                SimDuration::from_millis(500),
+                SimDuration::from_millis(2250),
+            ],
             detector: Detector::UpdateCount { up: 50, down: 5 },
         });
         for _ in 0..100 {

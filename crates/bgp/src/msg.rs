@@ -81,17 +81,29 @@ pub struct UpdateMsg {
 impl UpdateMsg {
     /// Convenience constructor for an announcement.
     pub fn advertise(prefix: Prefix, path: AsPath) -> UpdateMsg {
-        UpdateMsg { prefix, action: UpdateAction::Advertise(path), local_pref: None }
+        UpdateMsg {
+            prefix,
+            action: UpdateAction::Advertise(path),
+            local_pref: None,
+        }
     }
 
     /// An announcement carrying a policy rank (iBGP with policies on).
     pub fn advertise_with_pref(prefix: Prefix, path: AsPath, pref: u8) -> UpdateMsg {
-        UpdateMsg { prefix, action: UpdateAction::Advertise(path), local_pref: Some(pref) }
+        UpdateMsg {
+            prefix,
+            action: UpdateAction::Advertise(path),
+            local_pref: Some(pref),
+        }
     }
 
     /// Convenience constructor for a withdrawal.
     pub fn withdraw(prefix: Prefix) -> UpdateMsg {
-        UpdateMsg { prefix, action: UpdateAction::Withdraw, local_pref: None }
+        UpdateMsg {
+            prefix,
+            action: UpdateAction::Withdraw,
+            local_pref: None,
+        }
     }
 }
 

@@ -9,7 +9,8 @@
 //! route that queued-but-unprocessed updates are about to invalidate,
 //! generating extra (invalid) updates downstream (§2).
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::cell::RefCell;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 use bgpsim_des::rng::{jittered, uniform_duration};
 use bgpsim_des::{SimDuration, SimTime};
@@ -18,7 +19,7 @@ use rand::rngs::SmallRng;
 
 use crate::config::{MraiPolicy, NodeConfig};
 use crate::damping::DampingState;
-use crate::decision::select_best;
+use crate::decision::{select_best, select_incremental, Incremental};
 use crate::dynmrai::DynMraiController;
 use crate::mrai::{MraiScope, MraiTimer};
 use crate::msg::{Prefix, UpdateAction, UpdateMsg};
@@ -96,6 +97,10 @@ impl PeerSession {
     }
 }
 
+/// Memoized prepend results: parent storage address → (parent clone,
+/// prepended child). See [`BgpNode::prepended_in`].
+type PrependCache = RefCell<HashMap<usize, (AsPath, AsPath)>>;
+
 /// A simulated BGP router.
 ///
 /// # Example
@@ -121,6 +126,9 @@ pub struct BgpNode {
     as_id: AsId,
     own_prefixes: BTreeSet<Prefix>,
     peers: BTreeMap<RouterId, PeerSession>,
+    /// Current peer ids, ascending — mirrors `peers.keys()` so per-batch
+    /// flushes iterate without collecting a fresh `Vec` each time.
+    peer_order: Vec<RouterId>,
     rib_in: AdjRibIn,
     loc_rib: LocRib,
     queue: InputQueue,
@@ -133,6 +141,11 @@ pub struct BgpNode {
     /// The latest route state received while suppressed (`None` =
     /// withdrawn); applied to the Adj-RIB-In at release time.
     suppressed_routes: BTreeMap<(RouterId, Prefix), Option<RouteEntry>>,
+    /// Memoized `path.prepend(self.as_id)` results, keyed by the parent
+    /// path's storage address. The parent clone in the value keeps that
+    /// allocation (and so the key) alive and unambiguous. `RefCell`
+    /// because [`BgpNode::path_towards`] computes exports through `&self`.
+    prepend_cache: PrependCache,
     rng: SmallRng,
     stats: NodeStats,
 }
@@ -155,6 +168,7 @@ impl BgpNode {
             as_id,
             own_prefixes: BTreeSet::new(),
             peers: BTreeMap::new(),
+            peer_order: Vec::new(),
             rib_in: AdjRibIn::new(),
             loc_rib: LocRib::new(),
             queue,
@@ -163,6 +177,7 @@ impl BgpNode {
             dyn_ctrl,
             damp: BTreeMap::new(),
             suppressed_routes: BTreeMap::new(),
+            prepend_cache: RefCell::new(HashMap::new()),
             rng,
             stats: NodeStats::default(),
         }
@@ -181,23 +196,25 @@ impl BgpNode {
     /// Registers a BGP session with `peer` (`ibgp` if both routers share an
     /// AS). Call before the simulation starts.
     pub fn add_peer(&mut self, peer: RouterId, ibgp: bool) {
-        self.peers.insert(peer, PeerSession::new(ibgp, None));
+        self.register_peer(peer, PeerSession::new(ibgp, None));
     }
 
     /// Registers an eBGP session with a business relationship (used when
     /// [`PolicyMode::GaoRexford`] is configured).
-    pub fn add_peer_with_relationship(
-        &mut self,
-        peer: RouterId,
-        ibgp: bool,
-        rel: Relationship,
-    ) {
-        self.peers.insert(peer, PeerSession::new(ibgp, Some(rel)));
+    pub fn add_peer_with_relationship(&mut self, peer: RouterId, ibgp: bool, rel: Relationship) {
+        self.register_peer(peer, PeerSession::new(ibgp, Some(rel)));
+    }
+
+    fn register_peer(&mut self, peer: RouterId, sess: PeerSession) {
+        self.peers.insert(peer, sess);
+        if let Err(at) = self.peer_order.binary_search(&peer) {
+            self.peer_order.insert(at, peer);
+        }
     }
 
     /// Ids of current peers, ascending.
     pub fn peer_ids(&self) -> Vec<RouterId> {
-        self.peers.keys().copied().collect()
+        self.peer_order.clone()
     }
 
     /// Read access to the Loc-RIB.
@@ -294,20 +311,42 @@ impl BgpNode {
 
     /// Handles the completion of the batch in service.
     pub fn on_proc_done(&mut self, now: SimTime) -> Vec<Action> {
-        let batch = std::mem::take(&mut self.in_service);
-        debug_assert!(!batch.is_empty(), "processing completed with nothing in service");
-        let mut affected: BTreeSet<Prefix> = BTreeSet::new();
+        let mut batch = std::mem::take(&mut self.in_service);
+        debug_assert!(
+            !batch.is_empty(),
+            "processing completed with nothing in service"
+        );
         let mut damping_actions: Vec<Action> = Vec::new();
-        for item in batch {
-            self.stats.updates_processed += 1;
-            affected.insert(item.prefix());
-            damping_actions.extend(self.apply_item(now, item));
-        }
         let mut changed: BTreeSet<Prefix> = BTreeSet::new();
-        for prefix in affected {
-            if self.run_decision(prefix) {
+        if batch.len() == 1 {
+            // FIFO service (and most batched service) completes one item;
+            // skip the grouping machinery entirely.
+            let item = batch.pop().expect("length checked");
+            self.stats.updates_processed += 1;
+            let (prefix, peer) = (item.prefix(), item.peer());
+            damping_actions.extend(self.apply_item(now, item));
+            if self.run_decision(prefix, &[peer]) {
                 self.mark_dirty(prefix);
                 changed.insert(prefix);
+            }
+        } else {
+            // Per affected prefix, the peers whose Adj-RIB-In entries this
+            // batch may touch — the incremental decision process only has
+            // to compare these against the installed best.
+            let mut affected: BTreeMap<Prefix, Vec<RouterId>> = BTreeMap::new();
+            for item in batch {
+                self.stats.updates_processed += 1;
+                let touched = affected.entry(item.prefix()).or_default();
+                if !touched.contains(&item.peer()) {
+                    touched.push(item.peer());
+                }
+                damping_actions.extend(self.apply_item(now, item));
+            }
+            for (prefix, touched) in &affected {
+                if self.run_decision(*prefix, touched) {
+                    self.mark_dirty(*prefix);
+                    changed.insert(*prefix);
+                }
             }
         }
         let mut actions = damping_actions;
@@ -323,11 +362,14 @@ impl BgpNode {
     /// *improve* (shorten or create) the route a peer holds from us, cancel
     /// that peer's running MRAI timer and send immediately.
     fn expedite_flush(&mut self, now: SimTime, changed: &BTreeSet<Prefix>) -> Vec<Action> {
-        let peers: Vec<RouterId> = self.peers.keys().copied().collect();
         let mut actions = Vec::new();
-        for peer in peers {
-            let improving: Vec<Prefix> =
-                changed.iter().copied().filter(|&p| self.improves(peer, p)).collect();
+        for i in 0..self.peer_order.len() {
+            let peer = self.peer_order[i];
+            let improving: Vec<Prefix> = changed
+                .iter()
+                .copied()
+                .filter(|&p| self.improves(peer, p))
+                .collect();
             if improving.is_empty() {
                 continue;
             }
@@ -362,7 +404,9 @@ impl BgpNode {
     /// they last heard from us (shorter path, or a route where they hold
     /// none).
     fn improves(&self, peer: RouterId, prefix: Prefix) -> bool {
-        let Some(sess) = self.peers.get(&peer) else { return false };
+        let Some(sess) = self.peers.get(&peer) else {
+            return false;
+        };
         match (self.path_towards(peer, prefix), sess.rib_out.get(prefix)) {
             (Some((new, _)), Some(old)) => new.len() < old.len(),
             (Some(_), None) => true,
@@ -379,7 +423,9 @@ impl BgpNode {
         prefix: Option<Prefix>,
         gen: u64,
     ) -> Vec<Action> {
-        let Some(sess) = self.peers.get_mut(&peer) else { return Vec::new() };
+        let Some(sess) = self.peers.get_mut(&peer) else {
+            return Vec::new();
+        };
         match prefix {
             None => {
                 if !sess.timer.expire(gen) {
@@ -414,7 +460,7 @@ impl BgpNode {
         ibgp: bool,
         rel: Option<Relationship>,
     ) -> Vec<Action> {
-        self.peers.insert(peer, PeerSession::new(ibgp, rel));
+        self.register_peer(peer, PeerSession::new(ibgp, rel));
         let prefixes: Vec<Prefix> = self.loc_rib.iter().map(|(p, _)| p).collect();
         let sess = self.peers.get_mut(&peer).expect("just inserted");
         for p in prefixes {
@@ -432,6 +478,9 @@ impl BgpNode {
     pub fn on_peer_down(&mut self, now: SimTime, peer: RouterId) -> Vec<Action> {
         if self.peers.remove(&peer).is_none() {
             return Vec::new();
+        }
+        if let Ok(at) = self.peer_order.binary_search(&peer) {
+            self.peer_order.remove(at);
         }
         // Damping state dies with the session (any in-flight reuse timer
         // becomes stale via the generation check in finish_release).
@@ -474,7 +523,11 @@ impl BgpNode {
                                 }
                             }
                         };
-                        Some(RouteEntry { path, ibgp: sess.ibgp, rank })
+                        Some(RouteEntry {
+                            path,
+                            ibgp: sess.ibgp,
+                            rank,
+                        })
                     }
                     _ => None,
                 };
@@ -497,8 +550,7 @@ impl BgpNode {
                     // A change is a flap once the route has history (a
                     // prior route or a prior penalty); the very first
                     // announcement is free.
-                    let has_history =
-                        existing.is_some() || state.penalty_at(now, &damping) > 0.0;
+                    let has_history = existing.is_some() || state.penalty_at(now, &damping) > 0.0;
                     if changed && has_history && state.record_flap(now, &damping) {
                         // Newly suppressed: pull the route out of the
                         // decision process and park the new state.
@@ -540,9 +592,13 @@ impl BgpNode {
         prefix: Prefix,
         gen: u64,
     ) -> Vec<Action> {
-        let Some(damping) = self.cfg.damping else { return Vec::new() };
+        let Some(damping) = self.cfg.damping else {
+            return Vec::new();
+        };
         let key = (peer, prefix);
-        let Some(state) = self.damp.get_mut(&key) else { return Vec::new() };
+        let Some(state) = self.damp.get_mut(&key) else {
+            return Vec::new();
+        };
         match state.try_release(now, gen, &damping, false) {
             None => Vec::new(),
             Some(false) => {
@@ -553,7 +609,12 @@ impl BgpNode {
                     debug_assert_eq!(released, Some(true));
                     self.finish_release(now, key)
                 } else {
-                    vec![Action::StartReuse { peer, prefix, delay, gen }]
+                    vec![Action::StartReuse {
+                        peer,
+                        prefix,
+                        delay,
+                        gen,
+                    }]
                 }
             }
             Some(true) => self.finish_release(now, key),
@@ -574,7 +635,7 @@ impl BgpNode {
             }
         }
         let mut actions = Vec::new();
-        if self.run_decision(prefix) {
+        if self.run_decision(prefix, &[peer]) {
             self.mark_dirty(prefix);
             actions.extend(self.flush_all(now));
         }
@@ -582,14 +643,28 @@ impl BgpNode {
     }
 
     /// Re-runs the decision process for `prefix`; returns whether the best
-    /// route changed.
-    fn run_decision(&mut self, prefix: Prefix) -> bool {
+    /// route changed. `changed` lists every peer whose Adj-RIB-In entry
+    /// for `prefix` may have changed since the previous decision — the
+    /// incremental fast path compares just those candidates against the
+    /// installed best, falling back to a full candidate rescan only when
+    /// the installed best itself was withdrawn or worsened.
+    fn run_decision(&mut self, prefix: Prefix, changed: &[RouterId]) -> bool {
         self.stats.decision_runs += 1;
         if self.own_prefixes.contains(&prefix) {
             // Locally originated: the zero-hop local route always wins.
             return false;
         }
-        let new = select_best(prefix, &self.rib_in);
+        let new = match select_incremental(prefix, &self.rib_in, self.loc_rib.get(prefix), changed)
+        {
+            Incremental::Resolved(sel) => {
+                self.stats.fast_decisions += 1;
+                sel
+            }
+            Incremental::NeedsRescan => {
+                self.stats.full_rescans += 1;
+                select_best(prefix, &self.rib_in)
+            }
+        };
         let old = self.loc_rib.get(prefix);
         if new.as_ref() == old {
             return false;
@@ -633,9 +708,11 @@ impl BgpNode {
     }
 
     fn flush_all(&mut self, now: SimTime) -> Vec<Action> {
-        let peers: Vec<RouterId> = self.peers.keys().copied().collect();
         let mut actions = Vec::new();
-        for peer in peers {
+        // Index loop: flushing never adds or removes peers, and this runs
+        // after every service batch — no per-call peer-id Vec.
+        for i in 0..self.peer_order.len() {
+            let peer = self.peer_order[i];
             actions.extend(self.flush_peer(now, peer));
         }
         actions
@@ -651,39 +728,53 @@ impl BgpNode {
 
     fn flush_peer_scoped(&mut self, now: SimTime, peer: RouterId) -> Vec<Action> {
         {
-            let Some(sess) = self.peers.get(&peer) else { return Vec::new() };
+            let Some(sess) = self.peers.get(&peer) else {
+                return Vec::new();
+            };
             if sess.timer.is_running() || sess.dirty.is_empty() {
                 return Vec::new();
             }
         }
-        let dirty: Vec<Prefix> = {
+        let dirty = {
             let sess = self.peers.get_mut(&peer).expect("checked above");
-            let d = sess.dirty.iter().copied().collect();
-            sess.dirty.clear();
-            d
+            // Take the set whole: `BTreeSet` iterates ascending, same
+            // order the old `Vec` collect produced, without the copy.
+            std::mem::take(&mut sess.dirty)
         };
-        let (mut actions, sent_advert, sent_any) = self.emit_updates(peer, &dirty);
-        let start_timer =
-            sent_advert || (self.cfg.withdrawal_rate_limiting && sent_any);
+        let (mut actions, sent_advert, sent_any) = self.emit_updates(peer, dirty);
+        let start_timer = sent_advert || (self.cfg.withdrawal_rate_limiting && sent_any);
         if start_timer {
             if let Some(delay) = self.next_mrai_interval(now, peer) {
                 let sess = self.peers.get_mut(&peer).expect("peer exists");
                 let gen = sess.timer.start();
                 self.stats.mrai_starts += 1;
-                actions.push(Action::StartMrai { peer, prefix: None, delay, gen });
+                actions.push(Action::StartMrai {
+                    peer,
+                    prefix: None,
+                    delay,
+                    gen,
+                });
             }
         }
         actions
     }
 
     fn flush_per_destination(&mut self, now: SimTime, peer: RouterId) -> Vec<Action> {
-        let Some(sess) = self.peers.get(&peer) else { return Vec::new() };
+        let Some(sess) = self.peers.get(&peer) else {
+            return Vec::new();
+        };
         // Only prefixes whose own timer is idle may be sent now.
         let ready: Vec<Prefix> = sess
             .dirty
             .iter()
             .copied()
-            .filter(|p| !sess.dest_timers.get(p).map(MraiTimer::is_running).unwrap_or(false))
+            .filter(|p| {
+                !sess
+                    .dest_timers
+                    .get(p)
+                    .map(MraiTimer::is_running)
+                    .unwrap_or(false)
+            })
             .collect();
         if ready.is_empty() {
             return Vec::new();
@@ -696,16 +787,20 @@ impl BgpNode {
         }
         let mut actions = Vec::new();
         for p in ready {
-            let (mut acts, sent_advert, sent_any) = self.emit_updates(peer, &[p]);
+            let (mut acts, sent_advert, sent_any) = self.emit_updates(peer, [p]);
             actions.append(&mut acts);
-            let start_timer =
-                sent_advert || (self.cfg.withdrawal_rate_limiting && sent_any);
+            let start_timer = sent_advert || (self.cfg.withdrawal_rate_limiting && sent_any);
             if start_timer {
                 if let Some(delay) = self.next_mrai_interval(now, peer) {
                     let sess = self.peers.get_mut(&peer).expect("peer exists");
                     let gen = sess.dest_timers.entry(p).or_default().start();
                     self.stats.mrai_starts += 1;
-                    actions.push(Action::StartMrai { peer, prefix: Some(p), delay, gen });
+                    actions.push(Action::StartMrai {
+                        peer,
+                        prefix: Some(p),
+                        delay,
+                        gen,
+                    });
                 }
             }
         }
@@ -717,13 +812,23 @@ impl BgpNode {
     fn emit_updates(
         &mut self,
         peer: RouterId,
-        prefixes: &[Prefix],
+        prefixes: impl IntoIterator<Item = Prefix>,
     ) -> (Vec<Action>, bool, bool) {
         let mut actions = Vec::new();
         let (mut sent_advert, mut sent_any) = (false, false);
-        for &prefix in prefixes {
-            let advertised = self.path_towards(peer, prefix);
-            let sess = self.peers.get_mut(&peer).expect("peer exists");
+        // Disjoint field borrows: the session stays mutably borrowed for
+        // the whole sweep while the export is computed straight from the
+        // Loc-RIB, config and prepend cache — what `path_towards` does,
+        // minus two session-map lookups per prefix.
+        let Some(sess) = self.peers.get_mut(&peer) else {
+            return (actions, sent_advert, sent_any);
+        };
+        let (ibgp, rel) = (sess.ibgp, sess.rel);
+        let (loc_rib, cfg) = (&self.loc_rib, &self.cfg);
+        let (cache, as_id) = (&self.prepend_cache, self.as_id);
+        for prefix in prefixes {
+            let advertised =
+                BgpNode::export_route(loc_rib, cfg, cache, as_id, ibgp, rel, peer, prefix);
             match (advertised, sess.rib_out.get(prefix)) {
                 (Some((path, _)), Some(old)) if &path == old => {
                     // Redundant: what we'd send equals what they have.
@@ -743,7 +848,10 @@ impl BgpNode {
                     sess.rib_out.withdraw(prefix);
                     self.stats.withdrawals_sent += 1;
                     sent_any = true;
-                    actions.push(Action::Send { to: peer, msg: UpdateMsg::withdraw(prefix) });
+                    actions.push(Action::Send {
+                        to: peer,
+                        msg: UpdateMsg::withdraw(prefix),
+                    });
                 }
                 (None, None) => {}
             }
@@ -757,33 +865,82 @@ impl BgpNode {
     /// policy mode — a valley-free export violation.
     fn path_towards(&self, peer: RouterId, prefix: Prefix) -> Option<(AsPath, Option<u8>)> {
         let sess = self.peers.get(&peer)?;
-        let best = self.loc_rib.get(prefix)?;
+        BgpNode::export_route(
+            &self.loc_rib,
+            &self.cfg,
+            &self.prepend_cache,
+            self.as_id,
+            sess.ibgp,
+            sess.rel,
+            peer,
+            prefix,
+        )
+    }
+
+    /// The export computation behind [`BgpNode::path_towards`], taking the
+    /// node fields it reads as explicit borrows so `emit_updates` can call
+    /// it while holding a peer session mutably.
+    #[allow(clippy::too_many_arguments)]
+    fn export_route(
+        loc_rib: &LocRib,
+        cfg: &NodeConfig,
+        cache: &PrependCache,
+        as_id: AsId,
+        ibgp: bool,
+        rel: Option<Relationship>,
+        peer: RouterId,
+        prefix: Prefix,
+    ) -> Option<(AsPath, Option<u8>)> {
+        let best = loc_rib.get(prefix)?;
         if best.next_hop == NextHop::Peer(peer) {
             // Split horizon: never advertise a route back to its source.
             return None;
         }
-        if sess.ibgp {
-            if best.via_ibgp && !self.cfg.route_reflector {
+        if ibgp {
+            if best.via_ibgp && !cfg.route_reflector {
                 // Regular iBGP speakers do not re-advertise iBGP-learned
                 // routes (full-mesh rule); route reflectors do (RFC 4456 —
                 // split horizon above already keeps it away from the
                 // advertising client).
                 return None;
             }
-            let pref = match self.cfg.policy {
+            let pref = match cfg.policy {
                 PolicyMode::None => None,
                 PolicyMode::GaoRexford => Some(best.rank),
             };
             Some((best.path.clone(), pref))
         } else {
-            if self.cfg.policy == PolicyMode::GaoRexford {
-                let to = sess.rel.unwrap_or(Relationship::Peer);
+            if cfg.policy == PolicyMode::GaoRexford {
+                let to = rel.unwrap_or(Relationship::Peer);
                 if !may_export(best.rank, to) {
                     return None;
                 }
             }
-            Some((best.path.prepend(self.as_id), None))
+            Some((BgpNode::prepended_in(cache, as_id, &best.path), None))
         }
+    }
+
+    /// `path.prepend(as_id)`, memoized per backing allocation.
+    ///
+    /// A best path is exported to every eBGP peer and re-exported on
+    /// every MRAI flush; keying on the parent's storage address makes all
+    /// of those hit one cached prepend instead of allocating each time.
+    /// The cached parent clone pins the allocation, so a live key can
+    /// never be recycled by a different path.
+    fn prepended_in(cache: &PrependCache, as_id: AsId, path: &AsPath) -> AsPath {
+        let mut cache = cache.borrow_mut();
+        if let Some((parent, child)) = cache.get(&path.storage_key()) {
+            debug_assert!(parent.same_allocation(path));
+            return child.clone();
+        }
+        let child = path.prepend(as_id);
+        if cache.len() >= 1024 {
+            // Bound the pinned allocations; the working set (current best
+            // paths) refills quickly.
+            cache.clear();
+        }
+        cache.insert(path.storage_key(), (path.clone(), child.clone()));
+        child
     }
 
     /// The jittered MRAI interval for the next timer towards `peer`, or
@@ -797,7 +954,10 @@ impl BgpNode {
                 MraiPolicy::Constant(d) => *d,
                 MraiPolicy::Dynamic(_) => {
                     let pending = self.queue.len() + self.in_service.len();
-                    let ctrl = self.dyn_ctrl.as_mut().expect("dynamic policy has controller");
+                    let ctrl = self
+                        .dyn_ctrl
+                        .as_mut()
+                        .expect("dynamic policy has controller");
                     ctrl.evaluate(now, pending);
                     ctrl.current_mrai()
                 }
@@ -806,7 +966,11 @@ impl BgpNode {
         if base.is_zero() {
             return None;
         }
-        Some(if self.cfg.jitter { jittered(base, &mut self.rng) } else { base })
+        Some(if self.cfg.jitter {
+            jittered(base, &mut self.rng)
+        } else {
+            base
+        })
     }
 }
 
@@ -830,7 +994,12 @@ mod tests {
     }
 
     fn node(id: u32, cfg: NodeConfig) -> BgpNode {
-        BgpNode::new(rid(id), asn(id), cfg, SmallRng::seed_from_u64(1000 + u64::from(id)))
+        BgpNode::new(
+            rid(id),
+            asn(id),
+            cfg,
+            SmallRng::seed_from_u64(1000 + u64::from(id)),
+        )
     }
 
     fn fast_cfg() -> NodeConfig {
@@ -854,7 +1023,10 @@ mod tests {
     fn fire_mrai(n: &mut BgpNode, t: SimTime, acts: &[Action]) -> Vec<Action> {
         let mut out = Vec::new();
         for a in acts {
-            if let Action::StartMrai { peer, prefix, gen, .. } = a {
+            if let Action::StartMrai {
+                peer, prefix, gen, ..
+            } = a
+            {
                 out.extend(n.on_mrai_expiry(t, *peer, *prefix, *gen));
             }
         }
@@ -865,7 +1037,8 @@ mod tests {
     fn process_one(n: &mut BgpNode, t: SimTime, from: u32, msg: UpdateMsg) -> Vec<Action> {
         let acts = n.on_update(t, rid(from), msg);
         assert!(
-            acts.iter().any(|a| matches!(a, Action::StartProcessing { .. })),
+            acts.iter()
+                .any(|a| matches!(a, Action::StartProcessing { .. })),
             "expected processing to start"
         );
         n.on_proc_done(t + SimDuration::from_millis(30))
@@ -939,7 +1112,12 @@ mod tests {
         n.add_peer(rid(2), false);
         n.add_peer(rid(3), false);
         // Primary (short) via peer 0, backup (long) via peer 2.
-        let acts = process_one(&mut n, SimTime::ZERO, 0, UpdateMsg::advertise(pfx(9), AsPath::from_hops([asn(0)])));
+        let acts = process_one(
+            &mut n,
+            SimTime::ZERO,
+            0,
+            UpdateMsg::advertise(pfx(9), AsPath::from_hops([asn(0)])),
+        );
         fire_mrai(&mut n, SimTime::from_secs(1), &acts);
         process_one(
             &mut n,
@@ -947,13 +1125,26 @@ mod tests {
             2,
             UpdateMsg::advertise(pfx(9), AsPath::from_hops([asn(2), asn(5), asn(0)])),
         );
-        assert_eq!(n.loc_rib().get(pfx(9)).unwrap().next_hop, NextHop::Peer(rid(0)));
+        assert_eq!(
+            n.loc_rib().get(pfx(9)).unwrap().next_hop,
+            NextHop::Peer(rid(0))
+        );
         // Withdraw the primary: best flips to the backup.
-        let acts =
-            process_one(&mut n, SimTime::from_secs(20), 0, UpdateMsg::withdraw(pfx(9)));
-        assert_eq!(n.loc_rib().get(pfx(9)).unwrap().next_hop, NextHop::Peer(rid(2)));
+        let acts = process_one(
+            &mut n,
+            SimTime::from_secs(20),
+            0,
+            UpdateMsg::withdraw(pfx(9)),
+        );
+        assert_eq!(
+            n.loc_rib().get(pfx(9)).unwrap().next_hop,
+            NextHop::Peer(rid(2))
+        );
         // Peer 3 must hear the new (longer) path.
-        let to3: Vec<_> = sends(&acts).into_iter().filter(|(to, _)| *to == rid(3)).collect();
+        let to3: Vec<_> = sends(&acts)
+            .into_iter()
+            .filter(|(to, _)| *to == rid(3))
+            .collect();
         assert_eq!(to3.len(), 1);
         match &to3[0].1.action {
             UpdateAction::Advertise(p) => assert_eq!(p.len(), 4),
@@ -971,7 +1162,10 @@ mod tests {
             0,
             UpdateMsg::advertise(pfx(0), AsPath::from_hops([asn(0), asn(1), asn(9)])),
         );
-        assert!(n.loc_rib().get(pfx(0)).is_none(), "looped route must not be used");
+        assert!(
+            n.loc_rib().get(pfx(0)).is_none(),
+            "looped route must not be used"
+        );
         assert!(sends(&acts).is_empty());
     }
 
@@ -1031,7 +1225,9 @@ mod tests {
                 _ => None,
             })
             .unwrap();
-        assert!(n.on_mrai_expiry(SimTime::from_secs(1), rid(2), None, gen + 7).is_empty());
+        assert!(n
+            .on_mrai_expiry(SimTime::from_secs(1), rid(2), None, gen + 7)
+            .is_empty());
         // Real expiry with empty dirty set: nothing sent, timer not restarted.
         let acts = n.on_mrai_expiry(SimTime::from_secs(1), rid(2), None, gen);
         assert!(acts.is_empty());
@@ -1056,10 +1252,18 @@ mod tests {
             })
             .unwrap();
         // Flap A -> B -> A while the timer runs.
-        process_one(&mut n, SimTime::from_millis(50), 0,
-            UpdateMsg::advertise(pfx(0), AsPath::from_hops([asn(0), asn(9)])));
-        process_one(&mut n, SimTime::from_millis(100), 0,
-            UpdateMsg::advertise(pfx(0), AsPath::from_hops([asn(0)])));
+        process_one(
+            &mut n,
+            SimTime::from_millis(50),
+            0,
+            UpdateMsg::advertise(pfx(0), AsPath::from_hops([asn(0), asn(9)])),
+        );
+        process_one(
+            &mut n,
+            SimTime::from_millis(100),
+            0,
+            UpdateMsg::advertise(pfx(0), AsPath::from_hops([asn(0)])),
+        );
         let acts = n.on_mrai_expiry(SimTime::from_millis(600), rid(2), None, gen);
         assert!(
             sends(&acts).is_empty(),
@@ -1072,15 +1276,25 @@ mod tests {
         let mut n = node(1, fast_cfg());
         n.add_peer(rid(0), false);
         n.add_peer(rid(2), false);
-        let acts = process_one(&mut n, SimTime::ZERO, 0,
-            UpdateMsg::advertise(pfx(0), AsPath::from_hops([asn(0)])));
+        let acts = process_one(
+            &mut n,
+            SimTime::ZERO,
+            0,
+            UpdateMsg::advertise(pfx(0), AsPath::from_hops([asn(0)])),
+        );
         fire_mrai(&mut n, SimTime::from_millis(600), &acts);
-        let acts = process_one(&mut n, SimTime::from_secs(1), 0,
-            UpdateMsg::advertise(pfx(5), AsPath::from_hops([asn(0), asn(5)])));
+        let acts = process_one(
+            &mut n,
+            SimTime::from_secs(1),
+            0,
+            UpdateMsg::advertise(pfx(5), AsPath::from_hops([asn(0), asn(5)])),
+        );
         fire_mrai(&mut n, SimTime::from_secs(2), &acts);
         // Session to peer 0 dies: two implicit withdraws queue up.
         let acts = n.on_peer_down(SimTime::from_secs(10), rid(0));
-        assert!(acts.iter().any(|a| matches!(a, Action::StartProcessing { .. })));
+        assert!(acts
+            .iter()
+            .any(|a| matches!(a, Action::StartProcessing { .. })));
         let acts = n.on_proc_done(SimTime::from_secs(11));
         // Batched per prefix under FIFO: first prefix processed; run to
         // completion for the second if still queued.
@@ -1117,20 +1331,34 @@ mod tests {
         let mut n = node(1, fast_cfg());
         n.add_peer(rid(0), false);
         n.add_peer(rid(2), false);
-        let acts = process_one(&mut n, SimTime::ZERO, 0,
-            UpdateMsg::advertise(pfx(0), AsPath::from_hops([asn(0)])));
+        let acts = process_one(
+            &mut n,
+            SimTime::ZERO,
+            0,
+            UpdateMsg::advertise(pfx(0), AsPath::from_hops([asn(0)])),
+        );
         // Let peer 2's timer expire with nothing pending.
         fire_mrai(&mut n, SimTime::from_millis(600), &acts);
         // Now a pure withdrawal: no alternate route exists.
-        let acts = process_one(&mut n, SimTime::from_secs(5), 0, UpdateMsg::withdraw(pfx(0)));
-        let withdraws: Vec<_> =
-            sends(&acts).into_iter().filter(|(_, m)| !m.action.is_advertise()).collect();
+        let acts = process_one(
+            &mut n,
+            SimTime::from_secs(5),
+            0,
+            UpdateMsg::withdraw(pfx(0)),
+        );
+        let withdraws: Vec<_> = sends(&acts)
+            .into_iter()
+            .filter(|(_, m)| !m.action.is_advertise())
+            .collect();
         assert_eq!(withdraws.len(), 1);
         let mrai_starts: Vec<_> = acts
             .iter()
             .filter(|a| matches!(a, Action::StartMrai { .. }))
             .collect();
-        assert!(mrai_starts.is_empty(), "withdrawal-only send must not start MRAI");
+        assert!(
+            mrai_starts.is_empty(),
+            "withdrawal-only send must not start MRAI"
+        );
     }
 
     #[test]
@@ -1143,8 +1371,12 @@ mod tests {
         let mut n = node(1, cfg);
         n.add_peer(rid(0), false);
         n.add_peer(rid(2), false);
-        let acts = process_one(&mut n, SimTime::ZERO, 0,
-            UpdateMsg::advertise(pfx(0), AsPath::from_hops([asn(0)])));
+        let acts = process_one(
+            &mut n,
+            SimTime::ZERO,
+            0,
+            UpdateMsg::advertise(pfx(0), AsPath::from_hops([asn(0)])),
+        );
         let gen = acts
             .iter()
             .find_map(|a| match a {
@@ -1153,9 +1385,15 @@ mod tests {
             })
             .unwrap();
         n.on_mrai_expiry(SimTime::from_secs(1), rid(2), None, gen);
-        let acts = process_one(&mut n, SimTime::from_secs(5), 0, UpdateMsg::withdraw(pfx(0)));
+        let acts = process_one(
+            &mut n,
+            SimTime::from_secs(5),
+            0,
+            UpdateMsg::withdraw(pfx(0)),
+        );
         assert!(
-            acts.iter().any(|a| matches!(a, Action::StartMrai { peer, .. } if *peer == rid(2))),
+            acts.iter()
+                .any(|a| matches!(a, Action::StartMrai { peer, .. } if *peer == rid(2))),
             "WRATE must rate-limit withdrawals too"
         );
     }
@@ -1167,10 +1405,16 @@ mod tests {
         n.add_peer(rid(0), false);
         n.add_peer(rid(10), true);
         // eBGP-learned route goes to the iBGP peer unprepended.
-        let acts = process_one(&mut n, SimTime::ZERO, 0,
-            UpdateMsg::advertise(pfx(0), AsPath::from_hops([asn(0)])));
-        let to_ibgp: Vec<_> =
-            sends(&acts).into_iter().filter(|(to, _)| *to == rid(10)).collect();
+        let acts = process_one(
+            &mut n,
+            SimTime::ZERO,
+            0,
+            UpdateMsg::advertise(pfx(0), AsPath::from_hops([asn(0)])),
+        );
+        let to_ibgp: Vec<_> = sends(&acts)
+            .into_iter()
+            .filter(|(to, _)| *to == rid(10))
+            .collect();
         assert_eq!(to_ibgp.len(), 1);
         match &to_ibgp[0].1.action {
             UpdateAction::Advertise(p) => {
@@ -1183,8 +1427,12 @@ mod tests {
         n2.add_peer(rid(10), true);
         n2.add_peer(rid(11), true);
         n2.add_peer(rid(5), false);
-        let acts = process_one(&mut n2, SimTime::ZERO, 10,
-            UpdateMsg::advertise(pfx(0), AsPath::from_hops([asn(0)])));
+        let acts = process_one(
+            &mut n2,
+            SimTime::ZERO,
+            10,
+            UpdateMsg::advertise(pfx(0), AsPath::from_hops([asn(0)])),
+        );
         let s = sends(&acts);
         assert!(
             s.iter().all(|(to, _)| *to != rid(11)),
@@ -1204,8 +1452,12 @@ mod tests {
         let mut n = BgpNode::new(rid(1), asn(1), fast_cfg(), SmallRng::seed_from_u64(5));
         n.add_peer(rid(10), true);
         n.add_peer(rid(0), false);
-        let acts = process_one(&mut n, SimTime::ZERO, 0,
-            UpdateMsg::advertise(pfx(0), AsPath::from_hops([asn(0)])));
+        let acts = process_one(
+            &mut n,
+            SimTime::ZERO,
+            0,
+            UpdateMsg::advertise(pfx(0), AsPath::from_hops([asn(0)])),
+        );
         assert!(
             !acts
                 .iter()
@@ -1225,19 +1477,36 @@ mod tests {
         n.add_peer(rid(0), false);
         n.add_peer(rid(2), false);
         // Prefix 0 advertised: starts p0's timer towards peer 2.
-        process_one(&mut n, SimTime::ZERO, 0,
-            UpdateMsg::advertise(pfx(0), AsPath::from_hops([asn(0)])));
+        process_one(
+            &mut n,
+            SimTime::ZERO,
+            0,
+            UpdateMsg::advertise(pfx(0), AsPath::from_hops([asn(0)])),
+        );
         // Prefix 1 changes while p0's timer runs: p1 goes out immediately.
-        let acts = process_one(&mut n, SimTime::from_millis(100), 0,
-            UpdateMsg::advertise(pfx(1), AsPath::from_hops([asn(0), asn(3)])));
-        let s: Vec<_> = sends(&acts).into_iter().filter(|(to, _)| *to == rid(2)).collect();
+        let acts = process_one(
+            &mut n,
+            SimTime::from_millis(100),
+            0,
+            UpdateMsg::advertise(pfx(1), AsPath::from_hops([asn(0), asn(3)])),
+        );
+        let s: Vec<_> = sends(&acts)
+            .into_iter()
+            .filter(|(to, _)| *to == rid(2))
+            .collect();
         assert_eq!(s.len(), 1);
         assert_eq!(s[0].1.prefix, pfx(1), "independent destination not gated");
         // But a p0 change IS gated.
-        let acts = process_one(&mut n, SimTime::from_millis(200), 0,
-            UpdateMsg::advertise(pfx(0), AsPath::from_hops([asn(0), asn(4)])));
+        let acts = process_one(
+            &mut n,
+            SimTime::from_millis(200),
+            0,
+            UpdateMsg::advertise(pfx(0), AsPath::from_hops([asn(0), asn(4)])),
+        );
         assert!(
-            sends(&acts).iter().all(|(to, m)| !(*to == rid(2) && m.prefix == pfx(0))),
+            sends(&acts)
+                .iter()
+                .all(|(to, m)| !(*to == rid(2) && m.prefix == pfx(0))),
             "same destination must be gated by its timer"
         );
     }
@@ -1253,16 +1522,26 @@ mod tests {
         n.add_peer(rid(2), false);
         assert_eq!(n.dynamic_level(), Some(0));
         // Pile up a large backlog while the server is busy.
-        n.on_update(SimTime::ZERO, rid(0),
-            UpdateMsg::advertise(pfx(0), AsPath::from_hops([asn(0)])));
+        n.on_update(
+            SimTime::ZERO,
+            rid(0),
+            UpdateMsg::advertise(pfx(0), AsPath::from_hops([asn(0)])),
+        );
         for i in 1..60 {
-            n.on_update(SimTime::ZERO, rid(0),
-                UpdateMsg::advertise(pfx(i), AsPath::from_hops([asn(0)])));
+            n.on_update(
+                SimTime::ZERO,
+                rid(0),
+                UpdateMsg::advertise(pfx(i), AsPath::from_hops([asn(0)])),
+            );
         }
         // Complete the first batch: the flush evaluates the controller with
         // ~59 pending updates (≈ 0.91 s unfinished work > 0.65 s).
         let acts = n.on_proc_done(SimTime::from_millis(20));
-        assert_eq!(n.dynamic_level(), Some(1), "level must step up under backlog");
+        assert_eq!(
+            n.dynamic_level(),
+            Some(1),
+            "level must step up under backlog"
+        );
         let delay = acts.iter().find_map(|a| match a {
             Action::StartMrai { delay, .. } => Some(*delay),
             _ => None,
@@ -1280,15 +1559,27 @@ mod tests {
         let mut n = node(1, cfg);
         n.add_peer(rid(0), false);
         n.add_peer(rid(2), false);
-        n.on_update(SimTime::ZERO, rid(0),
-            UpdateMsg::advertise(pfx(0), AsPath::from_hops([asn(0)])));
+        n.on_update(
+            SimTime::ZERO,
+            rid(0),
+            UpdateMsg::advertise(pfx(0), AsPath::from_hops([asn(0)])),
+        );
         // While busy, three more for the same prefix from the same peer.
-        n.on_update(SimTime::ZERO, rid(0),
-            UpdateMsg::advertise(pfx(0), AsPath::from_hops([asn(0), asn(2)])));
-        n.on_update(SimTime::ZERO, rid(0),
-            UpdateMsg::advertise(pfx(0), AsPath::from_hops([asn(0), asn(3)])));
-        n.on_update(SimTime::ZERO, rid(0),
-            UpdateMsg::advertise(pfx(0), AsPath::from_hops([asn(0), asn(4)])));
+        n.on_update(
+            SimTime::ZERO,
+            rid(0),
+            UpdateMsg::advertise(pfx(0), AsPath::from_hops([asn(0), asn(2)])),
+        );
+        n.on_update(
+            SimTime::ZERO,
+            rid(0),
+            UpdateMsg::advertise(pfx(0), AsPath::from_hops([asn(0), asn(3)])),
+        );
+        n.on_update(
+            SimTime::ZERO,
+            rid(0),
+            UpdateMsg::advertise(pfx(0), AsPath::from_hops([asn(0), asn(4)])),
+        );
         // First completion applies msg 1 and starts the next batch, which
         // collapses the remaining three to the newest one.
         n.on_proc_done(SimTime::from_millis(20));
@@ -1307,8 +1598,12 @@ mod tests {
         let mut n = node(1, cfg);
         n.add_peer(rid(0), false);
         n.add_peer(rid(2), false);
-        let acts = process_one(&mut n, SimTime::ZERO, 0,
-            UpdateMsg::advertise(pfx(0), AsPath::from_hops([asn(0)])));
+        let acts = process_one(
+            &mut n,
+            SimTime::ZERO,
+            0,
+            UpdateMsg::advertise(pfx(0), AsPath::from_hops([asn(0)])),
+        );
         let delay = acts
             .iter()
             .find_map(|a| match a {
@@ -1318,7 +1613,10 @@ mod tests {
             .expect("timer started");
         let base = SimDuration::from_secs(30);
         assert!(delay <= base && delay >= base.mul_f64(0.75));
-        assert_ne!(delay, base, "jitter should almost surely not be exactly base");
+        assert_ne!(
+            delay, base,
+            "jitter should almost surely not be exactly base"
+        );
     }
 
     #[test]
@@ -1332,13 +1630,24 @@ mod tests {
         n.add_peer(rid(0), false);
         n.add_peer(rid(2), false);
         // Long route advertised; timer starts towards peer 2.
-        process_one(&mut n, SimTime::ZERO, 0,
-            UpdateMsg::advertise(pfx(0), AsPath::from_hops([asn(0), asn(8), asn(9)])));
+        process_one(
+            &mut n,
+            SimTime::ZERO,
+            0,
+            UpdateMsg::advertise(pfx(0), AsPath::from_hops([asn(0), asn(8), asn(9)])),
+        );
         // A shorter route arrives while the timer runs: with expedite on,
         // it must go out immediately.
-        let acts = process_one(&mut n, SimTime::from_millis(100), 0,
-            UpdateMsg::advertise(pfx(0), AsPath::from_hops([asn(0)])));
-        let to2: Vec<_> = sends(&acts).into_iter().filter(|(to, _)| *to == rid(2)).collect();
+        let acts = process_one(
+            &mut n,
+            SimTime::from_millis(100),
+            0,
+            UpdateMsg::advertise(pfx(0), AsPath::from_hops([asn(0)])),
+        );
+        let to2: Vec<_> = sends(&acts)
+            .into_iter()
+            .filter(|(to, _)| *to == rid(2))
+            .collect();
         assert_eq!(to2.len(), 1, "improvement must be expedited past the MRAI");
         match &to2[0].1.action {
             UpdateAction::Advertise(p) => assert_eq!(p.len(), 2),
@@ -1356,11 +1665,19 @@ mod tests {
         let mut n = node(1, cfg);
         n.add_peer(rid(0), false);
         n.add_peer(rid(2), false);
-        process_one(&mut n, SimTime::ZERO, 0,
-            UpdateMsg::advertise(pfx(0), AsPath::from_hops([asn(0)])));
+        process_one(
+            &mut n,
+            SimTime::ZERO,
+            0,
+            UpdateMsg::advertise(pfx(0), AsPath::from_hops([asn(0)])),
+        );
         // A *longer* replacement must still wait for the timer.
-        let acts = process_one(&mut n, SimTime::from_millis(100), 0,
-            UpdateMsg::advertise(pfx(0), AsPath::from_hops([asn(0), asn(8)])));
+        let acts = process_one(
+            &mut n,
+            SimTime::from_millis(100),
+            0,
+            UpdateMsg::advertise(pfx(0), AsPath::from_hops([asn(0), asn(8)])),
+        );
         assert!(
             sends(&acts).iter().all(|(to, _)| *to != rid(2)),
             "worsening change must remain MRAI-gated"
@@ -1379,8 +1696,12 @@ mod tests {
         assert_eq!(n.dynamic_level(), Some(0));
         n.set_constant_mrai(SimDuration::from_millis(3500));
         assert_eq!(n.dynamic_level(), None);
-        let acts = process_one(&mut n, SimTime::ZERO, 0,
-            UpdateMsg::advertise(pfx(0), AsPath::from_hops([asn(0)])));
+        let acts = process_one(
+            &mut n,
+            SimTime::ZERO,
+            0,
+            UpdateMsg::advertise(pfx(0), AsPath::from_hops([asn(0)])),
+        );
         let delay = acts.iter().find_map(|a| match a {
             Action::StartMrai { delay, .. } => Some(*delay),
             _ => None,
@@ -1398,8 +1719,11 @@ mod tests {
         let mut n = node(1, cfg);
         n.add_peer(rid(0), false);
         for i in 0..4 {
-            n.on_update(SimTime::ZERO, rid(0),
-                UpdateMsg::advertise(pfx(0), AsPath::from_hops([asn(0), asn(10 + i)])));
+            n.on_update(
+                SimTime::ZERO,
+                rid(0),
+                UpdateMsg::advertise(pfx(0), AsPath::from_hops([asn(0), asn(10 + i)])),
+            );
         }
         n.on_proc_done(SimTime::from_millis(20));
         assert!(n.stale_deleted() > 0);
@@ -1420,12 +1744,23 @@ mod tests {
         n.add_peer_with_relationship(rid(0), false, Relationship::Provider);
         n.add_peer_with_relationship(rid(2), false, Relationship::Customer);
         // Short route via the provider...
-        process_one(&mut n, SimTime::ZERO, 0,
-            UpdateMsg::advertise(pfx(9), AsPath::from_hops([asn(9)])));
-        assert_eq!(n.loc_rib().get(pfx(9)).unwrap().next_hop, NextHop::Peer(rid(0)));
+        process_one(
+            &mut n,
+            SimTime::ZERO,
+            0,
+            UpdateMsg::advertise(pfx(9), AsPath::from_hops([asn(9)])),
+        );
+        assert_eq!(
+            n.loc_rib().get(pfx(9)).unwrap().next_hop,
+            NextHop::Peer(rid(0))
+        );
         // ...loses to a longer route via the customer.
-        process_one(&mut n, SimTime::from_secs(1), 2,
-            UpdateMsg::advertise(pfx(9), AsPath::from_hops([asn(2), asn(5), asn(9)])));
+        process_one(
+            &mut n,
+            SimTime::from_secs(1),
+            2,
+            UpdateMsg::advertise(pfx(9), AsPath::from_hops([asn(2), asn(5), asn(9)])),
+        );
         let best = n.loc_rib().get(pfx(9)).unwrap();
         assert_eq!(best.next_hop, NextHop::Peer(rid(2)));
         assert_eq!(best.rank, 0, "customer routes rank 0");
@@ -1443,10 +1778,18 @@ mod tests {
         n.add_peer_with_relationship(rid(2), false, Relationship::Peer);
         n.add_peer_with_relationship(rid(3), false, Relationship::Customer);
         // A provider-learned route must go to the customer ONLY.
-        let acts = process_one(&mut n, SimTime::ZERO, 0,
-            UpdateMsg::advertise(pfx(9), AsPath::from_hops([asn(9)])));
+        let acts = process_one(
+            &mut n,
+            SimTime::ZERO,
+            0,
+            UpdateMsg::advertise(pfx(9), AsPath::from_hops([asn(9)])),
+        );
         let targets: Vec<RouterId> = sends(&acts).into_iter().map(|(to, _)| to).collect();
-        assert_eq!(targets, vec![rid(3)], "provider route leaks past the customer");
+        assert_eq!(
+            targets,
+            vec![rid(3)],
+            "provider route leaks past the customer"
+        );
     }
 
     #[test]
@@ -1460,11 +1803,19 @@ mod tests {
         n.add_peer_with_relationship(rid(0), false, Relationship::Customer);
         n.add_peer_with_relationship(rid(2), false, Relationship::Peer);
         n.add_peer_with_relationship(rid(3), false, Relationship::Provider);
-        let acts = process_one(&mut n, SimTime::ZERO, 0,
-            UpdateMsg::advertise(pfx(9), AsPath::from_hops([asn(9)])));
+        let acts = process_one(
+            &mut n,
+            SimTime::ZERO,
+            0,
+            UpdateMsg::advertise(pfx(9), AsPath::from_hops([asn(9)])),
+        );
         let mut targets: Vec<RouterId> = sends(&acts).into_iter().map(|(to, _)| to).collect();
         targets.sort();
-        assert_eq!(targets, vec![rid(2), rid(3)], "customer routes export to all");
+        assert_eq!(
+            targets,
+            vec![rid(2), rid(3)],
+            "customer routes export to all"
+        );
     }
 
     #[test]
@@ -1479,12 +1830,22 @@ mod tests {
         let mut border = BgpNode::new(rid(1), asn(1), cfg.clone(), SmallRng::seed_from_u64(7));
         border.add_peer_with_relationship(rid(0), false, Relationship::Provider);
         border.add_peer(rid(10), true);
-        let acts = process_one(&mut border, SimTime::ZERO, 0,
-            UpdateMsg::advertise(pfx(9), AsPath::from_hops([asn(9)])));
-        let to_ibgp: Vec<_> =
-            sends(&acts).into_iter().filter(|(to, _)| *to == rid(10)).collect();
+        let acts = process_one(
+            &mut border,
+            SimTime::ZERO,
+            0,
+            UpdateMsg::advertise(pfx(9), AsPath::from_hops([asn(9)])),
+        );
+        let to_ibgp: Vec<_> = sends(&acts)
+            .into_iter()
+            .filter(|(to, _)| *to == rid(10))
+            .collect();
         assert_eq!(to_ibgp.len(), 1);
-        assert_eq!(to_ibgp[0].1.local_pref, Some(2), "provider rank must ride iBGP");
+        assert_eq!(
+            to_ibgp[0].1.local_pref,
+            Some(2),
+            "provider rank must ride iBGP"
+        );
         // The interior router installs it at the carried rank.
         let mut interior = BgpNode::new(rid(10), asn(1), cfg, SmallRng::seed_from_u64(8));
         interior.add_peer(rid(1), true);
@@ -1500,10 +1861,18 @@ mod tests {
         let mut n = node(1, fast_cfg());
         n.add_peer_with_relationship(rid(0), false, Relationship::Provider);
         n.add_peer_with_relationship(rid(2), false, Relationship::Peer);
-        let acts = process_one(&mut n, SimTime::ZERO, 0,
-            UpdateMsg::advertise(pfx(9), AsPath::from_hops([asn(9)])));
+        let acts = process_one(
+            &mut n,
+            SimTime::ZERO,
+            0,
+            UpdateMsg::advertise(pfx(9), AsPath::from_hops([asn(9)])),
+        );
         let targets: Vec<RouterId> = sends(&acts).into_iter().map(|(to, _)| to).collect();
-        assert_eq!(targets, vec![rid(2)], "policy off: export to the peer as usual");
+        assert_eq!(
+            targets,
+            vec![rid(2)],
+            "policy off: export to the peer as usual"
+        );
         assert_eq!(n.loc_rib().get(pfx(9)).unwrap().rank, 0);
     }
 
@@ -1512,8 +1881,12 @@ mod tests {
         let mut n = node(1, fast_cfg());
         n.add_peer(rid(0), false);
         // Learn two routes and originate one.
-        let acts = process_one(&mut n, SimTime::ZERO, 0,
-            UpdateMsg::advertise(pfx(5), AsPath::from_hops([asn(0)])));
+        let acts = process_one(
+            &mut n,
+            SimTime::ZERO,
+            0,
+            UpdateMsg::advertise(pfx(5), AsPath::from_hops([asn(0)])),
+        );
         fire_mrai(&mut n, SimTime::from_secs(1), &acts);
         let acts = n.originate(SimTime::from_secs(2), pfx(1));
         fire_mrai(&mut n, SimTime::from_secs(3), &acts);
@@ -1525,7 +1898,11 @@ mod tests {
             .filter(|(to, m)| *to == rid(2) && m.action.is_advertise())
             .map(|(_, m)| m.prefix)
             .collect();
-        assert_eq!(announced, vec![pfx(1), pfx(5)], "full table exchange expected");
+        assert_eq!(
+            announced,
+            vec![pfx(1), pfx(5)],
+            "full table exchange expected"
+        );
     }
 
     #[test]
@@ -1538,16 +1915,31 @@ mod tests {
         let mut n = node(1, cfg);
         n.add_peer_with_relationship(rid(0), false, Relationship::Provider);
         // Provider-learned route.
-        process_one(&mut n, SimTime::ZERO, 0,
-            UpdateMsg::advertise(pfx(5), AsPath::from_hops([asn(0)])));
+        process_one(
+            &mut n,
+            SimTime::ZERO,
+            0,
+            UpdateMsg::advertise(pfx(5), AsPath::from_hops([asn(0)])),
+        );
         // A peer session comes up: the provider route must NOT be exported
         // to a peer (valley-free), so the exchange stays empty.
-        let acts = n.on_peer_up(SimTime::from_secs(1), rid(2), false,
-            Some(Relationship::Peer));
-        assert!(sends(&acts).is_empty(), "valley-free filter must apply at session up");
+        let acts = n.on_peer_up(
+            SimTime::from_secs(1),
+            rid(2),
+            false,
+            Some(Relationship::Peer),
+        );
+        assert!(
+            sends(&acts).is_empty(),
+            "valley-free filter must apply at session up"
+        );
         // A customer session comes up: the route goes out.
-        let acts = n.on_peer_up(SimTime::from_secs(2), rid(3), false,
-            Some(Relationship::Customer));
+        let acts = n.on_peer_up(
+            SimTime::from_secs(2),
+            rid(3),
+            false,
+            Some(Relationship::Customer),
+        );
         assert_eq!(sends(&acts).len(), 1);
     }
 
@@ -1573,7 +1965,13 @@ mod tests {
             };
             let acts = process_one(&mut n, t, 0, msg);
             for a in &acts {
-                if let Action::StartReuse { peer, prefix, delay, gen } = a {
+                if let Action::StartReuse {
+                    peer,
+                    prefix,
+                    delay,
+                    gen,
+                } = a
+                {
                     reuse = Some((*peer, *prefix, *delay, *gen));
                 }
             }
@@ -1585,17 +1983,28 @@ mod tests {
         assert_eq!(prefix, pfx(9));
         assert_eq!(n.suppressed_count(), 1);
         // While suppressed, a fresh announce is parked, not installed.
-        process_one(&mut n, t, 0,
-            UpdateMsg::advertise(pfx(9), AsPath::from_hops([asn(0), asn(7)])));
-        assert!(n.loc_rib().get(pfx(9)).is_none(), "suppressed route must not be used");
+        process_one(
+            &mut n,
+            t,
+            0,
+            UpdateMsg::advertise(pfx(9), AsPath::from_hops([asn(0), asn(7)])),
+        );
+        assert!(
+            n.loc_rib().get(pfx(9)).is_none(),
+            "suppressed route must not be used"
+        );
         // Fire the reuse timer after the computed delay (plus slack).
         let at = t + delay + SimDuration::from_secs(60);
         let acts = n.on_reuse_expiry(at, peer, prefix, gen);
         assert_eq!(n.suppressed_count(), 0);
-        let best = n.loc_rib().get(pfx(9)).expect("parked route installed at release");
+        let best = n
+            .loc_rib()
+            .get(pfx(9))
+            .expect("parked route installed at release");
         assert_eq!(best.path.len(), 2, "latest parked state wins");
         assert!(
-            acts.iter().any(|a| matches!(a, Action::Send { to, .. } if *to == rid(2))),
+            acts.iter()
+                .any(|a| matches!(a, Action::Send { to, .. } if *to == rid(2))),
             "release must propagate the route"
         );
     }
@@ -1642,8 +2051,12 @@ mod tests {
         let mut n = node(1, fast_cfg());
         n.add_peer(rid(0), false);
         n.add_peer(rid(2), false);
-        process_one(&mut n, SimTime::ZERO, 0,
-            UpdateMsg::advertise(pfx(0), AsPath::from_hops([asn(0)])));
+        process_one(
+            &mut n,
+            SimTime::ZERO,
+            0,
+            UpdateMsg::advertise(pfx(0), AsPath::from_hops([asn(0)])),
+        );
         let s = n.stats();
         assert_eq!(s.updates_received, 1);
         assert_eq!(s.updates_processed, 1);

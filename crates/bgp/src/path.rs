@@ -1,6 +1,7 @@
 //! AS paths.
 
 use std::fmt;
+use std::sync::{Arc, OnceLock};
 
 use bgpsim_topology::AsId;
 use serde::{Deserialize, Serialize};
@@ -12,6 +13,12 @@ use serde::{Deserialize, Serialize};
 /// [`prepend`](AsPath::prepend)ing the advertising AS when a route crosses
 /// an eBGP session (iBGP re-advertisement leaves the path untouched).
 ///
+/// The hop list is a shared immutable `Arc<[AsId]>`: a path is cloned on
+/// every RIB insert, every UPDATE message, and every Loc-RIB install, and
+/// with shared storage each of those clones is a refcount bump instead of
+/// a heap allocation. All locally originated routes share one static empty
+/// allocation.
+///
 /// ```
 /// use bgpsim_bgp::AsPath;
 /// use bgpsim_topology::AsId;
@@ -21,18 +28,38 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(at_origin_peer.len(), 1);
 /// assert!(at_origin_peer.contains(AsId::new(7)));
 /// ```
-#[derive(Clone, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
-pub struct AsPath(Vec<AsId>);
+// `derived_hash_with_manual_eq`: the manual `PartialEq` below only adds a
+// pointer-identity fast path; same allocation implies equal hops, so it
+// agrees with the derived `Hash` over the hop slice.
+#[allow(clippy::derived_hash_with_manual_eq)]
+#[derive(Clone, Debug, Eq, PartialOrd, Ord, Hash)]
+pub struct AsPath(Arc<[AsId]>);
+
+// Shared storage makes identity a cheap witness for equality: clones of
+// one path (the common case on the export path, where the Adj-RIB-Out
+// holds a clone of exactly what the prepend cache returns) compare in one
+// pointer check instead of a slice scan.
+impl PartialEq for AsPath {
+    fn eq(&self, other: &AsPath) -> bool {
+        self.same_allocation(other) || self.0 == other.0
+    }
+}
 
 impl AsPath {
     /// The empty path of a locally originated route.
     pub fn local() -> AsPath {
-        AsPath(Vec::new())
+        static EMPTY: OnceLock<Arc<[AsId]>> = OnceLock::new();
+        AsPath(Arc::clone(EMPTY.get_or_init(|| Arc::from(Vec::new()))))
     }
 
     /// Builds a path from nearest-first hops.
     pub fn from_hops<I: IntoIterator<Item = AsId>>(hops: I) -> AsPath {
-        AsPath(hops.into_iter().collect())
+        let mut it = hops.into_iter().peekable();
+        if it.peek().is_none() {
+            // Share the static empty allocation instead of making a new one.
+            return AsPath::local();
+        }
+        AsPath(it.collect())
     }
 
     /// Number of AS hops. This is the paper's sole route-selection metric.
@@ -57,7 +84,7 @@ impl AsPath {
         let mut hops = Vec::with_capacity(self.0.len() + 1);
         hops.push(asn);
         hops.extend_from_slice(&self.0);
-        AsPath(hops)
+        AsPath(hops.into())
     }
 
     /// The hops, nearest first.
@@ -68,6 +95,39 @@ impl AsPath {
     /// The originating AS (last hop), or `None` for a local path.
     pub fn origin(&self) -> Option<AsId> {
         self.0.last().copied()
+    }
+
+    /// Whether two paths share the same backing allocation (refcount-bump
+    /// clones of one another). Used by the per-node prepend cache to key
+    /// on identity rather than content.
+    pub(crate) fn same_allocation(&self, other: &AsPath) -> bool {
+        std::ptr::eq(self.0.as_ptr(), other.0.as_ptr())
+    }
+
+    /// Address of the backing hop storage: a cheap identity key, stable
+    /// for as long as any clone of this path is alive.
+    pub(crate) fn storage_key(&self) -> usize {
+        self.0.as_ptr() as usize
+    }
+}
+
+impl Default for AsPath {
+    fn default() -> AsPath {
+        AsPath::local()
+    }
+}
+
+// Hand-written so the wire shape stays exactly what the old
+// `AsPath(Vec<AsId>)` newtype derived: a plain JSON array of hops.
+impl Serialize for AsPath {
+    fn to_value(&self) -> serde::Value {
+        self.hops().to_value()
+    }
+}
+
+impl Deserialize for AsPath {
+    fn from_value(v: &serde::Value) -> Result<AsPath, serde::Error> {
+        Vec::<AsId>::from_value(v).map(AsPath::from_hops)
     }
 }
 
@@ -111,7 +171,10 @@ mod tests {
 
     #[test]
     fn prepend_builds_nearest_first() {
-        let p = AsPath::local().prepend(asn(3)).prepend(asn(2)).prepend(asn(1));
+        let p = AsPath::local()
+            .prepend(asn(3))
+            .prepend(asn(2))
+            .prepend(asn(1));
         assert_eq!(p.hops(), &[asn(1), asn(2), asn(3)]);
         assert_eq!(p.origin(), Some(asn(3)));
         assert_eq!(p.len(), 3);
@@ -137,5 +200,33 @@ mod tests {
     fn collect_from_iterator() {
         let p: AsPath = [asn(4), asn(5)].into_iter().collect();
         assert_eq!(p.hops(), &[asn(4), asn(5)]);
+    }
+
+    #[test]
+    fn clones_share_storage() {
+        let p = AsPath::from_hops([asn(1), asn(2)]);
+        let q = p.clone();
+        assert!(p.same_allocation(&q));
+        assert_eq!(p.storage_key(), q.storage_key());
+        // Equal content, distinct allocations.
+        let r = AsPath::from_hops([asn(1), asn(2)]);
+        assert_eq!(p, r);
+        assert!(!p.same_allocation(&r));
+    }
+
+    #[test]
+    fn local_paths_share_one_allocation() {
+        assert!(AsPath::local().same_allocation(&AsPath::local()));
+        assert!(AsPath::local().same_allocation(&AsPath::default()));
+        assert!(AsPath::local().same_allocation(&AsPath::from_hops([])));
+    }
+
+    #[test]
+    fn serde_round_trip_is_a_plain_array() {
+        let p = AsPath::from_hops([asn(4), asn(7)]);
+        let json = serde_json::to_string(&p).unwrap();
+        assert_eq!(json, "[4,7]");
+        let back: AsPath = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, p);
     }
 }

@@ -160,7 +160,11 @@ mod tests {
 
     #[test]
     fn inverse_is_involutive() {
-        for rel in [Relationship::Customer, Relationship::Peer, Relationship::Provider] {
+        for rel in [
+            Relationship::Customer,
+            Relationship::Peer,
+            Relationship::Provider,
+        ] {
             assert_eq!(rel.inverse().inverse(), rel);
         }
         assert_eq!(Relationship::Customer.inverse(), Relationship::Provider);
@@ -170,7 +174,11 @@ mod tests {
     #[test]
     fn export_matrix_is_valley_free() {
         // Customer/local routes: to everyone.
-        for to in [Relationship::Customer, Relationship::Peer, Relationship::Provider] {
+        for to in [
+            Relationship::Customer,
+            Relationship::Peer,
+            Relationship::Provider,
+        ] {
             assert!(may_export(RANK_CUSTOMER, to));
         }
         // Peer & provider routes: customers only.
@@ -196,13 +204,25 @@ mod tests {
     #[test]
     fn inference_orients_by_degree_then_id() {
         // Degree decides first.
-        assert_eq!(infer_relationship((2, 0), (10, 1), 10), Relationship::Provider);
-        assert_eq!(infer_relationship((10, 1), (2, 0), 10), Relationship::Customer);
+        assert_eq!(
+            infer_relationship((2, 0), (10, 1), 10),
+            Relationship::Provider
+        );
+        assert_eq!(
+            infer_relationship((10, 1), (2, 0), 10),
+            Relationship::Customer
+        );
         // Hub-tier ties peer.
         assert_eq!(infer_relationship((10, 0), (10, 1), 10), Relationship::Peer);
         // Lower-tier ties orient by id: lower id provides.
-        assert_eq!(infer_relationship((3, 5), (3, 2), 10), Relationship::Provider);
-        assert_eq!(infer_relationship((3, 2), (3, 5), 10), Relationship::Customer);
+        assert_eq!(
+            infer_relationship((3, 5), (3, 2), 10),
+            Relationship::Provider
+        );
+        assert_eq!(
+            infer_relationship((3, 2), (3, 5), 10),
+            Relationship::Customer
+        );
     }
 
     #[test]

@@ -105,7 +105,12 @@ pub struct InputQueue {
 impl InputQueue {
     /// Creates an empty queue with the given discipline.
     pub fn new(discipline: QueueDiscipline) -> InputQueue {
-        InputQueue { discipline, items: VecDeque::new(), deleted_stale: 0, peak_len: 0 }
+        InputQueue {
+            discipline,
+            items: VecDeque::new(),
+            deleted_stale: 0,
+            peak_len: 0,
+        }
     }
 
     /// The configured discipline.
@@ -157,12 +162,16 @@ impl InputQueue {
         match self.discipline {
             QueueDiscipline::Fifo => self.items.pop_front().into_iter().collect(),
             QueueDiscipline::Batched => {
-                let Some(head) = self.items.front() else { return Vec::new() };
+                let Some(head) = self.items.front() else {
+                    return Vec::new();
+                };
                 let prefix = head.prefix();
                 self.pop_destination_batch(prefix)
             }
             QueueDiscipline::BatchedLargestFirst => {
-                let Some(prefix) = self.busiest_prefix() else { return Vec::new() };
+                let Some(prefix) = self.busiest_prefix() else {
+                    return Vec::new();
+                };
                 self.pop_destination_batch(prefix)
             }
             QueueDiscipline::TcpBatch { buffer } => self.pop_peer_batch(buffer.max(1)),
@@ -218,7 +227,9 @@ impl InputQueue {
     /// preserving arrival order, collapsing same-destination duplicates
     /// (same peer, so later always supersedes earlier).
     fn pop_peer_batch(&mut self, buffer: usize) -> Vec<WorkItem> {
-        let Some(head) = self.items.front() else { return Vec::new() };
+        let Some(head) = self.items.front() else {
+            return Vec::new();
+        };
         let peer = head.peer();
         let mut batch: Vec<WorkItem> = Vec::new();
         let mut rest: VecDeque<WorkItem> = VecDeque::with_capacity(self.items.len());
@@ -259,15 +270,15 @@ mod tests {
     fn upd(from: u32, prefix: u32, hop: u32) -> WorkItem {
         WorkItem::Update {
             from: RouterId::new(from),
-            msg: UpdateMsg::advertise(
-                Prefix::new(prefix),
-                AsPath::from_hops([AsId::new(hop)]),
-            ),
+            msg: UpdateMsg::advertise(Prefix::new(prefix), AsPath::from_hops([AsId::new(hop)])),
         }
     }
 
     fn wd(from: u32, prefix: u32) -> WorkItem {
-        WorkItem::Update { from: RouterId::new(from), msg: UpdateMsg::withdraw(Prefix::new(prefix)) }
+        WorkItem::Update {
+            from: RouterId::new(from),
+            msg: UpdateMsg::withdraw(Prefix::new(prefix)),
+        }
     }
 
     #[test]
@@ -323,7 +334,10 @@ mod tests {
     #[test]
     fn implicit_withdraws_batch_like_updates() {
         let mut q = InputQueue::new(QueueDiscipline::Batched);
-        q.push(WorkItem::ImplicitWithdraw { peer: RouterId::new(1), prefix: Prefix::new(0) });
+        q.push(WorkItem::ImplicitWithdraw {
+            peer: RouterId::new(1),
+            prefix: Prefix::new(0),
+        });
         q.push(upd(1, 0, 4));
         let batch = q.pop_batch();
         // Same peer: the later update supersedes the implicit withdraw.
@@ -404,7 +418,11 @@ mod tests {
         q.push(upd(1, 5, 1));
         q.push(upd(1, 3, 1));
         let batch = q.pop_batch();
-        assert_eq!(batch[0].prefix(), Prefix::new(5), "tie goes to the oldest head");
+        assert_eq!(
+            batch[0].prefix(),
+            Prefix::new(5),
+            "tie goes to the oldest head"
+        );
     }
 
     #[test]

@@ -48,12 +48,24 @@ pub struct Selected {
 impl Selected {
     /// The local-origination entry for an owned prefix.
     pub fn local() -> Selected {
-        Selected { path: AsPath::local(), next_hop: NextHop::Local, via_ibgp: false, rank: 0 }
+        Selected {
+            path: AsPath::local(),
+            next_hop: NextHop::Local,
+            via_ibgp: false,
+            rank: 0,
+        }
     }
 }
 
 /// Adj-RIB-In: every route currently advertised to us, keyed by prefix and
 /// advertising peer.
+///
+/// Storage is dense: prefixes index rows directly (prefix ids are dense
+/// per network) and each row is a `Vec` indexed by a per-peer column slot,
+/// so the decision-process hot path (point lookups and candidate scans)
+/// runs on flat arrays instead of nested `BTreeMap`s. The slot directory
+/// is kept sorted by peer id so candidate iteration preserves the
+/// increasing-peer-id order selection relies on for determinism.
 ///
 /// ```
 /// use bgpsim_bgp::rib::{AdjRibIn, RouteEntry};
@@ -69,15 +81,44 @@ impl Selected {
 /// rib.remove(p, peer);
 /// assert_eq!(rib.candidates(p).count(), 0);
 /// ```
-#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct AdjRibIn {
-    routes: BTreeMap<Prefix, BTreeMap<RouterId, RouteEntry>>,
+    /// `(peer, column)` directory, sorted by peer id. Columns are assigned
+    /// in first-seen order and never reused, so rows never reshuffle when
+    /// a new peer shows up.
+    slots: Vec<(RouterId, usize)>,
+    /// `rows[prefix.index()][column]` — the route `peer` advertises for
+    /// `prefix`. Rows and columns grow lazily on first touch.
+    rows: Vec<Vec<Option<RouteEntry>>>,
+    /// Live route count across all rows.
+    len: usize,
 }
 
 impl AdjRibIn {
     /// Creates an empty Adj-RIB-In.
     pub fn new() -> AdjRibIn {
         AdjRibIn::default()
+    }
+
+    /// The column slot assigned to `peer`, if it ever advertised anything.
+    fn slot_of(&self, peer: RouterId) -> Option<usize> {
+        self.slots
+            .binary_search_by_key(&peer, |&(p, _)| p)
+            .ok()
+            .map(|i| self.slots[i].1)
+    }
+
+    /// The column slot for `peer`, assigning the next free one on first
+    /// use.
+    fn slot_or_assign(&mut self, peer: RouterId) -> usize {
+        match self.slots.binary_search_by_key(&peer, |&(p, _)| p) {
+            Ok(i) => self.slots[i].1,
+            Err(i) => {
+                let slot = self.slots.len();
+                self.slots.insert(i, (peer, slot));
+                slot
+            }
+        }
     }
 
     /// Installs (or replaces) the route `peer` advertises for `prefix`.
@@ -88,16 +129,29 @@ impl AdjRibIn {
         peer: RouterId,
         entry: RouteEntry,
     ) -> Option<RouteEntry> {
-        self.routes.entry(prefix).or_default().insert(peer, entry)
+        let slot = self.slot_or_assign(peer);
+        let index = prefix.index();
+        if self.rows.len() <= index {
+            self.rows.resize_with(index + 1, Vec::new);
+        }
+        let row = &mut self.rows[index];
+        if row.len() <= slot {
+            row.resize_with(slot + 1, || None);
+        }
+        let replaced = row[slot].replace(entry);
+        if replaced.is_none() {
+            self.len += 1;
+        }
+        replaced
     }
 
     /// Removes `peer`'s route for `prefix` (a withdrawal). Returns the
     /// removed entry, if any.
     pub fn remove(&mut self, prefix: Prefix, peer: RouterId) -> Option<RouteEntry> {
-        let map = self.routes.get_mut(&prefix)?;
-        let removed = map.remove(&peer);
-        if map.is_empty() {
-            self.routes.remove(&prefix);
+        let slot = self.slot_of(peer)?;
+        let removed = self.rows.get_mut(prefix.index())?.get_mut(slot)?.take();
+        if removed.is_some() {
+            self.len -= 1;
         }
         removed
     }
@@ -105,50 +159,127 @@ impl AdjRibIn {
     /// Drops every route learned from `peer` (session teardown), returning
     /// the affected prefixes in increasing order.
     pub fn remove_peer(&mut self, peer: RouterId) -> Vec<Prefix> {
+        let Some(slot) = self.slot_of(peer) else {
+            return Vec::new();
+        };
         let mut affected = Vec::new();
-        self.routes.retain(|prefix, map| {
-            if map.remove(&peer).is_some() {
-                affected.push(*prefix);
+        for (index, row) in self.rows.iter_mut().enumerate() {
+            if row.get_mut(slot).and_then(Option::take).is_some() {
+                affected.push(Prefix::new(index as u32));
+                self.len -= 1;
             }
-            !map.is_empty()
-        });
+        }
         affected
     }
 
     /// The route `peer` currently advertises for `prefix`, if any.
     pub fn get(&self, prefix: Prefix, peer: RouterId) -> Option<&RouteEntry> {
-        self.routes.get(&prefix)?.get(&peer)
+        let slot = self.slot_of(peer)?;
+        self.rows.get(prefix.index())?.get(slot)?.as_ref()
     }
 
     /// All candidate routes for `prefix`, in increasing peer-id order.
     pub fn candidates(&self, prefix: Prefix) -> impl Iterator<Item = (RouterId, &RouteEntry)> {
-        self.routes.get(&prefix).into_iter().flatten().map(|(&peer, e)| (peer, e))
+        let row = self.rows.get(prefix.index());
+        self.slots.iter().filter_map(move |&(peer, slot)| {
+            let entry = row?.get(slot)?.as_ref()?;
+            Some((peer, entry))
+        })
     }
 
     /// Prefixes for which `peer` currently advertises a route.
     pub fn prefixes_via(&self, peer: RouterId) -> Vec<Prefix> {
-        self.routes
+        let Some(slot) = self.slot_of(peer) else {
+            return Vec::new();
+        };
+        self.rows
             .iter()
-            .filter(|(_, map)| map.contains_key(&peer))
-            .map(|(&p, _)| p)
+            .enumerate()
+            .filter(|(_, row)| row.get(slot).is_some_and(Option::is_some))
+            .map(|(index, _)| Prefix::new(index as u32))
             .collect()
     }
 
     /// Total number of stored routes (over all prefixes and peers).
     pub fn len(&self) -> usize {
-        self.routes.values().map(BTreeMap::len).sum()
+        self.len
     }
 
     /// Whether no routes are stored.
     pub fn is_empty(&self) -> bool {
-        self.routes.is_empty()
+        self.len == 0
+    }
+
+    /// Nested-map view of the stored routes (the pre-dense representation);
+    /// the basis for equality and the serialized form.
+    fn as_map(&self) -> BTreeMap<Prefix, BTreeMap<RouterId, &RouteEntry>> {
+        let mut map: BTreeMap<Prefix, BTreeMap<RouterId, &RouteEntry>> = BTreeMap::new();
+        for (index, row) in self.rows.iter().enumerate() {
+            for &(peer, slot) in &self.slots {
+                if let Some(entry) = row.get(slot).and_then(Option::as_ref) {
+                    map.entry(Prefix::new(index as u32))
+                        .or_default()
+                        .insert(peer, entry);
+                }
+            }
+        }
+        map
+    }
+}
+
+// Equality is over the logical route set: slot assignment and row sizing
+// depend on arrival order and must not distinguish two RIBs holding the
+// same routes.
+impl PartialEq for AdjRibIn {
+    fn eq(&self, other: &AdjRibIn) -> bool {
+        self.len == other.len && self.as_map() == other.as_map()
+    }
+}
+
+impl Eq for AdjRibIn {}
+
+// Hand-written so the wire shape stays exactly what the old
+// `BTreeMap<Prefix, BTreeMap<RouterId, RouteEntry>>`-backed struct
+// derived: `{"routes": {"<prefix>": {"<peer>": entry}}}`.
+impl Serialize for AdjRibIn {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Object(vec![(String::from("routes"), self.as_map().to_value())])
+    }
+}
+
+impl Deserialize for AdjRibIn {
+    fn from_value(v: &serde::Value) -> Result<AdjRibIn, serde::Error> {
+        let serde::Value::Object(fields) = v else {
+            return Err(serde::Error(format!(
+                "AdjRibIn: expected object, found {}",
+                v.kind()
+            )));
+        };
+        let routes = fields
+            .iter()
+            .find(|(k, _)| k == "routes")
+            .map(|(_, v)| v)
+            .ok_or_else(|| serde::Error(String::from("AdjRibIn: missing field `routes`")))?;
+        let map = BTreeMap::<Prefix, BTreeMap<RouterId, RouteEntry>>::from_value(routes)?;
+        let mut rib = AdjRibIn::new();
+        for (prefix, peers) in map {
+            for (peer, entry) in peers {
+                rib.insert(prefix, peer, entry);
+            }
+        }
+        Ok(rib)
     }
 }
 
 /// Loc-RIB: the best route per prefix.
-#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// Dense: prefix ids index the table directly. The decision process reads
+/// the installed best on every run and the export path on every flush, so
+/// both are a bounds-checked load instead of a `BTreeMap` walk.
+#[derive(Clone, Debug, Default)]
 pub struct LocRib {
-    best: BTreeMap<Prefix, Selected>,
+    best: Vec<Option<Selected>>,
+    len: usize,
 }
 
 impl LocRib {
@@ -159,41 +290,100 @@ impl LocRib {
 
     /// The best route for `prefix`, if the prefix is reachable.
     pub fn get(&self, prefix: Prefix) -> Option<&Selected> {
-        self.best.get(&prefix)
+        self.best.get(prefix.index())?.as_ref()
     }
 
     /// Installs `selected` as the best route for `prefix`, returning the
     /// previous one.
     pub fn install(&mut self, prefix: Prefix, selected: Selected) -> Option<Selected> {
-        self.best.insert(prefix, selected)
+        let index = prefix.index();
+        if self.best.len() <= index {
+            self.best.resize_with(index + 1, || None);
+        }
+        let previous = self.best[index].replace(selected);
+        if previous.is_none() {
+            self.len += 1;
+        }
+        previous
     }
 
     /// Removes the route for `prefix` (unreachable), returning it.
     pub fn remove(&mut self, prefix: Prefix) -> Option<Selected> {
-        self.best.remove(&prefix)
+        let removed = self.best.get_mut(prefix.index())?.take();
+        if removed.is_some() {
+            self.len -= 1;
+        }
+        removed
     }
 
     /// Iterates over `(prefix, best)` in increasing prefix order.
     pub fn iter(&self) -> impl Iterator<Item = (Prefix, &Selected)> {
-        self.best.iter().map(|(&p, s)| (p, s))
+        self.best
+            .iter()
+            .enumerate()
+            .filter_map(|(index, s)| Some((Prefix::new(index as u32), s.as_ref()?)))
     }
 
     /// Number of reachable prefixes.
     pub fn len(&self) -> usize {
-        self.best.len()
+        self.len
     }
 
     /// Whether nothing is reachable.
     pub fn is_empty(&self) -> bool {
-        self.best.is_empty()
+        self.len == 0
+    }
+}
+
+// Equality over the logical route set (trailing empty slots are invisible).
+impl PartialEq for LocRib {
+    fn eq(&self, other: &LocRib) -> bool {
+        self.len == other.len && self.iter().eq(other.iter())
+    }
+}
+
+impl Eq for LocRib {}
+
+// Same wire shape as the old `BTreeMap<Prefix, Selected>`-backed struct:
+// `{"best": {"<prefix>": selected}}`.
+impl Serialize for LocRib {
+    fn to_value(&self) -> serde::Value {
+        let map: BTreeMap<Prefix, &Selected> = self.iter().collect();
+        serde::Value::Object(vec![(String::from("best"), map.to_value())])
+    }
+}
+
+impl Deserialize for LocRib {
+    fn from_value(v: &serde::Value) -> Result<LocRib, serde::Error> {
+        let serde::Value::Object(fields) = v else {
+            return Err(serde::Error(format!(
+                "LocRib: expected object, found {}",
+                v.kind()
+            )));
+        };
+        let best = fields
+            .iter()
+            .find(|(k, _)| k == "best")
+            .map(|(_, v)| v)
+            .ok_or_else(|| serde::Error(String::from("LocRib: missing field `best`")))?;
+        let map = BTreeMap::<Prefix, Selected>::from_value(best)?;
+        let mut rib = LocRib::new();
+        for (prefix, selected) in map {
+            rib.install(prefix, selected);
+        }
+        Ok(rib)
     }
 }
 
 /// Adj-RIB-Out for one peer: exactly what we last advertised to them, used
 /// to suppress redundant updates.
-#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// Dense like [`LocRib`]: the redundancy check runs for every dirty
+/// prefix on every MRAI flush.
+#[derive(Clone, Debug, Default)]
 pub struct AdjRibOut {
-    advertised: BTreeMap<Prefix, AsPath>,
+    advertised: Vec<Option<AsPath>>,
+    len: usize,
 }
 
 impl AdjRibOut {
@@ -204,27 +394,88 @@ impl AdjRibOut {
 
     /// What we last advertised for `prefix`, if anything.
     pub fn get(&self, prefix: Prefix) -> Option<&AsPath> {
-        self.advertised.get(&prefix)
+        self.advertised.get(prefix.index())?.as_ref()
     }
 
     /// Records an advertisement.
     pub fn advertise(&mut self, prefix: Prefix, path: AsPath) {
-        self.advertised.insert(prefix, path);
+        let index = prefix.index();
+        if self.advertised.len() <= index {
+            self.advertised.resize_with(index + 1, || None);
+        }
+        if self.advertised[index].replace(path).is_none() {
+            self.len += 1;
+        }
     }
 
     /// Records a withdrawal; returns whether anything had been advertised.
     pub fn withdraw(&mut self, prefix: Prefix) -> bool {
-        self.advertised.remove(&prefix).is_some()
+        let withdrawn = self
+            .advertised
+            .get_mut(prefix.index())
+            .and_then(Option::take)
+            .is_some();
+        if withdrawn {
+            self.len -= 1;
+        }
+        withdrawn
+    }
+
+    /// Iterates over `(prefix, path)` in increasing prefix order.
+    pub fn iter(&self) -> impl Iterator<Item = (Prefix, &AsPath)> {
+        self.advertised
+            .iter()
+            .enumerate()
+            .filter_map(|(index, p)| Some((Prefix::new(index as u32), p.as_ref()?)))
     }
 
     /// Number of currently advertised prefixes.
     pub fn len(&self) -> usize {
-        self.advertised.len()
+        self.len
     }
 
     /// Whether nothing is advertised.
     pub fn is_empty(&self) -> bool {
-        self.advertised.is_empty()
+        self.len == 0
+    }
+}
+
+impl PartialEq for AdjRibOut {
+    fn eq(&self, other: &AdjRibOut) -> bool {
+        self.len == other.len && self.iter().eq(other.iter())
+    }
+}
+
+impl Eq for AdjRibOut {}
+
+// Same wire shape as the old `BTreeMap<Prefix, AsPath>`-backed struct:
+// `{"advertised": {"<prefix>": [hops]}}`.
+impl Serialize for AdjRibOut {
+    fn to_value(&self) -> serde::Value {
+        let map: BTreeMap<Prefix, &AsPath> = self.iter().collect();
+        serde::Value::Object(vec![(String::from("advertised"), map.to_value())])
+    }
+}
+
+impl Deserialize for AdjRibOut {
+    fn from_value(v: &serde::Value) -> Result<AdjRibOut, serde::Error> {
+        let serde::Value::Object(fields) = v else {
+            return Err(serde::Error(format!(
+                "AdjRibOut: expected object, found {}",
+                v.kind()
+            )));
+        };
+        let advertised = fields
+            .iter()
+            .find(|(k, _)| k == "advertised")
+            .map(|(_, v)| v)
+            .ok_or_else(|| serde::Error(String::from("AdjRibOut: missing field `advertised`")))?;
+        let map = BTreeMap::<Prefix, AsPath>::from_value(advertised)?;
+        let mut rib = AdjRibOut::new();
+        for (prefix, path) in map {
+            rib.advertise(prefix, path);
+        }
+        Ok(rib)
     }
 }
 
@@ -238,7 +489,11 @@ mod tests {
     }
 
     fn entry(hops: &[u32]) -> RouteEntry {
-        RouteEntry { path: path(hops), ibgp: false, rank: 0 }
+        RouteEntry {
+            path: path(hops),
+            ibgp: false,
+            rank: 0,
+        }
     }
 
     #[test]
@@ -275,6 +530,35 @@ mod tests {
         assert_eq!(affected, vec![Prefix::new(0), Prefix::new(2)]);
         assert_eq!(rib.len(), 1);
         assert_eq!(rib.prefixes_via(RouterId::new(4)), vec![Prefix::new(1)]);
+    }
+
+    #[test]
+    fn rib_in_equality_ignores_slot_layout() {
+        // Same routes inserted in different peer orders must compare equal
+        // even though the column assignment differs.
+        let (p, a, b) = (Prefix::new(1), RouterId::new(2), RouterId::new(7));
+        let mut x = AdjRibIn::new();
+        x.insert(p, a, entry(&[1]));
+        x.insert(p, b, entry(&[2]));
+        let mut y = AdjRibIn::new();
+        y.insert(p, b, entry(&[2]));
+        y.insert(p, a, entry(&[1]));
+        assert_eq!(x, y);
+        y.remove(p, a);
+        assert_ne!(x, y);
+    }
+
+    #[test]
+    fn rib_in_serde_keeps_nested_map_shape() {
+        let mut rib = AdjRibIn::new();
+        rib.insert(Prefix::new(1), RouterId::new(3), entry(&[5]));
+        let json = serde_json::to_string(&rib).unwrap();
+        assert_eq!(
+            json,
+            r#"{"routes":{"1":{"3":{"path":[5],"ibgp":false,"rank":0}}}}"#
+        );
+        let back: AdjRibIn = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, rib);
     }
 
     #[test]

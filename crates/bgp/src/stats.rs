@@ -20,6 +20,12 @@ pub struct NodeStats {
     pub withdrawals_sent: u64,
     /// Decision-process executions.
     pub decision_runs: u64,
+    /// Decision runs that needed a full Adj-RIB-In rescan (the incoming
+    /// change withdrew or worsened the currently-best route).
+    pub full_rescans: u64,
+    /// Decision runs resolved on the incremental fast path (the cached
+    /// best route stayed valid as a comparison baseline).
+    pub fast_decisions: u64,
     /// Times the best route for some prefix changed (Loc-RIB churn).
     pub best_changes: u64,
     /// Total processor busy time.
@@ -46,7 +52,11 @@ mod tests {
 
     #[test]
     fn totals_and_reset() {
-        let mut s = NodeStats { announcements_sent: 3, withdrawals_sent: 2, ..Default::default() };
+        let mut s = NodeStats {
+            announcements_sent: 3,
+            withdrawals_sent: 2,
+            ..Default::default()
+        };
         assert_eq!(s.messages_sent(), 5);
         s.reset();
         assert_eq!(s, NodeStats::default());

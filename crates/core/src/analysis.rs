@@ -84,7 +84,10 @@ mod tests {
     #[test]
     fn labovitz_formula() {
         let mrai = SimDuration::from_secs(30);
-        assert_eq!(labovitz_full_mesh_best_case(10, mrai), SimDuration::from_secs(210));
+        assert_eq!(
+            labovitz_full_mesh_best_case(10, mrai),
+            SimDuration::from_secs(210)
+        );
         assert_eq!(labovitz_full_mesh_best_case(3, mrai), SimDuration::ZERO);
         assert_eq!(labovitz_full_mesh_best_case(0, mrai), SimDuration::ZERO);
     }
@@ -123,8 +126,7 @@ mod tests {
     fn measured_delays_bracket_the_estimate() {
         let make = |scheme: &Scheme, frac: f64, seed: u64| {
             let mut rng = SmallRng::seed_from_u64(9);
-            let topo =
-                skewed_topology(60, &SkewedSpec::seventy_thirty(), &mut rng).unwrap();
+            let topo = skewed_topology(60, &SkewedSpec::seventy_thirty(), &mut rng).unwrap();
             let estimate = no_overload_upper_estimate(
                 &topo,
                 match scheme.name.as_str() {
@@ -142,7 +144,13 @@ mod tests {
         let (stormy, _) = make(&Scheme::constant_mrai(0.5), 0.20, 5);
         // The estimate is for a single withdrawal; a 1% regional failure
         // touches a handful of prefixes, so allow a small multiple.
-        assert!(calm < 4.0, "no-overload run should sit near the estimate: {calm:.2}");
-        assert!(stormy > 6.0, "overloaded run must blow past the estimate: {stormy:.2}");
+        assert!(
+            calm < 4.0,
+            "no-overload run should sit near the estimate: {calm:.2}"
+        );
+        assert!(
+            stormy > 6.0,
+            "overloaded run must blow past the estimate: {stormy:.2}"
+        );
     }
 }

@@ -52,22 +52,34 @@ impl TopologySpec {
     /// The paper's default: `n` nodes, 70-30 distribution, average degree
     /// 3.8.
     pub fn seventy_thirty(n: usize) -> TopologySpec {
-        TopologySpec::Skewed { n, spec: SkewedSpec::seventy_thirty() }
+        TopologySpec::Skewed {
+            n,
+            spec: SkewedSpec::seventy_thirty(),
+        }
     }
 
     /// `n` nodes with the 50-50 distribution (average degree 3.8).
     pub fn fifty_fifty(n: usize) -> TopologySpec {
-        TopologySpec::Skewed { n, spec: SkewedSpec::fifty_fifty() }
+        TopologySpec::Skewed {
+            n,
+            spec: SkewedSpec::fifty_fifty(),
+        }
     }
 
     /// `n` nodes with the 85-15 distribution (average degree 3.8).
     pub fn eighty_five_fifteen(n: usize) -> TopologySpec {
-        TopologySpec::Skewed { n, spec: SkewedSpec::eighty_five_fifteen() }
+        TopologySpec::Skewed {
+            n,
+            spec: SkewedSpec::eighty_five_fifteen(),
+        }
     }
 
     /// `n` nodes with the dense 50-50 distribution (average degree 7.6).
     pub fn fifty_fifty_dense(n: usize) -> TopologySpec {
-        TopologySpec::Skewed { n, spec: SkewedSpec::fifty_fifty_dense() }
+        TopologySpec::Skewed {
+            n,
+            spec: SkewedSpec::fifty_fifty_dense(),
+        }
     }
 
     /// The paper's realistic multi-router topology over `num_ases` ASes.
@@ -143,14 +155,50 @@ impl Experiment {
     }
 }
 
+/// The default worker count [`run_all_parallel`] uses when `threads` is
+/// `None`: available parallelism, falling back to 4.
+pub fn default_thread_count() -> usize {
+    std::thread::available_parallelism()
+        .map(usize::from)
+        .unwrap_or(4)
+        .max(1)
+}
+
+/// Wall-clock timing of one trial inside a parallel batch run.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TrialTiming {
+    /// Index of the experiment point within the batch.
+    pub point: usize,
+    /// Trial number within the point.
+    pub trial: u32,
+    /// Wall-clock time the trial took on its worker thread, in seconds.
+    pub wall_secs: f64,
+}
+
+/// What a parallel batch run reports besides the aggregates.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ParallelReport {
+    /// Worker threads actually used.
+    pub threads: usize,
+    /// Per-trial wall-clock timings, in `(point, trial)` order.
+    pub timings: Vec<TrialTiming>,
+}
+
 /// Runs a batch of experiment points, fanning individual trials out over
 /// `threads` workers (defaults to available parallelism). Results are in
 /// the same order as `points`.
 pub fn run_all_parallel(points: &[Experiment], threads: Option<usize>) -> Vec<Aggregate> {
-    let threads = threads
-        .or_else(|| std::thread::available_parallelism().ok().map(usize::from))
-        .unwrap_or(4)
-        .max(1);
+    run_all_parallel_timed(points, threads).0
+}
+
+/// [`run_all_parallel`], additionally reporting the worker-thread count
+/// and per-trial wall-clock timings (consumed by the hot-path throughput
+/// harness, `BENCH_hotpath.json`).
+pub fn run_all_parallel_timed(
+    points: &[Experiment],
+    threads: Option<usize>,
+) -> (Vec<Aggregate>, ParallelReport) {
+    let threads = threads.unwrap_or_else(default_thread_count).max(1);
 
     // Flatten to (point index, trial) tasks.
     let tasks: Vec<(usize, u32)> = points
@@ -159,34 +207,61 @@ pub fn run_all_parallel(points: &[Experiment], threads: Option<usize>) -> Vec<Ag
         .flat_map(|(i, p)| (0..p.trials).map(move |t| (i, t)))
         .collect();
     let next = std::sync::atomic::AtomicUsize::new(0);
-    let results: Vec<std::sync::Mutex<Vec<Option<RunStats>>>> =
-        points.iter().map(|p| std::sync::Mutex::new(vec![None; p.trials as usize])).collect();
+    // One slot per trial: the run's stats plus its wall-clock seconds.
+    type TrialSlots = std::sync::Mutex<Vec<Option<(RunStats, f64)>>>;
+    let results: Vec<TrialSlots> = points
+        .iter()
+        .map(|p| std::sync::Mutex::new(vec![None; p.trials as usize]))
+        .collect();
 
+    let workers = threads.min(tasks.len().max(1));
     crossbeam::thread::scope(|scope| {
-        for _ in 0..threads.min(tasks.len().max(1)) {
+        for _ in 0..workers {
             scope.spawn(|_| loop {
                 let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                let Some(&(point_idx, trial)) = tasks.get(i) else { break };
+                let Some(&(point_idx, trial)) = tasks.get(i) else {
+                    break;
+                };
+                let started = std::time::Instant::now();
                 let stats = points[point_idx].run_trial(trial);
+                let wall_secs = started.elapsed().as_secs_f64();
                 results[point_idx].lock().expect("no poisoned trials")[trial as usize] =
-                    Some(stats);
+                    Some((stats, wall_secs));
             });
         }
     })
     .expect("experiment worker panicked");
 
-    results
+    let mut timings = Vec::with_capacity(tasks.len());
+    let aggregates = results
         .into_iter()
-        .map(|m| {
+        .enumerate()
+        .map(|(point, m)| {
             let runs = m
                 .into_inner()
                 .expect("no poisoned trials")
                 .into_iter()
-                .map(|r| r.expect("every trial ran"))
+                .enumerate()
+                .map(|(trial, r)| {
+                    let (stats, wall_secs) = r.expect("every trial ran");
+                    timings.push(TrialTiming {
+                        point,
+                        trial: trial as u32,
+                        wall_secs,
+                    });
+                    stats
+                })
                 .collect();
             Aggregate::new(runs)
         })
-        .collect()
+        .collect();
+    (
+        aggregates,
+        ParallelReport {
+            threads: workers,
+            timings,
+        },
+    )
 }
 
 #[cfg(test)]

@@ -26,7 +26,7 @@ use bgpsim_des::SimDuration;
 use bgpsim_topology::region::FailureSpec;
 
 use crate::experiment::{run_all_parallel, Experiment, TopologySpec};
-use crate::figures::{FigOpts, FigureData, Metric, Series};
+use crate::figures::{FigOpts, FigureData, FigureFn, Metric, Series};
 use crate::scheme::Scheme;
 
 /// Failure sizes used by the extension sweeps (a subset of the paper's).
@@ -61,9 +61,7 @@ fn sweep(
             points: fractions
                 .iter()
                 .enumerate()
-                .map(|(fi, &f)| {
-                    (f * 100.0, metric.value(&aggs[si * fractions.len() + fi]))
-                })
+                .map(|(fi, &f)| (f * 100.0, metric.value(&aggs[si * fractions.len() + fi])))
                 .collect(),
         })
         .collect();
@@ -101,9 +99,9 @@ pub fn ext_size_sensitivity(opts: FigOpts) -> FigureData {
 
 /// The three overload detectors for the dynamic scheme.
 pub fn ext_detector_comparison(opts: FigOpts) -> FigureData {
+    use crate::scheme::{MraiAssignment, SimOverrides};
     use bgpsim_bgp::config::MraiPolicy;
     use bgpsim_bgp::dynmrai::{Detector, DynamicMraiConfig};
-    use crate::scheme::{MraiAssignment, SimOverrides};
     use bgpsim_bgp::queue::QueueDiscipline;
 
     let levels = vec![
@@ -134,10 +132,19 @@ pub fn ext_detector_comparison(opts: FigOpts) -> FigureData {
             topo.clone(),
         ),
         (
-            mk("utilization", Detector::Utilization { up: 0.8, down: 0.15 }),
+            mk(
+                "utilization",
+                Detector::Utilization {
+                    up: 0.8,
+                    down: 0.15,
+                },
+            ),
             topo.clone(),
         ),
-        (mk("update count", Detector::UpdateCount { up: 40, down: 4 }), topo.clone()),
+        (
+            mk("update count", Detector::UpdateCount { up: 40, down: 4 }),
+            topo.clone(),
+        ),
         (Scheme::constant_mrai(0.5), topo),
     ];
     sweep(
@@ -246,7 +253,10 @@ pub fn ext_batching_variants(opts: FigOpts) -> FigureData {
     let mut largest = Scheme::batching(0.5).named("batching (largest-first)");
     largest.queue = QueueDiscipline::BatchedLargestFirst;
     let entries = vec![
-        (Scheme::batching(0.5).named("batching (oldest-first)"), topo.clone()),
+        (
+            Scheme::batching(0.5).named("batching (oldest-first)"),
+            topo.clone(),
+        ),
         (largest, topo.clone()),
         (Scheme::tcp_batch(0.5, 32), topo.clone()),
         (Scheme::constant_mrai(0.5).named("fifo"), topo),
@@ -267,11 +277,15 @@ pub fn ext_ablations(opts: FigOpts) -> FigureData {
     let entries = vec![
         (Scheme::constant_mrai(1.25).named("baseline"), topo.clone()),
         (
-            Scheme::constant_mrai(1.25).with_jitter(false).named("no jitter"),
+            Scheme::constant_mrai(1.25)
+                .with_jitter(false)
+                .named("no jitter"),
             topo.clone(),
         ),
         (
-            Scheme::constant_mrai(1.25).with_wrate(true).named("WRATE on"),
+            Scheme::constant_mrai(1.25)
+                .with_wrate(true)
+                .named("WRATE on"),
             topo.clone(),
         ),
         (
@@ -301,10 +315,20 @@ pub fn ext_policy(opts: FigOpts) -> FigureData {
     let topo = TopologySpec::hierarchical(opts.nodes);
     let entries = vec![
         (Scheme::constant_mrai(0.5).named("no policy"), topo.clone()),
-        (Scheme::constant_mrai(0.5).with_policy().named("Gao-Rexford"), topo.clone()),
-        (Scheme::constant_mrai(2.25).named("no policy (2.25)"), topo.clone()),
         (
-            Scheme::constant_mrai(2.25).with_policy().named("Gao-Rexford (2.25)"),
+            Scheme::constant_mrai(0.5)
+                .with_policy()
+                .named("Gao-Rexford"),
+            topo.clone(),
+        ),
+        (
+            Scheme::constant_mrai(2.25).named("no policy (2.25)"),
+            topo.clone(),
+        ),
+        (
+            Scheme::constant_mrai(2.25)
+                .with_policy()
+                .named("Gao-Rexford (2.25)"),
             topo,
         ),
     ];
@@ -326,7 +350,10 @@ pub fn ext_policy(opts: FigOpts) -> FigureData {
 pub fn ext_detection(opts: FigOpts) -> FigureData {
     let topo = TopologySpec::seventy_thirty(opts.nodes);
     let entries = vec![
-        (Scheme::constant_mrai(1.25).named("instant detection"), topo.clone()),
+        (
+            Scheme::constant_mrai(1.25).named("instant detection"),
+            topo.clone(),
+        ),
         (
             Scheme::constant_mrai(1.25)
                 .with_hold_timer(SimDuration::from_secs(9))
@@ -366,7 +393,9 @@ pub fn ext_destinations(opts: FigOpts) -> FigureData {
         ));
     }
     entries.push((
-        Scheme::batching(0.5).with_prefixes_per_as(8).named("batching, 8 pfx/AS"),
+        Scheme::batching(0.5)
+            .with_prefixes_per_as(8)
+            .named("batching, 8 pfx/AS"),
         topo,
     ));
     sweep(
@@ -384,20 +413,25 @@ pub fn ext_destinations(opts: FigOpts) -> FigureData {
 /// the re-convergence after the failure (Tdown, with path hunting) and
 /// after the failed routers come back (Tup, monotone new information).
 pub fn ext_updown(opts: FigOpts) -> FigureData {
-    use bgpsim_topology::region::FailureSpec;
     use crate::network::{Network, SimConfig};
     use bgpsim_des::RngStreams;
+    use bgpsim_topology::region::FailureSpec;
     use rand::Rng;
 
-    let mut down_series = Series { name: "failure (Tdown)".into(), points: Vec::new() };
-    let mut up_series = Series { name: "recovery (Tup)".into(), points: Vec::new() };
+    let mut down_series = Series {
+        name: "failure (Tdown)".into(),
+        points: Vec::new(),
+    };
+    let mut up_series = Series {
+        name: "recovery (Tup)".into(),
+        points: Vec::new(),
+    };
     for &f in &EXT_FRACTIONS {
         let (mut down_sum, mut up_sum) = (0.0, 0.0);
         for trial in 0..opts.trials {
             let streams = RngStreams::new(opts.base_seed);
             let mut topo_rng = streams.stream("topology", u64::from(trial));
-            let topo =
-                TopologySpec::seventy_thirty(opts.nodes).generate(&mut topo_rng);
+            let topo = TopologySpec::seventy_thirty(opts.nodes).generate(&mut topo_rng);
             let seed: u64 = streams.stream("sim-seed", u64::from(trial)).gen();
             let cfg = SimConfig::from_scheme(&Scheme::constant_mrai(1.25), seed);
             let mut net = Network::new(topo, cfg);
@@ -409,8 +443,12 @@ pub fn ext_updown(opts: FigOpts) -> FigureData {
             down_sum += down.convergence_delay.as_secs_f64();
             up_sum += up.convergence_delay.as_secs_f64();
         }
-        down_series.points.push((f * 100.0, down_sum / f64::from(opts.trials)));
-        up_series.points.push((f * 100.0, up_sum / f64::from(opts.trials)));
+        down_series
+            .points
+            .push((f * 100.0, down_sum / f64::from(opts.trials)));
+        up_series
+            .points
+            .push((f * 100.0, up_sum / f64::from(opts.trials)));
     }
     FigureData {
         id: "ext-updown".into(),
@@ -426,14 +464,19 @@ pub fn ext_updown(opts: FigOpts) -> FigureData {
 /// link failures keep every prefix alive, so the re-convergence is pure
 /// rerouting without the withdrawal storms of dead destinations.
 pub fn ext_link_failures(opts: FigOpts) -> FigureData {
-    use bgpsim_topology::region::{central_link_fraction, FailureSpec};
     use crate::network::{Network, SimConfig};
     use bgpsim_des::RngStreams;
+    use bgpsim_topology::region::{central_link_fraction, FailureSpec};
     use rand::Rng;
 
-    let mut routers_series =
-        Series { name: "router failures".into(), points: Vec::new() };
-    let mut links_series = Series { name: "link failures".into(), points: Vec::new() };
+    let mut routers_series = Series {
+        name: "router failures".into(),
+        points: Vec::new(),
+    };
+    let mut links_series = Series {
+        name: "link failures".into(),
+        points: Vec::new(),
+    };
     for &f in &EXT_FRACTIONS {
         let (mut router_sum, mut link_sum) = (0.0, 0.0);
         for trial in 0..opts.trials {
@@ -455,8 +498,12 @@ pub fn ext_link_failures(opts: FigOpts) -> FigureData {
             net.inject_link_failure(&links);
             link_sum += net.run_to_quiescence().convergence_delay.as_secs_f64();
         }
-        routers_series.points.push((f * 100.0, router_sum / f64::from(opts.trials)));
-        links_series.points.push((f * 100.0, link_sum / f64::from(opts.trials)));
+        routers_series
+            .points
+            .push((f * 100.0, router_sum / f64::from(opts.trials)));
+        links_series
+            .points
+            .push((f * 100.0, link_sum / f64::from(opts.trials)));
     }
     FigureData {
         id: "ext-links".into(),
@@ -502,7 +549,9 @@ pub fn ext_ibgp(opts: FigOpts) -> FigureData {
     let entries = vec![
         (Scheme::constant_mrai(0.5).named("full mesh"), topo.clone()),
         (
-            Scheme::constant_mrai(0.5).with_route_reflection().named("route reflectors"),
+            Scheme::constant_mrai(0.5)
+                .with_route_reflection()
+                .named("route reflectors"),
             topo,
         ),
     ];
@@ -517,7 +566,7 @@ pub fn ext_ibgp(opts: FigOpts) -> FigureData {
 }
 
 /// Every extension experiment, with its regenerating function.
-pub fn all_extensions() -> Vec<(&'static str, fn(FigOpts) -> FigureData)> {
+pub fn all_extensions() -> Vec<(&'static str, FigureFn)> {
     vec![
         ("ext-size", ext_size_sensitivity),
         ("ext-detectors", ext_detector_comparison),
@@ -542,7 +591,12 @@ mod tests {
     use super::*;
 
     fn tiny() -> FigOpts {
-        FigOpts { nodes: 24, trials: 1, base_seed: 3, threads: None }
+        FigOpts {
+            nodes: 24,
+            trials: 1,
+            base_seed: 3,
+            threads: None,
+        }
     }
 
     #[test]
@@ -567,7 +621,10 @@ mod tests {
     fn link_failure_extension_runs() {
         let data = ext_link_failures(tiny());
         assert_eq!(data.series.len(), 2);
-        assert!(data.series.iter().all(|s| s.points.len() == EXT_FRACTIONS.len()));
+        assert!(data
+            .series
+            .iter()
+            .all(|s| s.points.len() == EXT_FRACTIONS.len()));
     }
 
     #[test]

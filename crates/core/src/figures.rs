@@ -90,6 +90,10 @@ impl FigureData {
     }
 }
 
+/// A figure-regenerating function, as listed by [`all_figures`] (and the
+/// extension experiments' `all_extensions`).
+pub type FigureFn = fn(FigOpts) -> FigureData;
+
 /// Sizing knobs for figure regeneration.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct FigOpts {
@@ -105,14 +109,24 @@ pub struct FigOpts {
 
 impl Default for FigOpts {
     fn default() -> FigOpts {
-        FigOpts { nodes: 120, trials: 3, base_seed: 2006, threads: None }
+        FigOpts {
+            nodes: 120,
+            trials: 3,
+            base_seed: 2006,
+            threads: None,
+        }
     }
 }
 
 impl FigOpts {
     /// A scaled-down configuration for quick runs and tests.
     pub fn quick() -> FigOpts {
-        FigOpts { nodes: 40, trials: 1, base_seed: 2006, threads: None }
+        FigOpts {
+            nodes: 40,
+            trials: 1,
+            base_seed: 2006,
+            threads: None,
+        }
     }
 }
 
@@ -267,8 +281,16 @@ pub fn fig04(opts: FigOpts) -> FigureData {
         "Convergence delay for different topologies",
         &[
             ("50-50".into(), TopologySpec::fifty_fifty(opts.nodes), 0.05),
-            ("70-30".into(), TopologySpec::seventy_thirty(opts.nodes), 0.05),
-            ("85-15".into(), TopologySpec::eighty_five_fifteen(opts.nodes), 0.05),
+            (
+                "70-30".into(),
+                TopologySpec::seventy_thirty(opts.nodes),
+                0.05,
+            ),
+            (
+                "85-15".into(),
+                TopologySpec::eighty_five_fifteen(opts.nodes),
+                0.05,
+            ),
         ],
         &MRAI_SWEEP,
         false,
@@ -282,8 +304,16 @@ pub fn fig05(opts: FigOpts) -> FigureData {
         "fig05",
         "Effect of average degree on convergence delay",
         &[
-            ("avg degree 3.8".into(), TopologySpec::fifty_fifty(opts.nodes), 0.05),
-            ("avg degree 7.6".into(), TopologySpec::fifty_fifty_dense(opts.nodes), 0.05),
+            (
+                "avg degree 3.8".into(),
+                TopologySpec::fifty_fifty(opts.nodes),
+                0.05,
+            ),
+            (
+                "avg degree 7.6".into(),
+                TopologySpec::fifty_fifty_dense(opts.nodes),
+                0.05,
+            ),
         ],
         &MRAI_SWEEP,
         false,
@@ -447,7 +477,7 @@ pub fn fig13(opts: FigOpts) -> FigureData {
 }
 
 /// Every figure in order, with its regenerating function.
-pub fn all_figures() -> Vec<(&'static str, fn(FigOpts) -> FigureData)> {
+pub fn all_figures() -> Vec<(&'static str, FigureFn)> {
     vec![
         ("fig01", fig01),
         ("fig02", fig02),
@@ -471,7 +501,12 @@ mod tests {
 
     #[test]
     fn fig01_quick_has_expected_shape() {
-        let data = fig01(FigOpts { nodes: 30, trials: 1, base_seed: 1, threads: None });
+        let data = fig01(FigOpts {
+            nodes: 30,
+            trials: 1,
+            base_seed: 1,
+            threads: None,
+        });
         assert_eq!(data.series.len(), 3);
         for s in &data.series {
             assert_eq!(s.points.len(), FAILURE_FRACTIONS.len());

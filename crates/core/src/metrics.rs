@@ -19,6 +19,12 @@ pub struct RunStats {
     pub withdrawals: u64,
     /// Work items actually processed across all surviving routers.
     pub updates_processed: u64,
+    /// Decision-process executions across all surviving routers.
+    pub decision_runs: u64,
+    /// Decision runs that fell back to a full Adj-RIB-In rescan.
+    pub full_rescans: u64,
+    /// Decision runs resolved on the incremental fast path.
+    pub fast_decisions: u64,
     /// Stale updates deleted unprocessed by the batching discipline.
     pub stale_deleted: u64,
     /// Largest input-queue length observed at any router.
@@ -87,8 +93,11 @@ impl Aggregate {
         if self.runs.is_empty() {
             return 0.0;
         }
-        let mut delays: Vec<f64> =
-            self.runs.iter().map(|r| r.convergence_delay.as_secs_f64()).collect();
+        let mut delays: Vec<f64> = self
+            .runs
+            .iter()
+            .map(|r| r.convergence_delay.as_secs_f64())
+            .collect();
         delays.sort_by(|a, b| a.partial_cmp(b).expect("finite delays"));
         let pos = q * (delays.len() - 1) as f64;
         let (lo, hi) = (pos.floor() as usize, pos.ceil() as usize);
@@ -198,8 +207,7 @@ mod tests {
     #[test]
     fn ci_shrinks_with_more_trials() {
         let two = Aggregate::new(vec![run(10, 0), run(20, 0)]);
-        let four =
-            Aggregate::new(vec![run(10, 0), run(20, 0), run(10, 0), run(20, 0)]);
+        let four = Aggregate::new(vec![run(10, 0), run(20, 0), run(10, 0), run(20, 0)]);
         assert!(four.delay_ci95_secs() < two.delay_ci95_secs());
     }
 

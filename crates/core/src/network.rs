@@ -19,8 +19,8 @@
 
 use bgpsim_bgp::config::MraiPolicy;
 use bgpsim_bgp::mrai::MraiScope;
-use bgpsim_bgp::policy::{relationship_by_tier, PolicyMode, Relationship};
 use bgpsim_bgp::node::Action;
+use bgpsim_bgp::policy::{relationship_by_tier, PolicyMode, Relationship};
 use bgpsim_bgp::queue::QueueDiscipline;
 use bgpsim_bgp::{BgpNode, NodeConfig, Prefix, UpdateMsg};
 use bgpsim_des::{RngStreams, Scheduler, SimDuration, SimTime};
@@ -212,17 +212,31 @@ enum Ev {
     /// `node` originates one of its AS's prefixes.
     Originate { node: RouterId, prefix: Prefix },
     /// `msg` from `from` arrives at `to` after the link delay.
-    Deliver { to: RouterId, from: RouterId, msg: UpdateMsg },
+    Deliver {
+        to: RouterId,
+        from: RouterId,
+        msg: UpdateMsg,
+    },
     /// `node`'s in-service batch completes.
     ProcDone { node: RouterId },
     /// An MRAI timer of `node` towards `peer` expires.
-    MraiExpiry { node: RouterId, peer: RouterId, prefix: Option<Prefix>, gen: u64 },
+    MraiExpiry {
+        node: RouterId,
+        peer: RouterId,
+        prefix: Option<Prefix>,
+        gen: u64,
+    },
     /// `node` detects the loss of its session with `peer`.
     PeerDown { node: RouterId, peer: RouterId },
     /// `node` (re-)establishes its session with `peer`.
     PeerUp { node: RouterId, peer: RouterId },
     /// A flap-damping reuse timer of `node` for `peer`'s route expires.
-    ReuseExpiry { node: RouterId, peer: RouterId, prefix: Prefix, gen: u64 },
+    ReuseExpiry {
+        node: RouterId,
+        peer: RouterId,
+        prefix: Prefix,
+        gen: u64,
+    },
 }
 
 /// Wall-clock gap between initial convergence and failure injection.
@@ -238,7 +252,10 @@ fn as_tiers(topo: &Topology) -> Vec<usize> {
     // AS-level adjacency from inter-AS links.
     let mut adj: Vec<Vec<usize>> = vec![Vec::new(); num_ases];
     for e in topo.edges() {
-        let (a, b) = (topo.router(e.a()).as_id.index(), topo.router(e.b()).as_id.index());
+        let (a, b) = (
+            topo.router(e.a()).as_id.index(),
+            topo.router(e.b()).as_id.index(),
+        );
         if a != b {
             adj[a].push(b);
             adj[b].push(a);
@@ -256,8 +273,7 @@ fn as_tiers(topo: &Topology) -> Vec<usize> {
     // path), fall back to the maximum-degree set.
     let core = as_core_numbers(&adj);
     let max_core = core.iter().copied().max().unwrap_or(0);
-    let mut tier0: Vec<usize> =
-        (0..num_ases).filter(|&a| core[a] == max_core).collect();
+    let mut tier0: Vec<usize> = (0..num_ases).filter(|&a| core[a] == max_core).collect();
     if tier0.len() == num_ases {
         let top = degrees.iter().copied().max().unwrap_or(0);
         tier0 = (0..num_ases).filter(|&a| degrees[a] == top).collect();
@@ -295,14 +311,22 @@ fn build_node_config(cfg: &SimConfig, topo: &Topology, r: RouterId) -> NodeConfi
         && topo.as_members(topo.router(r).as_id).first() == Some(&r);
     let mrai = match &cfg.mrai {
         MraiAssignment::Uniform(p) => p.clone(),
-        MraiAssignment::DegreeDependent { high_degree_min, low, high } => {
+        MraiAssignment::DegreeDependent {
+            high_degree_min,
+            low,
+            high,
+        } => {
             if topo.degree(r) >= *high_degree_min {
                 MraiPolicy::Constant(*high)
             } else {
                 MraiPolicy::Constant(*low)
             }
         }
-        MraiAssignment::DynamicAtHighDegree { high_degree_min, low, dynamic } => {
+        MraiAssignment::DynamicAtHighDegree {
+            high_degree_min,
+            low,
+            dynamic,
+        } => {
             if topo.degree(r) >= *high_degree_min {
                 MraiPolicy::Dynamic(dynamic.clone())
             } else {
@@ -325,7 +349,11 @@ fn build_node_config(cfg: &SimConfig, topo: &Topology, r: RouterId) -> NodeConfi
         proc_max: cfg.proc_max,
         queue: cfg.queue,
         expedite_improvements: cfg.expedite_improvements,
-        policy: if cfg.policy { PolicyMode::GaoRexford } else { PolicyMode::None },
+        policy: if cfg.policy {
+            PolicyMode::GaoRexford
+        } else {
+            PolicyMode::None
+        },
         damping: cfg.damping,
         route_reflector,
     }
@@ -504,7 +532,7 @@ impl Network {
         let mut origin_of_prefix: Vec<RouterId> = Vec::with_capacity(topo.num_ases() * k);
         for a in topo.as_ids() {
             let origin = *topo.as_members(a).first().expect("AS has members");
-            origin_of_prefix.extend(std::iter::repeat(origin).take(k));
+            origin_of_prefix.extend(std::iter::repeat_n(origin, k));
         }
 
         Network {
@@ -560,18 +588,15 @@ impl Network {
             if !self.topo.is_inter_as(a, b) {
                 continue;
             }
-            let inserted =
-                self.dead_links.insert((a.index() as u32, b.index() as u32));
+            let inserted = self.dead_links.insert((a.index() as u32, b.index() as u32));
             if !inserted {
                 continue;
             }
             killed += 1;
             for (node, peer) in [(a, b), (b, a)] {
                 if self.is_alive(node) {
-                    self.sched.schedule(
-                        t_f + self.cfg.detection_delay,
-                        Ev::PeerDown { node, peer },
-                    );
+                    self.sched
+                        .schedule(t_f + self.cfg.detection_delay, Ev::PeerDown { node, peer });
                 }
             }
         }
@@ -640,7 +665,10 @@ impl Network {
 
     /// Whether `r` is still alive (not failed).
     pub fn is_alive(&self, r: RouterId) -> bool {
-        self.nodes.get(r.index()).map(Option::is_some).unwrap_or(false)
+        self.nodes
+            .get(r.index())
+            .map(Option::is_some)
+            .unwrap_or(false)
     }
 
     /// Read access to a live router.
@@ -671,11 +699,15 @@ impl Network {
         let streams = RngStreams::new(self.cfg.seed);
         let mut rng = streams.stream("originate", 0);
         for (idx, &origin) in self.origin_of_prefix.clone().iter().enumerate() {
-            let at = SimTime::from_nanos(
-                rng.gen_range(0..=self.cfg.origination_window.as_nanos()),
-            );
+            let at = SimTime::from_nanos(rng.gen_range(0..=self.cfg.origination_window.as_nanos()));
             let prefix = Prefix::new(idx as u32);
-            self.sched.schedule(at, Ev::Originate { node: origin, prefix });
+            self.sched.schedule(
+                at,
+                Ev::Originate {
+                    node: origin,
+                    prefix,
+                },
+            );
         }
         self.pump();
         self.initial_convergence = self.last_activity.saturating_since(SimTime::ZERO);
@@ -716,7 +748,13 @@ impl Network {
                             hold.saturating_sub(SimDuration::from_nanos(slack))
                         }
                     };
-                    self.sched.schedule(t_f + lag, Ev::PeerDown { node: peer, peer: f });
+                    self.sched.schedule(
+                        t_f + lag,
+                        Ev::PeerDown {
+                            node: peer,
+                            peer: f,
+                        },
+                    );
                 }
             }
         }
@@ -755,8 +793,9 @@ impl Network {
     ///
     /// Panics if called before [`inject_failure`](Network::inject_failure).
     pub fn run_to_quiescence(&mut self) -> RunStats {
-        let failure_time =
-            self.failure_time.expect("inject_failure must be called before run_to_quiescence");
+        let failure_time = self
+            .failure_time
+            .expect("inject_failure must be called before run_to_quiescence");
         self.pump();
         let mut stats = RunStats {
             convergence_delay: self.last_activity.saturating_since(failure_time),
@@ -771,6 +810,9 @@ impl Network {
         for node in self.nodes.iter().flatten() {
             let s = node.stats();
             stats.updates_processed += s.updates_processed;
+            stats.decision_runs += s.decision_runs;
+            stats.full_rescans += s.full_rescans;
+            stats.fast_decisions += s.fast_decisions;
             stats.stale_deleted += node.stale_deleted();
             stats.peak_queue = stats.peak_queue.max(node.queue_peak());
         }
@@ -831,7 +873,10 @@ impl Network {
                 if origin == r {
                     self.sched.schedule(
                         t_up,
-                        Ev::Originate { node: r, prefix: Prefix::new(p_idx as u32) },
+                        Ev::Originate {
+                            node: r,
+                            prefix: Prefix::new(p_idx as u32),
+                        },
                     );
                 }
             }
@@ -844,7 +889,13 @@ impl Network {
                     // The reverse direction: co-revived peers schedule their
                     // own half in their loop iteration.
                     if !routers.contains(&peer) {
-                        self.sched.schedule(t_up, Ev::PeerUp { node: peer, peer: r });
+                        self.sched.schedule(
+                            t_up,
+                            Ev::PeerUp {
+                                node: peer,
+                                peer: r,
+                            },
+                        );
                     }
                 }
             }
@@ -867,12 +918,12 @@ impl Network {
 
     /// Drains the event queue.
     fn pump(&mut self) {
+        // Set BGPSIM_DEBUG_PUMP=1 to watch event-loop progress (useful
+        // when diagnosing runaway simulations). Checked once per drain:
+        // an env lookup takes the env lock, far too slow per event.
+        let debug_pump = std::env::var_os("BGPSIM_DEBUG_PUMP").is_some();
         while let Some((t, ev)) = self.sched.next() {
-            // Set BGPSIM_DEBUG_PUMP=1 to watch event-loop progress (useful
-            // when diagnosing runaway simulations).
-            if std::env::var_os("BGPSIM_DEBUG_PUMP").is_some()
-                && self.sched.delivered_count() % 1_000_000 == 0
-            {
+            if debug_pump && self.sched.delivered_count().is_multiple_of(1_000_000) {
                 eprintln!(
                     "[pump] events={} simtime={t} pending={}",
                     self.sched.delivered_count(),
@@ -893,25 +944,38 @@ impl Network {
     fn handle(&mut self, t: SimTime, ev: Ev) {
         match ev {
             Ev::Originate { node, prefix } => {
-                let Some(n) = self.nodes[node.index()].as_mut() else { return };
+                let Some(n) = self.nodes[node.index()].as_mut() else {
+                    return;
+                };
                 let actions = n.originate(t, prefix);
                 self.last_activity = t;
                 self.exec(node, actions);
             }
             Ev::Deliver { to, from, msg } => {
-                let Some(n) = self.nodes[to.index()].as_mut() else { return };
+                let Some(n) = self.nodes[to.index()].as_mut() else {
+                    return;
+                };
                 self.last_activity = t;
                 let actions = n.on_update(t, from, msg);
                 self.exec(to, actions);
             }
             Ev::ProcDone { node } => {
-                let Some(n) = self.nodes[node.index()].as_mut() else { return };
+                let Some(n) = self.nodes[node.index()].as_mut() else {
+                    return;
+                };
                 self.last_activity = t;
                 let actions = n.on_proc_done(t);
                 self.exec(node, actions);
             }
-            Ev::MraiExpiry { node, peer, prefix, gen } => {
-                let Some(n) = self.nodes[node.index()].as_mut() else { return };
+            Ev::MraiExpiry {
+                node,
+                peer,
+                prefix,
+                gen,
+            } => {
+                let Some(n) = self.nodes[node.index()].as_mut() else {
+                    return;
+                };
                 let actions = n.on_mrai_expiry(t, peer, prefix, gen);
                 if !actions.is_empty() {
                     self.last_activity = t;
@@ -919,12 +983,21 @@ impl Network {
                 self.exec(node, actions);
             }
             Ev::PeerDown { node, peer } => {
-                let Some(n) = self.nodes[node.index()].as_mut() else { return };
+                let Some(n) = self.nodes[node.index()].as_mut() else {
+                    return;
+                };
                 let actions = n.on_peer_down(t, peer);
                 self.exec(node, actions);
             }
-            Ev::ReuseExpiry { node, peer, prefix, gen } => {
-                let Some(n) = self.nodes[node.index()].as_mut() else { return };
+            Ev::ReuseExpiry {
+                node,
+                peer,
+                prefix,
+                gen,
+            } => {
+                let Some(n) = self.nodes[node.index()].as_mut() else {
+                    return;
+                };
                 let actions = n.on_reuse_expiry(t, peer, prefix, gen);
                 if !actions.is_empty() {
                     self.last_activity = t;
@@ -937,7 +1010,9 @@ impl Network {
                 }
                 let ibgp = !self.topo.is_inter_as(node, peer);
                 let rel = self.relationship_between(node, peer);
-                let Some(n) = self.nodes[node.index()].as_mut() else { return };
+                let Some(n) = self.nodes[node.index()].as_mut() else {
+                    return;
+                };
                 self.last_activity = t;
                 let actions = n.on_peer_up(t, peer, ibgp, rel);
                 self.exec(node, actions);
@@ -959,23 +1034,48 @@ impl Network {
                     if self.is_alive(to) {
                         self.sched.schedule_after(
                             self.cfg.link_delay,
-                            Ev::Deliver { to, from: origin, msg },
+                            Ev::Deliver {
+                                to,
+                                from: origin,
+                                msg,
+                            },
                         );
                     }
                 }
                 Action::StartProcessing { duration } => {
-                    self.sched.schedule_after(duration, Ev::ProcDone { node: origin });
+                    self.sched
+                        .schedule_after(duration, Ev::ProcDone { node: origin });
                 }
-                Action::StartMrai { peer, prefix, delay, gen } => {
+                Action::StartMrai {
+                    peer,
+                    prefix,
+                    delay,
+                    gen,
+                } => {
                     self.sched.schedule_after(
                         delay,
-                        Ev::MraiExpiry { node: origin, peer, prefix, gen },
+                        Ev::MraiExpiry {
+                            node: origin,
+                            peer,
+                            prefix,
+                            gen,
+                        },
                     );
                 }
-                Action::StartReuse { peer, prefix, delay, gen } => {
+                Action::StartReuse {
+                    peer,
+                    prefix,
+                    delay,
+                    gen,
+                } => {
                     self.sched.schedule_after(
                         delay,
-                        Ev::ReuseExpiry { node: origin, peer, prefix, gen },
+                        Ev::ReuseExpiry {
+                            node: origin,
+                            peer,
+                            prefix,
+                            gen,
+                        },
                     );
                 }
             }
@@ -1168,9 +1268,7 @@ impl Network {
                         );
                     }
                     (Some(d), None) => {
-                        panic!(
-                            "router {r}: no route to reachable {prefix} (distance {d})"
-                        );
+                        panic!("router {r}: no route to reachable {prefix} (distance {d})");
                     }
                     (None, Some(_)) if !own => {
                         panic!("router {r}: stale route to unreachable {prefix}");
@@ -1248,9 +1346,18 @@ mod tests {
         // A tiny line a–b–c: fail c explicitly; a and b reconverge.
         use bgpsim_topology::{Point, Router};
         let routers = vec![
-            Router { as_id: AsId::new(0), pos: Point::new(0.0, 0.0) },
-            Router { as_id: AsId::new(1), pos: Point::new(1.0, 0.0) },
-            Router { as_id: AsId::new(2), pos: Point::new(2.0, 0.0) },
+            Router {
+                as_id: AsId::new(0),
+                pos: Point::new(0.0, 0.0),
+            },
+            Router {
+                as_id: AsId::new(1),
+                pos: Point::new(1.0, 0.0),
+            },
+            Router {
+                as_id: AsId::new(2),
+                pos: Point::new(2.0, 0.0),
+            },
         ];
         let topo = Topology::new(
             routers,
@@ -1263,8 +1370,7 @@ mod tests {
         let mut net = Network::new(topo, SimConfig::new(5));
         net.run_initial_convergence();
         net.assert_routing_consistent();
-        let failed =
-            net.inject_failure(&FailureSpec::Explicit(vec![RouterId::new(2)]));
+        let failed = net.inject_failure(&FailureSpec::Explicit(vec![RouterId::new(2)]));
         assert_eq!(failed, vec![RouterId::new(2)]);
         let stats = net.run_to_quiescence();
         net.assert_routing_consistent();
@@ -1297,12 +1403,18 @@ mod tests {
     #[test]
     fn sampling_records_timeline() {
         let topo = small_topo(12, 30);
-        let mut net =
-            Network::new(topo, SimConfig::from_scheme(&crate::Scheme::dynamic_default(), 40));
+        let mut net = Network::new(
+            topo,
+            SimConfig::from_scheme(&crate::Scheme::dynamic_default(), 40),
+        );
         net.enable_sampling(SimDuration::from_millis(500));
         net.run_failure_experiment(&FailureSpec::CenterFraction(0.1));
         let samples = net.samples();
-        assert!(samples.len() > 5, "expected a timeline, got {}", samples.len());
+        assert!(
+            samples.len() > 5,
+            "expected a timeline, got {}",
+            samples.len()
+        );
         assert!(
             samples.windows(2).all(|w| w[0].time < w[1].time),
             "samples must be time-ordered"
@@ -1396,8 +1508,10 @@ mod tests {
     #[test]
     fn revived_routers_rejoin_consistently() {
         let topo = small_topo(40, 30);
-        let mut net =
-            Network::new(topo, SimConfig::from_scheme(&crate::Scheme::constant_mrai(0.5), 90));
+        let mut net = Network::new(
+            topo,
+            SimConfig::from_scheme(&crate::Scheme::constant_mrai(0.5), 90),
+        );
         net.run_initial_convergence();
         let failed = net.inject_failure(&FailureSpec::CenterFraction(0.1));
         net.run_to_quiescence();
@@ -1423,8 +1537,10 @@ mod tests {
         // faster than withdrawing one (Tdown) because no path hunting is
         // needed — new information replaces old monotonically.
         let topo = small_topo(41, 40);
-        let mut net =
-            Network::new(topo, SimConfig::from_scheme(&crate::Scheme::constant_mrai(2.25), 91));
+        let mut net = Network::new(
+            topo,
+            SimConfig::from_scheme(&crate::Scheme::constant_mrai(2.25), 91),
+        );
         net.run_initial_convergence();
         let failed = net.inject_failure(&FailureSpec::CenterFraction(0.1));
         let down = net.run_to_quiescence();
@@ -1443,8 +1559,10 @@ mod tests {
     #[should_panic(expected = "already alive")]
     fn reviving_alive_router_panics() {
         let topo = small_topo(42, 20);
-        let mut net =
-            Network::new(topo, SimConfig::from_scheme(&crate::Scheme::constant_mrai(0.5), 92));
+        let mut net = Network::new(
+            topo,
+            SimConfig::from_scheme(&crate::Scheme::constant_mrai(0.5), 92),
+        );
         net.run_initial_convergence();
         net.inject_failure(&FailureSpec::CenterFraction(0.0));
         net.revive_routers(&[RouterId::new(0)]);
@@ -1453,11 +1571,12 @@ mod tests {
     #[test]
     fn link_failures_reconverge_without_killing_routers() {
         let topo = small_topo(50, 40);
-        let mut net =
-            Network::new(topo, SimConfig::from_scheme(&crate::Scheme::constant_mrai(0.5), 95));
+        let mut net = Network::new(
+            topo,
+            SimConfig::from_scheme(&crate::Scheme::constant_mrai(0.5), 95),
+        );
         net.run_initial_convergence();
-        let links =
-            bgpsim_topology::region::central_link_fraction(net.topology(), 0.15);
+        let links = bgpsim_topology::region::central_link_fraction(net.topology(), 0.15);
         assert!(!links.is_empty());
         net.inject_link_failure(&links);
         let stats = net.run_to_quiescence();
@@ -1484,8 +1603,7 @@ mod tests {
                 SimConfig::from_scheme(&crate::Scheme::constant_mrai(1.25), 96),
             );
             net.run_initial_convergence();
-            let links =
-                bgpsim_topology::region::central_link_fraction(net.topology(), 0.10);
+            let links = bgpsim_topology::region::central_link_fraction(net.topology(), 0.10);
             net.inject_link_failure(&links);
             let stats = net.run_to_quiescence();
             net.assert_routing_consistent();
@@ -1511,8 +1629,9 @@ mod tests {
         use bgpsim_topology::multias::{generate_multi_as, MultiAsConfig};
         let mut rng = SmallRng::seed_from_u64(100);
         let topo = generate_multi_as(&MultiAsConfig::realistic(20), &mut rng).unwrap();
-        let scheme =
-            crate::Scheme::constant_mrai(0.5).with_route_reflection().named("RR");
+        let scheme = crate::Scheme::constant_mrai(0.5)
+            .with_route_reflection()
+            .named("RR");
         let mut net = Network::new(topo, SimConfig::from_scheme(&scheme, 101));
         net.run_initial_convergence();
         net.assert_routing_consistent();
@@ -1565,14 +1684,12 @@ mod tests {
         };
         let instant = run(crate::Scheme::constant_mrai(2.25), 70);
         let held = run(
-            crate::Scheme::constant_mrai(2.25)
-                .with_hold_timer(SimDuration::from_secs(90)),
+            crate::Scheme::constant_mrai(2.25).with_hold_timer(SimDuration::from_secs(90)),
             70,
         );
         // With a 90 s hold timer, detection alone is 60-90 s.
         assert!(
-            held.convergence_delay
-                >= instant.convergence_delay + SimDuration::from_secs(50),
+            held.convergence_delay >= instant.convergence_delay + SimDuration::from_secs(50),
             "hold-timer detection must dominate (instant {}, held {})",
             instant.convergence_delay,
             held.convergence_delay

@@ -27,16 +27,13 @@ use crate::network::Sample;
 /// assert!(line.ends_with("(peak 4)"));
 /// ```
 pub fn sparkline(samples: &[Sample]) -> String {
-    const BARS: [char; 8] =
-        ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
     let peak = samples.iter().map(|s| s.queued_updates).max().unwrap_or(0);
     let mut out = String::with_capacity(samples.len() + 16);
     for s in samples {
-        let idx = if peak == 0 {
-            0
-        } else {
-            (s.queued_updates * (BARS.len() - 1) + peak / 2) / peak
-        };
+        let idx = (s.queued_updates * (BARS.len() - 1) + peak / 2)
+            .checked_div(peak)
+            .unwrap_or(0);
         out.push(BARS[idx.min(BARS.len() - 1)]);
     }
     let _ = write!(out, " (peak {peak})");
@@ -205,8 +202,14 @@ mod tests {
             x_label: "MRAI (s)".into(),
             y_label: "delay (s)".into(),
             series: vec![
-                Series { name: "one".into(), points: vec![(0.5, 10.0), (1.0, 5.0)] },
-                Series { name: "two".into(), points: vec![(0.5, 12.0), (1.0, 6.0)] },
+                Series {
+                    name: "one".into(),
+                    points: vec![(0.5, 10.0), (1.0, 5.0)],
+                },
+                Series {
+                    name: "two".into(),
+                    points: vec![(0.5, 12.0), (1.0, 6.0)],
+                },
             ],
         }
     }

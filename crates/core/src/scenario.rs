@@ -79,7 +79,9 @@ impl Scenario {
     pub fn flapping(fraction: f64, cycles: usize) -> Scenario {
         let mut steps = Vec::with_capacity(cycles * 2);
         for _ in 0..cycles {
-            steps.push(ScenarioStep::FailRouters(FailureSpec::CenterFraction(fraction)));
+            steps.push(ScenarioStep::FailRouters(FailureSpec::CenterFraction(
+                fraction,
+            )));
             steps.push(ScenarioStep::ReviveAll);
         }
         Scenario::new(steps)
@@ -103,8 +105,7 @@ impl Scenario {
         net.run_initial_convergence();
         let mut down: Vec<RouterId> = Vec::new();
         let mut out = Vec::with_capacity(self.steps.len());
-        let mut failure_rng =
-            RngStreams::new(net.config().seed).stream("scenario-failures", 0);
+        let mut failure_rng = RngStreams::new(net.config().seed).stream("scenario-failures", 0);
         for step in &self.steps {
             match step {
                 ScenarioStep::FailRouters(spec) => {
@@ -145,7 +146,10 @@ mod tests {
     fn net(seed: u64, n: usize) -> Network {
         let mut rng = SmallRng::seed_from_u64(seed);
         let topo = skewed_topology(n, &SkewedSpec::seventy_thirty(), &mut rng).unwrap();
-        Network::new(topo, SimConfig::from_scheme(&Scheme::constant_mrai(0.5), seed))
+        Network::new(
+            topo,
+            SimConfig::from_scheme(&Scheme::constant_mrai(0.5), seed),
+        )
     }
 
     #[test]

@@ -107,9 +107,7 @@ impl Scheme {
     pub fn constant_mrai(secs: f64) -> Scheme {
         Scheme {
             name: format!("MRAI={secs}"),
-            mrai: MraiAssignment::Uniform(MraiPolicy::Constant(SimDuration::from_secs_f64(
-                secs,
-            ))),
+            mrai: MraiAssignment::Uniform(MraiPolicy::Constant(SimDuration::from_secs_f64(secs))),
             queue: QueueDiscipline::Fifo,
             overrides: SimOverrides::default(),
         }
@@ -134,9 +132,7 @@ impl Scheme {
     pub fn dynamic_default() -> Scheme {
         Scheme {
             name: "dynamic".into(),
-            mrai: MraiAssignment::Uniform(MraiPolicy::Dynamic(
-                DynamicMraiConfig::paper_default(),
-            )),
+            mrai: MraiAssignment::Uniform(MraiPolicy::Dynamic(DynamicMraiConfig::paper_default())),
             queue: QueueDiscipline::Fifo,
             overrides: SimOverrides::default(),
         }
@@ -149,7 +145,10 @@ impl Scheme {
             SimDuration::from_secs_f64(up_th),
             SimDuration::from_secs_f64(down_th),
         );
-        cfg.levels = levels.iter().map(|&s| SimDuration::from_secs_f64(s)).collect();
+        cfg.levels = levels
+            .iter()
+            .map(|&s| SimDuration::from_secs_f64(s))
+            .collect();
         Scheme {
             name: format!("dynamic up={up_th} down={down_th}"),
             mrai: MraiAssignment::Uniform(MraiPolicy::Dynamic(cfg)),
@@ -327,7 +326,11 @@ mod tests {
     fn degree_dependent_scheme_shape() {
         let s = Scheme::degree_dependent(0.5, 2.25, 8);
         match s.mrai {
-            MraiAssignment::DegreeDependent { high_degree_min, low, high } => {
+            MraiAssignment::DegreeDependent {
+                high_degree_min,
+                low,
+                high,
+            } => {
                 assert_eq!(high_degree_min, 8);
                 assert_eq!(low, SimDuration::from_millis(500));
                 assert_eq!(high, SimDuration::from_millis(2250));
@@ -342,7 +345,10 @@ mod tests {
         assert_eq!(s.queue, QueueDiscipline::Batched);
         let s = Scheme::batching_plus_dynamic();
         assert_eq!(s.queue, QueueDiscipline::Batched);
-        assert!(matches!(s.mrai, MraiAssignment::Uniform(MraiPolicy::Dynamic(_))));
+        assert!(matches!(
+            s.mrai,
+            MraiAssignment::Uniform(MraiPolicy::Dynamic(_))
+        ));
     }
 
     #[test]

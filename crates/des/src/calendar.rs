@@ -157,7 +157,14 @@ impl<E> CalendarQueue<E> {
             }
             idx -= 1;
         }
-        deque.insert(idx, Entry { at, id, payload: Some(payload) });
+        deque.insert(
+            idx,
+            Entry {
+                at,
+                id,
+                payload: Some(payload),
+            },
+        );
         id
     }
 
@@ -187,6 +194,9 @@ impl<E> CalendarQueue<E> {
     }
 
     /// Pops the next live event, advancing the clock.
+    // Not an `Iterator`: popping mutates the clock and needs `&mut self`
+    // with a lifetime-free item; the inherent name matches DES convention.
+    #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> Option<(SimTime, E)> {
         let (at, payload) = self.pop_min()?;
         self.now = at;
@@ -229,11 +239,7 @@ impl<E> CalendarQueue<E> {
         // Pass 2: everything is far away; take the global minimum.
         let mut best: Option<(SimTime, usize, usize)> = None;
         for (b, deque) in self.buckets.iter().enumerate() {
-            if let Some((i, entry)) = deque
-                .iter()
-                .enumerate()
-                .find(|(_, e)| e.payload.is_some())
-            {
+            if let Some((i, entry)) = deque.iter().enumerate().find(|(_, e)| e.payload.is_some()) {
                 if best.map(|(t, _, _)| entry.at < t).unwrap_or(true) {
                     best = Some((entry.at, b, i));
                 }
@@ -274,8 +280,7 @@ mod tests {
     #[test]
     fn far_future_events_beyond_one_year() {
         // 4 buckets × 1 ms = 4 ms year; schedule 10 s out.
-        let mut q: CalendarQueue<u32> =
-            CalendarQueue::with_shape(4, SimDuration::from_millis(1));
+        let mut q: CalendarQueue<u32> = CalendarQueue::with_shape(4, SimDuration::from_millis(1));
         q.schedule(SimTime::from_secs(10), 1);
         q.schedule(SimTime::from_millis(1), 0);
         assert_eq!(q.next().unwrap().1, 0);
@@ -332,6 +337,9 @@ mod tests {
             }
         }
         assert_eq!(expected.len(), 60);
-        assert!(expected.windows(2).all(|w| w[0].0 <= w[1].0), "order violated");
+        assert!(
+            expected.windows(2).all(|w| w[0].0 <= w[1].0),
+            "order violated"
+        );
     }
 }

@@ -44,10 +44,7 @@ impl<E> Ord for Entry<E> {
     fn cmp(&self, other: &Self) -> Ordering {
         // Reversed: BinaryHeap is a max-heap but we want the earliest event
         // (smallest time, then smallest sequence number) on top.
-        other
-            .at
-            .cmp(&self.at)
-            .then_with(|| other.id.cmp(&self.id))
+        other.at.cmp(&self.at).then_with(|| other.id.cmp(&self.id))
     }
 }
 
@@ -59,9 +56,21 @@ mod tests {
     #[test]
     fn heap_pops_earliest_then_fifo() {
         let mut heap = BinaryHeap::new();
-        heap.push(Entry { at: SimTime::from_secs(2), id: EventId(0), payload: "late" });
-        heap.push(Entry { at: SimTime::from_secs(1), id: EventId(1), payload: "first" });
-        heap.push(Entry { at: SimTime::from_secs(1), id: EventId(2), payload: "second" });
+        heap.push(Entry {
+            at: SimTime::from_secs(2),
+            id: EventId(0),
+            payload: "late",
+        });
+        heap.push(Entry {
+            at: SimTime::from_secs(1),
+            id: EventId(1),
+            payload: "first",
+        });
+        heap.push(Entry {
+            at: SimTime::from_secs(1),
+            id: EventId(2),
+            payload: "second",
+        });
         assert_eq!(heap.pop().unwrap().payload, "first");
         assert_eq!(heap.pop().unwrap().payload, "second");
         assert_eq!(heap.pop().unwrap().payload, "late");

@@ -95,7 +95,10 @@ pub fn uniform_duration<R: Rng + ?Sized>(
     hi: SimDuration,
     rng: &mut R,
 ) -> SimDuration {
-    assert!(lo <= hi, "uniform_duration bounds out of order: {lo} > {hi}");
+    assert!(
+        lo <= hi,
+        "uniform_duration bounds out of order: {lo} > {hi}"
+    );
     if lo == hi {
         return lo;
     }

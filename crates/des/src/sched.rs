@@ -115,13 +115,43 @@ impl<E> Scheduler<E> {
         if id.0 >= self.next_id {
             return false;
         }
-        self.cancelled.insert(id)
+        let fresh = self.cancelled.insert(id);
+        if fresh {
+            self.maybe_purge();
+        }
+        fresh
+    }
+
+    /// Rebuilds the heap without tombstoned entries once the cancelled set
+    /// outgrows the live events.
+    ///
+    /// Cancellation is lazy, and a cancelled id whose entry was already
+    /// popped (or one that is never popped because the simulation drains
+    /// first) would otherwise pin its tombstone forever. Rebuilding is
+    /// `O(heap)`, amortized against having let at least as many
+    /// cancellations accumulate; delivery order is unaffected because
+    /// entries are totally ordered by `(time, id)`.
+    fn maybe_purge(&mut self) {
+        const MIN_TOMBSTONES: usize = 64;
+        if self.cancelled.len() < MIN_TOMBSTONES || self.cancelled.len() * 2 <= self.heap.len() {
+            return;
+        }
+        let mut entries = std::mem::take(&mut self.heap).into_vec();
+        entries.retain(|e| !self.cancelled.contains(&e.id));
+        self.heap = BinaryHeap::from(entries);
+        // Every tombstone either matched an entry just dropped or was
+        // already stale (its event popped before the cancel); either way
+        // it is spent now.
+        self.cancelled.clear();
     }
 
     /// Pops the next live event, advancing the clock to its timestamp.
     ///
     /// Returns `None` when no live events remain (the simulation has
     /// quiesced).
+    // Not an `Iterator`: popping mutates the clock and needs `&mut self`
+    // with a lifetime-free item; the inherent name matches DES convention.
+    #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> Option<(SimTime, E)> {
         while let Some(entry) = self.heap.pop() {
             if self.cancelled.remove(&entry.id) {
@@ -149,8 +179,12 @@ impl<E> Scheduler<E> {
     }
 
     /// Number of live (not yet fired, not cancelled) events.
+    ///
+    /// Saturating: a cancellation that raced an already-delivered event
+    /// leaves a tombstone with no matching heap entry until the next
+    /// purge, and must not make the count wrap.
     pub fn len(&self) -> usize {
-        self.heap.len() - self.cancelled.len()
+        self.heap.len().saturating_sub(self.cancelled.len())
     }
 
     /// Whether no live events remain.
@@ -288,6 +322,50 @@ mod tests {
         assert_eq!(s.now(), SimTime::from_secs(7));
         s.schedule_after(SimDuration::from_secs(1), 9);
         assert_eq!(s.next(), Some((SimTime::from_secs(8), 9)));
+    }
+
+    #[test]
+    fn purge_drops_tombstones_when_they_outgrow_live_events() {
+        let mut s: Scheduler<u32> = Scheduler::new();
+        let ids: Vec<EventId> = (0..200u64)
+            .map(|i| s.schedule(SimTime::from_secs(i + 1), i as u32))
+            .collect();
+        for id in &ids[..150] {
+            assert!(s.cancel(*id));
+        }
+        assert!(
+            s.cancelled.len() < 150,
+            "purge ran and retired tombstones (left: {})",
+            s.cancelled.len()
+        );
+        assert!(s.heap.len() < 200, "purge dropped cancelled heap entries");
+        assert_eq!(s.len(), 50);
+        let order: Vec<u32> = std::iter::from_fn(|| s.next().map(|(_, e)| e)).collect();
+        assert_eq!(
+            order,
+            (150..200).collect::<Vec<_>>(),
+            "delivery order survives purges"
+        );
+    }
+
+    #[test]
+    fn purge_retires_stale_tombstones() {
+        // Cancelling ids that already fired leaves tombstones with no
+        // matching heap entry; the purge must still retire them.
+        let mut s: Scheduler<u32> = Scheduler::new();
+        let ids: Vec<EventId> = (0..100u64)
+            .map(|i| s.schedule(SimTime::from_secs(i + 1), i as u32))
+            .collect();
+        while s.next().is_some() {}
+        for id in &ids {
+            s.cancel(*id);
+        }
+        assert!(
+            s.cancelled.len() < ids.len(),
+            "stale tombstones were purged"
+        );
+        assert_eq!(s.len(), 0, "no live events, however many tombstones linger");
+        assert!(s.is_empty());
     }
 
     #[test]

@@ -268,7 +268,10 @@ mod tests {
     #[test]
     fn conversions_round_trip() {
         assert_eq!(SimDuration::from_secs(2).as_nanos(), 2 * NANOS_PER_SEC);
-        assert_eq!(SimDuration::from_millis(25).as_nanos(), 25 * NANOS_PER_MILLI);
+        assert_eq!(
+            SimDuration::from_millis(25).as_nanos(),
+            25 * NANOS_PER_MILLI
+        );
         assert_eq!(SimDuration::from_micros(7).as_nanos(), 7 * NANOS_PER_MICRO);
         assert_eq!(SimDuration::from_secs_f64(0.5).as_secs_f64(), 0.5);
         assert_eq!(SimTime::from_secs(3).as_secs_f64(), 3.0);
@@ -279,7 +282,10 @@ mod tests {
         let t = SimTime::ZERO + SimDuration::from_secs(1);
         assert_eq!(t.as_nanos(), NANOS_PER_SEC);
         assert_eq!(t - SimTime::ZERO, SimDuration::from_secs(1));
-        assert_eq!(t - SimDuration::from_millis(500), SimTime::from_nanos(NANOS_PER_SEC / 2));
+        assert_eq!(
+            t - SimDuration::from_millis(500),
+            SimTime::from_nanos(NANOS_PER_SEC / 2)
+        );
         let mut u = t;
         u += SimDuration::from_secs(1);
         assert_eq!(u, SimTime::from_secs(2));
@@ -291,7 +297,10 @@ mod tests {
         assert_eq!(d * 3, SimDuration::from_millis(300));
         assert_eq!(d / 4, SimDuration::from_millis(25));
         assert_eq!(d + d, SimDuration::from_millis(200));
-        assert_eq!(d - SimDuration::from_millis(40), SimDuration::from_millis(60));
+        assert_eq!(
+            d - SimDuration::from_millis(40),
+            SimDuration::from_millis(60)
+        );
         assert_eq!(d.mul_f64(0.75), SimDuration::from_millis(75));
         assert!(SimDuration::ZERO.is_zero());
         assert!(!d.is_zero());
@@ -314,7 +323,10 @@ mod tests {
         let total: SimDuration = (1..=4).map(SimDuration::from_secs).sum();
         assert_eq!(total, SimDuration::from_secs(10));
         assert!(SimTime::from_secs(1) < SimTime::from_secs(2));
-        assert_eq!(SimTime::from_secs(1).max(SimTime::from_secs(2)), SimTime::from_secs(2));
+        assert_eq!(
+            SimTime::from_secs(1).max(SimTime::from_secs(2)),
+            SimTime::from_secs(2)
+        );
     }
 
     #[test]

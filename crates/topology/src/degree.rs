@@ -41,7 +41,12 @@ impl SkewedSpec {
     /// The paper's default "70-30" distribution: 70% degree 1–3, 30%
     /// degree 8 (average 3.8).
     pub fn seventy_thirty() -> SkewedSpec {
-        SkewedSpec { low_min: 1, low_max: 3, high: vec![(8, 1.0)], high_fraction: 0.3 }
+        SkewedSpec {
+            low_min: 1,
+            low_max: 3,
+            high: vec![(8, 1.0)],
+            high_fraction: 0.3,
+        }
     }
 
     /// "50-50": 50% degree 1–3, 50% degree 5 or 6, weighted so the average
@@ -57,7 +62,12 @@ impl SkewedSpec {
 
     /// "85-15": 85% degree 1–3, 15% degree 14 (average 3.8).
     pub fn eighty_five_fifteen() -> SkewedSpec {
-        SkewedSpec { low_min: 1, low_max: 3, high: vec![(14, 1.0)], high_fraction: 0.15 }
+        SkewedSpec {
+            low_min: 1,
+            low_max: 3,
+            high: vec![(14, 1.0)],
+            high_fraction: 0.15,
+        }
     }
 
     /// The dense "50-50" of Fig 5: high degrees 13 or 14 (high-class mean
@@ -75,8 +85,12 @@ impl SkewedSpec {
     pub fn mean(&self) -> f64 {
         let low_mean = f64::from(self.low_min + self.low_max) / 2.0;
         let wsum: f64 = self.high.iter().map(|&(_, w)| w).sum();
-        let high_mean: f64 =
-            self.high.iter().map(|&(d, w)| f64::from(d) * w).sum::<f64>() / wsum;
+        let high_mean: f64 = self
+            .high
+            .iter()
+            .map(|&(d, w)| f64::from(d) * w)
+            .sum::<f64>()
+            / wsum;
         (1.0 - self.high_fraction) * low_mean + self.high_fraction * high_mean
     }
 
@@ -192,8 +206,9 @@ impl DegreeSpec {
             DegreeSpec::PowerLaw { gamma, max_degree } => {
                 assert!(*max_degree >= 1, "max_degree must be at least 1");
                 // Inverse-CDF sampling over the discrete truncated power law.
-                let weights: Vec<f64> =
-                    (1..=*max_degree).map(|d| f64::from(d).powf(-gamma)).collect();
+                let weights: Vec<f64> = (1..=*max_degree)
+                    .map(|d| f64::from(d).powf(-gamma))
+                    .collect();
                 let total: f64 = weights.iter().sum();
                 (0..n)
                     .map(|_| {
@@ -255,7 +270,10 @@ pub fn internet_like(max_degree: u32, target_mean: f64) -> DegreeSpec {
             hi = mid;
         }
     }
-    DegreeSpec::PowerLaw { gamma: (lo + hi) / 2.0, max_degree }
+    DegreeSpec::PowerLaw {
+        gamma: (lo + hi) / 2.0,
+        max_degree,
+    }
 }
 
 /// Whether `degrees` is *graphical* — realizable as a simple undirected
@@ -288,8 +306,8 @@ pub fn is_graphical(degrees: &[u32]) -> bool {
     let mut lhs = 0u64;
     for k in 1..=sorted.len() {
         lhs += sorted[k - 1];
-        let rhs: u64 = k as u64 * (k as u64 - 1)
-            + sorted[k..].iter().map(|&d| d.min(k as u64)).sum::<u64>();
+        let rhs: u64 =
+            k as u64 * (k as u64 - 1) + sorted[k..].iter().map(|&d| d.min(k as u64)).sum::<u64>();
         if lhs > rhs {
             return false;
         }
@@ -366,7 +384,10 @@ mod tests {
     #[test]
     fn power_law_sample_in_range() {
         let mut rng = SmallRng::seed_from_u64(3);
-        let spec = DegreeSpec::PowerLaw { gamma: 2.2, max_degree: 40 };
+        let spec = DegreeSpec::PowerLaw {
+            gamma: 2.2,
+            max_degree: 40,
+        };
         let degrees = spec.sample(5000, &mut rng);
         assert!(degrees.iter().all(|&d| (1..=40).contains(&d)));
         // Heavy head: most mass at low degree.
@@ -415,7 +436,10 @@ mod tests {
     #[should_panic(expected = "high_fraction")]
     fn skewed_rejects_bad_fraction() {
         let mut rng = SmallRng::seed_from_u64(5);
-        let spec = SkewedSpec { high_fraction: 1.5, ..SkewedSpec::seventy_thirty() };
+        let spec = SkewedSpec {
+            high_fraction: 1.5,
+            ..SkewedSpec::seventy_thirty()
+        };
         let _ = spec.sample(10, &mut rng);
     }
 

@@ -54,10 +54,8 @@ pub fn from_degree_sequence<R: Rng + ?Sized>(
         if let Some(edges) = match_and_repair(degrees, rng) {
             let edges = connect(edges, n, rng);
             if let Some(edges) = edges {
-                let topo = crate::generators::single_as_topology(
-                    positions,
-                    edges.into_iter().collect(),
-                )?;
+                let topo =
+                    crate::generators::single_as_topology(positions, edges.into_iter().collect())?;
                 debug_assert!(topo.is_connected());
                 return Ok(topo);
             }
@@ -85,7 +83,7 @@ fn key(a: u32, b: u32) -> (u32, u32) {
 fn match_and_repair<R: Rng + ?Sized>(degrees: &[u32], rng: &mut R) -> Option<EdgeSet> {
     let mut stubs: Vec<u32> = Vec::new();
     for (i, &d) in degrees.iter().enumerate() {
-        stubs.extend(std::iter::repeat(i as u32).take(d as usize));
+        stubs.extend(std::iter::repeat_n(i as u32, d as usize));
     }
     // Fisher–Yates.
     for i in (1..stubs.len()).rev() {
@@ -112,7 +110,7 @@ fn match_and_repair<R: Rng + ?Sized>(degrees: &[u32], rng: &mut R) -> Option<Edg
                 return None;
             }
             budget -= 1;
-            let Some(&(x, y)) = pick_random(&edges, rng) else { return None };
+            let &(x, y) = pick_random(&edges, rng)?;
             // Two orientations; try the random one first.
             let (x, y) = if rng.gen::<bool>() { (x, y) } else { (y, x) };
             // All four endpoints must be pairwise usable: no self-loops and
@@ -177,8 +175,12 @@ fn connect<R: Rng + ?Sized>(mut edges: EdgeSet, n: usize, rng: &mut R) -> Option
             .iter()
             .find(|e| !bridge_set.contains(&key(e.0, e.1)))
             .copied()
-            .or_else(|| in_large.get(rng.gen_range(0..in_large.len().max(1))).copied());
-        let Some((a, b)) = e1 else { return None };
+            .or_else(|| {
+                in_large
+                    .get(rng.gen_range(0..in_large.len().max(1)))
+                    .copied()
+            });
+        let (a, b) = e1?;
         let (c, d) = in_other[rng.gen_range(0..in_other.len())];
 
         // Swap to (a, c) and (b, d), or the other orientation if blocked.
@@ -314,8 +316,7 @@ mod tests {
     fn realizes_exact_degrees() {
         let mut rng = SmallRng::seed_from_u64(17);
         let degrees = vec![3, 3, 2, 2, 2, 2, 1, 1];
-        let topo =
-            from_degree_sequence(&degrees, &uniform_positions(8), &mut rng).unwrap();
+        let topo = from_degree_sequence(&degrees, &uniform_positions(8), &mut rng).unwrap();
         for (i, &d) in degrees.iter().enumerate() {
             assert_eq!(
                 topo.degree(crate::graph::RouterId::new(i as u32)),
@@ -336,7 +337,10 @@ mod tests {
                 .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
             assert!(topo.is_connected(), "seed {seed} disconnected");
             for (i, &d) in degrees.iter().enumerate() {
-                assert_eq!(topo.degree(crate::graph::RouterId::new(i as u32)), d as usize);
+                assert_eq!(
+                    topo.degree(crate::graph::RouterId::new(i as u32)),
+                    d as usize
+                );
             }
         }
     }

@@ -28,7 +28,11 @@ pub struct GlpParams {
 impl Default for GlpParams {
     fn default() -> GlpParams {
         // Bu & Towsley's fit to the AS graph.
-        GlpParams { m: 1, p: 0.4695, beta: 0.6447 }
+        GlpParams {
+            m: 1,
+            p: 0.4695,
+            beta: 0.6447,
+        }
     }
 }
 
@@ -90,7 +94,11 @@ pub fn glp<R: Rng + ?Sized>(
     let mut degree: Vec<f64> = vec![0.0; n];
     let mut edges: std::collections::HashSet<(u32, u32)> = std::collections::HashSet::new();
     let mut add_edge = |a: usize, b: usize, degree: &mut Vec<f64>| -> bool {
-        let k = if a < b { (a as u32, b as u32) } else { (b as u32, a as u32) };
+        let k = if a < b {
+            (a as u32, b as u32)
+        } else {
+            (b as u32, a as u32)
+        };
         if a == b || !edges.insert(k) {
             return false;
         }
@@ -106,16 +114,16 @@ pub fn glp<R: Rng + ?Sized>(
     }
 
     while active < n {
-        let weights: Vec<f64> =
-            (0..active).map(|i| (degree[i] - params.beta).max(1e-9)).collect();
+        let weights: Vec<f64> = (0..active)
+            .map(|i| (degree[i] - params.beta).max(1e-9))
+            .collect();
         let items: Vec<usize> = (0..active).collect();
         if rng.gen::<f64>() < params.p {
             // Add m links between existing nodes.
             for _ in 0..params.m {
                 let mut placed = false;
                 for _ in 0..50 {
-                    let pick =
-                        weighted_sample_without_replacement(&items, &weights, 2, rng);
+                    let pick = weighted_sample_without_replacement(&items, &weights, 2, rng);
                     if pick.len() == 2 && add_edge(pick[0], pick[1], &mut degree) {
                         placed = true;
                         break;
@@ -128,12 +136,8 @@ pub fn glp<R: Rng + ?Sized>(
         } else {
             // Add a new node with m links.
             let new = active;
-            let picks = weighted_sample_without_replacement(
-                &items,
-                &weights,
-                params.m.min(active),
-                rng,
-            );
+            let picks =
+                weighted_sample_without_replacement(&items, &weights, params.m.min(active), rng);
             for t in picks {
                 add_edge(new, t, &mut degree);
             }
@@ -154,7 +158,15 @@ mod tests {
     fn glp_connected_and_heavy_tailed() {
         let mut rng = SmallRng::seed_from_u64(21);
         let pts = place(300, DensityModel::Uniform, &mut rng);
-        let topo = glp(&pts, GlpParams { m: 1, ..Default::default() }, &mut rng).unwrap();
+        let topo = glp(
+            &pts,
+            GlpParams {
+                m: 1,
+                ..Default::default()
+            },
+            &mut rng,
+        )
+        .unwrap();
         assert_eq!(topo.num_routers(), 300);
         assert!(topo.is_connected());
         let max_deg = topo.router_ids().map(|r| topo.degree(r)).max().unwrap();
@@ -164,7 +176,10 @@ mod tests {
     #[test]
     fn glp_is_deterministic_per_seed() {
         let pts = place(60, DensityModel::Uniform, &mut SmallRng::seed_from_u64(1));
-        let params = GlpParams { m: 2, ..Default::default() };
+        let params = GlpParams {
+            m: 2,
+            ..Default::default()
+        };
         let a = glp(&pts, params, &mut SmallRng::seed_from_u64(4)).unwrap();
         let b = glp(&pts, params, &mut SmallRng::seed_from_u64(4)).unwrap();
         assert_eq!(a.edges(), b.edges());
@@ -174,9 +189,33 @@ mod tests {
     fn glp_rejects_bad_params() {
         let mut rng = SmallRng::seed_from_u64(0);
         let pts = place(10, DensityModel::Uniform, &mut rng);
-        assert!(glp(&pts, GlpParams { m: 0, ..Default::default() }, &mut rng).is_err());
-        assert!(glp(&pts, GlpParams { p: 1.0, ..Default::default() }, &mut rng).is_err());
-        assert!(glp(&pts, GlpParams { beta: 1.0, ..Default::default() }, &mut rng).is_err());
+        assert!(glp(
+            &pts,
+            GlpParams {
+                m: 0,
+                ..Default::default()
+            },
+            &mut rng
+        )
+        .is_err());
+        assert!(glp(
+            &pts,
+            GlpParams {
+                p: 1.0,
+                ..Default::default()
+            },
+            &mut rng
+        )
+        .is_err());
+        assert!(glp(
+            &pts,
+            GlpParams {
+                beta: 1.0,
+                ..Default::default()
+            },
+            &mut rng
+        )
+        .is_err());
         assert!(glp(&[], GlpParams::default(), &mut rng).is_err());
     }
 
@@ -184,7 +223,15 @@ mod tests {
     fn glp_node_count_is_exact() {
         let mut rng = SmallRng::seed_from_u64(5);
         let pts = place(77, DensityModel::Uniform, &mut rng);
-        let topo = glp(&pts, GlpParams { m: 2, ..Default::default() }, &mut rng).unwrap();
+        let topo = glp(
+            &pts,
+            GlpParams {
+                m: 2,
+                ..Default::default()
+            },
+            &mut rng,
+        )
+        .unwrap();
         assert_eq!(topo.num_routers(), 77);
     }
 }

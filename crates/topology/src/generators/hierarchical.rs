@@ -35,7 +35,11 @@ impl HierarchicalParams {
     /// A 120-node three-tier Internet analogue: a 6-node core clique, 30
     /// regional providers, 84 edge ASes, dual-homed, light peering.
     pub fn three_tier_120() -> HierarchicalParams {
-        HierarchicalParams { tier_sizes: vec![6, 30, 84], providers: 2, peer_prob: 0.15 }
+        HierarchicalParams {
+            tier_sizes: vec![6, 30, 84],
+            providers: 2,
+            peer_prob: 0.15,
+        }
     }
 
     /// Scales [`three_tier_120`](Self::three_tier_120) proportionally to
@@ -44,7 +48,11 @@ impl HierarchicalParams {
         let top = (n / 20).max(3);
         let mid = (n / 4).max(top + 1);
         let edge = n.saturating_sub(top + mid).max(1);
-        HierarchicalParams { tier_sizes: vec![top, mid, edge], providers: 2, peer_prob: 0.15 }
+        HierarchicalParams {
+            tier_sizes: vec![top, mid, edge],
+            providers: 2,
+            peer_prob: 0.15,
+        }
     }
 
     /// Total node count.
@@ -57,7 +65,7 @@ impl HierarchicalParams {
     pub fn tier_vector(&self) -> Vec<usize> {
         let mut tiers = Vec::with_capacity(self.num_nodes());
         for (t, &size) in self.tier_sizes.iter().enumerate() {
-            tiers.extend(std::iter::repeat(t).take(size));
+            tiers.extend(std::iter::repeat_n(t, size));
         }
         tiers
     }
@@ -92,7 +100,7 @@ pub fn hierarchical<R: Rng + ?Sized>(
     params: &HierarchicalParams,
     rng: &mut R,
 ) -> Result<Topology, TopologyError> {
-    if params.tier_sizes.is_empty() || params.tier_sizes.iter().any(|&s| s == 0) {
+    if params.tier_sizes.is_empty() || params.tier_sizes.contains(&0) {
         return Err(TopologyError::GenerationFailed(
             "hierarchical tiers must be non-empty".into(),
         ));
@@ -123,7 +131,11 @@ pub fn hierarchical<R: Rng + ?Sized>(
     let mut edges: std::collections::BTreeSet<(u32, u32)> = std::collections::BTreeSet::new();
     let add = |a: usize, b: usize, edges: &mut std::collections::BTreeSet<(u32, u32)>| {
         if a != b {
-            let (x, y) = if a < b { (a as u32, b as u32) } else { (b as u32, a as u32) };
+            let (x, y) = if a < b {
+                (a as u32, b as u32)
+            } else {
+                (b as u32, a as u32)
+            };
             edges.insert((x, y));
         }
     };
@@ -163,8 +175,7 @@ pub fn hierarchical<R: Rng + ?Sized>(
         }
     }
 
-    let topo =
-        crate::generators::single_as_topology(&positions, edges.into_iter().collect())?;
+    let topo = crate::generators::single_as_topology(&positions, edges.into_iter().collect())?;
     debug_assert!(topo.is_connected());
     Ok(topo)
 }
@@ -212,19 +223,39 @@ mod tests {
     #[test]
     fn rejects_bad_params() {
         let mut rng = SmallRng::seed_from_u64(0);
-        let bad = HierarchicalParams { tier_sizes: vec![], providers: 2, peer_prob: 0.1 };
+        let bad = HierarchicalParams {
+            tier_sizes: vec![],
+            providers: 2,
+            peer_prob: 0.1,
+        };
         assert!(hierarchical(&bad, &mut rng).is_err());
-        let bad = HierarchicalParams { tier_sizes: vec![3, 0], providers: 2, peer_prob: 0.1 };
+        let bad = HierarchicalParams {
+            tier_sizes: vec![3, 0],
+            providers: 2,
+            peer_prob: 0.1,
+        };
         assert!(hierarchical(&bad, &mut rng).is_err());
-        let bad = HierarchicalParams { tier_sizes: vec![3, 5], providers: 0, peer_prob: 0.1 };
+        let bad = HierarchicalParams {
+            tier_sizes: vec![3, 5],
+            providers: 0,
+            peer_prob: 0.1,
+        };
         assert!(hierarchical(&bad, &mut rng).is_err());
-        let bad = HierarchicalParams { tier_sizes: vec![3, 5], providers: 2, peer_prob: 1.5 };
+        let bad = HierarchicalParams {
+            tier_sizes: vec![3, 5],
+            providers: 2,
+            peer_prob: 1.5,
+        };
         assert!(hierarchical(&bad, &mut rng).is_err());
     }
 
     #[test]
     fn tier_vector_matches_layout() {
-        let p = HierarchicalParams { tier_sizes: vec![2, 3], providers: 1, peer_prob: 0.0 };
+        let p = HierarchicalParams {
+            tier_sizes: vec![2, 3],
+            providers: 1,
+            peer_prob: 0.0,
+        };
         assert_eq!(p.tier_vector(), vec![0, 0, 1, 1, 1]);
     }
 

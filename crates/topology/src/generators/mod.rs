@@ -78,8 +78,7 @@ pub fn topology_from_spec<R: Rng + ?Sized>(
     for _ in 0..100 {
         let degrees = spec.sample(n, rng);
         if !crate::degree::is_graphical(&degrees) {
-            last_err =
-                TopologyError::GenerationFailed("sampled sequence not graphical".into());
+            last_err = TopologyError::GenerationFailed("sampled sequence not graphical".into());
             continue;
         }
         match from_degree_sequence(&degrees, &positions, rng) {
@@ -99,12 +98,18 @@ pub(crate) fn single_as_topology(
     let routers: Vec<Router> = positions
         .iter()
         .enumerate()
-        .map(|(i, &pos)| Router { as_id: AsId::new(i as u32), pos })
+        .map(|(i, &pos)| Router {
+            as_id: AsId::new(i as u32),
+            pos,
+        })
         .collect();
     Topology::new(
         routers,
         edges.into_iter().map(|(a, b)| {
-            (crate::graph::RouterId::new(a), crate::graph::RouterId::new(b))
+            (
+                crate::graph::RouterId::new(a),
+                crate::graph::RouterId::new(b),
+            )
         }),
     )
 }
@@ -122,7 +127,11 @@ mod tests {
         assert_eq!(topo.num_routers(), 120);
         assert_eq!(topo.num_ases(), 120);
         assert!(topo.is_connected());
-        assert!((topo.avg_degree() - 3.8).abs() < 0.3, "avg {}", topo.avg_degree());
+        assert!(
+            (topo.avg_degree() - 3.8).abs() < 0.3,
+            "avg {}",
+            topo.avg_degree()
+        );
         // High-degree class survives construction.
         let high = topo.router_ids().filter(|&r| topo.degree(r) >= 8).count();
         assert!((30..=42).contains(&high), "high-degree count {high}");

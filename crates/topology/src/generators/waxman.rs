@@ -25,7 +25,11 @@ pub struct WaxmanParams {
 
 impl Default for WaxmanParams {
     fn default() -> WaxmanParams {
-        WaxmanParams { alpha: 0.15, beta: 0.2, m: 2 }
+        WaxmanParams {
+            alpha: 0.15,
+            beta: 0.2,
+            m: 2,
+        }
     }
 }
 
@@ -58,7 +62,9 @@ pub fn waxman<R: Rng + ?Sized>(
         return Err(TopologyError::Empty);
     }
     if params.m == 0 {
-        return Err(TopologyError::GenerationFailed("waxman m must be ≥ 1".into()));
+        return Err(TopologyError::GenerationFailed(
+            "waxman m must be ≥ 1".into(),
+        ));
     }
     let n = positions.len();
     let max_dist = positions
@@ -130,18 +136,38 @@ mod tests {
     fn waxman_connected_with_expected_density() {
         let mut rng = SmallRng::seed_from_u64(8);
         let pts = place(120, DensityModel::Uniform, &mut rng);
-        let topo = waxman(&pts, WaxmanParams { m: 2, ..Default::default() }, &mut rng).unwrap();
+        let topo = waxman(
+            &pts,
+            WaxmanParams {
+                m: 2,
+                ..Default::default()
+            },
+            &mut rng,
+        )
+        .unwrap();
         assert!(topo.is_connected());
         // Incremental growth: exactly m·(n−m) + C(m+... ≈ 2(n−1)−1 edges for m=2.
-        assert!((topo.avg_degree() - 4.0).abs() < 1.0, "avg {}", topo.avg_degree());
+        assert!(
+            (topo.avg_degree() - 4.0).abs() < 1.0,
+            "avg {}",
+            topo.avg_degree()
+        );
     }
 
     #[test]
     fn waxman_prefers_short_links() {
         let mut rng = SmallRng::seed_from_u64(8);
         let pts = place(200, DensityModel::Uniform, &mut rng);
-        let topo = waxman(&pts, WaxmanParams { beta: 0.05, m: 2, alpha: 0.15 }, &mut rng)
-            .unwrap();
+        let topo = waxman(
+            &pts,
+            WaxmanParams {
+                beta: 0.05,
+                m: 2,
+                alpha: 0.15,
+            },
+            &mut rng,
+        )
+        .unwrap();
         let mean_len: f64 = topo
             .edges()
             .iter()
@@ -150,16 +176,27 @@ mod tests {
             / topo.num_edges() as f64;
         // Random pairs on the unit-1000 grid average ≈ 521; strong decay
         // must pull the mean link length well below that.
-        assert!(mean_len < 400.0, "mean link length {mean_len} not localized");
+        assert!(
+            mean_len < 400.0,
+            "mean link length {mean_len} not localized"
+        );
     }
 
     #[test]
     fn waxman_is_deterministic_per_seed() {
         let pts = place(50, DensityModel::Uniform, &mut SmallRng::seed_from_u64(1));
-        let a = waxman(&pts, WaxmanParams::default(), &mut SmallRng::seed_from_u64(2))
-            .unwrap();
-        let b = waxman(&pts, WaxmanParams::default(), &mut SmallRng::seed_from_u64(2))
-            .unwrap();
+        let a = waxman(
+            &pts,
+            WaxmanParams::default(),
+            &mut SmallRng::seed_from_u64(2),
+        )
+        .unwrap();
+        let b = waxman(
+            &pts,
+            WaxmanParams::default(),
+            &mut SmallRng::seed_from_u64(2),
+        )
+        .unwrap();
         assert_eq!(a.edges(), b.edges());
     }
 
@@ -171,7 +208,15 @@ mod tests {
             Err(TopologyError::Empty)
         ));
         let pts = vec![Point::new(0.0, 0.0), Point::new(1.0, 1.0)];
-        assert!(waxman(&pts, WaxmanParams { m: 0, ..Default::default() }, &mut rng).is_err());
+        assert!(waxman(
+            &pts,
+            WaxmanParams {
+                m: 0,
+                ..Default::default()
+            },
+            &mut rng
+        )
+        .is_err());
     }
 
     #[test]
@@ -180,8 +225,7 @@ mod tests {
         let items = vec![0, 1];
         let mut count0 = 0;
         for _ in 0..2000 {
-            let picked =
-                weighted_sample_without_replacement(&items, &[10.0, 1.0], 1, &mut rng);
+            let picked = weighted_sample_without_replacement(&items, &[10.0, 1.0], 1, &mut rng);
             if picked[0] == 0 {
                 count0 += 1;
             }
@@ -193,8 +237,7 @@ mod tests {
     fn weighted_sample_distinct_items() {
         let mut rng = SmallRng::seed_from_u64(1);
         let items = vec![0, 1, 2];
-        let picked =
-            weighted_sample_without_replacement(&items, &[1.0, 1.0, 1.0], 3, &mut rng);
+        let picked = weighted_sample_without_replacement(&items, &[1.0, 1.0, 1.0], 3, &mut rng);
         let mut sorted = picked.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, items);

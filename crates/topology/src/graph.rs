@@ -146,8 +146,14 @@ pub enum TopologyError {
 impl fmt::Display for TopologyError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            TopologyError::EdgeOutOfRange { router, num_routers } => {
-                write!(f, "edge endpoint {router} out of range for {num_routers} routers")
+            TopologyError::EdgeOutOfRange {
+                router,
+                num_routers,
+            } => {
+                write!(
+                    f,
+                    "edge endpoint {router} out of range for {num_routers} routers"
+                )
             }
             TopologyError::DuplicateEdge(e) => {
                 write!(f, "duplicate edge between {} and {}", e.a, e.b)
@@ -187,13 +193,33 @@ struct TopologyData {
 /// assert!(topo.is_connected());
 /// # Ok::<(), bgpsim_topology::TopologyError>(())
 /// ```
-#[derive(Clone, Debug, Serialize, Deserialize)]
-#[serde(try_from = "TopologyData", into = "TopologyData")]
+#[derive(Clone, Debug)]
 pub struct Topology {
     routers: Vec<Router>,
     edges: Vec<Edge>,
     adj: Vec<Vec<RouterId>>,
     as_members: BTreeMap<AsId, Vec<RouterId>>,
+}
+
+// Serialization round-trips through `TopologyData` (routers + edges only)
+// and revalidates on the way in, so a hand-edited JSON topology can never
+// produce an inconsistent adjacency structure. Hand-written impls because
+// the vendored serde derive does not support `#[serde(try_from, into)]`.
+impl Serialize for Topology {
+    fn to_value(&self) -> serde::Value {
+        TopologyData {
+            routers: self.routers.clone(),
+            edges: self.edges.clone(),
+        }
+        .to_value()
+    }
+}
+
+impl Deserialize for Topology {
+    fn from_value(v: &serde::Value) -> Result<Topology, serde::Error> {
+        let data = TopologyData::from_value(v)?;
+        Topology::try_from(data).map_err(serde::Error::custom)
+    }
 }
 
 impl TryFrom<TopologyData> for Topology {
@@ -205,7 +231,10 @@ impl TryFrom<TopologyData> for Topology {
 
 impl From<Topology> for TopologyData {
     fn from(t: Topology) -> TopologyData {
-        TopologyData { routers: t.routers, edges: t.edges }
+        TopologyData {
+            routers: t.routers,
+            edges: t.edges,
+        }
     }
 }
 
@@ -235,7 +264,10 @@ impl Topology {
         for (a, b) in edges {
             for r in [a, b] {
                 if r.index() >= n {
-                    return Err(TopologyError::EdgeOutOfRange { router: r, num_routers: n });
+                    return Err(TopologyError::EdgeOutOfRange {
+                        router: r,
+                        num_routers: n,
+                    });
                 }
             }
             normalized.push(Edge::new(a, b));
@@ -256,9 +288,17 @@ impl Topology {
         }
         let mut as_members: BTreeMap<AsId, Vec<RouterId>> = BTreeMap::new();
         for (i, r) in routers.iter().enumerate() {
-            as_members.entry(r.as_id).or_default().push(RouterId::new(i as u32));
+            as_members
+                .entry(r.as_id)
+                .or_default()
+                .push(RouterId::new(i as u32));
         }
-        Ok(Topology { routers, edges: normalized, adj, as_members })
+        Ok(Topology {
+            routers,
+            edges: normalized,
+            adj,
+            as_members,
+        })
     }
 
     /// Number of routers.
@@ -325,7 +365,10 @@ impl Topology {
 
     /// Routers belonging to `as_id` (empty slice if the AS does not exist).
     pub fn as_members(&self, as_id: AsId) -> &[RouterId] {
-        self.as_members.get(&as_id).map(Vec::as_slice).unwrap_or(&[])
+        self.as_members
+            .get(&as_id)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
     }
 
     /// Number of *inter-AS* links incident to `as_id` (the AS-level degree
@@ -334,7 +377,10 @@ impl Topology {
         self.edges
             .iter()
             .filter(|e| {
-                let (a, b) = (self.routers[e.a.index()].as_id, self.routers[e.b.index()].as_id);
+                let (a, b) = (
+                    self.routers[e.a.index()].as_id,
+                    self.routers[e.b.index()].as_id,
+                );
                 a != b && (a == as_id || b == as_id)
             })
             .count()
@@ -398,7 +444,10 @@ mod tests {
     use super::*;
 
     fn r(as_id: u32, x: f64, y: f64) -> Router {
-        Router { as_id: AsId::new(as_id), pos: Point::new(x, y) }
+        Router {
+            as_id: AsId::new(as_id),
+            pos: Point::new(x, y),
+        }
     }
 
     fn id(i: u32) -> RouterId {
@@ -407,7 +456,12 @@ mod tests {
 
     fn line4() -> Topology {
         Topology::new(
-            vec![r(0, 0.0, 0.0), r(1, 1.0, 0.0), r(2, 2.0, 0.0), r(3, 3.0, 0.0)],
+            vec![
+                r(0, 0.0, 0.0),
+                r(1, 1.0, 0.0),
+                r(2, 2.0, 0.0),
+                r(3, 3.0, 0.0),
+            ],
             vec![(id(0), id(1)), (id(1), id(2)), (id(2), id(3))],
         )
         .unwrap()
@@ -427,11 +481,7 @@ mod tests {
 
     #[test]
     fn edges_are_normalized_and_deduped() {
-        let t = Topology::new(
-            vec![r(0, 0.0, 0.0), r(1, 0.0, 0.0)],
-            vec![(id(1), id(0))],
-        )
-        .unwrap();
+        let t = Topology::new(vec![r(0, 0.0, 0.0), r(1, 0.0, 0.0)], vec![(id(1), id(0))]).unwrap();
         assert_eq!(t.edges()[0].endpoints(), (id(0), id(1)));
         let dup = Topology::new(
             vec![r(0, 0.0, 0.0), r(1, 0.0, 0.0)],
@@ -444,7 +494,10 @@ mod tests {
     fn rejects_out_of_range_and_empty() {
         let err = Topology::new(vec![r(0, 0.0, 0.0)], vec![(id(0), id(5))]);
         assert!(matches!(err, Err(TopologyError::EdgeOutOfRange { .. })));
-        assert!(matches!(Topology::new(vec![], vec![]), Err(TopologyError::Empty)));
+        assert!(matches!(
+            Topology::new(vec![], vec![]),
+            Err(TopologyError::Empty)
+        ));
     }
 
     #[test]
@@ -456,7 +509,12 @@ mod tests {
     #[test]
     fn components_found() {
         let t = Topology::new(
-            vec![r(0, 0.0, 0.0), r(1, 0.0, 0.0), r(2, 0.0, 0.0), r(3, 0.0, 0.0)],
+            vec![
+                r(0, 0.0, 0.0),
+                r(1, 0.0, 0.0),
+                r(2, 0.0, 0.0),
+                r(3, 0.0, 0.0),
+            ],
             vec![(id(0), id(1)), (id(2), id(3))],
         )
         .unwrap();

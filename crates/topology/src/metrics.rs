@@ -106,7 +106,11 @@ pub fn measure(topo: &Topology) -> TopologyMetrics {
         avg_degree: topo.avg_degree(),
         min_degree: degrees.iter().copied().min().unwrap_or(0),
         max_degree: degrees.iter().copied().max().unwrap_or(0),
-        avg_path_length: if pairs == 0 { 0.0 } else { path_sum as f64 / pairs as f64 },
+        avg_path_length: if pairs == 0 {
+            0.0
+        } else {
+            path_sum as f64 / pairs as f64
+        },
         diameter,
         clustering: if clustered_nodes == 0 {
             0.0
@@ -171,7 +175,10 @@ mod tests {
 
     fn line(n: u32) -> Topology {
         let routers = (0..n)
-            .map(|i| Router { as_id: AsId::new(i), pos: Point::new(f64::from(i), 0.0) })
+            .map(|i| Router {
+                as_id: AsId::new(i),
+                pos: Point::new(f64::from(i), 0.0),
+            })
             .collect();
         let edges = (1..n).map(|i| (RouterId::new(i - 1), RouterId::new(i)));
         Topology::new(routers, edges).unwrap()
@@ -179,7 +186,10 @@ mod tests {
 
     fn triangle() -> Topology {
         let routers = (0..3)
-            .map(|i| Router { as_id: AsId::new(i), pos: Point::new(f64::from(i), 0.0) })
+            .map(|i| Router {
+                as_id: AsId::new(i),
+                pos: Point::new(f64::from(i), 0.0),
+            })
             .collect();
         Topology::new(
             routers,
@@ -221,10 +231,12 @@ mod tests {
     #[test]
     fn distances_mark_unreachable() {
         let routers = (0..3)
-            .map(|i| Router { as_id: AsId::new(i), pos: Point::new(f64::from(i), 0.0) })
+            .map(|i| Router {
+                as_id: AsId::new(i),
+                pos: Point::new(f64::from(i), 0.0),
+            })
             .collect();
-        let topo =
-            Topology::new(routers, vec![(RouterId::new(0), RouterId::new(1))]).unwrap();
+        let topo = Topology::new(routers, vec![(RouterId::new(0), RouterId::new(1))]).unwrap();
         let d = distances_from(&topo, RouterId::new(0));
         assert_eq!(d[2], None);
     }
@@ -237,7 +249,10 @@ mod tests {
         assert_eq!(core_numbers(&triangle()), vec![2; 3]);
         // Triangle + pendant: pendant is core 1, triangle core 2.
         let routers = (0..4)
-            .map(|i| Router { as_id: AsId::new(i), pos: Point::new(f64::from(i), 0.0) })
+            .map(|i| Router {
+                as_id: AsId::new(i),
+                pos: Point::new(f64::from(i), 0.0),
+            })
             .collect();
         let topo = Topology::new(
             routers,
@@ -262,8 +277,7 @@ mod tests {
         let topo = hierarchical(&params, &mut rng).unwrap();
         let core = core_numbers(&topo);
         let max = *core.iter().max().unwrap();
-        let top: Vec<usize> =
-            (0..core.len()).filter(|&i| core[i] == max).collect();
+        let top: Vec<usize> = (0..core.len()).filter(|&i| core[i] == max).collect();
         // The 6-node clique is (part of) the maximum core; every clique
         // member must be in it.
         for i in 0..6 {

@@ -105,8 +105,9 @@ pub fn generate_multi_as<R: Rng + ?Sized>(
             }
             if degrees.iter().map(|&d| u64::from(d)).sum::<u64>() % 2 == 1 {
                 // Restore even sum after capping.
-                let i =
-                    (0..degrees.len()).min_by_key(|&i| degrees[i]).expect("non-empty");
+                let i = (0..degrees.len())
+                    .min_by_key(|&i| degrees[i])
+                    .expect("non-empty");
                 degrees[i] += 1;
             }
             if crate::degree::is_graphical(&degrees) {
@@ -123,8 +124,7 @@ pub fn generate_multi_as<R: Rng + ?Sized>(
         for (rank, &as_idx) in by_size.iter().enumerate() {
             as_degree[as_idx] = sorted_degrees[rank];
         }
-        if let Ok(g) = crate::generators::from_degree_sequence(&as_degree, &centers, rng)
-        {
+        if let Ok(g) = crate::generators::from_degree_sequence(&as_degree, &centers, rng) {
             as_graph = Some(g);
             break;
         }
@@ -143,12 +143,13 @@ pub fn generate_multi_as<R: Rng + ?Sized>(
     for (as_idx, (&size, center)) in sizes.iter().zip(&centers).enumerate() {
         let side = side_per_router * f64::from(size).sqrt();
         for _ in 0..size {
-            let x = (center.x + rng.gen_range(-side / 2.0..=side / 2.0))
-                .clamp(0.0, GRID_SIDE);
-            let y = (center.y + rng.gen_range(-side / 2.0..=side / 2.0))
-                .clamp(0.0, GRID_SIDE);
+            let x = (center.x + rng.gen_range(-side / 2.0..=side / 2.0)).clamp(0.0, GRID_SIDE);
+            let y = (center.y + rng.gen_range(-side / 2.0..=side / 2.0)).clamp(0.0, GRID_SIDE);
             let id = RouterId::new(routers.len() as u32);
-            routers.push(Router { as_id: AsId::new(as_idx as u32), pos: Point::new(x, y) });
+            routers.push(Router {
+                as_id: AsId::new(as_idx as u32),
+                pos: Point::new(x, y),
+            });
             as_router_ids[as_idx].push(id);
         }
     }
@@ -238,8 +239,9 @@ mod tests {
     #[test]
     fn as_sizes_heavy_tailed() {
         let mut rng = SmallRng::seed_from_u64(4);
-        let sizes: Vec<u32> =
-            (0..2000).map(|_| bounded_pareto(1.0, 100.0, 1.2, &mut rng)).collect();
+        let sizes: Vec<u32> = (0..2000)
+            .map(|_| bounded_pareto(1.0, 100.0, 1.2, &mut rng))
+            .collect();
         assert!(sizes.iter().all(|&s| (1..=100).contains(&s)));
         let ones = sizes.iter().filter(|&&s| s <= 2).count();
         let big = sizes.iter().filter(|&&s| s >= 50).count();
@@ -286,7 +288,11 @@ mod tests {
                     }
                 }
             }
-            assert_eq!(seen.len(), members.len(), "{as_id} not internally connected");
+            assert_eq!(
+                seen.len(),
+                members.len(),
+                "{as_id} not internally connected"
+            );
         }
     }
 
@@ -301,7 +307,13 @@ mod tests {
     #[test]
     fn empty_config_rejected() {
         let mut rng = SmallRng::seed_from_u64(2);
-        let cfg = MultiAsConfig { num_ases: 0, ..MultiAsConfig::realistic(1) };
-        assert!(matches!(generate_multi_as(&cfg, &mut rng), Err(TopologyError::Empty)));
+        let cfg = MultiAsConfig {
+            num_ases: 0,
+            ..MultiAsConfig::realistic(1)
+        };
+        assert!(matches!(
+            generate_multi_as(&cfg, &mut rng),
+            Err(TopologyError::Empty)
+        ));
     }
 }

@@ -64,7 +64,10 @@ mod tests {
             .count();
         // Centre quarter of the area should hold ~25% of uniform points.
         let frac = in_center_quarter as f64 / 2000.0;
-        assert!((0.18..0.32).contains(&frac), "uniform placement skewed: {frac}");
+        assert!(
+            (0.18..0.32).contains(&frac),
+            "uniform placement skewed: {frac}"
+        );
     }
 
     #[test]

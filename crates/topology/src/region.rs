@@ -45,9 +45,7 @@ impl FailureSpec {
             FailureSpec::CenterFraction(f) => {
                 nearest_fraction(topo, Point::new(GRID_SIDE / 2.0, GRID_SIDE / 2.0), *f)
             }
-            FailureSpec::CornerFraction(f) => {
-                nearest_fraction(topo, Point::new(0.0, 0.0), *f)
-            }
+            FailureSpec::CornerFraction(f) => nearest_fraction(topo, Point::new(0.0, 0.0), *f),
             FailureSpec::RandomFraction(f) => {
                 let k = count_for_fraction(topo.num_routers(), *f);
                 let mut ids: Vec<RouterId> = topo.router_ids().collect();
@@ -97,7 +95,10 @@ pub fn central_link_fraction(topo: &Topology, fraction: f64) -> Vec<crate::graph
             let (a, b) = (topo.router(e.a()).pos, topo.router(e.b()).pos);
             Point::new((a.x + b.x) / 2.0, (a.y + b.y) / 2.0).distance(center)
         };
-        mid(x).partial_cmp(&mid(y)).expect("finite distances").then(x.cmp(y))
+        mid(x)
+            .partial_cmp(&mid(y))
+            .expect("finite distances")
+            .then(x.cmp(y))
     });
     edges.truncate(k);
     edges.sort();
@@ -118,7 +119,9 @@ fn nearest_fraction(topo: &Topology, origin: Point, fraction: f64) -> Vec<Router
     ids.sort_by(|&a, &b| {
         let da = topo.router(a).pos.distance(origin);
         let db = topo.router(b).pos.distance(origin);
-        da.partial_cmp(&db).expect("distances are finite").then(a.cmp(&b))
+        da.partial_cmp(&db)
+            .expect("distances are finite")
+            .then(a.cmp(&b))
     });
     let mut out: Vec<RouterId> = ids[..k].to_vec();
     out.sort();
@@ -168,31 +171,32 @@ mod tests {
         assert_eq!(failed.len(), 6);
         for r in &failed {
             let p = topo.router(*r).pos;
-            assert!(p.x < 700.0 && p.y < 700.0, "corner failure strayed to {p:?}");
+            assert!(
+                p.x < 700.0 && p.y < 700.0,
+                "corner failure strayed to {p:?}"
+            );
         }
     }
 
     #[test]
     fn random_fraction_count_and_determinism() {
         let topo = topo120(3);
-        let a = FailureSpec::RandomFraction(0.2)
-            .resolve(&topo, &mut SmallRng::seed_from_u64(5));
-        let b = FailureSpec::RandomFraction(0.2)
-            .resolve(&topo, &mut SmallRng::seed_from_u64(5));
+        let a = FailureSpec::RandomFraction(0.2).resolve(&topo, &mut SmallRng::seed_from_u64(5));
+        let b = FailureSpec::RandomFraction(0.2).resolve(&topo, &mut SmallRng::seed_from_u64(5));
         assert_eq!(a.len(), 24);
         assert_eq!(a, b);
-        assert!(a.windows(2).all(|w| w[0] < w[1]), "output not sorted/deduped");
+        assert!(
+            a.windows(2).all(|w| w[0] < w[1]),
+            "output not sorted/deduped"
+        );
     }
 
     #[test]
     fn explicit_sorted_and_deduped() {
         let topo = topo120(4);
         let mut rng = SmallRng::seed_from_u64(0);
-        let spec = FailureSpec::Explicit(vec![
-            RouterId::new(5),
-            RouterId::new(2),
-            RouterId::new(5),
-        ]);
+        let spec =
+            FailureSpec::Explicit(vec![RouterId::new(5), RouterId::new(2), RouterId::new(5)]);
         assert_eq!(
             spec.resolve(&topo, &mut rng),
             vec![RouterId::new(2), RouterId::new(5)]
@@ -203,9 +207,13 @@ mod tests {
     fn zero_and_full_fractions() {
         let topo = topo120(5);
         let mut rng = SmallRng::seed_from_u64(0);
-        assert!(FailureSpec::CenterFraction(0.0).resolve(&topo, &mut rng).is_empty());
+        assert!(FailureSpec::CenterFraction(0.0)
+            .resolve(&topo, &mut rng)
+            .is_empty());
         assert_eq!(
-            FailureSpec::CenterFraction(1.0).resolve(&topo, &mut rng).len(),
+            FailureSpec::CenterFraction(1.0)
+                .resolve(&topo, &mut rng)
+                .len(),
             120
         );
     }
@@ -214,12 +222,18 @@ mod tests {
     fn central_links_are_near_the_center() {
         let topo = topo120(9);
         let links = central_link_fraction(&topo, 0.10);
-        assert_eq!(links.len(), (0.10 * topo.num_edges() as f64).round() as usize);
+        assert_eq!(
+            links.len(),
+            (0.10 * topo.num_edges() as f64).round() as usize
+        );
         let center = Point::new(500.0, 500.0);
         for e in &links {
             let (a, b) = (topo.router(e.a()).pos, topo.router(e.b()).pos);
             let mid = Point::new((a.x + b.x) / 2.0, (a.y + b.y) / 2.0);
-            assert!(mid.distance(center) < 600.0, "link far from centre selected");
+            assert!(
+                mid.distance(center) < 600.0,
+                "link far from centre selected"
+            );
         }
         // Deterministic.
         assert_eq!(links, central_link_fraction(&topo, 0.10));

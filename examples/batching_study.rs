@@ -20,7 +20,7 @@ use bgpsim_topology::region::FailureSpec;
 fn main() {
     let topology = TopologySpec::seventy_thirty(120);
     let fractions = [0.01, 0.05, 0.10, 0.20];
-    let schemes = vec![
+    let schemes = [
         Scheme::constant_mrai(0.5).named("FIFO"),
         Scheme::tcp_batch(0.5, 32).named("TCP-batch(32)"),
         Scheme::batching(0.5).named("batched"),

@@ -40,7 +40,10 @@ fn run(scheme: Scheme) {
         .copied()
         .collect();
     println!("backlog   {}", bgpsim::report::sparkline(&post_failure));
-    println!("{:>8} {:>14} {:>12} {:>12}", "t (s)", "queued updates", "busy routers", "messages");
+    println!(
+        "{:>8} {:>14} {:>12} {:>12}",
+        "t (s)", "queued updates", "busy routers", "messages"
+    );
     let mut peak_printed = 0usize;
     for s in net.samples() {
         if s.time < failure_time {

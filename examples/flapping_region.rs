@@ -30,7 +30,10 @@ fn main() {
         net.assert_routing_consistent();
 
         println!("\n=== {} ===", scheme.name);
-        println!("{:>6} {:>12} {:>12} {:>12}", "step", "event", "delay (s)", "messages");
+        println!(
+            "{:>6} {:>12} {:>12} {:>12}",
+            "step", "event", "delay (s)", "messages"
+        );
         for (i, s) in stats.iter().enumerate() {
             let event = if i % 2 == 0 { "fail 10%" } else { "recover" };
             println!(

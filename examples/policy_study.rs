@@ -26,10 +26,7 @@ fn main() {
         "{:>9} | {:>12} {:>12} | {:>12} {:>12}",
         "failure", "delay (s)", "messages", "delay (s)", "messages"
     );
-    println!(
-        "{:>9} | {:^25} | {:^25}",
-        "", "no policy", "Gao-Rexford"
-    );
+    println!("{:>9} | {:^25} | {:^25}", "", "no policy", "Gao-Rexford");
     println!("{}", "-".repeat(66));
 
     for frac in [0.01, 0.05, 0.10, 0.20] {
@@ -71,8 +68,11 @@ fn main() {
     let mut net = Network::new(topo, cfg);
     net.run_initial_convergence();
     net.assert_routing_consistent();
-    let routed: usize =
-        net.topology().router_ids().map(|r| net.node(r).unwrap().loc_rib().len()).sum();
+    let routed: usize = net
+        .topology()
+        .router_ids()
+        .map(|r| net.node(r).unwrap().loc_rib().len())
+        .sum();
     println!();
     println!(
         "reachability under policies: {routed}/{} (router, prefix) pairs — total,",

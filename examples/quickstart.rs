@@ -33,7 +33,10 @@ fn main() {
 
     // 3. Originate all prefixes and converge.
     let initial = net.run_initial_convergence();
-    println!("initial convergence: {:.1} s of simulated time", initial.as_secs_f64());
+    println!(
+        "initial convergence: {:.1} s of simulated time",
+        initial.as_secs_f64()
+    );
 
     // 4. A contiguous failure at the grid centre takes out 10% of routers.
     let failed = net.inject_failure(&FailureSpec::CenterFraction(0.10));
@@ -48,7 +51,10 @@ fn main() {
         stats.announcements,
         stats.withdrawals
     );
-    println!("largest router input-queue backlog: {} updates", stats.peak_queue);
+    println!(
+        "largest router input-queue backlog: {} updates",
+        stats.peak_queue
+    );
 
     // 6. The Loc-RIBs now match ground-truth reachability (this panics on
     //    any inconsistency).

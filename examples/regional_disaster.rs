@@ -29,7 +29,10 @@ fn main() {
     ];
 
     println!("5% regional failure on a realistic 60-AS multi-router topology");
-    println!("{:<26} {:>12} {:>12} {:>14}", "scheme", "delay (s)", "messages", "stale deleted");
+    println!(
+        "{:<26} {:>12} {:>12} {:>14}",
+        "scheme", "delay (s)", "messages", "stale deleted"
+    );
     println!("{}", "-".repeat(68));
     for scheme in schemes {
         let exp = Experiment {

@@ -9,8 +9,7 @@
 
 use bgpsim_topology::degree::{internet_like, DegreeSpec, SkewedSpec};
 use bgpsim_topology::generators::{
-    barabasi_albert, glp, skewed_topology, topology_from_spec, waxman, GlpParams,
-    WaxmanParams,
+    barabasi_albert, glp, skewed_topology, topology_from_spec, waxman, GlpParams, WaxmanParams,
 };
 use bgpsim_topology::metrics::measure;
 use bgpsim_topology::multias::{generate_multi_as, MultiAsConfig};
@@ -23,8 +22,15 @@ fn describe(name: &str, topo: &Topology) {
     let m = measure(topo);
     println!(
         "{name:<22} {:>5} {:>5} {:>6} {:>6.2} {:>4}-{:<4} {:>7.2} {:>5} {:>7.3}",
-        m.routers, m.ases, m.edges, m.avg_degree, m.min_degree, m.max_degree,
-        m.avg_path_length, m.diameter, m.clustering
+        m.routers,
+        m.ases,
+        m.edges,
+        m.avg_degree,
+        m.min_degree,
+        m.max_degree,
+        m.avg_path_length,
+        m.diameter,
+        m.clustering
     );
 }
 
@@ -60,20 +66,22 @@ fn main() {
     describe("Barabasi-Albert (m=2)", &topo);
 
     let pts = place(120, DensityModel::Uniform, &mut rng);
-    let topo =
-        glp(&pts, GlpParams { m: 2, ..Default::default() }, &mut rng).expect("GLP");
-    describe("GLP (m=2)", &topo);
-
-    let topo = generate_multi_as(&MultiAsConfig::realistic(120), &mut rng)
-        .expect("multi-AS");
-    describe("multi-router realistic", &topo);
-
-    let topo = topology_from_spec(
-        120,
-        &DegreeSpec::Uniform { min: 3, max: 5 },
+    let topo = glp(
+        &pts,
+        GlpParams {
+            m: 2,
+            ..Default::default()
+        },
         &mut rng,
     )
-    .expect("uniform");
+    .expect("GLP");
+    describe("GLP (m=2)", &topo);
+
+    let topo = generate_multi_as(&MultiAsConfig::realistic(120), &mut rng).expect("multi-AS");
+    describe("multi-router realistic", &topo);
+
+    let topo = topology_from_spec(120, &DegreeSpec::Uniform { min: 3, max: 5 }, &mut rng)
+        .expect("uniform");
     describe("uniform degree 3-5", &topo);
 
     println!();

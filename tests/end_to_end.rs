@@ -116,8 +116,10 @@ fn detection_delay_shifts_convergence() {
 
 #[test]
 fn scattered_failures_also_recover() {
-    let mut net =
-        Network::new(topo(7, 50), SimConfig::from_scheme(&Scheme::constant_mrai(0.5), 15));
+    let mut net = Network::new(
+        topo(7, 50),
+        SimConfig::from_scheme(&Scheme::constant_mrai(0.5), 15),
+    );
     net.run_initial_convergence();
     net.inject_failure(&FailureSpec::RandomFraction(0.10));
     net.run_to_quiescence();
@@ -126,8 +128,10 @@ fn scattered_failures_also_recover() {
 
 #[test]
 fn corner_failures_also_recover() {
-    let mut net =
-        Network::new(topo(8, 50), SimConfig::from_scheme(&Scheme::constant_mrai(0.5), 16));
+    let mut net = Network::new(
+        topo(8, 50),
+        SimConfig::from_scheme(&Scheme::constant_mrai(0.5), 16),
+    );
     net.run_initial_convergence();
     net.inject_failure(&FailureSpec::CornerFraction(0.10));
     net.run_to_quiescence();
@@ -138,7 +142,10 @@ fn corner_failures_also_recover() {
 fn multi_as_failure_recovers_consistently() {
     let mut rng = SmallRng::seed_from_u64(20);
     let topo = generate_multi_as(&MultiAsConfig::realistic(25), &mut rng).unwrap();
-    let mut net = Network::new(topo, SimConfig::from_scheme(&Scheme::constant_mrai(0.5), 21));
+    let mut net = Network::new(
+        topo,
+        SimConfig::from_scheme(&Scheme::constant_mrai(0.5), 21),
+    );
     let stats = net.run_failure_experiment(&FailureSpec::CenterFraction(0.05));
     assert!(stats.failed_routers > 0);
     net.assert_routing_consistent();
@@ -150,7 +157,10 @@ fn network_partition_is_handled() {
     // bridge partitions the network; both halves must still converge,
     // each losing the other half's prefixes.
     use bgpsim_topology::{AsId, Point, Router};
-    let mk = |i: u32, x: f64| Router { as_id: AsId::new(i), pos: Point::new(x, 500.0) };
+    let mk = |i: u32, x: f64| Router {
+        as_id: AsId::new(i),
+        pos: Point::new(x, 500.0),
+    };
     let routers = vec![
         mk(0, 0.0),
         mk(1, 10.0),
@@ -172,7 +182,10 @@ fn network_partition_is_handled() {
         (rid(4), rid(6)),
     ];
     let topo = Topology::new(routers, edges).unwrap();
-    let mut net = Network::new(topo, SimConfig::from_scheme(&Scheme::constant_mrai(0.5), 30));
+    let mut net = Network::new(
+        topo,
+        SimConfig::from_scheme(&Scheme::constant_mrai(0.5), 30),
+    );
     net.run_initial_convergence();
     net.inject_failure(&FailureSpec::Explicit(vec![rid(3)]));
     net.run_to_quiescence();
@@ -189,8 +202,10 @@ fn network_partition_is_handled() {
 #[test]
 fn repeated_failures_in_sequence() {
     // Fail twice: the network must re-converge consistently both times.
-    let mut net =
-        Network::new(topo(9, 40), SimConfig::from_scheme(&Scheme::constant_mrai(0.5), 31));
+    let mut net = Network::new(
+        topo(9, 40),
+        SimConfig::from_scheme(&Scheme::constant_mrai(0.5), 31),
+    );
     net.run_initial_convergence();
     net.inject_failure(&FailureSpec::CenterFraction(0.05));
     net.run_to_quiescence();
@@ -207,8 +222,17 @@ fn valley_free_semantics_on_hand_built_topology() {
     // (P1→P2) but must not transit the second (P2→P3): a peer-learned
     // route is not exported to another peer.
     use bgpsim_topology::{AsId, Point, Router};
-    let mk = |i: u32, x: f64| Router { as_id: AsId::new(i), pos: Point::new(x, 100.0) };
-    let routers = vec![mk(0, 0.0), mk(1, 10.0), mk(2, 20.0), mk(3, 30.0), mk(4, 40.0)];
+    let mk = |i: u32, x: f64| Router {
+        as_id: AsId::new(i),
+        pos: Point::new(x, 100.0),
+    };
+    let routers = vec![
+        mk(0, 0.0),
+        mk(1, 10.0),
+        mk(2, 20.0),
+        mk(3, 30.0),
+        mk(4, 40.0),
+    ];
     let rid = RouterId::new;
     let topo = Topology::new(
         routers,
@@ -242,7 +266,12 @@ fn valley_free_semantics_on_hand_built_topology() {
     // ...and not P1 (second peer hop).
     assert!(net.node(rid(1)).unwrap().loc_rib().get(prefix_b).is_none());
     // Everyone still reaches the directly adjacent prefixes.
-    assert!(net.node(rid(0)).unwrap().loc_rib().get(Prefix::new(1)).is_some());
+    assert!(net
+        .node(rid(0))
+        .unwrap()
+        .loc_rib()
+        .get(Prefix::new(1))
+        .is_some());
 }
 
 #[test]
@@ -256,8 +285,7 @@ fn policy_network_recovers_from_failure() {
 #[test]
 fn damping_converges_to_consistent_state() {
     use bgpsim_bgp::damping::DampingConfig;
-    let scheme =
-        Scheme::constant_mrai(1.25).with_damping(DampingConfig::paper_scale());
+    let scheme = Scheme::constant_mrai(1.25).with_damping(DampingConfig::paper_scale());
     let mut net = Network::new(topo(23, 40), SimConfig::from_scheme(&scheme, 62));
     let stats = net.run_failure_experiment(&FailureSpec::CenterFraction(0.15));
     // By quiescence every reuse timer has fired, so no route is still

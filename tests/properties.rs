@@ -157,10 +157,7 @@ proptest! {
 fn arb_item(peer: u32, prefix: u32, tag: u32) -> WorkItem {
     WorkItem::Update {
         from: RouterId::new(peer),
-        msg: UpdateMsg::advertise(
-            Prefix::new(prefix),
-            AsPath::from_hops([AsId::new(tag)]),
-        ),
+        msg: UpdateMsg::advertise(Prefix::new(prefix), AsPath::from_hops([AsId::new(tag)])),
     }
 }
 
@@ -395,7 +392,7 @@ proptest! {
         let mut t = SimTime::ZERO;
         for &gap in &gaps {
             let before = state.penalty_at(t, &cfg);
-            t = t + SimDuration::from_secs(gap);
+            t += SimDuration::from_secs(gap);
             let decayed = state.penalty_at(t, &cfg);
             prop_assert!(
                 decayed <= before + 1e-9,

@@ -76,8 +76,14 @@ fn v_shaped_delay_vs_mrai() {
         .map(|&m| delay(Scheme::constant_mrai(m), 0.05))
         .fold(f64::INFINITY, f64::min);
     let high = delay(Scheme::constant_mrai(6.0), 0.05);
-    assert!(low > mid, "left arm of the V: {low:.1} must exceed mid {mid:.1}");
-    assert!(high > mid, "right arm of the V: {high:.1} must exceed mid {mid:.1}");
+    assert!(
+        low > mid,
+        "left arm of the V: {low:.1} must exceed mid {mid:.1}"
+    );
+    assert!(
+        high > mid,
+        "right arm of the V: {high:.1} must exceed mid {mid:.1}"
+    );
 }
 
 /// §4.1: the optimal MRAI grows with the failure size — the best MRAI for

@@ -1,0 +1,250 @@
+//! Offline vendored subset of `criterion`.
+//!
+//! Provides the macro/type surface the workspace's benches use
+//! (`criterion_group!`, `criterion_main!`, `bench_function`,
+//! `benchmark_group`, `iter`, `iter_batched`, `BatchSize`) with a simple
+//! but honest measurement loop: calibrate the per-iteration cost, run
+//! enough iterations per sample to fill a time slice, report the median
+//! sample. No HTML reports, no statistics beyond median/min/max.
+//!
+//! Filters passed as CLI args (`cargo bench -- <substr>`) are honoured;
+//! `--quick`/`CRITERION_FAST=1` shrinks the measurement for smoke runs.
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export so `criterion::black_box` keeps working.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// How `iter_batched` amortizes setup cost — accepted and ignored
+/// (each batch runs its setup outside the timed section regardless).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+#[derive(Clone, Debug)]
+pub struct Criterion {
+    filters: Vec<String>,
+    sample_size: usize,
+    /// Target wall-clock per sample.
+    slice: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let fast = std::env::var("CRITERION_FAST")
+            .map(|v| v == "1")
+            .unwrap_or(false)
+            || std::env::args().any(|a| a == "--quick");
+        Criterion {
+            filters: Vec::new(),
+            sample_size: if fast { 3 } else { 10 },
+            slice: if fast {
+                Duration::from_millis(5)
+            } else {
+                Duration::from_millis(50)
+            },
+        }
+    }
+}
+
+impl Criterion {
+    pub fn configure_from_args(mut self) -> Self {
+        self.filters = std::env::args()
+            .skip(1)
+            .filter(|a| !a.starts_with("--") && !a.is_empty())
+            .collect();
+        self
+    }
+
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    fn matches(&self, name: &str) -> bool {
+        self.filters.is_empty() || self.filters.iter().any(|f| name.contains(f.as_str()))
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if self.matches(name) {
+            let mut b = Bencher {
+                samples: Vec::new(),
+                sample_size: self.sample_size,
+                slice: self.slice,
+            };
+            f(&mut b);
+            b.report(name);
+        }
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            sample_size: None,
+        }
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(2));
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        let saved = self.criterion.sample_size;
+        if let Some(n) = self.sample_size {
+            self.criterion.sample_size = n;
+        }
+        self.criterion.bench_function(&full, f);
+        self.criterion.sample_size = saved;
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Per-benchmark measurement state.
+pub struct Bencher {
+    /// Nanoseconds per iteration for each sample.
+    samples: Vec<f64>,
+    sample_size: usize,
+    slice: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Calibrate: how many iterations fill one slice?
+        let t0 = Instant::now();
+        std_black_box(f());
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        let per_sample = (self.slice.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..per_sample {
+                std_black_box(f());
+            }
+            let elapsed = start.elapsed();
+            self.samples
+                .push(elapsed.as_nanos() as f64 / per_sample as f64);
+        }
+    }
+
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        let input = setup();
+        let t0 = Instant::now();
+        std_black_box(routine(input));
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        let per_sample = (self.slice.as_nanos() / once.as_nanos()).clamp(1, 100_000) as u64;
+        for _ in 0..self.sample_size {
+            // Setup runs outside the timed region.
+            let inputs: Vec<I> = (0..per_sample).map(|_| setup()).collect();
+            let start = Instant::now();
+            for input in inputs {
+                std_black_box(routine(input));
+            }
+            let elapsed = start.elapsed();
+            self.samples
+                .push(elapsed.as_nanos() as f64 / per_sample as f64);
+        }
+    }
+
+    fn report(&mut self, name: &str) {
+        if self.samples.is_empty() {
+            println!("{name:<50} (no samples)");
+            return;
+        }
+        self.samples.sort_by(|a, b| a.total_cmp(b));
+        let median = self.samples[self.samples.len() / 2];
+        let min = self.samples[0];
+        let max = self.samples[self.samples.len() - 1];
+        println!(
+            "{name:<50} median {:>12} [min {}, max {}]",
+            fmt_ns(median),
+            fmt_ns(min),
+            fmt_ns(max)
+        );
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        std::env::set_var("CRITERION_FAST", "1");
+        let mut c = Criterion::default();
+        let mut runs = 0u64;
+        c.bench_function("smoke/add", |b| b.iter(|| runs = runs.wrapping_add(1)));
+        assert!(runs > 0);
+    }
+
+    #[test]
+    fn groups_and_batched_iters_work() {
+        std::env::set_var("CRITERION_FAST", "1");
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(2);
+        g.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 64], |v| v.len(), BatchSize::SmallInput)
+        });
+        g.finish();
+    }
+}

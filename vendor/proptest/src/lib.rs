@@ -1,0 +1,326 @@
+//! Offline vendored subset of `proptest`.
+//!
+//! Supports the surface this workspace's tests use: the `proptest!` macro
+//! (with optional `#![proptest_config(...)]`), range strategies over
+//! integers and floats, `any::<bool>()`, `prop::collection::vec`, tuple
+//! strategies, and the `prop_assert!`/`prop_assert_eq!`/`prop_assume!`
+//! macros.
+//!
+//! Differences from upstream: generation is fully deterministic (seeded
+//! per test), there is no shrinking (the failing inputs are printed
+//! as generated), and `.proptest-regressions` files are ignored.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SampleRange, SampleUniform, SeedableRng};
+use std::fmt::Debug;
+use std::ops::Range;
+
+/// Why a test case did not pass.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` failed — generate a replacement input.
+    Reject(String),
+    /// An assertion failed — the property is false.
+    Fail(String),
+}
+
+impl TestCaseError {
+    pub fn reject<S: Into<String>>(reason: S) -> TestCaseError {
+        TestCaseError::Reject(reason.into())
+    }
+    pub fn fail<S: Into<String>>(reason: S) -> TestCaseError {
+        TestCaseError::Fail(reason.into())
+    }
+}
+
+/// Runner configuration (subset of upstream's).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of successful cases required.
+    pub cases: u32,
+    /// Cap on `prop_assume!` rejections across the whole run.
+    pub max_global_rejects: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(256);
+        ProptestConfig {
+            cases,
+            max_global_rejects: 65_536,
+        }
+    }
+}
+
+/// A generator of test inputs.
+pub trait Strategy {
+    type Value: Debug;
+    fn generate(&self, rng: &mut SmallRng) -> Self::Value;
+}
+
+impl<T> Strategy for Range<T>
+where
+    T: SampleUniform + PartialOrd + Copy + Debug,
+    Range<T>: SampleRange<T>,
+{
+    type Value = T;
+    fn generate(&self, rng: &mut SmallRng) -> T {
+        rng.gen_range(self.clone())
+    }
+}
+
+/// `any::<T>()` — the canonical strategy for a type.
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+pub trait Arbitrary {
+    type Strategy: Strategy;
+    fn arbitrary() -> Self::Strategy;
+}
+
+#[derive(Clone, Copy, Debug)]
+pub struct AnyBool;
+
+impl Strategy for AnyBool {
+    type Value = bool;
+    fn generate(&self, rng: &mut SmallRng) -> bool {
+        rng.gen::<bool>()
+    }
+}
+
+impl Arbitrary for bool {
+    type Strategy = AnyBool;
+    fn arbitrary() -> AnyBool {
+        AnyBool
+    }
+}
+
+macro_rules! arbitrary_int {
+    ($($ty:ty),*) => {$(
+        impl Arbitrary for $ty {
+            type Strategy = Range<$ty>;
+            fn arbitrary() -> Range<$ty> {
+                <$ty>::MIN..<$ty>::MAX
+            }
+        }
+    )*};
+}
+arbitrary_int!(u8, u16, u32, u64, usize, i32, i64);
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident $idx:tt),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut SmallRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+tuple_strategy! {
+    (A 0, B 1)
+    (A 0, B 1, C 2)
+    (A 0, B 1, C 2, D 3)
+}
+
+pub mod collection {
+    use super::{SmallRng, Strategy};
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// Vec strategy: length drawn from `len`, elements from `element`.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut SmallRng) -> Self::Value {
+            let n = rng.gen_range(self.len.clone());
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Namespace mirror: `prop::collection::vec`, `prop::num`, …
+pub mod prop {
+    pub use crate::collection;
+}
+
+pub mod prelude {
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Arbitrary,
+        ProptestConfig, Strategy, TestCaseError,
+    };
+    pub use rand::{Rng, SeedableRng};
+}
+
+/// Derives the deterministic per-test RNG seed. Exposed for the macro.
+#[doc(hidden)]
+pub fn __test_seed(test_name: &str) -> u64 {
+    // FNV-1a over the test name, so each test gets its own stream and
+    // adding a test never perturbs the others.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[doc(hidden)]
+pub fn __new_rng(seed: u64) -> SmallRng {
+    SmallRng::seed_from_u64(seed)
+}
+
+/// The heart of the shim: generate inputs, run the body, panic with the
+/// inputs on failure.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { (<$crate::ProptestConfig as ::std::default::Default>::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($config:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident( $( $arg:ident in $strat:expr ),+ $(,)? ) $body:block
+    )* ) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $config;
+            let mut rng = $crate::__new_rng($crate::__test_seed(stringify!($name)));
+            let mut passed: u32 = 0;
+            let mut rejected: u32 = 0;
+            while passed < config.cases {
+                $(let $arg = $crate::Strategy::generate(&($strat), &mut rng);)+
+                let inputs = ::std::format!(
+                    ::std::concat!($(::std::stringify!($arg), " = {:?}, "),+),
+                    $(&$arg),+
+                );
+                let outcome: ::std::result::Result<(), $crate::TestCaseError> =
+                    (move || { $body ::std::result::Result::Ok(()) })();
+                match outcome {
+                    ::std::result::Result::Ok(()) => passed += 1,
+                    ::std::result::Result::Err($crate::TestCaseError::Reject(_)) => {
+                        rejected += 1;
+                        if rejected > config.max_global_rejects {
+                            panic!(
+                                "proptest {}: too many prop_assume! rejections ({rejected})",
+                                stringify!($name)
+                            );
+                        }
+                    }
+                    ::std::result::Result::Err($crate::TestCaseError::Fail(msg)) => {
+                        panic!(
+                            "proptest {} failed after {passed} passing case(s): {msg}\n  inputs: {inputs}",
+                            stringify!($name)
+                        );
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(
+                ::std::format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{:?}` == `{:?}`", l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{:?}` == `{:?}`: {}", l, r, ::std::format!($($fmt)*)
+        );
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{:?}` != `{:?}`", l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{:?}` != `{:?}`: {}", l, r, ::std::format!($($fmt)*)
+        );
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::reject(stringify!($cond)));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u32..17, f in 0.5f64..1.5) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((0.5..1.5).contains(&f));
+        }
+
+        #[test]
+        fn vecs_respect_length(v in prop::collection::vec(0u8..4, 2..9)) {
+            prop_assert!((2..9).contains(&v.len()));
+            prop_assert!(v.iter().all(|&b| b < 4));
+        }
+
+        #[test]
+        fn tuples_and_assume(pair in (0u32..10, 0u32..10), flip in any::<bool>()) {
+            let (a, b) = pair;
+            prop_assume!(a != b || flip);
+            prop_assert_ne!((a, b, flip), (b.wrapping_add(1), a, flip), "never equal");
+        }
+    }
+}

@@ -1,0 +1,199 @@
+//! Offline vendored subset of the `rand` crate (API and bit-stream
+//! compatible with rand 0.8.5 for the surface this workspace uses).
+//!
+//! The container this workspace builds in has no network access, so the
+//! real crates.io `rand` cannot be fetched. Reproducibility of every
+//! recorded experiment depends on the exact random streams, therefore this
+//! shim reimplements the relevant algorithms *bit-for-bit*:
+//!
+//! * `SmallRng` is Xoshiro256PlusPlus (the 64-bit `rand 0.8` choice),
+//!   including its SplitMix64-based `seed_from_u64` and the
+//!   "upper 32 bits" `next_u32`.
+//! * `Rng::gen` uses the `Standard` distribution rules (u32/u64 direct,
+//!   f64 = 53 high bits × 2⁻⁵³, bool = top bit of `next_u32`).
+//! * `Rng::gen_range` uses Lemire's widening-multiply rejection with the
+//!   same zone computation, type widths and draw order as
+//!   `rand::distributions::uniform` (ints), and the `[1, 2)`-mantissa
+//!   trick for floats, including the inclusive-range `new_inclusive`
+//!   scale derivation.
+//!
+//! The golden-run tests (`tests/golden.rs`) and the committed figure CSVs
+//! pin the resulting streams, so any divergence from the upstream
+//! implementation fails loudly.
+
+// The negated float comparisons in `uniform` mirror upstream `rand`
+// verbatim — the negation is load-bearing for NaN handling there.
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
+
+pub mod rngs;
+
+mod uniform;
+
+pub use uniform::{SampleRange, SampleUniform};
+
+/// Core RNG interface (subset of `rand_core::RngCore`).
+pub trait RngCore {
+    fn next_u32(&mut self) -> u32;
+    fn next_u64(&mut self) -> u64;
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    #[inline]
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// Seeding interface (subset of `rand_core::SeedableRng`).
+pub trait SeedableRng: Sized {
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Seed from a `u64`, by filling the seed with a PCG32 stream — the
+    /// `rand_core 0.6` provided default, byte for byte.
+    ///
+    /// `Xoshiro256PlusPlus` overrides this with SplitMix64 (as upstream
+    /// does), but `SmallRng`'s `SeedableRng` impl only forwards
+    /// `from_seed`, so `SmallRng::seed_from_u64` — the seeding path this
+    /// whole workspace uses — goes through THIS default, not SplitMix64.
+    fn seed_from_u64(mut state: u64) -> Self {
+        // PCG32 with rand_core's fixed increment.
+        const MUL: u64 = 6364136223846793005;
+        const INC: u64 = 11634580027462260723;
+
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(4) {
+            // Advance the state first, in case the input has low Hamming
+            // weight (same comment order as upstream).
+            state = state.wrapping_mul(MUL).wrapping_add(INC);
+            let xorshifted = (((state >> 18) ^ state) >> 27) as u32;
+            let rot = (state >> 59) as u32;
+            let x = xorshifted.rotate_right(rot);
+            chunk.copy_from_slice(&x.to_le_bytes());
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// Sampling distribution (subset of `rand::distributions::Distribution`).
+pub trait Distribution<T> {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// The `Standard` distribution: the "natural" uniform sampling of a type.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Standard;
+
+impl Distribution<u64> for Standard {
+    #[inline]
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Distribution<u32> for Standard {
+    #[inline]
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u32 {
+        rng.next_u32()
+    }
+}
+
+impl Distribution<u16> for Standard {
+    #[inline]
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u16 {
+        rng.next_u32() as u16
+    }
+}
+
+impl Distribution<u8> for Standard {
+    #[inline]
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u8 {
+        rng.next_u32() as u8
+    }
+}
+
+impl Distribution<usize> for Standard {
+    #[inline]
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        // 64-bit platforms only (matches rand's #[cfg(target_pointer_width = "64")]).
+        rng.next_u64() as usize
+    }
+}
+
+impl Distribution<bool> for Standard {
+    #[inline]
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> bool {
+        // rand 0.8.5 compares the most significant bit of next_u32.
+        (rng.next_u32() as i32) < 0
+    }
+}
+
+impl Distribution<f64> for Standard {
+    #[inline]
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Multiply-based [0, 1): 53 high bits × 2⁻⁵³.
+        let value = rng.next_u64() >> 11;
+        value as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Distribution<f32> for Standard {
+    #[inline]
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f32 {
+        let value = rng.next_u32() >> 8;
+        value as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// User-facing RNG extension trait (subset of `rand::Rng`).
+pub trait Rng: RngCore {
+    #[inline]
+    fn gen<T>(&mut self) -> T
+    where
+        Standard: Distribution<T>,
+    {
+        Standard.sample(self)
+    }
+
+    #[inline]
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: SampleRange<T>,
+    {
+        assert!(!range.is_empty(), "cannot sample empty range");
+        range.sample_single(self)
+    }
+
+    #[inline]
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "p={p} is outside range [0.0, 1.0]"
+        );
+        // rand 0.8.5 Bernoulli: compare 64-bit draw against p · 2⁶⁴.
+        if p == 1.0 {
+            return true;
+        }
+        const SCALE: f64 = 2.0 * (1u64 << 63) as f64;
+        let p_int = (p * SCALE) as u64;
+        self.next_u64() < p_int
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+pub mod prelude {
+    pub use crate::rngs::SmallRng;
+    pub use crate::{Distribution, Rng, RngCore, SeedableRng};
+}

@@ -1,0 +1,255 @@
+//! Uniform range sampling, bit-compatible with
+//! `rand 0.8.5::distributions::uniform`.
+//!
+//! Integers use Lemire's widening-multiply rejection with the upstream
+//! zone computation (modulus for ≤16-bit types, shifted-range mask
+//! otherwise) and the upstream per-type draw widths (u32 draws for
+//! ≤32-bit types, u64 for 64-bit/usize). Floats use the `[1, 2)`
+//! mantissa-fill trick; half-open ranges sample on the fly, inclusive
+//! ranges precompute the upstream `new_inclusive` scale.
+
+use crate::RngCore;
+use std::ops::{Range, RangeInclusive};
+
+/// Marker trait: types `gen_range` can sample.
+pub trait SampleUniform: Sized {
+    fn sample_single<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self;
+    fn sample_single_inclusive<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self;
+}
+
+/// Range argument accepted by `Rng::gen_range`.
+pub trait SampleRange<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+    fn is_empty(&self) -> bool;
+}
+
+impl<T: SampleUniform + PartialOrd> SampleRange<T> for Range<T> {
+    #[inline]
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_single(self.start, self.end, rng)
+    }
+    #[inline]
+    fn is_empty(&self) -> bool {
+        !(self.start < self.end)
+    }
+}
+
+impl<T: SampleUniform + PartialOrd> SampleRange<T> for RangeInclusive<T> {
+    #[inline]
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (low, high) = self.into_inner();
+        T::sample_single_inclusive(low, high, rng)
+    }
+    #[inline]
+    fn is_empty(&self) -> bool {
+        !(self.start() <= self.end())
+    }
+}
+
+/// Widening multiply returning (high, low) halves — `rand`'s `WideningMultiply`.
+trait WideMul: Sized {
+    fn wmul(self, other: Self) -> (Self, Self);
+}
+
+impl WideMul for u32 {
+    #[inline]
+    fn wmul(self, other: u32) -> (u32, u32) {
+        let wide = u64::from(self) * u64::from(other);
+        ((wide >> 32) as u32, wide as u32)
+    }
+}
+
+impl WideMul for u64 {
+    #[inline]
+    fn wmul(self, other: u64) -> (u64, u64) {
+        let wide = u128::from(self) * u128::from(other);
+        ((wide >> 64) as u64, wide as u64)
+    }
+}
+
+impl WideMul for usize {
+    #[inline]
+    fn wmul(self, other: usize) -> (usize, usize) {
+        let (hi, lo) = (self as u64).wmul(other as u64);
+        (hi as usize, lo as usize)
+    }
+}
+
+macro_rules! uniform_int_impl {
+    ($ty:ty, $unsigned:ty, $u_large:ty, $use_mod_zone:expr) => {
+        impl SampleUniform for $ty {
+            #[inline]
+            fn sample_single<R: RngCore + ?Sized>(low: $ty, high: $ty, rng: &mut R) -> $ty {
+                assert!(low < high, "UniformSampler::sample_single: low >= high");
+                Self::sample_single_inclusive(low, high - 1, rng)
+            }
+
+            fn sample_single_inclusive<R: RngCore + ?Sized>(
+                low: $ty,
+                high: $ty,
+                rng: &mut R,
+            ) -> $ty {
+                assert!(
+                    low <= high,
+                    "UniformSampler::sample_single_inclusive: low > high"
+                );
+                let range = high.wrapping_sub(low).wrapping_add(1) as $unsigned as $u_large;
+                // Range 0 means the whole type domain: no rejection needed.
+                if range == 0 {
+                    return crate::Standard.sample(rng);
+                }
+                let zone = if $use_mod_zone {
+                    // For ≤16-bit types upstream uses an exact modulus.
+                    let unsigned_max: $u_large = <$u_large>::MAX;
+                    let ints_to_reject = (unsigned_max - range + 1) % range;
+                    unsigned_max - ints_to_reject
+                } else {
+                    (range << range.leading_zeros()).wrapping_sub(1)
+                };
+                loop {
+                    let v: $u_large = crate::Standard.sample(rng);
+                    let (hi, lo) = v.wmul(range);
+                    if lo <= zone {
+                        return low.wrapping_add(hi as $ty);
+                    }
+                }
+            }
+        }
+    };
+}
+
+use crate::Distribution;
+
+uniform_int_impl!(u8, u8, u32, true);
+uniform_int_impl!(u16, u16, u32, true);
+uniform_int_impl!(u32, u32, u32, false);
+uniform_int_impl!(u64, u64, u64, false);
+uniform_int_impl!(usize, usize, usize, false);
+
+macro_rules! uniform_int_impl_signed {
+    ($ty:ty, $unsigned:ty) => {
+        impl SampleUniform for $ty {
+            #[inline]
+            fn sample_single<R: RngCore + ?Sized>(low: $ty, high: $ty, rng: &mut R) -> $ty {
+                assert!(low < high, "UniformSampler::sample_single: low >= high");
+                Self::sample_single_inclusive(low, high - 1, rng)
+            }
+            #[inline]
+            fn sample_single_inclusive<R: RngCore + ?Sized>(
+                low: $ty,
+                high: $ty,
+                rng: &mut R,
+            ) -> $ty {
+                // Same algorithm on the unsigned bit patterns (two's
+                // complement makes wrapping_sub produce the right range).
+                let ulow = low as $unsigned;
+                let range = (high as $unsigned).wrapping_sub(ulow).wrapping_add(1);
+                if range == 0 {
+                    let v: $unsigned = <$unsigned as SampleUniform>::sample_single_inclusive(
+                        0,
+                        <$unsigned>::MAX,
+                        rng,
+                    );
+                    return v as $ty;
+                }
+                let v = <$unsigned as SampleUniform>::sample_single_inclusive(0, range - 1, rng);
+                ulow.wrapping_add(v) as $ty
+            }
+        }
+    };
+}
+
+uniform_int_impl_signed!(i32, u32);
+uniform_int_impl_signed!(i64, u64);
+
+const F64_BITS_TO_DISCARD: u32 = 12;
+
+#[inline]
+fn f64_from_mantissa(bits: u64) -> f64 {
+    // Value in [1, 2): exponent 0 (biased 1023) with `bits` as mantissa.
+    f64::from_bits(bits | 0x3FF0_0000_0000_0000)
+}
+
+#[inline]
+fn decrease_masked(x: f64) -> f64 {
+    // One-ulp decrement of a positive finite float (upstream's
+    // `decrease_masked` for the scalar case).
+    f64::from_bits(x.to_bits() - 1)
+}
+
+impl SampleUniform for f64 {
+    fn sample_single<R: RngCore + ?Sized>(low: f64, high: f64, rng: &mut R) -> f64 {
+        debug_assert!(
+            low.is_finite() && high.is_finite() && low < high,
+            "Uniform::sample_single: invalid range [{low}, {high})"
+        );
+        let mut scale = high - low;
+        assert!(scale.is_finite(), "Uniform range overflow: {low}..{high}");
+        loop {
+            let value1_2 = f64_from_mantissa(rng.next_u64() >> F64_BITS_TO_DISCARD);
+            let value0_1 = value1_2 - 1.0;
+            let res = value0_1 * scale + low;
+            if res < high {
+                return res;
+            }
+            // Rounding made res == high (half-open bound): shrink the
+            // scale by one ulp and retry, exactly as upstream.
+            scale = decrease_masked(scale);
+        }
+    }
+
+    fn sample_single_inclusive<R: RngCore + ?Sized>(low: f64, high: f64, rng: &mut R) -> f64 {
+        // Upstream routes inclusive float ranges through
+        // `UniformFloat::new_inclusive` + `sample`.
+        assert!(
+            low <= high,
+            "Uniform::new_inclusive called with `low > high`"
+        );
+        let max_rand = f64_from_mantissa(u64::MAX >> F64_BITS_TO_DISCARD) - 1.0;
+        let mut scale = (high - low) / max_rand;
+        assert!(scale.is_finite(), "Uniform range overflow: {low}..={high}");
+        while !(scale * max_rand + low <= high) {
+            scale = decrease_masked(scale);
+        }
+        let value1_2 = f64_from_mantissa(rng.next_u64() >> F64_BITS_TO_DISCARD);
+        let value0_1 = value1_2 - 1.0;
+        value0_1 * scale + low
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::rngs::SmallRng;
+    use crate::{Rng, SeedableRng};
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let a = rng.gen_range(0u32..17);
+            assert!(a < 17);
+            let b = rng.gen_range(3usize..=9);
+            assert!((3..=9).contains(&b));
+            let c = rng.gen_range(-1.5f64..2.5);
+            assert!((-1.5..2.5).contains(&c));
+            let d = rng.gen_range(-1.0f64..=1.0);
+            assert!((-1.0..=1.0).contains(&d));
+            let e = rng.gen_range(5u64..=5);
+            assert_eq!(e, 5);
+        }
+    }
+
+    #[test]
+    fn full_u64_range_uses_plain_draw() {
+        let mut a = SmallRng::seed_from_u64(3);
+        let mut b = SmallRng::seed_from_u64(3);
+        assert_eq!(a.gen_range(0u64..=u64::MAX), b.gen::<u64>());
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot sample empty range")]
+    fn empty_range_panics() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let _ = rng.gen_range(5u32..5);
+    }
+}

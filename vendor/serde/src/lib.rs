@@ -1,0 +1,556 @@
+//! Offline vendored subset of `serde`.
+//!
+//! The container this workspace builds in has no network access, so the
+//! real serde cannot be fetched. This repo only ever serializes to and
+//! from JSON (via the sibling `serde_json` shim), so instead of serde's
+//! visitor architecture the data model *is* a JSON value tree:
+//!
+//! * [`Serialize`] converts a value into a [`Value`].
+//! * [`Deserialize`] reconstructs a value from a [`Value`].
+//! * `#[derive(Serialize, Deserialize)]` (from the sibling `serde_derive`
+//!   proc-macro) emits those impls with the same JSON *shape* real serde
+//!   would produce: structs as objects, newtype structs transparently,
+//!   enums externally tagged, `Option` as null/value.
+//!
+//! The subset is exactly what the workspace uses; anything else fails to
+//! compile loudly rather than silently misbehaving.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::rc::Rc;
+use std::sync::Arc;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Re-export module mirroring `serde::de` for error construction.
+pub mod de {
+    pub use crate::Error;
+}
+
+/// A JSON value: the universal data model of this serde subset.
+///
+/// Objects preserve insertion order (like real `serde_json` streaming
+/// struct fields in declaration order) so output is deterministic.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    UInt(u64),
+    Int(i64),
+    Float(f64),
+    Str(String),
+    Array(Vec<Value>),
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Member lookup on objects; `None` for other kinds or missing keys.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::UInt(n) => Some(n as f64),
+            Value::Int(n) => Some(n as f64),
+            Value::Float(f) => Some(f),
+            _ => None,
+        }
+    }
+
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Value::UInt(n) => Some(n),
+            Value::Int(n) if n >= 0 => Some(n as u64),
+            _ => None,
+        }
+    }
+
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Value::UInt(n) if n <= i64::MAX as u64 => Some(n as i64),
+            Value::Int(n) => Some(n),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            Value::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Short kind name for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::UInt(_) | Value::Int(_) | Value::Float(_) => "number",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+static NULL_VALUE: Value = Value::Null;
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL_VALUE)
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+    fn index(&self, idx: usize) -> &Value {
+        match self {
+            Value::Array(a) => a.get(idx).unwrap_or(&NULL_VALUE),
+            _ => &NULL_VALUE,
+        }
+    }
+}
+
+/// Serialization/deserialization error.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Error(pub String);
+
+impl Error {
+    pub fn custom<T: fmt::Display>(msg: T) -> Error {
+        Error(msg.to_string())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Converts `self` into the JSON data model.
+pub trait Serialize {
+    fn to_value(&self) -> Value;
+}
+
+/// Reconstructs `Self` from the JSON data model.
+pub trait Deserialize: Sized {
+    fn from_value(v: &Value) -> Result<Self, Error>;
+
+    /// Called by derived struct impls when a field is absent from the
+    /// object. Only `Option` (and types that opt in) tolerate absence.
+    fn from_missing_field(field: &'static str) -> Result<Self, Error> {
+        Err(Error(format!("missing field `{field}`")))
+    }
+}
+
+// --- primitive impls -------------------------------------------------------
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+macro_rules! ser_de_uint {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn to_value(&self) -> Value { Value::UInt(*self as u64) }
+        }
+        impl Deserialize for $ty {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let n = v.as_u64().ok_or_else(|| {
+                    Error(format!("expected unsigned integer, found {}", v.kind()))
+                })?;
+                <$ty>::try_from(n)
+                    .map_err(|_| Error(format!("integer {n} out of range for {}", stringify!($ty))))
+            }
+        }
+    )*};
+}
+ser_de_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! ser_de_int {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn to_value(&self) -> Value {
+                let n = *self as i64;
+                if n >= 0 { Value::UInt(n as u64) } else { Value::Int(n) }
+            }
+        }
+        impl Deserialize for $ty {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let n = v.as_i64().ok_or_else(|| {
+                    Error(format!("expected integer, found {}", v.kind()))
+                })?;
+                <$ty>::try_from(n)
+                    .map_err(|_| Error(format!("integer {n} out of range for {}", stringify!($ty))))
+            }
+        }
+    )*};
+}
+ser_de_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_f64()
+            .ok_or_else(|| Error(format!("expected number, found {}", v.kind())))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Float(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        f64::from_value(v).map(|f| f as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_bool()
+            .ok_or_else(|| Error(format!("expected bool, found {}", v.kind())))
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_str()
+            .map(str::to_owned)
+            .ok_or_else(|| Error(format!("expected string, found {}", v.kind())))
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let s = v
+            .as_str()
+            .ok_or_else(|| Error(format!("expected string, found {}", v.kind())))?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(Error("expected single-character string".into())),
+        }
+    }
+}
+
+// --- containers ------------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let arr = v
+            .as_array()
+            .ok_or_else(|| Error(format!("expected array, found {}", v.kind())))?;
+        arr.iter().map(T::from_value).collect()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+
+    fn from_missing_field(_field: &'static str) -> Result<Self, Error> {
+        Ok(None)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Rc<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Arc<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+macro_rules! tuple_impls {
+    ($(($($name:ident $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let arr = v.as_array().ok_or_else(|| {
+                    Error(format!("expected tuple array, found {}", v.kind()))
+                })?;
+                let expected = [$($idx),+].len();
+                if arr.len() != expected {
+                    return Err(Error(format!(
+                        "expected array of length {expected}, found {}",
+                        arr.len()
+                    )));
+                }
+                Ok(($($name::from_value(&arr[$idx])?,)+))
+            }
+        }
+    )*};
+}
+tuple_impls! {
+    (A 0)
+    (A 0, B 1)
+    (A 0, B 1, C 2)
+    (A 0, B 1, C 2, D 3)
+}
+
+/// Map keys must render as JSON strings; this mirrors `serde_json`'s
+/// behaviour of stringifying integer keys.
+fn key_to_string(key: &Value) -> Result<String, Error> {
+    match key {
+        Value::Str(s) => Ok(s.clone()),
+        Value::UInt(n) => Ok(n.to_string()),
+        Value::Int(n) => Ok(n.to_string()),
+        _ => Err(Error(format!(
+            "map key must be a string or integer, found {}",
+            key.kind()
+        ))),
+    }
+}
+
+fn key_from_string<K: Deserialize>(key: &str) -> Result<K, Error> {
+    // Try as a string key first, then as an integer key (serde_json
+    // round-trips integer map keys through strings).
+    let as_str = Value::Str(key.to_owned());
+    if let Ok(k) = K::from_value(&as_str) {
+        return Ok(k);
+    }
+    if let Ok(n) = key.parse::<u64>() {
+        if let Ok(k) = K::from_value(&Value::UInt(n)) {
+            return Ok(k);
+        }
+    }
+    if let Ok(n) = key.parse::<i64>() {
+        if let Ok(k) = K::from_value(&Value::Int(n)) {
+            return Ok(k);
+        }
+    }
+    Err(Error(format!("cannot deserialize map key from `{key}`")))
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        let entries = self
+            .iter()
+            .map(|(k, v)| {
+                let key = key_to_string(&k.to_value())
+                    .expect("BTreeMap key must serialize to a string or integer");
+                (key, v.to_value())
+            })
+            .collect();
+        Value::Object(entries)
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Object(entries) => entries
+                .iter()
+                .map(|(k, val)| Ok((key_from_string(k)?, V::from_value(val)?)))
+                .collect(),
+            _ => Err(Error(format!("expected object, found {}", v.kind()))),
+        }
+    }
+}
+
+impl<K: Serialize, V: Serialize, S> Serialize for HashMap<K, V, S> {
+    fn to_value(&self) -> Value {
+        // Sort for deterministic output (serde_json with a HashMap is
+        // nondeterministic; determinism is strictly better here).
+        let mut entries: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| {
+                let key = key_to_string(&k.to_value())
+                    .expect("HashMap key must serialize to a string or integer");
+                (key, v.to_value())
+            })
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Object(entries)
+    }
+}
+
+// --- derive support --------------------------------------------------------
+
+/// Support plumbing for `serde_derive`-generated code. Not public API.
+#[doc(hidden)]
+pub mod __private {
+    use super::{Deserialize, Error, Value};
+
+    /// Fetches and deserializes a struct field from an object.
+    pub fn field<T: Deserialize>(
+        entries: &[(String, Value)],
+        name: &'static str,
+    ) -> Result<T, Error> {
+        match entries.iter().find(|(k, _)| k == name) {
+            Some((_, v)) => T::from_value(v).map_err(|e| Error(format!("field `{name}`: {}", e.0))),
+            None => T::from_missing_field(name),
+        }
+    }
+
+    /// Unwraps an object, naming the type in the error.
+    pub fn expect_object<'v>(
+        v: &'v Value,
+        ty: &'static str,
+    ) -> Result<&'v [(String, Value)], Error> {
+        match v {
+            Value::Object(entries) => Ok(entries),
+            _ => Err(Error(format!("expected {ty} object, found {}", v.kind()))),
+        }
+    }
+
+    /// Unwraps an array of exactly `n` elements (tuple structs/variants).
+    pub fn expect_tuple<'v>(
+        v: &'v Value,
+        ty: &'static str,
+        n: usize,
+    ) -> Result<&'v [Value], Error> {
+        match v {
+            Value::Array(arr) if arr.len() == n => Ok(arr),
+            Value::Array(arr) => Err(Error(format!(
+                "expected {ty} array of length {n}, found {}",
+                arr.len()
+            ))),
+            _ => Err(Error(format!("expected {ty} array, found {}", v.kind()))),
+        }
+    }
+
+    /// Splits an externally tagged enum value into (variant, payload).
+    /// Unit variants arrive as strings with no payload.
+    pub fn enum_variant<'v>(
+        v: &'v Value,
+        ty: &'static str,
+    ) -> Result<(&'v str, Option<&'v Value>), Error> {
+        match v {
+            Value::Str(name) => Ok((name, None)),
+            Value::Object(entries) if entries.len() == 1 => {
+                Ok((entries[0].0.as_str(), Some(&entries[0].1)))
+            }
+            _ => Err(Error(format!(
+                "expected {ty} variant (string or single-key object), found {}",
+                v.kind()
+            ))),
+        }
+    }
+
+    pub fn unknown_variant(ty: &'static str, variant: &str) -> Error {
+        Error(format!("unknown {ty} variant `{variant}`"))
+    }
+}

@@ -1,0 +1,408 @@
+//! Offline vendored `#[derive(Serialize, Deserialize)]` for the sibling
+//! `serde` shim. Implemented directly on `proc_macro::TokenStream` (the
+//! container has no network access, so `syn`/`quote` are unavailable).
+//!
+//! Supported shapes — exactly what this workspace derives on:
+//!
+//! * structs with named fields → JSON objects in declaration order
+//! * newtype structs → transparent (the inner value)
+//! * tuple structs (≥ 2 fields) → JSON arrays
+//! * unit structs → `null`
+//! * enums → externally tagged (`"Variant"`, `{"Variant": payload}`)
+//!
+//! Generics and `#[serde(...)]` attributes are **not** supported; the one
+//! attribute user in the tree (`Topology`) hand-writes its impls instead.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    item.serialize_impl()
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    item.deserialize_impl()
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
+
+enum Fields {
+    Unit,
+    /// Tuple struct/variant with this many fields.
+    Tuple(usize),
+    /// Named fields in declaration order.
+    Named(Vec<String>),
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Shape {
+    Struct(Fields),
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+// --- parsing ---------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i);
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive: expected `struct` or `enum`, found `{other}`"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive: expected type name, found `{other}`"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde_derive: generic type `{name}` is not supported by the offline shim");
+        }
+    }
+    match kind.as_str() {
+        "struct" => {
+            let fields = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(count_tuple_fields(g.stream()))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+                None => Fields::Unit,
+                other => panic!("serde_derive: unexpected token after struct name: {other:?}"),
+            };
+            Item {
+                name,
+                shape: Shape::Struct(fields),
+            }
+        }
+        "enum" => {
+            let body = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => panic!("serde_derive: expected enum body, found {other:?}"),
+            };
+            Item {
+                name,
+                shape: Shape::Enum(parse_variants(body)),
+            }
+        }
+        other => panic!("serde_derive: expected `struct` or `enum`, found `{other}`"),
+    }
+}
+
+/// Advances past `#[...]` attributes, doc comments and a visibility
+/// qualifier (`pub`, `pub(crate)`, …).
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 1; // the `[...]` group
+                if matches!(tokens.get(*i), Some(TokenTree::Group(_))) {
+                    *i += 1;
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        *i += 1; // pub(crate) / pub(super)
+                    }
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Splits a token list on top-level commas, treating `<`/`>` as brackets
+/// so `BTreeMap<K, V>` stays one chunk. Groups are atomic tokens already.
+fn split_top_level_commas(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut chunks = vec![Vec::new()];
+    let mut angle_depth = 0i32;
+    for tt in stream {
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                chunks.push(Vec::new());
+                continue;
+            }
+            _ => {}
+        }
+        chunks.last_mut().expect("chunks never empty").push(tt);
+    }
+    if chunks.last().map(Vec::is_empty).unwrap_or(false) {
+        chunks.pop(); // trailing comma
+    }
+    chunks
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    split_top_level_commas(stream)
+        .into_iter()
+        .map(|chunk| {
+            let mut i = 0;
+            skip_attrs_and_vis(&chunk, &mut i);
+            match chunk.get(i) {
+                Some(TokenTree::Ident(id)) => id.to_string(),
+                other => panic!("serde_derive: expected field name, found {other:?}"),
+            }
+        })
+        .collect()
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    split_top_level_commas(stream).len()
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    split_top_level_commas(stream)
+        .into_iter()
+        .map(|chunk| {
+            let mut i = 0;
+            skip_attrs_and_vis(&chunk, &mut i);
+            let name = match chunk.get(i) {
+                Some(TokenTree::Ident(id)) => id.to_string(),
+                other => panic!("serde_derive: expected variant name, found {other:?}"),
+            };
+            i += 1;
+            let fields = match chunk.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(count_tuple_fields(g.stream()))
+                }
+                None => Fields::Unit,
+                Some(TokenTree::Punct(p)) if p.as_char() == '=' => panic!(
+                    "serde_derive: explicit discriminants are not supported (variant `{name}`)"
+                ),
+                other => panic!("serde_derive: unexpected token in variant `{name}`: {other:?}"),
+            };
+            Variant { name, fields }
+        })
+        .collect()
+}
+
+// --- codegen ---------------------------------------------------------------
+
+impl Item {
+    fn serialize_impl(&self) -> String {
+        let name = &self.name;
+        let body = match &self.shape {
+            Shape::Struct(Fields::Unit) => "::serde::Value::Null".to_string(),
+            Shape::Struct(Fields::Tuple(1)) => "::serde::Serialize::to_value(&self.0)".to_string(),
+            Shape::Struct(Fields::Tuple(n)) => {
+                let elems: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                    .collect();
+                format!("::serde::Value::Array(::std::vec![{}])", elems.join(", "))
+            }
+            Shape::Struct(Fields::Named(fields)) => object_expr(fields.iter().map(|f| {
+                (
+                    f.clone(),
+                    format!("::serde::Serialize::to_value(&self.{f})"),
+                )
+            })),
+            Shape::Enum(variants) => {
+                let arms: Vec<String> = variants
+                    .iter()
+                    .map(|v| {
+                        let vname = &v.name;
+                        match &v.fields {
+                            Fields::Unit => format!(
+                                "{name}::{vname} => ::serde::Value::Str(\
+                                 ::std::string::String::from(\"{vname}\")),"
+                            ),
+                            Fields::Tuple(1) => format!(
+                                "{name}::{vname}(__f0) => {},",
+                                variant_payload(vname, "::serde::Serialize::to_value(__f0)")
+                            ),
+                            Fields::Tuple(n) => {
+                                let binders: Vec<String> =
+                                    (0..*n).map(|i| format!("__f{i}")).collect();
+                                let elems: Vec<String> = binders
+                                    .iter()
+                                    .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                    .collect();
+                                format!(
+                                    "{name}::{vname}({}) => {},",
+                                    binders.join(", "),
+                                    variant_payload(
+                                        vname,
+                                        &format!(
+                                            "::serde::Value::Array(::std::vec![{}])",
+                                            elems.join(", ")
+                                        )
+                                    )
+                                )
+                            }
+                            Fields::Named(fields) => {
+                                let payload = object_expr(fields.iter().map(|f| {
+                                    (f.clone(), format!("::serde::Serialize::to_value({f})"))
+                                }));
+                                format!(
+                                    "{name}::{vname} {{ {} }} => {},",
+                                    fields.join(", "),
+                                    variant_payload(vname, &payload)
+                                )
+                            }
+                        }
+                    })
+                    .collect();
+                format!("match self {{ {} }}", arms.join("\n"))
+            }
+        };
+        format!(
+            "#[automatically_derived]\n\
+             impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+             }}"
+        )
+    }
+
+    fn deserialize_impl(&self) -> String {
+        let name = &self.name;
+        let body = match &self.shape {
+            Shape::Struct(Fields::Unit) => {
+                format!("::std::result::Result::Ok({name})")
+            }
+            Shape::Struct(Fields::Tuple(1)) => {
+                format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))")
+            }
+            Shape::Struct(Fields::Tuple(n)) => {
+                let elems: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::Deserialize::from_value(&__arr[{i}])?"))
+                    .collect();
+                format!(
+                    "let __arr = ::serde::__private::expect_tuple(__v, \"{name}\", {n})?;\n\
+                     ::std::result::Result::Ok({name}({}))",
+                    elems.join(", ")
+                )
+            }
+            Shape::Struct(Fields::Named(fields)) => {
+                let inits: Vec<String> = fields
+                    .iter()
+                    .map(|f| format!("{f}: ::serde::__private::field(__entries, \"{f}\")?"))
+                    .collect();
+                format!(
+                    "let __entries = ::serde::__private::expect_object(__v, \"{name}\")?;\n\
+                     ::std::result::Result::Ok({name} {{ {} }})",
+                    inits.join(", ")
+                )
+            }
+            Shape::Enum(variants) => {
+                let arms: Vec<String> = variants
+                    .iter()
+                    .map(|v| {
+                        let vname = &v.name;
+                        match &v.fields {
+                            Fields::Unit => format!(
+                                "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}),"
+                            ),
+                            Fields::Tuple(1) => format!(
+                                "\"{vname}\" => {{\n\
+                                     let __p = {};\n\
+                                     ::std::result::Result::Ok({name}::{vname}(\
+                                         ::serde::Deserialize::from_value(__p)?))\n\
+                                 }}",
+                                payload_expr(name, vname)
+                            ),
+                            Fields::Tuple(n) => {
+                                let elems: Vec<String> = (0..*n)
+                                    .map(|i| {
+                                        format!("::serde::Deserialize::from_value(&__arr[{i}])?")
+                                    })
+                                    .collect();
+                                format!(
+                                    "\"{vname}\" => {{\n\
+                                         let __p = {};\n\
+                                         let __arr = ::serde::__private::expect_tuple(\
+                                             __p, \"{name}::{vname}\", {n})?;\n\
+                                         ::std::result::Result::Ok({name}::{vname}({}))\n\
+                                     }}",
+                                    payload_expr(name, vname),
+                                    elems.join(", ")
+                                )
+                            }
+                            Fields::Named(fields) => {
+                                let inits: Vec<String> = fields
+                                    .iter()
+                                    .map(|f| {
+                                        format!(
+                                            "{f}: ::serde::__private::field(__entries, \"{f}\")?"
+                                        )
+                                    })
+                                    .collect();
+                                format!(
+                                    "\"{vname}\" => {{\n\
+                                         let __p = {};\n\
+                                         let __entries = ::serde::__private::expect_object(\
+                                             __p, \"{name}::{vname}\")?;\n\
+                                         ::std::result::Result::Ok({name}::{vname} {{ {} }})\n\
+                                     }}",
+                                    payload_expr(name, vname),
+                                    inits.join(", ")
+                                )
+                            }
+                        }
+                    })
+                    .collect();
+                format!(
+                    "let (__variant, __payload) = \
+                         ::serde::__private::enum_variant(__v, \"{name}\")?;\n\
+                     match __variant {{\n{}\n\
+                         __other => ::std::result::Result::Err(\
+                             ::serde::__private::unknown_variant(\"{name}\", __other)),\n\
+                     }}",
+                    arms.join("\n")
+                )
+            }
+        };
+        format!(
+            "#[automatically_derived]\n\
+             impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(__v: &::serde::Value) \
+                     -> ::std::result::Result<Self, ::serde::Error> {{\n{body}\n}}\n\
+             }}"
+        )
+    }
+}
+
+fn object_expr(entries: impl Iterator<Item = (String, String)>) -> String {
+    let parts: Vec<String> = entries
+        .map(|(k, v)| format!("(::std::string::String::from(\"{k}\"), {v})"))
+        .collect();
+    format!("::serde::Value::Object(::std::vec![{}])", parts.join(", "))
+}
+
+fn variant_payload(vname: &str, payload: &str) -> String {
+    format!(
+        "::serde::Value::Object(::std::vec![\
+         (::std::string::String::from(\"{vname}\"), {payload})])"
+    )
+}
+
+fn payload_expr(name: &str, vname: &str) -> String {
+    format!(
+        "__payload.ok_or_else(|| ::serde::Error(::std::format!(\
+         \"variant `{name}::{vname}` expects a payload\")))?"
+    )
+}

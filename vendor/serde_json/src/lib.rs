@@ -1,0 +1,447 @@
+//! Offline vendored subset of `serde_json`, built on the sibling `serde`
+//! shim's JSON-value data model.
+//!
+//! Provides the workspace's full call surface: `to_string`,
+//! `to_string_pretty` (2-space indent, matching upstream), `to_vec`,
+//! `from_str`, `from_slice`, `to_value`/`from_value`, the [`json!`]
+//! macro (object/array/literal forms with `Serialize` expression values)
+//! and the [`Value`] type with `get`/`as_*`/indexing.
+//!
+//! Floats print with Rust's shortest-round-trip `Display`, with `.0`
+//! appended to integral values — the same text upstream's `ryu` produces
+//! for every value that appears in this workspace's outputs.
+
+use std::fmt::Write as _;
+
+pub use serde::Value;
+use serde::{Deserialize, Error, Serialize};
+
+/// Serialization result alias (matches `serde_json::Result`).
+pub type Result<T> = std::result::Result<T, Error>;
+
+pub fn to_value<T: Serialize>(value: &T) -> Value {
+    value.to_value()
+}
+
+pub fn from_value<T: Deserialize>(value: &Value) -> Result<T> {
+    T::from_value(value)
+}
+
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), None, 0)?;
+    Ok(out)
+}
+
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), Some("  "), 0)?;
+    Ok(out)
+}
+
+pub fn to_vec<T: Serialize + ?Sized>(value: &T) -> Result<Vec<u8>> {
+    to_string(value).map(String::into_bytes)
+}
+
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T> {
+    let value = parse(s)?;
+    T::from_value(&value)
+}
+
+pub fn from_slice<T: Deserialize>(bytes: &[u8]) -> Result<T> {
+    let s = std::str::from_utf8(bytes)
+        .map_err(|e| Error(format!("invalid UTF-8 in JSON input: {e}")))?;
+    from_str(s)
+}
+
+/// Builds a [`Value`] from a JSON-like literal. Values in object/array
+/// position may be arbitrary `Serialize` expressions.
+/// Values are arbitrary `Serialize` expressions; nested object literals
+/// must themselves be wrapped in `json!({...})` (unlike upstream's full
+/// tt-muncher, which this shim deliberately avoids).
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($elem:expr),* $(,)? ]) => {
+        $crate::Value::Array(::std::vec![ $( $crate::to_value(&$elem) ),* ])
+    };
+    ({ $($key:tt : $val:expr),* $(,)? }) => {
+        $crate::Value::Object(::std::vec![
+            $( (::std::string::String::from($key), $crate::to_value(&$val)) ),*
+        ])
+    };
+    ($other:expr) => { $crate::to_value(&$other) };
+}
+
+// --- writer ----------------------------------------------------------------
+
+fn write_value(out: &mut String, v: &Value, indent: Option<&str>, depth: usize) -> Result<()> {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::UInt(n) => {
+            let _ = write!(out, "{n}");
+        }
+        Value::Int(n) => {
+            let _ = write!(out, "{n}");
+        }
+        Value::Float(f) => write_f64(out, *f)?,
+        Value::Str(s) => write_escaped(out, s),
+        Value::Array(arr) => {
+            if arr.is_empty() {
+                out.push_str("[]");
+            } else {
+                out.push('[');
+                for (i, elem) in arr.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline_indent(out, indent, depth + 1);
+                    write_value(out, elem, indent, depth + 1)?;
+                }
+                newline_indent(out, indent, depth);
+                out.push(']');
+            }
+        }
+        Value::Object(entries) => {
+            if entries.is_empty() {
+                out.push_str("{}");
+            } else {
+                out.push('{');
+                for (i, (k, val)) in entries.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline_indent(out, indent, depth + 1);
+                    write_escaped(out, k);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    write_value(out, val, indent, depth + 1)?;
+                }
+                newline_indent(out, indent, depth);
+                out.push('}');
+            }
+        }
+    }
+    Ok(())
+}
+
+fn newline_indent(out: &mut String, indent: Option<&str>, depth: usize) {
+    if let Some(unit) = indent {
+        out.push('\n');
+        for _ in 0..depth {
+            out.push_str(unit);
+        }
+    }
+}
+
+fn write_f64(out: &mut String, f: f64) -> Result<()> {
+    if !f.is_finite() {
+        // Upstream refuses non-finite floats; Value::from maps them to
+        // null. Take the error path so bugs surface.
+        return Err(Error(format!("cannot serialize non-finite float {f}")));
+    }
+    let s = format!("{f}");
+    out.push_str(&s);
+    if !s.contains(['.', 'e', 'E']) {
+        out.push_str(".0");
+    }
+    Ok(())
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{8}' => out.push_str("\\b"),
+            '\u{c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// --- parser ----------------------------------------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+fn parse(s: &str) -> Result<Value> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error(format!("trailing characters at offset {}", p.pos)));
+    }
+    Ok(v)
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<()> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error(format!(
+                "expected `{}` at offset {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'"') => self.string().map(Value::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(c) => Err(Error(format!(
+                "unexpected character `{}` at offset {}",
+                c as char, self.pos
+            ))),
+            None => Err(Error("unexpected end of JSON input".into())),
+        }
+    }
+
+    fn literal(&mut self, text: &str, v: Value) -> Result<Value> {
+        if self.bytes[self.pos..].starts_with(text.as_bytes()) {
+            self.pos += text.len();
+            Ok(v)
+        } else {
+            Err(Error(format!("invalid literal at offset {}", self.pos)))
+        }
+    }
+
+    fn string(&mut self) -> Result<String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let cp = self.hex4()?;
+                            // Surrogate pairs for non-BMP characters.
+                            let c = if (0xD800..0xDC00).contains(&cp) {
+                                self.expect(b'\\')?;
+                                let lo = self.hex4()?; // hex4 skips the 'u' itself
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err(Error("invalid surrogate pair".into()));
+                                }
+                                let combined = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+                                char::from_u32(combined)
+                                    .ok_or_else(|| Error("invalid unicode escape".into()))?
+                            } else {
+                                char::from_u32(cp)
+                                    .ok_or_else(|| Error("invalid unicode escape".into()))?
+                            };
+                            out.push(c);
+                            continue; // hex4 advanced pos already
+                        }
+                        _ => return Err(Error(format!("invalid escape at offset {}", self.pos))),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 character.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|e| Error(format!("invalid UTF-8: {e}")))?;
+                    let c = rest.chars().next().expect("non-empty by peek");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+                None => return Err(Error("unterminated string".into())),
+            }
+        }
+    }
+
+    /// Parses the 4 hex digits after `\u` (pos is on the `u`).
+    fn hex4(&mut self) -> Result<u32> {
+        self.pos += 1; // past 'u'
+        let end = self.pos + 4;
+        if end > self.bytes.len() {
+            return Err(Error("truncated unicode escape".into()));
+        }
+        let digits = std::str::from_utf8(&self.bytes[self.pos..end])
+            .map_err(|_| Error("invalid unicode escape".into()))?;
+        let cp =
+            u32::from_str_radix(digits, 16).map_err(|_| Error("invalid unicode escape".into()))?;
+        self.pos = end;
+        Ok(cp)
+    }
+
+    fn number(&mut self) -> Result<Value> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ASCII number chars");
+        if !is_float {
+            if let Ok(n) = text.parse::<u64>() {
+                return Ok(Value::UInt(n));
+            }
+            if let Ok(n) = text.parse::<i64>() {
+                return Ok(Value::Int(n));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::Float)
+            .map_err(|_| Error(format!("invalid number `{text}`")))
+    }
+
+    fn array(&mut self) -> Result<Value> {
+        self.expect(b'[')?;
+        let mut out = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(out));
+        }
+        loop {
+            self.skip_ws();
+            out.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(out));
+                }
+                _ => return Err(Error(format!("expected `,` or `]` at offset {}", self.pos))),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value> {
+        self.expect(b'{')?;
+        let mut out = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(out));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let val = self.value()?;
+            out.push((key, val));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(out));
+                }
+                _ => {
+                    return Err(Error(format!(
+                        "expected `,` or `}}` at offset {}",
+                        self.pos
+                    )))
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_basic_values() {
+        let v = parse(r#"{"a": [1, -2, 3.5], "b": null, "c": "x\ny", "d": true}"#).unwrap();
+        assert_eq!(v["a"][0].as_u64(), Some(1));
+        assert_eq!(v["a"][1].as_i64(), Some(-2));
+        assert_eq!(v["a"][2].as_f64(), Some(3.5));
+        assert!(v["b"].is_null());
+        assert_eq!(v["c"].as_str(), Some("x\ny"));
+        assert_eq!(v["d"].as_bool(), Some(true));
+        let text = to_string(&v).unwrap();
+        assert_eq!(text, r#"{"a":[1,-2,3.5],"b":null,"c":"x\ny","d":true}"#);
+    }
+
+    #[test]
+    fn pretty_matches_upstream_layout() {
+        let v = json!({"k": [1, 2], "m": json!({"x": 1.0})});
+        assert_eq!(
+            to_string_pretty(&v).unwrap(),
+            "{\n  \"k\": [\n    1,\n    2\n  ],\n  \"m\": {\n    \"x\": 1.0\n  }\n}"
+        );
+    }
+
+    #[test]
+    fn floats_keep_point_zero() {
+        assert_eq!(to_string(&2.0f64).unwrap(), "2.0");
+        assert_eq!(to_string(&0.1f64).unwrap(), "0.1");
+        assert_eq!(to_string(&-0.0f64).unwrap(), "-0.0");
+        assert!(to_string(&f64::NAN).is_err());
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(parse("{").is_err());
+        assert!(parse("[1,]").is_err());
+        assert!(parse("nul").is_err());
+        assert!(parse("1 2").is_err());
+    }
+}
