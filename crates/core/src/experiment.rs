@@ -21,6 +21,7 @@ pub use crate::metrics::Aggregate;
 use crate::metrics::RunStats;
 use crate::network::{Network, SimConfig};
 use crate::scheme::Scheme;
+use crate::warm::{SnapshotCache, SnapshotKey, WarmStats};
 
 /// A topology family an experiment draws from (one fresh sample per trial).
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
@@ -138,8 +139,34 @@ impl Experiment {
         Aggregate::new(runs)
     }
 
-    /// Runs a single trial.
+    /// Runs a single trial cold: fresh topology, fresh network, initial
+    /// convergence from scratch. The reference the warm path is checked
+    /// against.
     pub fn run_trial(&self, trial: u32) -> RunStats {
+        let mut net = self.build_network(trial);
+        net.run_failure_experiment(&self.failure)
+    }
+
+    /// Runs a single trial warm-started from `cache`: the converged
+    /// pre-failure state is forked from a shared snapshot (built on first
+    /// use), so only failure injection and re-convergence run per point.
+    /// Produces bit-identical [`RunStats`] to [`run_trial`](Experiment::run_trial) —
+    /// the converged state depends on the snapshot key alone, forking
+    /// clones it exactly, and failure injection derives its randomness
+    /// freshly from the simulation seed.
+    pub fn run_trial_warm(&self, trial: u32, cache: &SnapshotCache) -> RunStats {
+        let mut net = cache.fork_or_build(self.snapshot_key(trial), || {
+            let mut net = self.build_network(trial);
+            net.run_initial_convergence();
+            net
+        });
+        net.inject_failure(&self.failure);
+        net.run_to_quiescence()
+    }
+
+    /// Builds the trial's network (topology sampled, config applied) but
+    /// runs nothing yet.
+    fn build_network(&self, trial: u32) -> Network {
         let streams = RngStreams::new(self.base_seed);
         let mut topo_rng = streams.stream("topology", u64::from(trial));
         let topo = self.topology.generate(&mut topo_rng);
@@ -150,8 +177,19 @@ impl Experiment {
             // relationships (no inference needed).
             cfg.policy_tiers = Some(params.tier_vector());
         }
-        let mut net = Network::new(topo, cfg);
-        net.run_failure_experiment(&self.failure)
+        Network::new(topo, cfg)
+    }
+
+    /// The snapshot-cache key identifying this point's converged
+    /// pre-failure state: everything about the trial *except* the failure.
+    pub fn snapshot_key(&self, trial: u32) -> SnapshotKey {
+        let prototype = serde_json::to_string(&(&self.topology, &self.scheme))
+            .expect("topology/scheme specs serialize");
+        SnapshotKey {
+            prototype,
+            base_seed: self.base_seed,
+            trial,
+        }
     }
 }
 
@@ -182,23 +220,60 @@ pub struct ParallelReport {
     pub threads: usize,
     /// Per-trial wall-clock timings, in `(point, trial)` order.
     pub timings: Vec<TrialTiming>,
+    /// Warm-start snapshot-cache effectiveness (`None` for cold runs).
+    pub warm: Option<WarmStats>,
 }
 
 /// Runs a batch of experiment points, fanning individual trials out over
 /// `threads` workers (defaults to available parallelism). Results are in
 /// the same order as `points`.
+///
+/// Trials are warm-started: points sharing a `(topology, scheme, seed,
+/// trial)` key — a figure sweep's points differ only in failure size —
+/// fork one shared converged prototype instead of re-converging from
+/// cold. Results are bit-identical to cold runs (see [`crate::warm`]).
 pub fn run_all_parallel(points: &[Experiment], threads: Option<usize>) -> Vec<Aggregate> {
     run_all_parallel_timed(points, threads).0
 }
 
-/// [`run_all_parallel`], additionally reporting the worker-thread count
-/// and per-trial wall-clock timings (consumed by the hot-path throughput
-/// harness, `BENCH_hotpath.json`).
+/// [`run_all_parallel`], additionally reporting the worker-thread count,
+/// per-trial wall-clock timings and snapshot-cache counters (consumed by
+/// the hot-path throughput harness, `BENCH_hotpath.json`).
 pub fn run_all_parallel_timed(
     points: &[Experiment],
     threads: Option<usize>,
 ) -> (Vec<Aggregate>, ParallelReport) {
+    run_all_parallel_inner(points, threads, true)
+}
+
+/// [`run_all_parallel_timed`] without the warm-start snapshot cache:
+/// every trial re-converges from cold. Kept as the reference path for the
+/// cold-vs-warm comparison in the `hotpath` bench.
+pub fn run_all_parallel_timed_cold(
+    points: &[Experiment],
+    threads: Option<usize>,
+) -> (Vec<Aggregate>, ParallelReport) {
+    run_all_parallel_inner(points, threads, false)
+}
+
+fn run_all_parallel_inner(
+    points: &[Experiment],
+    threads: Option<usize>,
+    warm: bool,
+) -> (Vec<Aggregate>, ParallelReport) {
     let threads = threads.unwrap_or_else(default_thread_count).max(1);
+    let cache = warm.then(SnapshotCache::new);
+    if let Some(cache) = &cache {
+        // Declare the batch's full demand up front: the cache then hands
+        // the prototype itself to each key's last trial (no clone) and
+        // evicts the entry, so converged networks are released as the
+        // sweep progresses instead of staying pinned until the end.
+        for p in points {
+            for trial in 0..p.trials {
+                cache.expect_forks(p.snapshot_key(trial), 1);
+            }
+        }
+    }
 
     // Flatten to (point index, trial) tasks.
     let tasks: Vec<(usize, u32)> = points
@@ -223,7 +298,10 @@ pub fn run_all_parallel_timed(
                     break;
                 };
                 let started = std::time::Instant::now();
-                let stats = points[point_idx].run_trial(trial);
+                let stats = match &cache {
+                    Some(cache) => points[point_idx].run_trial_warm(trial, cache),
+                    None => points[point_idx].run_trial(trial),
+                };
                 let wall_secs = started.elapsed().as_secs_f64();
                 results[point_idx].lock().expect("no poisoned trials")[trial as usize] =
                     Some((stats, wall_secs));
@@ -260,6 +338,7 @@ pub fn run_all_parallel_timed(
         ParallelReport {
             threads: workers,
             timings,
+            warm: cache.map(|c| c.stats()),
         },
     )
 }
@@ -297,10 +376,56 @@ mod tests {
 
     #[test]
     fn parallel_matches_sequential() {
+        // The parallel runner is warm-started, the sequential reference is
+        // cold — this doubles as the warm == cold determinism lock.
         let points = vec![tiny_experiment(3), tiny_experiment(4)];
         let seq: Vec<Aggregate> = points.iter().map(Experiment::run).collect();
         let par = run_all_parallel(&points, Some(3));
         assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn warm_trial_is_bit_identical_to_cold() {
+        let mut sweep = Vec::new();
+        for fraction in [0.05, 0.1, 0.2] {
+            let mut p = tiny_experiment(5);
+            p.failure = FailureSpec::CenterFraction(fraction);
+            sweep.push(p);
+        }
+        let cache = SnapshotCache::new();
+        for p in &sweep {
+            for trial in 0..p.trials {
+                assert_eq!(p.run_trial_warm(trial, &cache), p.run_trial(trial));
+            }
+        }
+        // All points share (topology, scheme, seed): one snapshot per trial.
+        let stats = cache.stats();
+        assert_eq!(stats.builds, 2);
+        assert_eq!(stats.forks, 6);
+        assert_eq!(stats.hits, 4);
+    }
+
+    #[test]
+    fn snapshot_key_ignores_failure_only() {
+        let a = tiny_experiment(6);
+        let mut b = tiny_experiment(6);
+        b.failure = FailureSpec::CenterFraction(0.2);
+        assert_eq!(a.snapshot_key(0), b.snapshot_key(0));
+        assert_ne!(a.snapshot_key(0), a.snapshot_key(1));
+        let mut c = tiny_experiment(6);
+        c.scheme = Scheme::batching(0.5);
+        assert_ne!(a.snapshot_key(0), c.snapshot_key(0));
+    }
+
+    #[test]
+    fn cold_parallel_reports_no_warm_stats() {
+        let points = vec![tiny_experiment(8)];
+        let (warm_agg, warm_report) = run_all_parallel_timed(&points, Some(2));
+        let (cold_agg, cold_report) = run_all_parallel_timed_cold(&points, Some(2));
+        assert_eq!(warm_agg, cold_agg);
+        assert!(cold_report.warm.is_none());
+        let stats = warm_report.warm.expect("warm runs report cache stats");
+        assert_eq!(stats.forks, 2);
     }
 
     #[test]

@@ -61,8 +61,10 @@ pub mod network;
 pub mod report;
 pub mod scenario;
 pub mod scheme;
+pub mod warm;
 
 pub use experiment::{Aggregate, Experiment, TopologySpec};
 pub use metrics::RunStats;
 pub use network::{Network, SimConfig};
 pub use scheme::Scheme;
+pub use warm::{NetworkSnapshot, SnapshotCache, SnapshotKey, WarmStats};

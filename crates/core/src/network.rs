@@ -410,6 +410,14 @@ fn as_core_numbers(adj: &[Vec<usize>]) -> Vec<usize> {
 ///                                  // ground-truth reachability
 /// # Ok::<(), bgpsim_topology::TopologyError>(())
 /// ```
+///
+/// `Network` is `Clone`: a clone captures the complete simulation state —
+/// every router's RIBs, timers, queue, RNG position and stats, plus the
+/// scheduler's pending events, clock and counters — and continues
+/// bit-identically to the original. The interned `Arc<[AsId]>` AS paths
+/// make this cheap (refcount bumps instead of deep path copies); the
+/// warm-start sweep engine ([`crate::warm`]) builds on it.
+#[derive(Clone)]
 pub struct Network {
     topo: Topology,
     cfg: SimConfig,
@@ -698,7 +706,11 @@ impl Network {
     pub fn run_initial_convergence(&mut self) -> SimDuration {
         let streams = RngStreams::new(self.cfg.seed);
         let mut rng = streams.stream("originate", 0);
-        for (idx, &origin) in self.origin_of_prefix.clone().iter().enumerate() {
+        // Index loop: scheduling needs `&mut self.sched`, so iterating a
+        // borrowed `&self.origin_of_prefix` would force cloning the whole
+        // Vec; indexing re-borrows per iteration instead.
+        for idx in 0..self.origin_of_prefix.len() {
+            let origin = self.origin_of_prefix[idx];
             let at = SimTime::from_nanos(rng.gen_range(0..=self.cfg.origination_window.as_nanos()));
             let prefix = Prefix::new(idx as u32);
             self.sched.schedule(
@@ -824,6 +836,15 @@ impl Network {
         self.run_initial_convergence();
         self.inject_failure(region);
         self.run_to_quiescence()
+    }
+
+    /// Captures the complete simulation state into a forkable
+    /// [`NetworkSnapshot`](crate::warm::NetworkSnapshot). Typically called
+    /// right after [`run_initial_convergence`](Network::run_initial_convergence)
+    /// so a whole failure sweep can fork the one converged state instead of
+    /// re-converging from cold per point.
+    pub fn snapshot(&self) -> crate::warm::NetworkSnapshot {
+        crate::warm::NetworkSnapshot::capture(self)
     }
 
     /// The policy relationship of `peer` towards `node` (None when

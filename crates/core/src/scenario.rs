@@ -97,10 +97,11 @@ impl Scenario {
     ///
     /// # Panics
     ///
-    /// Panics if a `ReviveAll` step finds routers alive that were never
-    /// failed is fine (it revives the failed set only); panics on internal
-    /// inconsistencies such as double-failing a dead router via an
-    /// explicit spec.
+    /// Panics if a `FailRouters` step carries an explicit spec naming a
+    /// router id outside the topology. The built-in scenario constructors
+    /// never trigger this; already-dead routers in a failure step are
+    /// skipped, and `ReviveAll` revives exactly the set of routers the
+    /// scenario has failed so far, so neither can panic.
     pub fn run(&self, net: &mut Network) -> Vec<RunStats> {
         net.run_initial_convergence();
         let mut down: Vec<RouterId> = Vec::new();

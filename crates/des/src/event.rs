@@ -20,6 +20,7 @@ impl EventId {
 
 /// A heap entry: ordered by time, then by insertion sequence so that events
 /// scheduled for the same instant fire in FIFO order.
+#[derive(Clone)]
 pub(crate) struct Entry<E> {
     pub(crate) at: SimTime,
     pub(crate) id: EventId,

@@ -55,6 +55,25 @@ impl<E> Default for Scheduler<E> {
     }
 }
 
+/// Cloning a scheduler captures its complete state — pending events, the
+/// clock, cancel tombstones, the id counter, and the lifetime counters —
+/// so a simulation can be snapshotted at a quiescent point and forked:
+/// the clone delivers exactly the events (and event ids) the original
+/// would, byte for byte. This is the capture/restore primitive behind the
+/// warm-start sweep engine in `bgpsim::warm`.
+impl<E: Clone> Clone for Scheduler<E> {
+    fn clone(&self) -> Self {
+        Scheduler {
+            heap: self.heap.clone(),
+            cancelled: self.cancelled.clone(),
+            now: self.now,
+            next_id: self.next_id,
+            scheduled: self.scheduled,
+            delivered: self.delivered,
+        }
+    }
+}
+
 impl<E> Scheduler<E> {
     /// Creates an empty scheduler with the clock at [`SimTime::ZERO`].
     pub fn new() -> Scheduler<E> {
@@ -366,6 +385,86 @@ mod tests {
         );
         assert_eq!(s.len(), 0, "no live events, however many tombstones linger");
         assert!(s.is_empty());
+    }
+
+    #[test]
+    fn clone_captures_full_state_and_forks_identically() {
+        let mut s: Scheduler<u32> = Scheduler::new();
+        for i in 0..50u64 {
+            s.schedule(SimTime::from_secs(i + 1), i as u32);
+        }
+        let cancel_me = s.schedule(SimTime::from_secs(100), 999);
+        s.cancel(cancel_me);
+        for _ in 0..10 {
+            s.next();
+        }
+        let mut fork = s.clone();
+        assert_eq!(fork.now(), s.now());
+        assert_eq!(fork.len(), s.len());
+        assert_eq!(fork.scheduled_count(), s.scheduled_count());
+        assert_eq!(fork.delivered_count(), s.delivered_count());
+        // Ids continue from the same counter in both, so later schedules
+        // interleave identically with pending events.
+        let a = s.schedule(SimTime::from_secs(30), 7777);
+        let b = fork.schedule(SimTime::from_secs(30), 7777);
+        assert_eq!(a, b, "forked schedulers hand out the same event ids");
+        let rest: Vec<(SimTime, u32)> = std::iter::from_fn(|| s.next()).collect();
+        let fork_rest: Vec<(SimTime, u32)> = std::iter::from_fn(|| fork.next()).collect();
+        assert_eq!(rest, fork_rest, "fork must deliver the identical tail");
+        assert_eq!(s.delivered_count(), fork.delivered_count());
+    }
+
+    #[test]
+    fn purge_mid_run_preserves_order_under_cancellation_heavy_load() {
+        // Regression for the cancel-tombstone purge: heavy cancellation of
+        // far-future events while the simulation is already draining, so a
+        // purge fires mid-run (not just up front). Delivery order of the
+        // survivors and the live-event count must be unaffected, and the
+        // purge must physically shrink the heap.
+        let mut s: Scheduler<u32> = Scheduler::new();
+        let ids: Vec<EventId> = (0..600u64)
+            .map(|i| s.schedule(SimTime::from_secs(i + 1), i as u32))
+            .collect();
+        let mut gone = std::collections::HashSet::new();
+        let mut delivered = Vec::new();
+
+        // Drain the first 50, then cancel most of the far future (285
+        // events): enough tombstones to outgrow the live heap and trip the
+        // purge mid-wave.
+        for _ in 0..50 {
+            delivered.push(s.next().expect("events pending").1);
+        }
+        for (i, &id) in ids.iter().enumerate().take(600).skip(300) {
+            if i % 20 != 0 {
+                assert!(s.cancel(id), "event {i} is pending");
+                gone.insert(i as u32);
+            }
+        }
+        assert!(
+            s.heap.len() < 600 - delivered.len(),
+            "purge never fired: heap still holds {} entries",
+            s.heap.len()
+        );
+        assert_eq!(s.len(), 600 - delivered.len() - gone.len());
+
+        // Keep draining and cancel a second wave in the middle range.
+        for _ in 0..50 {
+            delivered.push(s.next().expect("events pending").1);
+        }
+        for i in (100..300).step_by(2) {
+            assert!(s.cancel(ids[i]), "event {i} is pending");
+            gone.insert(i as u32);
+        }
+
+        delivered.extend(std::iter::from_fn(|| s.next().map(|(_, p)| p)));
+        let expected: Vec<u32> = (0..600u32).filter(|p| !gone.contains(p)).collect();
+        assert_eq!(delivered, expected, "purges must not perturb delivery");
+        assert_eq!(s.len(), 0);
+        assert!(
+            s.cancelled.is_empty(),
+            "all tombstones were spent (left: {})",
+            s.cancelled.len()
+        );
     }
 
     #[test]

@@ -1,0 +1,59 @@
+//! Property test: warm-started trials are bit-identical to cold runs.
+//!
+//! The warm-start sweep engine (`bgpsim::warm`) forks converged networks
+//! from a shared snapshot instead of re-running initial convergence per
+//! figure point. Its contract is exact determinism: for any topology
+//! size, seed and failure fraction, and for each of the paper's three
+//! scheme families (constant MRAI, batching, dynamic MRAI), the forked
+//! run's `RunStats` must equal the cold run's field for field — both on
+//! the cache-miss path (snapshot built, then forked) and on the
+//! cache-hit path (pure fork of an existing snapshot).
+
+use bgpsim::experiment::{Experiment, TopologySpec};
+use bgpsim::scheme::Scheme;
+use bgpsim::warm::SnapshotCache;
+use bgpsim_topology::region::FailureSpec;
+use proptest::prelude::*;
+
+fn schemes() -> [Scheme; 3] {
+    [
+        Scheme::constant_mrai(0.5),
+        Scheme::batching(0.5),
+        Scheme::dynamic_default(),
+    ]
+}
+
+proptest! {
+    // Each case runs 3 schemes × (1 cold + 2 warm) full simulations;
+    // keep the count low and the networks small.
+    #![proptest_config(ProptestConfig { cases: 8, ..ProptestConfig::default() })]
+
+    #[test]
+    fn warm_forks_are_bit_identical_across_schemes(
+        nodes in 15usize..30,
+        base_seed in 0u64..10_000,
+        fraction_idx in 0usize..3,
+    ) {
+        let fraction = [0.05, 0.10, 0.20][fraction_idx];
+        for scheme in schemes() {
+            let exp = Experiment {
+                topology: TopologySpec::seventy_thirty(nodes),
+                scheme,
+                failure: FailureSpec::CenterFraction(fraction),
+                trials: 1,
+                base_seed,
+            };
+            let cold = exp.run_trial(0);
+            let cache = SnapshotCache::new();
+            // Miss path: builds the snapshot, then forks it.
+            let warm_built = exp.run_trial_warm(0, &cache);
+            // Hit path: pure fork of the cached snapshot.
+            let warm_forked = exp.run_trial_warm(0, &cache);
+            prop_assert_eq!(cold, warm_built, "build-path diverged: {}", exp.scheme.name);
+            prop_assert_eq!(cold, warm_forked, "fork-path diverged: {}", exp.scheme.name);
+            let stats = cache.stats();
+            prop_assert_eq!(stats.builds, 1);
+            prop_assert_eq!(stats.forks, 2);
+        }
+    }
+}

@@ -3,8 +3,9 @@
 //! Supports the surface this workspace's tests use: the `proptest!` macro
 //! (with optional `#![proptest_config(...)]`), range strategies over
 //! integers and floats, `any::<bool>()`, `prop::collection::vec`, tuple
-//! strategies, and the `prop_assert!`/`prop_assert_eq!`/`prop_assume!`
-//! macros.
+//! strategies, `Just`, `Strategy::prop_map`, the (optionally weighted)
+//! `prop_oneof!` union, and the
+//! `prop_assert!`/`prop_assert_eq!`/`prop_assume!` macros.
 //!
 //! Differences from upstream: generation is fully deterministic (seeded
 //! per test), there is no shrinking (the failing inputs are printed
@@ -59,12 +60,119 @@ impl Default for ProptestConfig {
 pub trait Strategy {
     type Value: Debug;
     fn generate(&self, rng: &mut SmallRng) -> Self::Value;
+
+    /// Maps generated values through `f` (upstream's `prop_map`).
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        O: Debug,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { source: self, f }
+    }
+}
+
+/// Always yields a clone of the given value (upstream's `Just`).
+#[derive(Clone, Copy, Debug)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut SmallRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// The strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    O: Debug,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut SmallRng) -> O {
+        (self.f)(self.source.generate(rng))
+    }
+}
+
+impl<V: Debug> Strategy for Box<dyn Strategy<Value = V>> {
+    type Value = V;
+    fn generate(&self, rng: &mut SmallRng) -> V {
+        (**self).generate(rng)
+    }
+}
+
+/// Weighted union of same-valued strategies — built by [`prop_oneof!`].
+pub struct OneOf<V> {
+    arms: Vec<(u32, Box<dyn Strategy<Value = V>>)>,
+}
+
+impl<V: Debug> OneOf<V> {
+    /// # Panics
+    ///
+    /// Panics if `arms` is empty or all weights are zero.
+    pub fn new(arms: Vec<(u32, Box<dyn Strategy<Value = V>>)>) -> OneOf<V> {
+        let total: u64 = arms.iter().map(|&(w, _)| u64::from(w)).sum();
+        assert!(total > 0, "prop_oneof! needs at least one positive weight");
+        OneOf { arms }
+    }
+}
+
+impl<V: Debug> Strategy for OneOf<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut SmallRng) -> V {
+        let total: u64 = self.arms.iter().map(|&(w, _)| u64::from(w)).sum();
+        let mut pick = rng.gen_range(0..total);
+        for (weight, strat) in &self.arms {
+            let weight = u64::from(*weight);
+            if pick < weight {
+                return strat.generate(rng);
+            }
+            pick -= weight;
+        }
+        unreachable!("pick is below the weight total");
+    }
+}
+
+/// Chooses among strategies, optionally weighted (`weight => strategy`).
+/// All arms must yield the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::OneOf::new(::std::vec![$(
+            (
+                $weight as u32,
+                ::std::boxed::Box::new($strat)
+                    as ::std::boxed::Box<dyn $crate::Strategy<Value = _>>,
+            )
+        ),+])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::prop_oneof![$(1 => $strat),+]
+    };
 }
 
 impl<T> Strategy for Range<T>
 where
     T: SampleUniform + PartialOrd + Copy + Debug,
     Range<T>: SampleRange<T>,
+{
+    type Value = T;
+    fn generate(&self, rng: &mut SmallRng) -> T {
+        rng.gen_range(self.clone())
+    }
+}
+
+impl<T> Strategy for std::ops::RangeInclusive<T>
+where
+    T: SampleUniform + PartialOrd + Copy + Debug,
+    std::ops::RangeInclusive<T>: SampleRange<T>,
 {
     type Value = T;
     fn generate(&self, rng: &mut SmallRng) -> T {
@@ -158,8 +266,8 @@ pub mod prop {
 
 pub mod prelude {
     pub use crate::{
-        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Arbitrary,
-        ProptestConfig, Strategy, TestCaseError,
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        Arbitrary, Just, ProptestConfig, Strategy, TestCaseError,
     };
     pub use rand::{Rng, SeedableRng};
 }
@@ -321,6 +429,19 @@ mod tests {
             let (a, b) = pair;
             prop_assume!(a != b || flip);
             prop_assert_ne!((a, b, flip), (b.wrapping_add(1), a, flip), "never equal");
+        }
+
+        #[test]
+        fn oneof_respects_arms_and_maps(
+            v in prop::collection::vec(
+                prop_oneof![
+                    3 => (0u32..5).prop_map(|x| x * 2),
+                    1 => Just(99u32),
+                ],
+                1..50,
+            )
+        ) {
+            prop_assert!(v.iter().all(|&x| x == 99u32 || (x % 2u32 == 0u32 && x < 10u32)));
         }
     }
 }
