@@ -3,14 +3,22 @@
 //! Runs a fixed 3-seed × 3-scheme scenario matrix through the full failure
 //! pipeline and reports raw simulator throughput: delivered events per
 //! second, decision-process executions per second, the full-rescan ratio of
-//! the incremental best-path selection, and peak RSS. A second, warm-start
-//! section sweeps the paper's six failure fractions per (scheme, seed) cell
-//! twice — cold (every point re-converges from scratch) and warm (points
-//! fork a shared converged snapshot, see `bgpsim::warm`) — and reports the
-//! sweep wall-time speedup plus snapshot build/fork cost and cache
-//! hit/miss counters. Results go to `BENCH_hotpath.json` (see README) so
-//! hot-path changes can be compared number-for-number against a recorded
-//! baseline.
+//! the incremental best-path selection, and peak RSS per scheme batch. A
+//! second, warm-start section sweeps the paper's six failure fractions per
+//! (scheme, seed) cell twice — cold (every point re-converges from scratch)
+//! and warm (points fork a shared converged snapshot, see `bgpsim::warm`) —
+//! and reports the sweep wall-time speedup plus snapshot build/fork cost
+//! and cache hit/miss counters. A third section compares the two
+//! future-event-list backends (binary heap vs calendar queue, env knob
+//! `BGPSIM_FEL`) on the same matrix; the heap stays the default unless the
+//! calendar wins here. A fourth section exercises the sharded event loop
+//! (`BGPSIM_SHARDS`): single trials at 1/2/4/8 shards on the 120- and
+//! 512-node matrices, asserting bit-identical `RunStats` against the
+//! serial run and reporting requested shards alongside the *effective*
+//! worker parallelism (capped by the machine's cores — on a 1-core box the
+//! sharded rows measure coordination overhead, not speedup, and say so).
+//! Results go to `BENCH_hotpath.json` (see README) so hot-path changes can
+//! be compared number-for-number against a recorded baseline.
 //!
 //! ```text
 //! hotpath [--fast] [--nodes N] [--threads T] [--out PATH]
@@ -103,6 +111,22 @@ fn peak_rss_kb() -> Option<u64> {
     line.split_whitespace().nth(1)?.parse().ok()
 }
 
+/// Resets the peak-RSS watermark (`VmHWM`) to the current RSS by writing
+/// `5` to `/proc/self/clear_refs`, so per-batch peaks can be measured.
+/// Returns `false` where the kernel/container forbids it — per-scheme RSS
+/// figures are then cumulative maxima and are flagged as such.
+fn reset_peak_rss() -> bool {
+    std::fs::write("/proc/self/clear_refs", "5").is_ok()
+}
+
+/// Restores an env knob to its pre-bench state.
+fn restore_env(key: &str, prev: Option<String>) {
+    match prev {
+        Some(v) => std::env::set_var(key, v),
+        None => std::env::remove_var(key),
+    }
+}
+
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(a) => a,
@@ -122,57 +146,79 @@ fn main() -> ExitCode {
     let nodes = args.nodes.unwrap_or(if args.fast { 40 } else { 120 });
     let seeds: &[u64] = if args.fast { &FAST_SEEDS } else { &SEEDS };
     let schemes = schemes();
+    let point = |scheme: &Scheme, seed: u64, nodes: usize, fraction: f64| Experiment {
+        topology: TopologySpec::seventy_thirty(nodes),
+        scheme: scheme.clone(),
+        failure: FailureSpec::CenterFraction(fraction),
+        trials: 1,
+        base_seed: seed,
+    };
 
+    // ── Throughput matrix ───────────────────────────────────────────────
     // One experiment point per (scheme, seed) cell, one trial each, so the
-    // per-trial timings map 1:1 onto matrix cells.
-    let points: Vec<Experiment> = schemes
-        .iter()
-        .flat_map(|scheme| {
-            seeds.iter().map(|&seed| Experiment {
-                topology: TopologySpec::seventy_thirty(nodes),
-                scheme: scheme.clone(),
-                failure: FailureSpec::CenterFraction(FAILURE_FRACTION),
-                trials: 1,
-                base_seed: seed,
-            })
-        })
-        .collect();
-
-    // The throughput matrix runs cold on purpose: every cell has a unique
-    // (scheme, seed) key, so warm-starting would only add snapshot-capture
-    // overhead and muddy the raw full-pipeline numbers.
-    let started = Instant::now();
-    let (aggregates, report) = run_all_parallel_timed_cold(&points, args.threads);
-    let batch_wall_secs = started.elapsed().as_secs_f64();
-
+    // per-trial timings map 1:1 onto matrix cells. The matrix runs cold on
+    // purpose: every cell has a unique (scheme, seed) key, so warm-starting
+    // would only add snapshot-capture overhead and muddy the raw
+    // full-pipeline numbers. It runs one scheme batch at a time with the
+    // RSS watermark reset in between, so each scheme gets its own peak-RSS
+    // figure (the schemes differ a lot in queue depth and RIB churn).
+    let rss_reset_supported = reset_peak_rss();
     let mut trials: Vec<serde_json::Value> = Vec::new();
+    let mut per_scheme_rss: Vec<serde_json::Value> = Vec::new();
+    let mut points: Vec<Experiment> = Vec::new();
+    let mut aggregates = Vec::new();
+    let mut batch_wall_secs = 0.0f64;
+    let mut report = None;
+    for scheme in &schemes {
+        let batch: Vec<Experiment> = seeds
+            .iter()
+            .map(|&seed| point(scheme, seed, nodes, FAILURE_FRACTION))
+            .collect();
+        reset_peak_rss();
+        let started = Instant::now();
+        let (agg, rep) = run_all_parallel_timed_cold(&batch, args.threads);
+        batch_wall_secs += started.elapsed().as_secs_f64();
+        per_scheme_rss.push(serde_json::json!({
+            "scheme": scheme.name,
+            "peak_rss_kb": peak_rss_kb(),
+            "rss_reset_supported": rss_reset_supported,
+        }));
+        for (i, (exp, agg)) in batch.iter().zip(&agg).enumerate() {
+            let run = &agg.runs[0];
+            let wall_secs = rep
+                .timings
+                .iter()
+                .find(|t| t.point == i && t.trial == 0)
+                .map(|t| t.wall_secs)
+                .expect("every trial timed");
+            trials.push(serde_json::json!({
+                "scheme": exp.scheme.name,
+                "seed": exp.base_seed,
+                "wall_secs": wall_secs,
+                "events": run.events,
+                "decisions": run.decision_runs,
+                "full_rescans": run.full_rescans,
+                "fast_decisions": run.fast_decisions,
+                "messages": run.messages,
+                "updates_processed": run.updates_processed,
+                "convergence_delay_secs": run.convergence_delay.as_secs_f64(),
+            }));
+        }
+        points.extend(batch);
+        aggregates.extend(agg);
+        report = Some(rep);
+    }
+    let report = report.expect("at least one scheme batch ran");
+
     let (mut events, mut decisions, mut full, mut fast_d, mut wall_sum) =
         (0u64, 0u64, 0u64, 0u64, 0.0f64);
-    for (point, (exp, agg)) in points.iter().zip(&aggregates).enumerate() {
+    for (agg, trial) in aggregates.iter().zip(&trials) {
         let run = &agg.runs[0];
-        let wall_secs = report
-            .timings
-            .iter()
-            .find(|t| t.point == point && t.trial == 0)
-            .map(|t| t.wall_secs)
-            .expect("every trial timed");
         events += run.events;
         decisions += run.decision_runs;
         full += run.full_rescans;
         fast_d += run.fast_decisions;
-        wall_sum += wall_secs;
-        trials.push(serde_json::json!({
-            "scheme": exp.scheme.name,
-            "seed": exp.base_seed,
-            "wall_secs": wall_secs,
-            "events": run.events,
-            "decisions": run.decision_runs,
-            "full_rescans": run.full_rescans,
-            "fast_decisions": run.fast_decisions,
-            "messages": run.messages,
-            "updates_processed": run.updates_processed,
-            "convergence_delay_secs": run.convergence_delay.as_secs_f64(),
-        }));
+        wall_sum += trial["wall_secs"].as_f64().expect("wall_secs recorded");
     }
 
     let classified = full + fast_d;
@@ -192,22 +238,19 @@ fn main() -> ExitCode {
         0.0
     };
 
-    // Warm-start section: the figure-sweep workload. Each (scheme, seed)
-    // cell is swept over the paper's six failure fractions — the sweep's
-    // points share their converged pre-failure state, which is exactly
-    // what the snapshot cache exploits. Run it cold, then warm, off the
-    // same points; results must match bit for bit.
+    // ── Warm-start sweep ────────────────────────────────────────────────
+    // The figure-sweep workload. Each (scheme, seed) cell is swept over
+    // the paper's six failure fractions — the sweep's points share their
+    // converged pre-failure state, which is exactly what the snapshot
+    // cache exploits. Run it cold, then warm, off the same points; results
+    // must match bit for bit.
     let sweep: Vec<Experiment> = schemes
         .iter()
         .flat_map(|scheme| {
             seeds.iter().flat_map(move |&seed| {
-                FAILURE_FRACTIONS.iter().map(move |&fraction| Experiment {
-                    topology: TopologySpec::seventy_thirty(nodes),
-                    scheme: scheme.clone(),
-                    failure: FailureSpec::CenterFraction(fraction),
-                    trials: 1,
-                    base_seed: seed,
-                })
+                FAILURE_FRACTIONS
+                    .iter()
+                    .map(move |&fraction| point(scheme, seed, nodes, fraction))
             })
         })
         .collect();
@@ -279,6 +322,114 @@ fn main() -> ExitCode {
         }
     };
 
+    // ── FEL backend comparison ──────────────────────────────────────────
+    // The same 1-seed scheme matrix through both future-event-list
+    // backends (`BGPSIM_FEL`). Results must be bit-identical — the
+    // calendar queue is property-tested to deliver the heap's exact order
+    // — so the only difference is events/sec. The heap stays the default
+    // backend unless the calendar wins this section.
+    let fel_points: Vec<Experiment> = schemes
+        .iter()
+        .map(|s| point(s, seeds[0], nodes, FAILURE_FRACTION))
+        .collect();
+    let prev_fel = std::env::var("BGPSIM_FEL").ok();
+    let mut fel_rows: Vec<serde_json::Value> = Vec::new();
+    let mut fel_results = Vec::new();
+    let mut fel_secs = Vec::new();
+    for backend in ["heap", "calendar"] {
+        std::env::set_var("BGPSIM_FEL", backend);
+        let started = Instant::now();
+        let (agg, _) = run_all_parallel_timed_cold(&fel_points, args.threads);
+        let secs = started.elapsed().as_secs_f64();
+        let ev: u64 = agg.iter().flat_map(|a| &a.runs).map(|r| r.events).sum();
+        fel_rows.push(serde_json::json!({
+            "backend": backend,
+            "wall_secs": secs,
+            "events": ev,
+            "events_per_sec": if secs > 0.0 { ev as f64 / secs } else { 0.0 },
+        }));
+        fel_results.push(agg);
+        fel_secs.push(secs);
+    }
+    restore_env("BGPSIM_FEL", prev_fel);
+    let fel_identical = fel_results[0] == fel_results[1];
+    if !fel_identical {
+        eprintln!("error: calendar-queue run diverged from the heap run");
+        return ExitCode::FAILURE;
+    }
+    let fel_winner = if fel_secs[1] < fel_secs[0] {
+        "calendar"
+    } else {
+        "heap"
+    };
+
+    // ── Sharded event loop ──────────────────────────────────────────────
+    // Single trials at increasing shard counts, on the standard matrix
+    // size and on a larger 512-node topology where the per-epoch work is
+    // big enough to amortise the epoch barrier. The 120-node rows use the
+    // message-heaviest scheme (constant MRAI = 0.5); at 512 nodes that
+    // scheme's path-hunting blow-up — the paper's motivating pathology —
+    // makes a single trial take tens of minutes, so the 512-node rows use
+    // the paper's batching scheme, which is what anyone simulating at that
+    // scale would run. Every row is checked bit-identical against the
+    // serial (1-shard) run. Requested shards and *effective* workers are
+    // reported separately: the engine spawns as many workers as requested,
+    // but only `min(shards, cores)` can run at once, so on a 1-core
+    // machine the >1-shard rows measure determinism overhead, not speedup.
+    let parallelism_available = std::thread::available_parallelism()
+        .map(usize::from)
+        .unwrap_or(1);
+    let shard_cases: Vec<(usize, &Scheme)> = if args.fast {
+        vec![(nodes, &schemes[0])]
+    } else {
+        vec![(120, &schemes[0]), (512, &schemes[1])]
+    };
+    let shard_counts: Vec<usize> = if args.fast {
+        vec![1, 2]
+    } else {
+        vec![1, 2, 4, 8]
+    };
+    let prev_shards = std::env::var("BGPSIM_SHARDS").ok();
+    let mut sharded_sections: Vec<serde_json::Value> = Vec::new();
+    for &(sz, scheme) in &shard_cases {
+        let exp = point(scheme, seeds[0], sz, FAILURE_FRACTION);
+        let mut serial: Option<(bgpsim::RunStats, f64)> = None;
+        let mut rows: Vec<serde_json::Value> = Vec::new();
+        for &k in &shard_counts {
+            std::env::set_var("BGPSIM_SHARDS", k.to_string());
+            let started = Instant::now();
+            let stats = exp.run_trial(0);
+            let wall = started.elapsed().as_secs_f64();
+            if let Some((serial_stats, _)) = &serial {
+                if stats != *serial_stats {
+                    restore_env("BGPSIM_SHARDS", prev_shards);
+                    eprintln!("error: {k}-shard run diverged from serial at {sz} nodes");
+                    return ExitCode::FAILURE;
+                }
+            }
+            let serial_wall = serial.map(|(_, w)| w).unwrap_or(wall);
+            rows.push(serde_json::json!({
+                "shards_requested": k,
+                "workers_effective": k.min(parallelism_available),
+                "wall_secs": wall,
+                "events": stats.events,
+                "events_per_sec": if wall > 0.0 { stats.events as f64 / wall } else { 0.0 },
+                "speedup_vs_serial": if wall > 0.0 { serial_wall / wall } else { 0.0 },
+                "identical_to_serial": true,
+            }));
+            if serial.is_none() {
+                serial = Some((stats, wall));
+            }
+        }
+        sharded_sections.push(serde_json::json!({
+            "nodes": sz,
+            "scheme": scheme.name,
+            "seed": seeds[0],
+            "rows": rows,
+        }));
+    }
+    restore_env("BGPSIM_SHARDS", prev_shards);
+
     let payload = serde_json::json!({
         "harness": "hotpath",
         "fast": args.fast,
@@ -287,6 +438,8 @@ fn main() -> ExitCode {
         "seeds": seeds.to_vec(),
         "schemes": schemes.iter().map(|s| s.name.clone()).collect::<Vec<String>>(),
         "threads": report.threads,
+        "threads_requested": report.threads_requested,
+        "parallelism_available": report.parallelism_available,
         "trials": trials,
         "totals": serde_json::json!({
             "trial_wall_secs_sum": wall_sum,
@@ -297,6 +450,7 @@ fn main() -> ExitCode {
             "decisions_per_sec": decisions_per_sec,
             "full_rescan_ratio": full_rescan_ratio,
             "peak_rss_kb": peak_rss_kb(),
+            "per_scheme_rss": per_scheme_rss,
         }),
         "warm_start": serde_json::json!({
             "failure_fractions": FAILURE_FRACTIONS.to_vec(),
@@ -315,6 +469,17 @@ fn main() -> ExitCode {
             "results_identical": identical,
             "per_scheme": per_scheme,
         }),
+        "fel": serde_json::json!({
+            "backends": fel_rows,
+            "results_identical": fel_identical,
+            "winner": fel_winner,
+            "default": "heap",
+        }),
+        "sharded": serde_json::json!({
+            "parallelism_available": parallelism_available,
+            "shard_counts": shard_counts,
+            "sections": sharded_sections,
+        }),
     });
 
     let text = serde_json::to_string_pretty(&payload).expect("serializable") + "\n";
@@ -324,15 +489,24 @@ fn main() -> ExitCode {
     }
 
     println!(
-        "hotpath throughput ({} nodes, {} threads):",
-        nodes, report.threads
+        "hotpath throughput ({} nodes, {} threads, {} requested, {} available):",
+        nodes, report.threads, report.threads_requested, report.parallelism_available
     );
     println!("  events/sec:        {events_per_sec:.0}");
     println!("  decisions/sec:     {decisions_per_sec:.0}");
     println!("  full-rescan ratio: {full_rescan_ratio:.3}");
     println!("  trial wall sum:    {wall_sum:.2} s (batch {batch_wall_secs:.2} s)");
-    if let Some(rss) = peak_rss_kb() {
-        println!("  peak RSS:          {rss} kB");
+    for rss in &per_scheme_rss {
+        println!(
+            "  peak RSS [{}]: {} kB{}",
+            rss["scheme"].as_str().unwrap_or("?"),
+            rss["peak_rss_kb"].as_u64().unwrap_or(0),
+            if rss_reset_supported {
+                ""
+            } else {
+                " (cumulative: watermark reset unsupported)"
+            }
+        );
     }
     println!(
         "warm-start sweep ({} points, {} fractions per cell):",
@@ -363,6 +537,30 @@ fn main() -> ExitCode {
                 0.0
             }
         );
+    }
+    println!("FEL backends ({} nodes, {} schemes):", nodes, schemes.len());
+    for row in &fel_rows {
+        println!(
+            "  {:9} {:6.2} s   {:.0} events/sec",
+            row["backend"].as_str().unwrap_or("?"),
+            row["wall_secs"].as_f64().unwrap_or(0.0),
+            row["events_per_sec"].as_f64().unwrap_or(0.0)
+        );
+    }
+    println!("  winner: {fel_winner} (default stays heap)");
+    println!("sharded event loop ({parallelism_available} cores available):");
+    for section in &sharded_sections {
+        println!("  {} nodes:", section["nodes"].as_u64().unwrap_or(0));
+        for row in section["rows"].as_array().into_iter().flatten() {
+            println!(
+                "    {} shards ({} effective): {:6.2} s   {:.0} events/sec   {:.2}x vs serial",
+                row["shards_requested"].as_u64().unwrap_or(0),
+                row["workers_effective"].as_u64().unwrap_or(0),
+                row["wall_secs"].as_f64().unwrap_or(0.0),
+                row["events_per_sec"].as_f64().unwrap_or(0.0),
+                row["speedup_vs_serial"].as_f64().unwrap_or(0.0)
+            );
+        }
     }
     println!("  written to {}", args.out);
     ExitCode::SUCCESS

@@ -216,8 +216,17 @@ pub struct TrialTiming {
 /// What a parallel batch run reports besides the aggregates.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct ParallelReport {
-    /// Worker threads actually used.
+    /// Worker threads actually used (requested count capped by the number
+    /// of tasks in the batch).
     pub threads: usize,
+    /// Worker threads the caller asked for (the default-thread-count
+    /// resolution when the caller passed `None`). Recording both sides
+    /// keeps benchmark artifacts honest on machines with fewer cores than
+    /// the bench requests.
+    pub threads_requested: usize,
+    /// What `std::thread::available_parallelism()` reported at run time —
+    /// the hardware ceiling on real concurrency for this batch.
+    pub parallelism_available: usize,
     /// Per-trial wall-clock timings, in `(point, trial)` order.
     pub timings: Vec<TrialTiming>,
     /// Warm-start snapshot-cache effectiveness (`None` for cold runs).
@@ -337,6 +346,10 @@ fn run_all_parallel_inner(
         aggregates,
         ParallelReport {
             threads: workers,
+            threads_requested: threads,
+            parallelism_available: std::thread::available_parallelism()
+                .map(usize::from)
+                .unwrap_or(1),
             timings,
             warm: cache.map(|c| c.stats()),
         },

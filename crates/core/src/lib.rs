@@ -61,6 +61,7 @@ pub mod network;
 pub mod report;
 pub mod scenario;
 pub mod scheme;
+mod shard;
 pub mod warm;
 
 pub use experiment::{Aggregate, Experiment, TopologySpec};

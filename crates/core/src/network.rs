@@ -23,7 +23,7 @@ use bgpsim_bgp::node::Action;
 use bgpsim_bgp::policy::{relationship_by_tier, PolicyMode, Relationship};
 use bgpsim_bgp::queue::QueueDiscipline;
 use bgpsim_bgp::{BgpNode, NodeConfig, Prefix, UpdateMsg};
-use bgpsim_des::{RngStreams, Scheduler, SimDuration, SimTime};
+use bgpsim_des::{Fel, FelKind, RngStreams, SimDuration, SimTime};
 use bgpsim_topology::region::FailureSpec;
 use bgpsim_topology::{AsId, RouterId, Topology};
 use rand::Rng;
@@ -123,6 +123,15 @@ pub struct SimConfig {
     /// inferred from the graph (BFS depth from the maximum k-core).
     /// Hierarchical topologies pass their ground-truth tiers here.
     pub policy_tiers: Option<Vec<usize>>,
+    /// Shard count for the sharded event loop (conservative PDES with
+    /// `link_delay` lookahead — see the `shard` module). `None` falls back
+    /// to the `BGPSIM_SHARDS` environment variable, absent → 1 (serial).
+    /// Any value yields bit-identical results; >1 buys wall-clock from
+    /// cores inside a single trial.
+    pub shards: Option<usize>,
+    /// Future-event-list backend. `None` falls back to the `BGPSIM_FEL`
+    /// environment variable (`heap`/`calendar`), absent → binary heap.
+    pub fel: Option<FelKind>,
     /// Root seed for all randomness in this run.
     pub seed: u64,
 }
@@ -149,6 +158,8 @@ impl SimConfig {
             damping: None,
             ibgp_mode: IbgpMode::FullMesh,
             policy_tiers: None,
+            shards: None,
+            fel: None,
             seed,
         }
     }
@@ -208,7 +219,7 @@ impl SimConfig {
 
 /// Events exchanged through the scheduler.
 #[derive(Clone, Debug)]
-enum Ev {
+pub(crate) enum Ev {
     /// `node` originates one of its AS's prefixes.
     Originate { node: RouterId, prefix: Prefix },
     /// `msg` from `from` arrives at `to` after the link delay.
@@ -241,6 +252,15 @@ enum Ev {
 
 /// Wall-clock gap between initial convergence and failure injection.
 const FAILURE_GAP: SimDuration = SimDuration::from_secs(1);
+
+/// Normalized router-id pair keying [`Network::dead_links`].
+pub(crate) fn link_key(a: RouterId, b: RouterId) -> (u32, u32) {
+    if a < b {
+        (a.index() as u32, b.index() as u32)
+    } else {
+        (b.index() as u32, a.index() as u32)
+    }
+}
 
 /// Hierarchy tiers for relationship inference, indexed by AS index: BFS
 /// depth over the AS-level graph starting from the maximum-degree ASes
@@ -419,17 +439,17 @@ fn as_core_numbers(adj: &[Vec<usize>]) -> Vec<usize> {
 /// warm-start sweep engine ([`crate::warm`]) builds on it.
 #[derive(Clone)]
 pub struct Network {
-    topo: Topology,
-    cfg: SimConfig,
-    sched: Scheduler<Ev>,
-    nodes: Vec<Option<BgpNode>>,
+    pub(crate) topo: Topology,
+    pub(crate) cfg: SimConfig,
+    pub(crate) sched: Fel<Ev>,
+    pub(crate) nodes: Vec<Option<BgpNode>>,
     /// Session peers per router (eBGP link neighbors + iBGP full mesh).
-    sessions: Vec<Vec<RouterId>>,
+    pub(crate) sessions: Vec<Vec<RouterId>>,
     /// Router that originates each prefix (prefix index == AS index).
     origin_of_prefix: Vec<RouterId>,
-    last_activity: SimTime,
-    announcements: u64,
-    withdrawals: u64,
+    pub(crate) last_activity: SimTime,
+    pub(crate) announcements: u64,
+    pub(crate) withdrawals: u64,
     failure_time: Option<SimTime>,
     failed_count: usize,
     initial_convergence: SimDuration,
@@ -439,7 +459,9 @@ pub struct Network {
     samples: Vec<Sample>,
     /// Failed links (normalized router-id pairs); their sessions are dead
     /// but the endpoint routers live on.
-    dead_links: std::collections::HashSet<(u32, u32)>,
+    pub(crate) dead_links: std::collections::HashSet<(u32, u32)>,
+    /// Resolved shard count for the event loop (1 = serial).
+    pub(crate) shards: usize,
 }
 
 impl std::fmt::Debug for Network {
@@ -543,10 +565,21 @@ impl Network {
             origin_of_prefix.extend(std::iter::repeat_n(origin, k));
         }
 
+        let shards = cfg
+            .shards
+            .or_else(|| {
+                std::env::var("BGPSIM_SHARDS")
+                    .ok()
+                    .and_then(|v| v.parse().ok())
+            })
+            .unwrap_or(1)
+            .max(1);
+        let fel_kind = cfg.fel.or_else(FelKind::from_env).unwrap_or_default();
+
         Network {
             topo,
             cfg,
-            sched: Scheduler::new(),
+            sched: Fel::new(fel_kind),
             nodes,
             sessions,
             origin_of_prefix,
@@ -561,7 +594,18 @@ impl Network {
             next_sample: SimTime::ZERO,
             samples: Vec::new(),
             dead_links: std::collections::HashSet::new(),
+            shards,
         }
+    }
+
+    /// The resolved shard count the event loop runs with (1 = serial).
+    pub fn shard_count(&self) -> usize {
+        self.shards
+    }
+
+    /// The future-event-list backend this network uses.
+    pub fn fel_kind(&self) -> FelKind {
+        self.sched.kind()
     }
 
     /// Whether the session between `a` and `b` is up (both routers alive
@@ -571,12 +615,7 @@ impl Network {
         if !self.is_alive(a) || !self.is_alive(b) {
             return false;
         }
-        let key = if a < b {
-            (a.index() as u32, b.index() as u32)
-        } else {
-            (b.index() as u32, a.index() as u32)
-        };
-        !self.dead_links.contains(&key)
+        !self.dead_links.contains(&link_key(a, b))
     }
 
     /// Fails a set of *links* at one second past the current time: the
@@ -853,14 +892,22 @@ impl Network {
         if !self.cfg.policy || !self.topo.is_inter_as(node, peer) {
             return None;
         }
-        let tiers = match &self.cfg.policy_tiers {
-            Some(t) => t.clone(),
-            None => as_tiers(&self.topo),
-        };
+        let tiers = self.policy_tier_vec();
         Some(relationship_by_tier(
             tiers[self.topo.router(node).as_id.index()],
             tiers[self.topo.router(peer).as_id.index()],
         ))
+    }
+
+    /// The per-AS hierarchy tiers policy relationships derive from —
+    /// explicit configuration when given, graph-inferred otherwise. Pure
+    /// in the topology/config, so the sharded loop precomputes it once per
+    /// pump and shares it read-only across workers.
+    pub(crate) fn policy_tier_vec(&self) -> Vec<usize> {
+        match &self.cfg.policy_tiers {
+            Some(t) => t.clone(),
+            None => as_tiers(&self.topo),
+        }
     }
 
     /// Brings previously failed routers back: each revived router starts
@@ -939,6 +986,14 @@ impl Network {
 
     /// Drains the event queue.
     fn pump(&mut self) {
+        // The sharded loop (conservative PDES with link-delay lookahead,
+        // bit-identical to serial — see the `shard` module) needs a
+        // non-zero lookahead and cannot interleave timeline sampling,
+        // which reads global state mid-epoch; those runs stay serial.
+        if self.shards > 1 && self.sample_interval.is_none() && !self.cfg.link_delay.is_zero() {
+            crate::shard::pump_sharded(self);
+            return;
+        }
         // Set BGPSIM_DEBUG_PUMP=1 to watch event-loop progress (useful
         // when diagnosing runaway simulations). Checked once per drain:
         // an env lookup takes the env lock, far too slow per event.

@@ -1,0 +1,677 @@
+//! The sharded deterministic event loop — conservative PDES with
+//! link-delay lookahead.
+//!
+//! Every inter-node interaction in this model crosses a link with a fixed
+//! one-way delay (`SimConfig::link_delay`, the paper's 25 ms), so an event
+//! executed at time `t` can only create events at *other* nodes at
+//! `t + link_delay` or later. That delay is the classic conservative-PDES
+//! *lookahead*: all events inside a half-open window
+//! `[t0, t0 + link_delay)` that touch different nodes are causally
+//! independent and may run concurrently.
+//!
+//! The loop therefore runs in synchronous epochs:
+//!
+//! 1. **Drain.** Pop every pending event strictly before
+//!    `epoch_end = t0 + link_delay` from the global future-event list
+//!    (`t0` = earliest pending time), keeping each event's real
+//!    `(time, id)` key.
+//! 2. **Execute (parallel).** Partition the drained events by owning
+//!    router onto N shard workers. Each worker runs its routers' handlers
+//!    in local `(time, key)` order, feeding handler-created *same-node*
+//!    events that land inside the epoch (ProcDone, MRAI/reuse expiries)
+//!    back into its local heap with keys above [`LOCAL_KEY_BASE`], and
+//!    records one action trace per handled event. Cross-node sends always
+//!    land at `t + link_delay >= epoch_end`, i.e. outside the epoch — the
+//!    lookahead argument — so workers never need to talk to each other.
+//! 3. **Commit (serial).** Replay the epoch's events in global
+//!    `(time, id)` order through the authoritative scheduler: advance the
+//!    clock, consume the matching recorded trace, bump message counters
+//!    and the activity clock, schedule cross-epoch events, and allocate
+//!    *real* event ids for intra-epoch creations in exactly the order a
+//!    serial run would.
+//!
+//! ## Why this is bit-identical to the serial loop
+//!
+//! The serial engine delivers in `(time, id)` order, where ids are a
+//! global insertion counter; ids are the tie-break for same-instant
+//! events, so reproducing serial behavior means reproducing exact id
+//! assignment, not just timestamps.
+//!
+//! *Per-node order.* For one router, a worker's `(time, key)` order
+//! equals the serial `(time, id)` order: drained events carry their real
+//! ids in both; intra-epoch self-events sort after every drained event at
+//! the same instant in both (worker keys start at [`LOCAL_KEY_BASE`],
+//! real ids of intra-epoch creations exceed every pre-epoch id); and two
+//! self-events of the same node tie-break by creation order in both.
+//! Handler inputs are thus identical event-by-event, and node state
+//! (including the node's private RNG stream) evolves identically.
+//!
+//! *Cross-node order.* Routers share no mutable state during an epoch —
+//! aliveness, dead links, sessions, topology, and policy tiers are all
+//! frozen while the queue drains — so cross-node interleaving inside an
+//! epoch is unobservable to the nodes. Every *global* side effect
+//! (message counters, `last_activity`, scheduling, id allocation, the
+//! delivered count) is applied exclusively by the serial commit phase, in
+//! serial order, using the recorded traces. The scheduler state at every
+//! epoch boundary is therefore byte-identical to a serial run's, which
+//! carries the invariant into the next epoch — and makes `RunStats`,
+//! goldens, and warm-start snapshots independent of the shard count.
+//!
+//! *Mailbox merge rule.* Cross-shard (= cross-node) messages surface in
+//! the commit phase's replay heap and the global scheduler, both ordered
+//! by `(time, id)` — the deterministic merge the mailboxes need. An event
+//! landing exactly on an epoch boundary is *not* drained (the window is
+//! half-open) and is delivered at the start of the next epoch, exactly
+//! where the serial order puts it.
+//!
+//! The loop falls back to serial for `shards <= 1`, zero link delay (no
+//! lookahead), and sampling runs (samples read global state mid-epoch).
+
+use std::collections::{BinaryHeap, HashSet, VecDeque};
+use std::sync::mpsc;
+
+use bgpsim_bgp::node::Action;
+use bgpsim_bgp::policy::relationship_by_tier;
+use bgpsim_bgp::BgpNode;
+use bgpsim_des::SimTime;
+use bgpsim_topology::{RouterId, Topology};
+
+use crate::network::{link_key, Ev, Network};
+
+/// Worker-local sort keys for intra-epoch self-events start here — above
+/// any real event id, so a drained event always outranks a same-instant
+/// self-event, exactly like real id assignment would order them.
+const LOCAL_KEY_BASE: u64 = 1 << 63;
+
+/// Min-heap entry ordered by `(at, key)`.
+struct Pending<T> {
+    at: SimTime,
+    key: u64,
+    item: T,
+}
+
+impl<T> PartialEq for Pending<T> {
+    fn eq(&self, other: &Self) -> bool {
+        (self.at, self.key) == (other.at, other.key)
+    }
+}
+impl<T> Eq for Pending<T> {}
+impl<T> PartialOrd for Pending<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for Pending<T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the earliest first.
+        (other.at, other.key).cmp(&(self.at, self.key))
+    }
+}
+
+/// What the commit phase must do for one replayed event — a compact
+/// stand-in for the event that avoids cloning message payloads.
+#[derive(Clone, Copy)]
+enum CommitKind {
+    /// Originate / Deliver / ProcDone: handled iff the node is alive;
+    /// marks activity whenever handled.
+    Activity,
+    /// MraiExpiry / ReuseExpiry: handled iff alive; marks activity only
+    /// when the handler produced actions.
+    Timer,
+    /// PeerDown: handled iff alive; never marks activity by itself.
+    Silent,
+    /// PeerUp: handled iff the session to `peer` is up; marks activity.
+    PeerUp {
+        /// The session peer being (re-)established.
+        peer: RouterId,
+    },
+}
+
+/// One commit-phase replay entry.
+struct CommitEv {
+    node: RouterId,
+    kind: CommitKind,
+}
+
+/// The router whose handler an event invokes.
+fn owner(ev: &Ev) -> RouterId {
+    match ev {
+        Ev::Originate { node, .. }
+        | Ev::ProcDone { node }
+        | Ev::MraiExpiry { node, .. }
+        | Ev::PeerDown { node, .. }
+        | Ev::PeerUp { node, .. }
+        | Ev::ReuseExpiry { node, .. } => *node,
+        Ev::Deliver { to, .. } => *to,
+    }
+}
+
+/// The commit-phase semantics of an event (mirrors `Network::handle`).
+fn commit_kind(ev: &Ev) -> CommitKind {
+    match ev {
+        Ev::Originate { .. } | Ev::Deliver { .. } | Ev::ProcDone { .. } => CommitKind::Activity,
+        Ev::MraiExpiry { .. } | Ev::ReuseExpiry { .. } => CommitKind::Timer,
+        Ev::PeerDown { .. } => CommitKind::Silent,
+        Ev::PeerUp { peer, .. } => CommitKind::PeerUp { peer: *peer },
+    }
+}
+
+/// The same-node follow-up event an action asks the driver to schedule
+/// (`None` for sends, which cross a link and leave the epoch).
+fn follow_up(origin: RouterId, t: SimTime, action: &Action) -> Option<(SimTime, Ev)> {
+    match action {
+        Action::Send { .. } => None,
+        Action::StartProcessing { duration } => {
+            Some((t + *duration, Ev::ProcDone { node: origin }))
+        }
+        Action::StartMrai {
+            peer,
+            prefix,
+            delay,
+            gen,
+        } => Some((
+            t + *delay,
+            Ev::MraiExpiry {
+                node: origin,
+                peer: *peer,
+                prefix: *prefix,
+                gen: *gen,
+            },
+        )),
+        Action::StartReuse {
+            peer,
+            prefix,
+            delay,
+            gen,
+        } => Some((
+            t + *delay,
+            Ev::ReuseExpiry {
+                node: origin,
+                peer: *peer,
+                prefix: *prefix,
+                gen: *gen,
+            },
+        )),
+    }
+}
+
+/// Read-only world state shared by every shard worker. Everything here is
+/// frozen while the queue drains, which is what makes the parallel phase
+/// safe.
+#[derive(Clone, Copy)]
+struct ShardCtx<'a> {
+    topo: &'a Topology,
+    policy: bool,
+    tiers: Option<&'a [usize]>,
+    alive: &'a [bool],
+    dead_links: &'a HashSet<(u32, u32)>,
+}
+
+impl ShardCtx<'_> {
+    fn session_alive(&self, a: RouterId, b: RouterId) -> bool {
+        self.alive[a.index()] && self.alive[b.index()] && !self.dead_links.contains(&link_key(a, b))
+    }
+}
+
+/// Runs one event's node handler, mirroring the dispatch arms of
+/// `Network::handle` without any of their global side effects. Returns
+/// `None` when the serial engine would have dropped the event (dead node
+/// or dead session).
+fn dispatch(
+    ctx: &ShardCtx<'_>,
+    nodes: &mut [Option<BgpNode>],
+    base: usize,
+    t: SimTime,
+    ev: Ev,
+) -> Option<(RouterId, Vec<Action>)> {
+    match ev {
+        Ev::Originate { node, prefix } => {
+            let n = nodes[node.index() - base].as_mut()?;
+            Some((node, n.originate(t, prefix)))
+        }
+        Ev::Deliver { to, from, msg } => {
+            let n = nodes[to.index() - base].as_mut()?;
+            Some((to, n.on_update(t, from, msg)))
+        }
+        Ev::ProcDone { node } => {
+            let n = nodes[node.index() - base].as_mut()?;
+            Some((node, n.on_proc_done(t)))
+        }
+        Ev::MraiExpiry {
+            node,
+            peer,
+            prefix,
+            gen,
+        } => {
+            let n = nodes[node.index() - base].as_mut()?;
+            Some((node, n.on_mrai_expiry(t, peer, prefix, gen)))
+        }
+        Ev::PeerDown { node, peer } => {
+            let n = nodes[node.index() - base].as_mut()?;
+            Some((node, n.on_peer_down(t, peer)))
+        }
+        Ev::ReuseExpiry {
+            node,
+            peer,
+            prefix,
+            gen,
+        } => {
+            let n = nodes[node.index() - base].as_mut()?;
+            Some((node, n.on_reuse_expiry(t, peer, prefix, gen)))
+        }
+        Ev::PeerUp { node, peer } => {
+            if !ctx.session_alive(node, peer) {
+                return None;
+            }
+            let ibgp = !ctx.topo.is_inter_as(node, peer);
+            let rel = if ctx.policy && !ibgp {
+                let tiers = ctx.tiers.expect("policy runs carry tiers");
+                Some(relationship_by_tier(
+                    tiers[ctx.topo.router(node).as_id.index()],
+                    tiers[ctx.topo.router(peer).as_id.index()],
+                ))
+            } else {
+                None
+            };
+            let n = nodes[node.index() - base].as_mut()?;
+            Some((node, n.on_peer_up(t, peer, ibgp, rel)))
+        }
+    }
+}
+
+/// One epoch of work for a shard: the epoch's end bound plus the shard's
+/// drained events as `(time, key, event)`.
+type EpochBatch = (SimTime, Vec<(SimTime, u64, Ev)>);
+/// A shard's reply: the action trace of every event it handled, in its
+/// execution order.
+type EpochTrace = Vec<(RouterId, Vec<Action>)>;
+
+/// A shard worker's main loop: per epoch, run the local `(time, key)`
+/// order to exhaustion and send the action traces back. Exits when the
+/// work channel hangs up.
+fn run_worker(
+    ctx: &ShardCtx<'_>,
+    base: usize,
+    nodes: &mut [Option<BgpNode>],
+    rx: &mpsc::Receiver<EpochBatch>,
+    tx: &mpsc::Sender<EpochTrace>,
+) {
+    let mut local: BinaryHeap<Pending<Ev>> = BinaryHeap::new();
+    while let Ok((epoch_end, batch)) = rx.recv() {
+        let mut next_key = LOCAL_KEY_BASE;
+        for (at, key, ev) in batch {
+            local.push(Pending { at, key, item: ev });
+        }
+        let mut trace: EpochTrace = Vec::new();
+        while let Some(Pending {
+            at: t, item: ev, ..
+        }) = local.pop()
+        {
+            let Some((node, actions)) = dispatch(ctx, nodes, base, t, ev) else {
+                continue;
+            };
+            for action in &actions {
+                if let Some((at2, ev2)) = follow_up(node, t, action) {
+                    if at2 < epoch_end {
+                        local.push(Pending {
+                            at: at2,
+                            key: next_key,
+                            item: ev2,
+                        });
+                        next_key += 1;
+                    }
+                }
+            }
+            trace.push((node, actions));
+        }
+        if tx.send(trace).is_err() {
+            return;
+        }
+    }
+}
+
+/// Drains the event queue with `net.shards` workers; externally
+/// indistinguishable from `Network::pump`'s serial drain.
+pub(crate) fn pump_sharded(net: &mut Network) {
+    let debug_pump = std::env::var_os("BGPSIM_DEBUG_PUMP").is_some();
+    let n = net.topo.num_routers();
+    let shards = net.shards.min(n.max(1));
+    let lookahead = net.cfg.link_delay;
+    debug_assert!(!lookahead.is_zero(), "sharded loop needs lookahead");
+
+    // World state frozen for the duration of the pump.
+    let alive: Vec<bool> = net.nodes.iter().map(Option::is_some).collect();
+    let tiers: Option<Vec<usize>> = if net.cfg.policy {
+        Some(net.policy_tier_vec())
+    } else {
+        None
+    };
+    let ctx = ShardCtx {
+        topo: &net.topo,
+        policy: net.cfg.policy,
+        tiers: tiers.as_deref(),
+        alive: &alive,
+        dead_links: &net.dead_links,
+    };
+
+    // Contiguous block partition of routers onto shards.
+    let bounds: Vec<usize> = (0..=shards).map(|s| s * n / shards).collect();
+    let mut shard_of = vec![0usize; n];
+    for s in 0..shards {
+        for node in &mut shard_of[bounds[s]..bounds[s + 1]] {
+            *node = s;
+        }
+    }
+    let mut chunks: Vec<Vec<Option<BgpNode>>> = Vec::with_capacity(shards);
+    {
+        let mut rest = std::mem::take(&mut net.nodes);
+        for s in (0..shards).rev() {
+            chunks.push(rest.split_off(bounds[s]));
+        }
+        chunks.reverse();
+        debug_assert!(rest.is_empty());
+    }
+
+    let mut work_txs: Vec<mpsc::Sender<EpochBatch>> = Vec::with_capacity(shards);
+    let mut trace_rxs: Vec<mpsc::Receiver<EpochTrace>> = Vec::with_capacity(shards);
+    let mut worker_ends: Vec<(mpsc::Receiver<EpochBatch>, mpsc::Sender<EpochTrace>)> =
+        Vec::with_capacity(shards);
+    for _ in 0..shards {
+        let (wtx, wrx) = mpsc::channel();
+        let (ttx, trx) = mpsc::channel();
+        work_txs.push(wtx);
+        trace_rxs.push(trx);
+        worker_ends.push((wrx, ttx));
+    }
+
+    let link_delay = net.cfg.link_delay;
+    let result = crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(shards);
+        for (s, ((wrx, ttx), mut chunk)) in worker_ends.into_iter().zip(chunks).enumerate() {
+            let base = bounds[s];
+            handles.push(scope.spawn(move |_| {
+                run_worker(&ctx, base, &mut chunk, &wrx, &ttx);
+                chunk
+            }));
+        }
+
+        // Reused across epochs; both are fully drained by each commit.
+        let mut traces: Vec<VecDeque<Vec<Action>>> = (0..n).map(|_| VecDeque::new()).collect();
+        let mut replay: BinaryHeap<Pending<CommitEv>> = BinaryHeap::new();
+        let mut engaged = vec![false; shards];
+
+        while let Some(t0) = net.sched.peek_time() {
+            let epoch_end = t0 + lookahead;
+            let drained = net.sched.drain_until(epoch_end);
+            debug_assert!(!drained.is_empty(), "peeked event must drain");
+
+            // Fan the epoch's events out to their owners' shards, seeding
+            // the commit replay with their real (time, id) keys.
+            let mut batches: Vec<Vec<(SimTime, u64, Ev)>> = vec![Vec::new(); shards];
+            for (at, id, ev) in drained {
+                let node = owner(&ev);
+                let kind = commit_kind(&ev);
+                let key = id.as_u64();
+                debug_assert!(key < LOCAL_KEY_BASE);
+                replay.push(Pending {
+                    at,
+                    key,
+                    item: CommitEv { node, kind },
+                });
+                batches[shard_of[node.index()]].push((at, key, ev));
+            }
+            for (s, batch) in batches.into_iter().enumerate() {
+                engaged[s] = !batch.is_empty();
+                if engaged[s] {
+                    work_txs[s]
+                        .send((epoch_end, batch))
+                        .expect("shard worker alive");
+                }
+            }
+            // Barrier: collect every engaged shard's traces, grouped per
+            // node (a shard reports its nodes' traces in execution order,
+            // so per-node FIFO order is preserved).
+            for s in 0..shards {
+                if !engaged[s] {
+                    continue;
+                }
+                let trace = trace_rxs[s].recv().expect("shard worker alive");
+                for (node, actions) in trace {
+                    traces[node.index()].push_back(actions);
+                }
+            }
+
+            // Serial commit: replay the epoch in global (time, id) order,
+            // applying exactly the side effects Network::handle/exec
+            // would, with real ids allocated in serial order.
+            while let Some(Pending {
+                at: t,
+                item: CommitEv { node, kind },
+                ..
+            }) = replay.pop()
+            {
+                net.sched.mark_delivered(t);
+                if debug_pump && net.sched.delivered_count().is_multiple_of(1_000_000) {
+                    eprintln!(
+                        "[pump] events={} simtime={t} pending={}",
+                        net.sched.delivered_count(),
+                        net.sched.len()
+                    );
+                }
+                let handled = match kind {
+                    CommitKind::Activity | CommitKind::Timer | CommitKind::Silent => {
+                        alive[node.index()]
+                    }
+                    CommitKind::PeerUp { peer } => ctx.session_alive(node, peer),
+                };
+                if !handled {
+                    continue;
+                }
+                let actions = traces[node.index()]
+                    .pop_front()
+                    .expect("worker trace aligns with commit order");
+                match kind {
+                    CommitKind::Activity | CommitKind::PeerUp { .. } => net.last_activity = t,
+                    CommitKind::Timer if !actions.is_empty() => net.last_activity = t,
+                    _ => {}
+                }
+                for action in actions {
+                    if let Action::Send { to, msg } = action {
+                        if msg.action.is_advertise() {
+                            net.announcements += 1;
+                        } else {
+                            net.withdrawals += 1;
+                        }
+                        net.last_activity = t;
+                        // Messages towards failed routers are lost with
+                        // the link.
+                        if alive[to.index()] {
+                            let at2 = t + link_delay;
+                            debug_assert!(at2 >= epoch_end, "send inside lookahead window");
+                            net.sched.schedule(
+                                at2,
+                                Ev::Deliver {
+                                    to,
+                                    from: node,
+                                    msg,
+                                },
+                            );
+                        }
+                    } else {
+                        let (at2, ev2) =
+                            follow_up(node, t, &action).expect("non-send actions follow up");
+                        if at2 < epoch_end {
+                            // Already executed on the worker; allocate its
+                            // real id and keep replaying.
+                            let id = net.sched.alloc_id();
+                            replay.push(Pending {
+                                at: at2,
+                                key: id.as_u64(),
+                                item: CommitEv {
+                                    node,
+                                    kind: commit_kind(&ev2),
+                                },
+                            });
+                        } else {
+                            net.sched.schedule(at2, ev2);
+                        }
+                    }
+                }
+            }
+            debug_assert!(
+                traces.iter().all(VecDeque::is_empty),
+                "every recorded trace was consumed"
+            );
+        }
+
+        // Hang up; workers drain and hand their router chunks back.
+        drop(work_txs);
+        let mut nodes: Vec<Option<BgpNode>> = Vec::with_capacity(n);
+        for h in handles {
+            nodes.extend(h.join().expect("shard worker panicked"));
+        }
+        nodes
+    });
+    match result {
+        Ok(nodes) => net.nodes = nodes,
+        Err(_) => panic!("sharded event loop worker panicked"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::network::{Network, SimConfig};
+    use crate::scheme::Scheme;
+    use bgpsim_des::SimDuration;
+    use bgpsim_topology::degree::SkewedSpec;
+    use bgpsim_topology::generators::skewed_topology;
+    use bgpsim_topology::region::FailureSpec;
+    use bgpsim_topology::{AsId, Point, Router, RouterId, Topology};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn small_topo(seed: u64, n: usize) -> Topology {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        skewed_topology(n, &SkewedSpec::seventy_thirty(), &mut rng).unwrap()
+    }
+
+    /// Full failure experiment under a given shard count; returns the
+    /// stats and the final network for state comparison.
+    fn run_with_shards(shards: usize) -> (crate::RunStats, Network) {
+        let topo = small_topo(42, 30);
+        let mut cfg = SimConfig::from_scheme(&Scheme::constant_mrai(0.5), 777);
+        cfg.shards = Some(shards);
+        let mut net = Network::new(topo, cfg);
+        let stats = net.run_failure_experiment(&FailureSpec::CenterFraction(0.10));
+        (stats, net)
+    }
+
+    fn assert_networks_identical(a: &Network, b: &Network, what: &str) {
+        assert_eq!(a.now(), b.now(), "{what}: clock diverged");
+        assert_eq!(
+            a.sched.delivered_count(),
+            b.sched.delivered_count(),
+            "{what}: delivered count diverged"
+        );
+        assert_eq!(
+            a.sched.scheduled_count(),
+            b.sched.scheduled_count(),
+            "{what}: scheduled count diverged"
+        );
+        for r in a.topology().router_ids() {
+            match (a.node(r), b.node(r)) {
+                (None, None) => {}
+                (Some(x), Some(y)) => {
+                    assert_eq!(x.loc_rib(), y.loc_rib(), "{what}: Loc-RIB of {r} diverged");
+                    assert_eq!(x.stats(), y.stats(), "{what}: node stats of {r} diverged");
+                }
+                _ => panic!("{what}: aliveness of {r} diverged"),
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_matches_serial_across_shard_counts() {
+        let (serial_stats, serial_net) = run_with_shards(1);
+        for shards in [2, 3, 7] {
+            let (stats, net) = run_with_shards(shards);
+            assert_eq!(stats, serial_stats, "RunStats diverged at {shards} shards");
+            assert_networks_identical(&net, &serial_net, &format!("{shards} shards"));
+        }
+    }
+
+    #[test]
+    fn epoch_boundary_deliveries_match_serial() {
+        // Regression: with a zero origination window, every message lands
+        // exactly on an epoch boundary (t0 + link_delay == epoch_end), the
+        // half-open-window edge case — it must be queued into the next
+        // epoch and delivered in serial order, including the event-id
+        // tie-break between same-instant deliveries from different peers.
+        let build = |shards: usize| {
+            let routers = (0..4)
+                .map(|i| Router {
+                    as_id: AsId::new(i),
+                    pos: Point::new(i as f64, 0.0),
+                })
+                .collect();
+            // A diamond 0–{1,2}–3: router 3 hears every prefix from both 1
+            // and 2 at the same instant.
+            let topo = Topology::new(
+                routers,
+                vec![
+                    (RouterId::new(0), RouterId::new(1)),
+                    (RouterId::new(0), RouterId::new(2)),
+                    (RouterId::new(1), RouterId::new(3)),
+                    (RouterId::new(2), RouterId::new(3)),
+                ],
+            )
+            .unwrap();
+            let mut cfg = SimConfig::new(99);
+            cfg.origination_window = SimDuration::ZERO;
+            cfg.shards = Some(shards);
+            Network::new(topo, cfg)
+        };
+        let mut serial = build(1);
+        serial.run_initial_convergence();
+        for shards in [2, 4] {
+            let mut net = build(shards);
+            net.run_initial_convergence();
+            assert_networks_identical(&net, &serial, &format!("{shards} shards"));
+        }
+    }
+
+    #[test]
+    fn link_failure_and_revival_match_serial() {
+        // Covers the PeerDown/PeerUp commit arms: fail a link, quiesce,
+        // then revive a router region.
+        let run = |shards: usize| {
+            let topo = small_topo(7, 24);
+            let mut cfg = SimConfig::from_scheme(&Scheme::constant_mrai(0.5), 31);
+            cfg.shards = Some(shards);
+            let mut net = Network::new(topo, cfg);
+            net.run_initial_convergence();
+            let edges: Vec<_> = net.topology().edges()[..3].to_vec();
+            net.inject_link_failure(&edges);
+            let s1 = net.run_to_quiescence();
+            let failed = net.inject_failure(&FailureSpec::CenterFraction(0.10));
+            let s2 = net.run_to_quiescence();
+            net.revive_routers(&failed);
+            let s3 = net.run_to_quiescence();
+            (s1, s2, s3, net)
+        };
+        let (a1, a2, a3, serial) = run(1);
+        let (b1, b2, b3, sharded) = run(3);
+        assert_eq!(a1, b1, "link-failure stats diverged");
+        assert_eq!(a2, b2, "region-failure stats diverged");
+        assert_eq!(a3, b3, "revival stats diverged");
+        assert_networks_identical(&sharded, &serial, "3 shards");
+    }
+
+    #[test]
+    fn shard_count_resolution() {
+        let topo = small_topo(1, 10);
+        let mut cfg = SimConfig::new(1);
+        cfg.shards = Some(4);
+        assert_eq!(Network::new(topo, cfg).shard_count(), 4);
+    }
+}

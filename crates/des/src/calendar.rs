@@ -19,6 +19,7 @@ use crate::event::EventId;
 use crate::time::{SimDuration, SimTime};
 
 /// One stored event.
+#[derive(Clone)]
 struct Entry<E> {
     at: SimTime,
     id: EventId,
@@ -69,6 +70,25 @@ impl<E> std::fmt::Debug for CalendarQueue<E> {
 impl<E> Default for CalendarQueue<E> {
     fn default() -> Self {
         CalendarQueue::new()
+    }
+}
+
+/// Cloning captures complete state (pending events, clock, counters), so a
+/// calendar-backed simulation snapshots and forks exactly like a heap-backed
+/// one — the warm-start engine requires this from any future-event list.
+impl<E: Clone> Clone for CalendarQueue<E> {
+    fn clone(&self) -> Self {
+        CalendarQueue {
+            buckets: self.buckets.clone(),
+            bucket_width: self.bucket_width,
+            cursor: self.cursor,
+            cursor_start: self.cursor_start,
+            now: self.now,
+            next_id: self.next_id,
+            live: self.live,
+            delivered: self.delivered,
+            scheduled: self.scheduled,
+        }
     }
 }
 
@@ -141,9 +161,7 @@ impl<E> CalendarQueue<E> {
             "cannot schedule event at {at} before current time {}",
             self.now
         );
-        let id = EventId(self.next_id);
-        self.next_id += 1;
-        self.scheduled += 1;
+        let id = self.alloc_id();
         self.live += 1;
         let bucket = self.bucket_of(at);
         // Keep each bucket sorted by (time, id): find the insertion point
@@ -171,6 +189,48 @@ impl<E> CalendarQueue<E> {
     /// Schedules `payload` after `delay`.
     pub fn schedule_after(&mut self, delay: SimDuration, payload: E) -> EventId {
         self.schedule(self.now + delay, payload)
+    }
+
+    /// Allocates the next [`EventId`] without enqueueing anything, counting
+    /// it as scheduled — see [`Scheduler::alloc_id`](crate::Scheduler::alloc_id).
+    pub fn alloc_id(&mut self) -> EventId {
+        let id = EventId(self.next_id);
+        self.next_id += 1;
+        self.scheduled += 1;
+        id
+    }
+
+    /// Advances the clock to `at` and counts one delivery, without popping —
+    /// see [`Scheduler::mark_delivered`](crate::Scheduler::mark_delivered).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is earlier than [`now`](CalendarQueue::now).
+    pub fn mark_delivered(&mut self, at: SimTime) {
+        assert!(at >= self.now, "delivery clock cannot go backwards");
+        self.now = at;
+        self.delivered += 1;
+    }
+
+    /// Removes and returns every live event strictly before `bound`, in
+    /// delivery order, without advancing the clock or the delivered count —
+    /// see [`Scheduler::drain_until`](crate::Scheduler::drain_until).
+    pub fn drain_until(&mut self, bound: SimTime) -> Vec<(SimTime, EventId, E)> {
+        let mut out = Vec::new();
+        while let Some((at, b, i)) = self.min_entry() {
+            if at >= bound {
+                break;
+            }
+            let entry = self.buckets[b].remove(i).expect("entry exists");
+            self.live -= 1;
+            while matches!(self.buckets[b].front(), Some(e) if e.payload.is_none()) {
+                self.buckets[b].pop_front();
+            }
+            self.cursor = self.bucket_of(at);
+            self.cursor_start = (at.as_nanos() / self.bucket_width) * self.bucket_width;
+            out.push((at, entry.id, entry.payload.expect("min entry is live")));
+        }
+        out
     }
 
     /// Cancels a pending event; returns whether it was live.
@@ -318,6 +378,44 @@ mod tests {
         q.schedule(SimTime::from_secs(5), 1);
         q.next();
         q.schedule(SimTime::from_secs(1), 2);
+    }
+
+    #[test]
+    fn drain_until_matches_heap_semantics() {
+        let mut q: CalendarQueue<u32> = CalendarQueue::new();
+        q.schedule(SimTime::from_millis(10), 0);
+        q.schedule(SimTime::from_millis(20), 1);
+        q.schedule(SimTime::from_millis(25), 2);
+        let cancelled = q.schedule(SimTime::from_millis(15), 9);
+        q.cancel(cancelled);
+        let drained = q.drain_until(SimTime::from_millis(25));
+        assert_eq!(
+            drained.iter().map(|&(_, _, p)| p).collect::<Vec<_>>(),
+            vec![0, 1],
+            "strict bound, cancelled entries skipped"
+        );
+        assert_eq!(q.now(), SimTime::ZERO);
+        assert_eq!(q.delivered_count(), 0);
+        assert_eq!(q.len(), 1);
+        q.mark_delivered(SimTime::from_millis(20));
+        assert_eq!(q.now(), SimTime::from_millis(20));
+        assert_eq!(q.delivered_count(), 1);
+    }
+
+    #[test]
+    fn clone_forks_identically() {
+        let mut q: CalendarQueue<u32> = CalendarQueue::new();
+        for i in 0..40u64 {
+            q.schedule(SimTime::from_millis(i * 7 % 90), i as u32);
+        }
+        q.next();
+        let mut fork = q.clone();
+        let a = q.schedule(SimTime::from_millis(50), 777);
+        let b = fork.schedule(SimTime::from_millis(50), 777);
+        assert_eq!(a, b, "forked queues hand out the same event ids");
+        let rest: Vec<(SimTime, u32)> = std::iter::from_fn(|| q.next()).collect();
+        let fork_rest: Vec<(SimTime, u32)> = std::iter::from_fn(|| fork.next()).collect();
+        assert_eq!(rest, fork_rest);
     }
 
     #[test]

@@ -1,0 +1,392 @@
+//! A common interface over the future-event-list backends.
+//!
+//! The workspace has two API-compatible FELs — the binary-heap
+//! [`Scheduler`] and the [`CalendarQueue`] (Brown 1988) — that deliver
+//! identical `(time, id)` orders. [`FutureEventList`] captures the shared
+//! contract, and [`Fel`] is a closed enum over the two so a simulation can
+//! pick its backend at construction time (e.g. from the `BGPSIM_FEL`
+//! environment variable) without paying dynamic dispatch on the pop path.
+
+use crate::calendar::CalendarQueue;
+use crate::event::EventId;
+use crate::sched::Scheduler;
+use crate::time::{SimDuration, SimTime};
+
+/// The contract every future-event list in this crate satisfies.
+///
+/// Delivery order is total and deterministic: non-decreasing time, FIFO
+/// (id order) within a timestamp. The split-phase methods
+/// ([`drain_until`](FutureEventList::drain_until),
+/// [`alloc_id`](FutureEventList::alloc_id),
+/// [`mark_delivered`](FutureEventList::mark_delivered)) decompose
+/// `next()` into its queue and accounting halves for the sharded event
+/// loop's epoch commit.
+pub trait FutureEventList<E> {
+    /// Schedules `payload` at absolute time `at`.
+    fn schedule(&mut self, at: SimTime, payload: E) -> EventId;
+    /// Schedules `payload` to fire `delay` after the current time.
+    fn schedule_after(&mut self, delay: SimDuration, payload: E) -> EventId {
+        let at = self.now() + delay;
+        self.schedule(at, payload)
+    }
+    /// Cancels a pending event; returns whether it was live.
+    fn cancel(&mut self, id: EventId) -> bool;
+    /// Pops the next live event, advancing the clock.
+    fn next(&mut self) -> Option<(SimTime, E)>;
+    /// Timestamp of the next live event.
+    fn peek_time(&mut self) -> Option<SimTime>;
+    /// Current simulation time.
+    fn now(&self) -> SimTime;
+    /// Number of live events.
+    fn len(&self) -> usize;
+    /// Whether no live events remain.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    /// Total events scheduled over the list's lifetime.
+    fn scheduled_count(&self) -> u64;
+    /// Total events delivered over the list's lifetime.
+    fn delivered_count(&self) -> u64;
+    /// Removes every live event strictly before `bound`, in delivery
+    /// order, without advancing the clock or the delivered count.
+    fn drain_until(&mut self, bound: SimTime) -> Vec<(SimTime, EventId, E)>;
+    /// Allocates the next [`EventId`] without enqueueing, counted as
+    /// scheduled.
+    fn alloc_id(&mut self) -> EventId;
+    /// Advances the clock to `at` and counts one delivery, without popping.
+    fn mark_delivered(&mut self, at: SimTime);
+}
+
+impl<E> FutureEventList<E> for Scheduler<E> {
+    fn schedule(&mut self, at: SimTime, payload: E) -> EventId {
+        Scheduler::schedule(self, at, payload)
+    }
+    fn cancel(&mut self, id: EventId) -> bool {
+        Scheduler::cancel(self, id)
+    }
+    fn next(&mut self) -> Option<(SimTime, E)> {
+        Scheduler::next(self)
+    }
+    fn peek_time(&mut self) -> Option<SimTime> {
+        Scheduler::peek_time(self)
+    }
+    fn now(&self) -> SimTime {
+        Scheduler::now(self)
+    }
+    fn len(&self) -> usize {
+        Scheduler::len(self)
+    }
+    fn scheduled_count(&self) -> u64 {
+        Scheduler::scheduled_count(self)
+    }
+    fn delivered_count(&self) -> u64 {
+        Scheduler::delivered_count(self)
+    }
+    fn drain_until(&mut self, bound: SimTime) -> Vec<(SimTime, EventId, E)> {
+        Scheduler::drain_until(self, bound)
+    }
+    fn alloc_id(&mut self) -> EventId {
+        Scheduler::alloc_id(self)
+    }
+    fn mark_delivered(&mut self, at: SimTime) {
+        Scheduler::mark_delivered(self, at)
+    }
+}
+
+impl<E> FutureEventList<E> for CalendarQueue<E> {
+    fn schedule(&mut self, at: SimTime, payload: E) -> EventId {
+        CalendarQueue::schedule(self, at, payload)
+    }
+    fn cancel(&mut self, id: EventId) -> bool {
+        CalendarQueue::cancel(self, id)
+    }
+    fn next(&mut self) -> Option<(SimTime, E)> {
+        CalendarQueue::next(self)
+    }
+    fn peek_time(&mut self) -> Option<SimTime> {
+        CalendarQueue::peek_time(self)
+    }
+    fn now(&self) -> SimTime {
+        CalendarQueue::now(self)
+    }
+    fn len(&self) -> usize {
+        CalendarQueue::len(self)
+    }
+    fn scheduled_count(&self) -> u64 {
+        CalendarQueue::scheduled_count(self)
+    }
+    fn delivered_count(&self) -> u64 {
+        CalendarQueue::delivered_count(self)
+    }
+    fn drain_until(&mut self, bound: SimTime) -> Vec<(SimTime, EventId, E)> {
+        CalendarQueue::drain_until(self, bound)
+    }
+    fn alloc_id(&mut self) -> EventId {
+        CalendarQueue::alloc_id(self)
+    }
+    fn mark_delivered(&mut self, at: SimTime) {
+        CalendarQueue::mark_delivered(self, at)
+    }
+}
+
+/// Which future-event-list backend to use.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum FelKind {
+    /// Binary-heap [`Scheduler`] (the default).
+    #[default]
+    Heap,
+    /// [`CalendarQueue`] (Brown 1988).
+    Calendar,
+}
+
+impl FelKind {
+    /// Reads the backend choice from the `BGPSIM_FEL` environment variable
+    /// (`heap` or `calendar`, case-insensitive). Returns `None` when unset
+    /// or unrecognized.
+    pub fn from_env() -> Option<FelKind> {
+        match std::env::var("BGPSIM_FEL")
+            .ok()?
+            .to_ascii_lowercase()
+            .as_str()
+        {
+            "heap" => Some(FelKind::Heap),
+            "calendar" => Some(FelKind::Calendar),
+            _ => None,
+        }
+    }
+
+    /// Stable lowercase name (`heap` / `calendar`).
+    pub fn name(self) -> &'static str {
+        match self {
+            FelKind::Heap => "heap",
+            FelKind::Calendar => "calendar",
+        }
+    }
+}
+
+/// A future-event list with a runtime-selected backend.
+///
+/// A closed enum rather than a trait object: the pop path stays a direct
+/// (branch-predicted) match, and the whole list remains `Clone`-able for
+/// warm-start snapshots.
+pub enum Fel<E> {
+    /// Binary-heap backend.
+    Heap(Scheduler<E>),
+    /// Calendar-queue backend.
+    Calendar(CalendarQueue<E>),
+}
+
+impl<E: Clone> Clone for Fel<E> {
+    fn clone(&self) -> Self {
+        match self {
+            Fel::Heap(s) => Fel::Heap(s.clone()),
+            Fel::Calendar(q) => Fel::Calendar(q.clone()),
+        }
+    }
+}
+
+impl<E> std::fmt::Debug for Fel<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Fel::Heap(s) => f.debug_tuple("Fel::Heap").field(s).finish(),
+            Fel::Calendar(q) => f.debug_tuple("Fel::Calendar").field(q).finish(),
+        }
+    }
+}
+
+impl<E> Default for Fel<E> {
+    fn default() -> Self {
+        Fel::new(FelKind::Heap)
+    }
+}
+
+macro_rules! delegate {
+    ($self:ident, $inner:ident => $body:expr) => {
+        match $self {
+            Fel::Heap($inner) => $body,
+            Fel::Calendar($inner) => $body,
+        }
+    };
+}
+
+impl<E> Fel<E> {
+    /// Creates an empty list with the given backend.
+    pub fn new(kind: FelKind) -> Fel<E> {
+        match kind {
+            FelKind::Heap => Fel::Heap(Scheduler::new()),
+            FelKind::Calendar => Fel::Calendar(CalendarQueue::new()),
+        }
+    }
+
+    /// Which backend this list uses.
+    pub fn kind(&self) -> FelKind {
+        match self {
+            Fel::Heap(_) => FelKind::Heap,
+            Fel::Calendar(_) => FelKind::Calendar,
+        }
+    }
+
+    /// Schedules `payload` at absolute time `at`.
+    pub fn schedule(&mut self, at: SimTime, payload: E) -> EventId {
+        delegate!(self, inner => inner.schedule(at, payload))
+    }
+
+    /// Schedules `payload` to fire `delay` after the current time.
+    pub fn schedule_after(&mut self, delay: SimDuration, payload: E) -> EventId {
+        delegate!(self, inner => inner.schedule_after(delay, payload))
+    }
+
+    /// Cancels a pending event; returns whether it was live.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        delegate!(self, inner => inner.cancel(id))
+    }
+
+    /// Pops the next live event, advancing the clock.
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> Option<(SimTime, E)> {
+        delegate!(self, inner => inner.next())
+    }
+
+    /// Timestamp of the next live event.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        match self {
+            Fel::Heap(s) => s.peek_time(),
+            Fel::Calendar(q) => q.peek_time(),
+        }
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        delegate!(self, inner => inner.now())
+    }
+
+    /// Number of live events.
+    pub fn len(&self) -> usize {
+        delegate!(self, inner => inner.len())
+    }
+
+    /// Whether no live events remain.
+    pub fn is_empty(&self) -> bool {
+        delegate!(self, inner => inner.is_empty())
+    }
+
+    /// Total events scheduled over the list's lifetime.
+    pub fn scheduled_count(&self) -> u64 {
+        delegate!(self, inner => inner.scheduled_count())
+    }
+
+    /// Total events delivered over the list's lifetime.
+    pub fn delivered_count(&self) -> u64 {
+        delegate!(self, inner => inner.delivered_count())
+    }
+
+    /// Removes every live event strictly before `bound`, in delivery
+    /// order, without advancing the clock or the delivered count.
+    pub fn drain_until(&mut self, bound: SimTime) -> Vec<(SimTime, EventId, E)> {
+        delegate!(self, inner => inner.drain_until(bound))
+    }
+
+    /// Allocates the next [`EventId`] without enqueueing, counted as
+    /// scheduled.
+    pub fn alloc_id(&mut self) -> EventId {
+        delegate!(self, inner => inner.alloc_id())
+    }
+
+    /// Advances the clock to `at` and counts one delivery, without popping.
+    pub fn mark_delivered(&mut self, at: SimTime) {
+        delegate!(self, inner => inner.mark_delivered(at))
+    }
+}
+
+impl<E> FutureEventList<E> for Fel<E> {
+    fn schedule(&mut self, at: SimTime, payload: E) -> EventId {
+        Fel::schedule(self, at, payload)
+    }
+    fn cancel(&mut self, id: EventId) -> bool {
+        Fel::cancel(self, id)
+    }
+    fn next(&mut self) -> Option<(SimTime, E)> {
+        Fel::next(self)
+    }
+    fn peek_time(&mut self) -> Option<SimTime> {
+        Fel::peek_time(self)
+    }
+    fn now(&self) -> SimTime {
+        Fel::now(self)
+    }
+    fn len(&self) -> usize {
+        Fel::len(self)
+    }
+    fn scheduled_count(&self) -> u64 {
+        Fel::scheduled_count(self)
+    }
+    fn delivered_count(&self) -> u64 {
+        Fel::delivered_count(self)
+    }
+    fn drain_until(&mut self, bound: SimTime) -> Vec<(SimTime, EventId, E)> {
+        Fel::drain_until(self, bound)
+    }
+    fn alloc_id(&mut self) -> EventId {
+        Fel::alloc_id(self)
+    }
+    fn mark_delivered(&mut self, at: SimTime) {
+        Fel::mark_delivered(self, at)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Drives both backends through the trait with the same inputs and
+    /// asserts identical observable behavior.
+    fn exercise(fel: &mut dyn FutureEventList<u32>) -> Vec<(SimTime, u32)> {
+        for i in 0..30u64 {
+            fel.schedule(SimTime::from_millis(i * 13 % 70), i as u32);
+        }
+        let dead = fel.schedule(SimTime::from_millis(40), 999);
+        assert!(fel.cancel(dead));
+        let mut out = Vec::new();
+        let drained = fel.drain_until(SimTime::from_millis(30));
+        for (at, _id, p) in drained {
+            fel.mark_delivered(at);
+            out.push((at, p));
+        }
+        while let Some(x) = fel.next() {
+            out.push(x);
+        }
+        out
+    }
+
+    #[test]
+    fn backends_agree_through_the_trait() {
+        let mut heap: Scheduler<u32> = Scheduler::new();
+        let mut cal: CalendarQueue<u32> = CalendarQueue::new();
+        let a = exercise(&mut heap);
+        let b = exercise(&mut cal);
+        assert_eq!(a, b, "heap and calendar disagree");
+        assert_eq!(heap.delivered_count(), cal.delivered_count());
+        assert_eq!(heap.scheduled_count(), cal.scheduled_count());
+    }
+
+    #[test]
+    fn fel_enum_delegates_and_reports_kind() {
+        let mut heap: Fel<u32> = Fel::new(FelKind::Heap);
+        let mut cal: Fel<u32> = Fel::new(FelKind::Calendar);
+        assert_eq!(heap.kind(), FelKind::Heap);
+        assert_eq!(cal.kind(), FelKind::Calendar);
+        let a = exercise(&mut heap);
+        let b = exercise(&mut cal);
+        assert_eq!(a, b);
+        let fork = heap.clone();
+        assert_eq!(fork.kind(), FelKind::Heap);
+        assert_eq!(fork.delivered_count(), heap.delivered_count());
+    }
+
+    #[test]
+    fn fel_kind_names_are_stable() {
+        assert_eq!(FelKind::Heap.name(), "heap");
+        assert_eq!(FelKind::Calendar.name(), "calendar");
+        assert_eq!(FelKind::default(), FelKind::Heap);
+    }
+}

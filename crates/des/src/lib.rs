@@ -14,6 +14,9 @@
 //! * [`CalendarQueue`] — an API-compatible calendar-queue alternative
 //!   (Brown 1988), property-tested to deliver the exact same order; the
 //!   benches compare the two.
+//! * [`FutureEventList`] / [`Fel`] — the shared FEL contract and a
+//!   runtime-selected backend enum, so a simulation can swap heap for
+//!   calendar (env knob `BGPSIM_FEL`) without code changes.
 //! * [`rng`] — deterministic per-component random-number streams derived
 //!   from a single root seed, plus the RFC 1771 timer-jitter helper.
 //!
@@ -35,12 +38,14 @@
 
 mod calendar;
 mod event;
+mod fel;
 pub mod rng;
 mod sched;
 mod time;
 
 pub use calendar::CalendarQueue;
 pub use event::EventId;
+pub use fel::{Fel, FelKind, FutureEventList};
 pub use rng::RngStreams;
 pub use sched::Scheduler;
 pub use time::{SimDuration, SimTime};

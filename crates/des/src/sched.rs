@@ -1,6 +1,6 @@
 //! The future-event list.
 
-use std::collections::{BinaryHeap, HashSet};
+use std::collections::BinaryHeap;
 
 use crate::event::{Entry, EventId};
 use crate::time::{SimDuration, SimTime};
@@ -31,7 +31,17 @@ use crate::time::{SimDuration, SimTime};
 /// [`next`]: Scheduler::next
 pub struct Scheduler<E> {
     heap: BinaryHeap<Entry<E>>,
-    cancelled: HashSet<EventId>,
+    /// Cancel tombstones as a bitset windowed at `tomb_base`: bit
+    /// `id - tomb_base` is set iff `id` is cancelled. Event ids are a dense
+    /// monotone counter, so a windowed bitset gives O(1) set/test/clear
+    /// with no hashing — the pop hot path pays only a `tomb_live == 0`
+    /// branch when nothing is cancelled (the common case).
+    tomb_bits: Vec<u64>,
+    /// Ids below this are settled: delivered or retired by a purge.
+    /// `cancel` on them returns `false` without touching the bitset.
+    tomb_base: u64,
+    /// Number of set bits in `tomb_bits`.
+    tomb_live: usize,
     now: SimTime,
     next_id: u64,
     scheduled: u64,
@@ -65,7 +75,9 @@ impl<E: Clone> Clone for Scheduler<E> {
     fn clone(&self) -> Self {
         Scheduler {
             heap: self.heap.clone(),
-            cancelled: self.cancelled.clone(),
+            tomb_bits: self.tomb_bits.clone(),
+            tomb_base: self.tomb_base,
+            tomb_live: self.tomb_live,
             now: self.now,
             next_id: self.next_id,
             scheduled: self.scheduled,
@@ -79,7 +91,9 @@ impl<E> Scheduler<E> {
     pub fn new() -> Scheduler<E> {
         Scheduler {
             heap: BinaryHeap::new(),
-            cancelled: HashSet::new(),
+            tomb_bits: Vec::new(),
+            tomb_base: 0,
+            tomb_live: 0,
             now: SimTime::ZERO,
             next_id: 0,
             scheduled: 0,
@@ -110,9 +124,7 @@ impl<E> Scheduler<E> {
             "cannot schedule event at {at} before current time {}",
             self.now
         );
-        let id = EventId(self.next_id);
-        self.next_id += 1;
-        self.scheduled += 1;
+        let id = self.alloc_id();
         self.heap.push(Entry { at, id, payload });
         id
     }
@@ -128,17 +140,116 @@ impl<E> Scheduler<E> {
         self.schedule(self.now, payload)
     }
 
+    /// Allocates the next [`EventId`] without enqueueing anything, counting
+    /// it as scheduled.
+    ///
+    /// This is the id-assignment half of [`schedule`], split out for the
+    /// sharded event loop: during an epoch's commit phase, intra-epoch
+    /// events were already executed on a shard worker, but they must still
+    /// consume ids in serial order so that every later id — and therefore
+    /// every same-instant tie-break — is byte-identical to a serial run.
+    ///
+    /// [`schedule`]: Scheduler::schedule
+    pub fn alloc_id(&mut self) -> EventId {
+        let id = EventId(self.next_id);
+        self.next_id += 1;
+        self.scheduled += 1;
+        id
+    }
+
+    /// Advances the clock to `at` and counts one delivery, without popping.
+    ///
+    /// The delivery-accounting half of [`next`], split out for the sharded
+    /// event loop: the commit phase replays events that were drained (or
+    /// created) during the epoch and must leave `now`/`delivered` exactly
+    /// as a serial run would.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is earlier than [`now`].
+    ///
+    /// [`next`]: Scheduler::next
+    pub fn mark_delivered(&mut self, at: SimTime) {
+        assert!(at >= self.now, "delivery clock cannot go backwards");
+        self.now = at;
+        self.delivered += 1;
+    }
+
+    /// Removes and returns every live event strictly before `bound`, in
+    /// delivery order, without advancing the clock or the delivered count.
+    ///
+    /// Cancelled entries encountered on the way are retired. An event
+    /// scheduled exactly at `bound` stays queued — the epoch window is
+    /// half-open, matching the serial engine's delivery order for events
+    /// that land precisely on an epoch boundary.
+    pub fn drain_until(&mut self, bound: SimTime) -> Vec<(SimTime, EventId, E)> {
+        let mut out = Vec::new();
+        while let Some(head) = self.heap.peek() {
+            if head.at >= bound {
+                break;
+            }
+            let entry = self.heap.pop().expect("peeked entry exists");
+            if self.tomb_live > 0 && self.take_tombstone(entry.id) {
+                continue;
+            }
+            out.push((entry.at, entry.id, entry.payload));
+        }
+        out
+    }
+
     /// Cancels a pending event. Returns `true` if the event had not yet
     /// fired (or been cancelled).
     pub fn cancel(&mut self, id: EventId) -> bool {
-        if id.0 >= self.next_id {
+        if id.0 >= self.next_id || id.0 < self.tomb_base {
+            // Never handed out, or already settled (delivered / retired by
+            // a purge — every live heap entry has id >= tomb_base).
             return false;
         }
-        let fresh = self.cancelled.insert(id);
-        if fresh {
-            self.maybe_purge();
+        let idx = (id.0 - self.tomb_base) as usize;
+        let (word, bit) = (idx / 64, 1u64 << (idx % 64));
+        if word >= self.tomb_bits.len() {
+            self.tomb_bits.resize(word + 1, 0);
         }
-        fresh
+        if self.tomb_bits[word] & bit != 0 {
+            return false;
+        }
+        self.tomb_bits[word] |= bit;
+        self.tomb_live += 1;
+        self.maybe_purge();
+        true
+    }
+
+    /// Whether `id` carries a live tombstone.
+    fn is_tombstoned(&self, id: EventId) -> bool {
+        if id.0 < self.tomb_base {
+            return false;
+        }
+        let idx = (id.0 - self.tomb_base) as usize;
+        self.tomb_bits
+            .get(idx / 64)
+            .is_some_and(|w| w & (1 << (idx % 64)) != 0)
+    }
+
+    /// Clears `id`'s tombstone if set; returns whether it was set.
+    fn take_tombstone(&mut self, id: EventId) -> bool {
+        if id.0 < self.tomb_base {
+            return false;
+        }
+        let idx = (id.0 - self.tomb_base) as usize;
+        let (word, bit) = (idx / 64, 1u64 << (idx % 64));
+        match self.tomb_bits.get_mut(word) {
+            Some(w) if *w & bit != 0 => {
+                *w &= !bit;
+                self.tomb_live -= 1;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Number of live tombstones (cancelled ids not yet retired).
+    pub fn tombstone_count(&self) -> usize {
+        self.tomb_live
     }
 
     /// Rebuilds the heap without tombstoned entries once the cancelled set
@@ -149,19 +260,22 @@ impl<E> Scheduler<E> {
     /// first) would otherwise pin its tombstone forever. Rebuilding is
     /// `O(heap)`, amortized against having let at least as many
     /// cancellations accumulate; delivery order is unaffected because
-    /// entries are totally ordered by `(time, id)`.
+    /// entries are totally ordered by `(time, id)`. The tombstone window
+    /// rebases to the smallest surviving id, so the bitset stays small.
     fn maybe_purge(&mut self) {
         const MIN_TOMBSTONES: usize = 64;
-        if self.cancelled.len() < MIN_TOMBSTONES || self.cancelled.len() * 2 <= self.heap.len() {
+        if self.tomb_live < MIN_TOMBSTONES || self.tomb_live * 2 <= self.heap.len() {
             return;
         }
         let mut entries = std::mem::take(&mut self.heap).into_vec();
-        entries.retain(|e| !self.cancelled.contains(&e.id));
-        self.heap = BinaryHeap::from(entries);
+        entries.retain(|e| !self.is_tombstoned(e.id));
         // Every tombstone either matched an entry just dropped or was
         // already stale (its event popped before the cancel); either way
-        // it is spent now.
-        self.cancelled.clear();
+        // it is spent now. Ids below the smallest survivor are settled.
+        self.tomb_base = entries.iter().map(|e| e.id.0).min().unwrap_or(self.next_id);
+        self.tomb_bits.clear();
+        self.tomb_live = 0;
+        self.heap = BinaryHeap::from(entries);
     }
 
     /// Pops the next live event, advancing the clock to its timestamp.
@@ -173,7 +287,7 @@ impl<E> Scheduler<E> {
     #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> Option<(SimTime, E)> {
         while let Some(entry) = self.heap.pop() {
-            if self.cancelled.remove(&entry.id) {
+            if self.tomb_live > 0 && self.take_tombstone(entry.id) {
                 continue;
             }
             debug_assert!(entry.at >= self.now, "event queue went backwards");
@@ -187,9 +301,9 @@ impl<E> Scheduler<E> {
     /// Timestamp of the next live event without popping it.
     pub fn peek_time(&mut self) -> Option<SimTime> {
         while let Some(entry) = self.heap.peek() {
-            if self.cancelled.contains(&entry.id) {
+            if self.tomb_live > 0 && self.is_tombstoned(entry.id) {
                 let entry = self.heap.pop().expect("peeked entry exists");
-                self.cancelled.remove(&entry.id);
+                self.take_tombstone(entry.id);
                 continue;
             }
             return Some(entry.at);
@@ -203,7 +317,7 @@ impl<E> Scheduler<E> {
     /// leaves a tombstone with no matching heap entry until the next
     /// purge, and must not make the count wrap.
     pub fn len(&self) -> usize {
-        self.heap.len().saturating_sub(self.cancelled.len())
+        self.heap.len().saturating_sub(self.tomb_live)
     }
 
     /// Whether no live events remain.
@@ -303,6 +417,7 @@ mod tests {
         s.schedule(SimTime::from_secs(2), 1);
         s.cancel(a);
         assert_eq!(s.peek_time(), Some(SimTime::from_secs(2)));
+        assert_eq!(s.tombstone_count(), 0, "peek retired the tombstone");
     }
 
     #[test]
@@ -353,9 +468,9 @@ mod tests {
             assert!(s.cancel(*id));
         }
         assert!(
-            s.cancelled.len() < 150,
+            s.tombstone_count() < 150,
             "purge ran and retired tombstones (left: {})",
-            s.cancelled.len()
+            s.tombstone_count()
         );
         assert!(s.heap.len() < 200, "purge dropped cancelled heap entries");
         assert_eq!(s.len(), 50);
@@ -380,11 +495,31 @@ mod tests {
             s.cancel(*id);
         }
         assert!(
-            s.cancelled.len() < ids.len(),
+            s.tombstone_count() < ids.len(),
             "stale tombstones were purged"
         );
         assert_eq!(s.len(), 0, "no live events, however many tombstones linger");
         assert!(s.is_empty());
+    }
+
+    #[test]
+    fn cancel_below_purge_window_reports_dead() {
+        // After a purge rebases the tombstone window, ids below the base
+        // are settled: cancelling them is a no-op, while still-live events
+        // above the base stay cancellable.
+        let mut s: Scheduler<u32> = Scheduler::new();
+        let ids: Vec<EventId> = (0..200u64)
+            .map(|i| s.schedule(SimTime::from_secs(i + 1), i as u32))
+            .collect();
+        for id in &ids[..150] {
+            assert!(s.cancel(*id));
+        }
+        assert!(s.tombstone_count() < 150, "a purge fired and rebased");
+        assert!(!s.cancel(ids[0]), "retired id is settled");
+        assert!(s.cancel(ids[170]), "live id above the window base");
+        let order: Vec<u32> = std::iter::from_fn(|| s.next().map(|(_, e)| e)).collect();
+        let expected: Vec<u32> = (150..200).filter(|&i| i != 170).collect();
+        assert_eq!(order, expected);
     }
 
     #[test]
@@ -460,11 +595,74 @@ mod tests {
         let expected: Vec<u32> = (0..600u32).filter(|p| !gone.contains(p)).collect();
         assert_eq!(delivered, expected, "purges must not perturb delivery");
         assert_eq!(s.len(), 0);
-        assert!(
-            s.cancelled.is_empty(),
+        assert_eq!(
+            s.tombstone_count(),
+            0,
             "all tombstones were spent (left: {})",
-            s.cancelled.len()
+            s.tombstone_count()
         );
+    }
+
+    #[test]
+    fn drain_until_is_strict_and_preserves_clock() {
+        let mut s: Scheduler<u32> = Scheduler::new();
+        s.schedule(SimTime::from_millis(10), 0);
+        s.schedule(SimTime::from_millis(20), 1);
+        let boundary = s.schedule(SimTime::from_millis(25), 2);
+        s.schedule(SimTime::from_millis(30), 3);
+        let drained = s.drain_until(SimTime::from_millis(25));
+        assert_eq!(
+            drained
+                .iter()
+                .map(|&(at, id, p)| (at, id.as_u64(), p))
+                .collect::<Vec<_>>(),
+            vec![
+                (SimTime::from_millis(10), 0, 0),
+                (SimTime::from_millis(20), 1, 1),
+            ],
+            "an event exactly on the bound stays queued"
+        );
+        assert_eq!(s.now(), SimTime::ZERO, "drain does not advance the clock");
+        assert_eq!(s.delivered_count(), 0, "drained events are not delivered");
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.peek_time(), Some(SimTime::from_millis(25)));
+        let _ = boundary;
+    }
+
+    #[test]
+    fn drain_until_retires_tombstones() {
+        let mut s: Scheduler<u32> = Scheduler::new();
+        let a = s.schedule(SimTime::from_millis(1), 0);
+        s.schedule(SimTime::from_millis(2), 1);
+        s.cancel(a);
+        let drained = s.drain_until(SimTime::from_millis(10));
+        assert_eq!(drained.len(), 1);
+        assert_eq!(drained[0].2, 1);
+        assert_eq!(s.tombstone_count(), 0);
+    }
+
+    #[test]
+    fn alloc_id_and_mark_delivered_match_serial_accounting() {
+        // Replaying `schedule` + `next` through the split APIs must leave
+        // identical observable state.
+        let mut serial: Scheduler<u32> = Scheduler::new();
+        serial.schedule(SimTime::from_millis(5), 10);
+        serial.schedule(SimTime::from_millis(7), 11);
+        serial.next();
+        serial.next();
+        let after = serial.schedule(SimTime::from_millis(9), 12);
+
+        let mut split: Scheduler<u32> = Scheduler::new();
+        split.schedule(SimTime::from_millis(5), 10);
+        split.schedule(SimTime::from_millis(7), 11);
+        for (at, _id, _p) in split.drain_until(SimTime::from_millis(8)) {
+            split.mark_delivered(at);
+        }
+        let alloc = split.alloc_id();
+        assert_eq!(alloc, after, "alloc_id tracks the serial id counter");
+        assert_eq!(split.now(), serial.now());
+        assert_eq!(split.delivered_count(), serial.delivered_count());
+        assert_eq!(split.scheduled_count(), serial.scheduled_count());
     }
 
     #[test]

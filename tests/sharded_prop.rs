@@ -1,0 +1,131 @@
+//! Property test: the sharded event loop is bit-identical to serial.
+//!
+//! The sharded engine (`BGPSIM_SHARDS` / `SimConfig::shards`) partitions
+//! routers across shard workers and runs them in synchronous epochs of
+//! width `link_delay` (the conservative-PDES lookahead). Its contract is
+//! exact determinism: for any topology, seed, failure fraction, shard
+//! count and scheme family, the run must be indistinguishable from the
+//! serial engine — identical `RunStats` field for field AND identical
+//! final Loc-RIBs on every surviving router. Equality of the Loc-RIBs
+//! (not just the aggregate counters) is what rules out compensating
+//! errors such as two routers swapping best paths.
+//!
+//! A deterministic regression case pins the epoch-boundary edge:
+//! with a zero origination window every message lands exactly on an
+//! epoch boundary (`t0 + link_delay == epoch_end`), which the half-open
+//! epoch window must defer to the next epoch in serial order.
+
+use bgpsim::metrics::RunStats;
+use bgpsim::network::{Network, SimConfig};
+use bgpsim::scheme::Scheme;
+use bgpsim_des::SimDuration;
+use bgpsim_topology::degree::SkewedSpec;
+use bgpsim_topology::generators::skewed_topology;
+use bgpsim_topology::region::FailureSpec;
+use bgpsim_topology::Topology;
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn schemes() -> [Scheme; 3] {
+    [
+        Scheme::constant_mrai(0.5),
+        Scheme::batching(0.5),
+        Scheme::dynamic_default(),
+    ]
+}
+
+fn topo(seed: u64, nodes: usize) -> Topology {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    skewed_topology(nodes, &SkewedSpec::seventy_thirty(), &mut rng).unwrap()
+}
+
+/// Runs the full failure experiment under `shards` and returns the stats
+/// plus the final network for state comparison.
+fn run(
+    scheme: &Scheme,
+    seed: u64,
+    nodes: usize,
+    fraction: f64,
+    shards: usize,
+) -> (RunStats, Network) {
+    let mut cfg = SimConfig::from_scheme(scheme, seed);
+    cfg.shards = Some(shards);
+    let mut net = Network::new(topo(seed, nodes), cfg);
+    let stats = net.run_failure_experiment(&FailureSpec::CenterFraction(fraction));
+    (stats, net)
+}
+
+/// Asserts the externally observable final state of two runs is identical:
+/// clock, per-router aliveness, Loc-RIB contents and per-node counters.
+fn assert_state_identical(a: &Network, b: &Network, what: &str) {
+    assert_eq!(a.now(), b.now(), "{what}: clock diverged");
+    for r in a.topology().router_ids() {
+        match (a.node(r), b.node(r)) {
+            (None, None) => {}
+            (Some(x), Some(y)) => {
+                assert_eq!(x.loc_rib(), y.loc_rib(), "{what}: Loc-RIB of {r} diverged");
+                assert_eq!(x.stats(), y.stats(), "{what}: node stats of {r} diverged");
+            }
+            _ => panic!("{what}: aliveness of {r} diverged"),
+        }
+    }
+}
+
+proptest! {
+    // Each case runs 3 schemes × (1 serial + 3 sharded) full simulations;
+    // keep the count low and the networks small.
+    #![proptest_config(ProptestConfig { cases: 6, ..ProptestConfig::default() })]
+
+    #[test]
+    fn sharded_runs_are_bit_identical_across_schemes(
+        nodes in 15usize..30,
+        seed in 0u64..10_000,
+        fraction_idx in 0usize..3,
+    ) {
+        let fraction = [0.05, 0.10, 0.20][fraction_idx];
+        for scheme in schemes() {
+            let (serial_stats, serial_net) = run(&scheme, seed, nodes, fraction, 1);
+            for shards in [2usize, 3, 7] {
+                let (stats, net) = run(&scheme, seed, nodes, fraction, shards);
+                prop_assert_eq!(
+                    stats,
+                    serial_stats,
+                    "RunStats diverged: scheme={} shards={}",
+                    scheme.name,
+                    shards
+                );
+                assert_state_identical(
+                    &net,
+                    &serial_net,
+                    &format!("scheme={} shards={}", scheme.name, shards),
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn epoch_boundary_messages_keep_serial_order() {
+    // Zero origination window: every router originates at t=0, so every
+    // Deliver lands exactly at k × link_delay — always on an epoch
+    // boundary. The sharded engine must queue those into the following
+    // epoch and deliver them in serial (time, event-id) order.
+    let build = |shards: usize| {
+        let mut cfg = SimConfig::new(4242);
+        cfg.origination_window = SimDuration::ZERO;
+        cfg.shards = Some(shards);
+        Network::new(topo(4242, 20), cfg)
+    };
+    let mut serial = build(1);
+    let serial_delay = serial.run_initial_convergence();
+    for shards in [2usize, 5] {
+        let mut net = build(shards);
+        let delay = net.run_initial_convergence();
+        assert_eq!(
+            delay, serial_delay,
+            "{shards} shards: convergence delay diverged"
+        );
+        assert_state_identical(&net, &serial, &format!("{shards} shards"));
+    }
+}
