@@ -17,6 +17,11 @@
 //! serial run and reporting requested shards alongside the *effective*
 //! worker parallelism (capped by the machine's cores — on a 1-core box the
 //! sharded rows measure coordination overhead, not speedup, and say so).
+//! A fifth section measures structured-tracing overhead: the same
+//! re-convergence with the sink Off (the default one-branch hooks) and
+//! with a Memory ring recording everything, asserting bit-identical
+//! `RunStats` — the Off row is the number to diff against a pre-tracing
+//! baseline (bar: ≤ 2%).
 //! Results go to `BENCH_hotpath.json` (see README) so hot-path changes can
 //! be compared number-for-number against a recorded baseline.
 //!
@@ -34,8 +39,14 @@ use bgpsim::experiment::{
     run_all_parallel_timed, run_all_parallel_timed_cold, Experiment, TopologySpec,
 };
 use bgpsim::figures::FAILURE_FRACTIONS;
+use bgpsim::network::{Network, SimConfig};
 use bgpsim::scheme::Scheme;
+use bgpsim::trace::TraceSink;
+use bgpsim_topology::degree::SkewedSpec;
+use bgpsim_topology::generators::skewed_topology;
 use bgpsim_topology::region::FailureSpec;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
 
 const FAILURE_FRACTION: f64 = 0.10;
 const SEEDS: [u64; 3] = [101, 202, 303];
@@ -430,6 +441,62 @@ fn main() -> ExitCode {
     }
     restore_env("BGPSIM_SHARDS", prev_shards);
 
+    // ── Tracing overhead ────────────────────────────────────────────────
+    // The same re-convergence run three ways: sink left Off (the default —
+    // every hook site is one `Option` branch), a Memory ring recording the
+    // full event stream, and Off again interleaved to bound timer noise.
+    // Only the post-failure phase is timed, since that is the traced
+    // phase. RunStats must be bit-identical across sinks (tracing is
+    // observation-only) — divergence is a hard failure. The Off rows are
+    // the numbers to diff against a recorded pre-tracing baseline: the
+    // acceptance bar is Off within 2% of it.
+    let trace_runs = if args.fast { 2usize } else { 3 };
+    let traced_reconvergence = |memory: bool| -> (bgpsim::RunStats, f64, u64) {
+        let mut rng = SmallRng::seed_from_u64(seeds[0]);
+        let topo = skewed_topology(nodes, &SkewedSpec::seventy_thirty(), &mut rng)
+            .expect("bench topology realizable");
+        let mut net = Network::new(topo, SimConfig::from_scheme(&schemes[0], seeds[0]));
+        net.run_initial_convergence();
+        net.inject_failure(&FailureSpec::CenterFraction(FAILURE_FRACTION));
+        if memory {
+            net.set_trace_sink(TraceSink::memory(1 << 22));
+        }
+        let started = Instant::now();
+        let stats = net.run_to_quiescence();
+        let wall = started.elapsed().as_secs_f64();
+        (stats, wall, net.trace_sink().seq())
+    };
+    let mut off_walls = Vec::new();
+    let mut memory_walls = Vec::new();
+    let mut trace_events_recorded = 0u64;
+    let mut trace_stats: Option<bgpsim::RunStats> = None;
+    for _ in 0..trace_runs {
+        for memory in [false, true] {
+            let (stats, wall, recorded) = traced_reconvergence(memory);
+            if let Some(reference) = &trace_stats {
+                if stats != *reference {
+                    eprintln!("error: traced run diverged from the untraced run");
+                    return ExitCode::FAILURE;
+                }
+            } else {
+                trace_stats = Some(stats);
+            }
+            if memory {
+                memory_walls.push(wall);
+                trace_events_recorded = recorded;
+            } else {
+                off_walls.push(wall);
+            }
+        }
+    }
+    let min = |walls: &[f64]| walls.iter().copied().fold(f64::INFINITY, f64::min);
+    let (off_wall, memory_wall) = (min(&off_walls), min(&memory_walls));
+    let memory_overhead = if off_wall > 0.0 {
+        memory_wall / off_wall - 1.0
+    } else {
+        0.0
+    };
+
     let payload = serde_json::json!({
         "harness": "hotpath",
         "fast": args.fast,
@@ -479,6 +546,16 @@ fn main() -> ExitCode {
             "parallelism_available": parallelism_available,
             "shard_counts": shard_counts,
             "sections": sharded_sections,
+        }),
+        "tracing": serde_json::json!({
+            "runs_per_sink": trace_runs,
+            "scheme": schemes[0].name,
+            "seed": seeds[0],
+            "off_reconvergence_secs": off_wall,
+            "memory_reconvergence_secs": memory_wall,
+            "memory_overhead": memory_overhead,
+            "trace_events": trace_events_recorded,
+            "stats_identical": true,
         }),
     });
 
@@ -562,6 +639,14 @@ fn main() -> ExitCode {
             );
         }
     }
+    println!("tracing overhead (re-convergence, best of {trace_runs}):");
+    println!(
+        "  sink Off:    {off_wall:.3} s   (diff this against the recorded pre-tracing baseline)"
+    );
+    println!(
+        "  sink Memory: {memory_wall:.3} s   ({:+.1}% vs Off, {trace_events_recorded} events)",
+        memory_overhead * 100.0
+    );
     println!("  written to {}", args.out);
     ExitCode::SUCCESS
 }

@@ -90,6 +90,20 @@ impl DynamicMraiConfig {
     }
 }
 
+/// A level change made by [`DynMraiController::evaluate`], reported so
+/// tracing can tie the transition to the evidence that caused it.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LevelShift {
+    /// Level index before the change.
+    pub from: usize,
+    /// Level index after the change.
+    pub to: usize,
+    /// The detector reading behind the move: unfinished work in seconds,
+    /// busy fraction, or raw update count, per the configured
+    /// [`Detector`].
+    pub reading: f64,
+}
+
 /// Runtime state of the dynamic MRAI controller for one node.
 ///
 /// ```
@@ -165,51 +179,55 @@ impl DynMraiController {
         self.updates_in_window += 1;
     }
 
-    /// Evaluates the overload signal and moves at most one level.
+    /// Evaluates the overload signal and moves at most one level;
+    /// returns the change it made, if any.
     ///
     /// Called when an MRAI timer is (re)started, per the paper. At most one
     /// level change happens per distinct instant, so several peers
     /// restarting timers simultaneously cannot ratchet the level multiple
-    /// steps on the same evidence.
-    pub fn evaluate(&mut self, now: SimTime, pending_updates: usize) {
+    /// steps on the same evidence. Running timers are never touched — the
+    /// new level only applies from the next timer start.
+    pub fn evaluate(&mut self, now: SimTime, pending_updates: usize) -> Option<LevelShift> {
         if self.last_change == Some(now) {
-            return;
+            return None;
         }
-        let direction = match self.cfg.detector {
+        let (direction, reading) = match self.cfg.detector {
             Detector::UnfinishedWork {
                 up,
                 down,
                 mean_processing,
             } => {
                 let work = mean_processing * pending_updates as u64;
-                signal_direction(work, up, down)
+                (signal_direction(work, up, down), work.as_secs_f64())
             }
             Detector::Utilization { up, down } => {
                 let elapsed = now.saturating_since(self.window_start);
                 if elapsed.is_zero() {
-                    return;
+                    return None;
                 }
                 let util = self.busy_in_window.as_secs_f64() / elapsed.as_secs_f64();
                 self.window_start = now;
                 self.busy_in_window = SimDuration::ZERO;
-                if util > up {
+                let dir = if util > up {
                     1
                 } else if util < down {
                     -1
                 } else {
                     0
-                }
+                };
+                (dir, util)
             }
             Detector::UpdateCount { up, down } => {
                 let count = self.updates_in_window;
                 self.updates_in_window = 0;
-                if count > up {
+                let dir = if count > up {
                     1
                 } else if count < down {
                     -1
                 } else {
                     0
-                }
+                };
+                (dir, count as f64)
             }
         };
         let new_level = match direction {
@@ -217,11 +235,18 @@ impl DynMraiController {
             -1 => self.level.saturating_sub(1),
             _ => self.level,
         };
-        if new_level != self.level {
-            self.level = new_level;
-            self.level_changes += 1;
-            self.last_change = Some(now);
+        if new_level == self.level {
+            return None;
         }
+        let shift = LevelShift {
+            from: self.level,
+            to: new_level,
+            reading,
+        };
+        self.level = new_level;
+        self.level_changes += 1;
+        self.last_change = Some(now);
+        Some(shift)
     }
 }
 
@@ -330,6 +355,153 @@ mod tests {
         // Window reset: no new updates ⇒ below `down`.
         c.evaluate(SimTime::from_secs(2), 0);
         assert_eq!(c.level(), 0);
+    }
+
+    /// Two levels with round-number unfinished-work thresholds so boundary
+    /// readings land exactly on them: 10 ms mean processing, upTh 100 ms,
+    /// downTh 50 ms.
+    fn uw_ctrl() -> DynMraiController {
+        DynMraiController::new(DynamicMraiConfig {
+            levels: vec![
+                SimDuration::from_millis(500),
+                SimDuration::from_millis(2250),
+            ],
+            detector: Detector::UnfinishedWork {
+                up: SimDuration::from_millis(100),
+                down: SimDuration::from_millis(50),
+                mean_processing: SimDuration::from_millis(10),
+            },
+        })
+    }
+
+    fn util_ctrl() -> DynMraiController {
+        DynMraiController::new(DynamicMraiConfig {
+            levels: vec![
+                SimDuration::from_millis(500),
+                SimDuration::from_millis(2250),
+            ],
+            detector: Detector::Utilization { up: 0.8, down: 0.2 },
+        })
+    }
+
+    #[test]
+    fn unfinished_work_thresholds_are_strict() {
+        let mut c = uw_ctrl();
+        // Exactly AT upTh (10 × 10 ms = 100 ms) must hold: the step
+        // condition is work > upTh, not >=.
+        assert_eq!(c.evaluate(SimTime::from_secs(1), 10), None);
+        assert_eq!(c.level(), 0);
+        // One more pending update crosses it; the shift reports the
+        // evidence (work in seconds) that caused it.
+        let shift = c.evaluate(SimTime::from_secs(2), 11).expect("steps up");
+        assert_eq!((shift.from, shift.to), (0, 1));
+        assert!((shift.reading - 0.11).abs() < 1e-12);
+        // Exactly AT downTh (5 × 10 ms = 50 ms) must hold too.
+        assert_eq!(c.evaluate(SimTime::from_secs(3), 5), None);
+        assert_eq!(c.level(), 1);
+        let shift = c.evaluate(SimTime::from_secs(4), 4).expect("steps down");
+        assert_eq!((shift.from, shift.to), (1, 0));
+        assert!((shift.reading - 0.04).abs() < 1e-12);
+        assert_eq!(c.level_changes(), 2);
+    }
+
+    #[test]
+    fn utilization_thresholds_are_strict() {
+        let mut c = util_ctrl();
+        // Busy exactly 0.8 of the 1-second window: hold.
+        c.note_busy(SimDuration::from_millis(800));
+        assert_eq!(c.evaluate(SimTime::from_secs(1), 0), None);
+        assert_eq!(c.level(), 0);
+        // The hold still reset the window: 0.81 busy over the next
+        // second steps up on its own, not on accumulated history.
+        c.note_busy(SimDuration::from_millis(810));
+        let shift = c.evaluate(SimTime::from_secs(2), 0).expect("steps up");
+        assert_eq!((shift.from, shift.to), (0, 1));
+        assert!((shift.reading - 0.81).abs() < 1e-9);
+        // Busy exactly 0.2 of the window: hold at the upper level.
+        c.note_busy(SimDuration::from_millis(200));
+        assert_eq!(c.evaluate(SimTime::from_secs(3), 0), None);
+        assert_eq!(c.level(), 1);
+        c.note_busy(SimDuration::from_millis(199));
+        let shift = c.evaluate(SimTime::from_secs(4), 0).expect("steps down");
+        assert_eq!((shift.from, shift.to), (1, 0));
+    }
+
+    #[test]
+    fn utilization_zero_window_defers_without_consuming_evidence() {
+        let mut c = util_ctrl();
+        c.note_busy(SimDuration::from_millis(900));
+        // The window opened at t = 0; evaluating at t = 0 has no elapsed
+        // time to form a fraction over.
+        assert_eq!(c.evaluate(SimTime::ZERO, 0), None);
+        assert_eq!(c.level(), 0);
+        // The busy time was not discarded: it still counts when the
+        // window has width.
+        let shift = c.evaluate(SimTime::from_secs(1), 0).expect("steps up");
+        assert!((shift.reading - 0.9).abs() < 1e-9);
+        assert_eq!(c.level(), 1);
+    }
+
+    #[test]
+    fn update_count_thresholds_are_strict() {
+        let mut c = DynMraiController::new(DynamicMraiConfig {
+            levels: vec![
+                SimDuration::from_millis(500),
+                SimDuration::from_millis(2250),
+            ],
+            detector: Detector::UpdateCount { up: 50, down: 5 },
+        });
+        // Exactly AT `up`: hold (the window still resets).
+        for _ in 0..50 {
+            c.note_update_received();
+        }
+        assert_eq!(c.evaluate(SimTime::from_secs(1), 0), None);
+        assert_eq!(c.level(), 0);
+        for _ in 0..51 {
+            c.note_update_received();
+        }
+        let shift = c.evaluate(SimTime::from_secs(2), 0).expect("steps up");
+        assert_eq!((shift.from, shift.to), (0, 1));
+        assert_eq!(shift.reading, 51.0);
+        // Exactly AT `down`: hold.
+        for _ in 0..5 {
+            c.note_update_received();
+        }
+        assert_eq!(c.evaluate(SimTime::from_secs(3), 0), None);
+        assert_eq!(c.level(), 1);
+        for _ in 0..4 {
+            c.note_update_received();
+        }
+        let shift = c.evaluate(SimTime::from_secs(4), 0).expect("steps down");
+        assert_eq!((shift.from, shift.to), (1, 0));
+        assert_eq!(shift.reading, 4.0);
+    }
+
+    #[test]
+    fn hold_and_same_instant_report_no_shift() {
+        let mut c = ctrl();
+        // Middle band: no shift to report.
+        assert_eq!(c.evaluate(SimTime::from_secs(1), 20), None);
+        // A real shift at t = 2 ...
+        assert!(c.evaluate(SimTime::from_secs(2), 100).is_some());
+        // ... suppresses further shifts at the same instant even on
+        // fresh overload evidence.
+        assert_eq!(c.evaluate(SimTime::from_secs(2), 1000), None);
+        assert_eq!(c.level(), 1);
+    }
+
+    #[test]
+    fn evaluate_only_redirects_future_timer_starts() {
+        // Paper §4.3: "we do not modify the values of the running
+        // timers". The controller never reaches into timers at all — a
+        // level change only alters what `current_mrai` hands to the NEXT
+        // timer start (see `BgpNode::next_mrai_interval`); a delay
+        // already handed out is a plain value the shift cannot reach.
+        let mut c = ctrl();
+        let running = c.current_mrai();
+        assert!(c.evaluate(SimTime::from_secs(1), 100).is_some());
+        assert_eq!(running, SimDuration::from_millis(500));
+        assert_eq!(c.current_mrai(), SimDuration::from_millis(1250));
     }
 
     #[test]

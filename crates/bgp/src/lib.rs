@@ -53,8 +53,10 @@ pub mod policy;
 pub mod queue;
 pub mod rib;
 pub mod stats;
+pub mod trace;
 
 pub use config::{NodeConfig, NodeConfigBuilder};
 pub use msg::{Prefix, UpdateAction, UpdateMsg};
 pub use node::{Action, BgpNode};
 pub use path::AsPath;
+pub use trace::NodeEvent;

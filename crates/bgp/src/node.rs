@@ -28,6 +28,7 @@ use crate::policy::{may_export, PolicyMode, Relationship, RANK_PEER};
 use crate::queue::{InputQueue, WorkItem};
 use crate::rib::{AdjRibIn, AdjRibOut, LocRib, NextHop, RouteEntry, Selected};
 use crate::stats::NodeStats;
+use crate::trace::NodeEvent;
 
 /// An instruction the node hands back to the simulation driver.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -148,6 +149,10 @@ pub struct BgpNode {
     prepend_cache: PrependCache,
     rng: SmallRng,
     stats: NodeStats,
+    /// Trace-event buffer: `Some` while tracing is on. Handlers push
+    /// observations here; the driver drains after each handler call.
+    /// `None` keeps the off cost to one branch per hook site.
+    trace: Option<Vec<NodeEvent>>,
 }
 
 impl BgpNode {
@@ -180,6 +185,7 @@ impl BgpNode {
             prepend_cache: RefCell::new(HashMap::new()),
             rng,
             stats: NodeStats::default(),
+            trace: None,
         }
     }
 
@@ -284,6 +290,71 @@ impl BgpNode {
         self.damp.values().filter(|s| s.is_suppressed()).count()
     }
 
+    /// Turns handler-level trace recording on or off (see the [`trace`]
+    /// module). Turning it off discards any undrained events.
+    ///
+    /// [`trace`]: crate::trace
+    pub fn set_tracing(&mut self, on: bool) {
+        if on {
+            if self.trace.is_none() {
+                self.trace = Some(Vec::new());
+            }
+        } else {
+            self.trace = None;
+        }
+    }
+
+    /// Whether trace recording is on.
+    pub fn tracing(&self) -> bool {
+        self.trace.is_some()
+    }
+
+    /// Drains the buffered trace events in recording order, keeping the
+    /// buffer's capacity (the driver calls this after every handler).
+    pub fn drain_trace(&mut self) -> impl Iterator<Item = NodeEvent> + '_ {
+        self.trace
+            .as_mut()
+            .map(|b| b.drain(..))
+            .into_iter()
+            .flatten()
+    }
+
+    /// Takes the buffered trace events as a `Vec` (used by the sharded
+    /// loop, which ships them to the serial commit phase).
+    pub fn take_trace(&mut self) -> Vec<NodeEvent> {
+        self.trace.as_mut().map(std::mem::take).unwrap_or_default()
+    }
+
+    #[inline]
+    fn trace_push(&mut self, ev: NodeEvent) {
+        if let Some(buf) = &mut self.trace {
+            buf.push(ev);
+        }
+    }
+
+    /// Records the stale updates a queue operation deleted since `before`.
+    #[inline]
+    fn trace_stale(&mut self, before: u64) {
+        if self.trace.is_some() {
+            let count = self.queue.deleted_stale() - before;
+            if count > 0 {
+                self.trace_push(NodeEvent::StaleDeleted { count });
+            }
+        }
+    }
+
+    /// Records the queue depth after a queue-affecting handler.
+    #[inline]
+    fn trace_depth(&mut self) {
+        if self.trace.is_some() {
+            let ev = NodeEvent::QueueDepth {
+                queued: self.queue.len() as u32,
+                in_service: self.in_service.len() as u32,
+            };
+            self.trace_push(ev);
+        }
+    }
+
     /// Originates `prefix` locally: it becomes one of this node's own
     /// prefixes, is installed in the Loc-RIB and advertised to every peer.
     /// A node may originate any number of prefixes.
@@ -291,6 +362,10 @@ impl BgpNode {
         self.own_prefixes.insert(prefix);
         self.loc_rib.install(prefix, Selected::local());
         self.stats.best_changes += 1;
+        self.trace_push(NodeEvent::BestChanged {
+            prefix,
+            path_len: Some(0),
+        });
         self.mark_dirty(prefix);
         self.flush_all(now)
     }
@@ -298,6 +373,13 @@ impl BgpNode {
     /// Handles an UPDATE arriving from `from`.
     pub fn on_update(&mut self, now: SimTime, from: RouterId, msg: UpdateMsg) -> Vec<Action> {
         self.stats.updates_received += 1;
+        if self.trace.is_some() {
+            self.trace_push(NodeEvent::Received {
+                from,
+                prefix: msg.prefix,
+                advertise: msg.action.is_advertise(),
+            });
+        }
         if !self.peers.contains_key(&from) {
             // Session already torn down; the message is lost.
             return Vec::new();
@@ -305,8 +387,12 @@ impl BgpNode {
         if let Some(ctrl) = &mut self.dyn_ctrl {
             ctrl.note_update_received();
         }
+        let stale_before = self.queue.deleted_stale();
         self.queue.push(WorkItem::Update { from, msg });
-        self.maybe_start_processing(now)
+        self.trace_stale(stale_before);
+        let actions = self.maybe_start_processing(now);
+        self.trace_depth();
+        actions
     }
 
     /// Handles the completion of the batch in service.
@@ -324,6 +410,7 @@ impl BgpNode {
             let item = batch.pop().expect("length checked");
             self.stats.updates_processed += 1;
             let (prefix, peer) = (item.prefix(), item.peer());
+            self.trace_push(NodeEvent::Processed { peer, prefix });
             damping_actions.extend(self.apply_item(now, item));
             if self.run_decision(prefix, &[peer]) {
                 self.mark_dirty(prefix);
@@ -336,6 +423,10 @@ impl BgpNode {
             let mut affected: BTreeMap<Prefix, Vec<RouterId>> = BTreeMap::new();
             for item in batch {
                 self.stats.updates_processed += 1;
+                self.trace_push(NodeEvent::Processed {
+                    peer: item.peer(),
+                    prefix: item.prefix(),
+                });
                 let touched = affected.entry(item.prefix()).or_default();
                 if !touched.contains(&item.peer()) {
                     touched.push(item.peer());
@@ -355,6 +446,7 @@ impl BgpNode {
         }
         actions.extend(self.flush_all(now));
         actions.extend(self.maybe_start_processing(now));
+        self.trace_depth();
         actions
     }
 
@@ -431,6 +523,7 @@ impl BgpNode {
                 if !sess.timer.expire(gen) {
                     return Vec::new();
                 }
+                self.trace_push(NodeEvent::MraiExpired { peer, prefix: None });
                 self.flush_peer(now, peer)
             }
             Some(p) => {
@@ -442,6 +535,10 @@ impl BgpNode {
                 if !live {
                     return Vec::new();
                 }
+                self.trace_push(NodeEvent::MraiExpired {
+                    peer,
+                    prefix: Some(p),
+                });
                 self.flush_peer(now, peer)
             }
         }
@@ -486,10 +583,14 @@ impl BgpNode {
         // becomes stale via the generation check in finish_release).
         self.damp.retain(|&(p, _), _| p != peer);
         self.suppressed_routes.retain(|&(p, _), _| p != peer);
+        let stale_before = self.queue.deleted_stale();
         for prefix in self.rib_in.prefixes_via(peer) {
             self.queue.push(WorkItem::ImplicitWithdraw { peer, prefix });
         }
-        self.maybe_start_processing(now)
+        self.trace_stale(stale_before);
+        let actions = self.maybe_start_processing(now);
+        self.trace_depth();
+        actions
     }
 
     // ------------------------------------------------------------------
@@ -652,23 +753,32 @@ impl BgpNode {
         self.stats.decision_runs += 1;
         if self.own_prefixes.contains(&prefix) {
             // Locally originated: the zero-hop local route always wins.
+            self.trace_push(NodeEvent::Decision {
+                prefix,
+                full_rescan: false,
+            });
             return false;
         }
-        let new = match select_incremental(prefix, &self.rib_in, self.loc_rib.get(prefix), changed)
-        {
-            Incremental::Resolved(sel) => {
-                self.stats.fast_decisions += 1;
-                sel
-            }
-            Incremental::NeedsRescan => {
-                self.stats.full_rescans += 1;
-                select_best(prefix, &self.rib_in)
-            }
-        };
+        let (new, full_rescan) =
+            match select_incremental(prefix, &self.rib_in, self.loc_rib.get(prefix), changed) {
+                Incremental::Resolved(sel) => {
+                    self.stats.fast_decisions += 1;
+                    (sel, false)
+                }
+                Incremental::NeedsRescan => {
+                    self.stats.full_rescans += 1;
+                    (select_best(prefix, &self.rib_in), true)
+                }
+            };
+        self.trace_push(NodeEvent::Decision {
+            prefix,
+            full_rescan,
+        });
         let old = self.loc_rib.get(prefix);
         if new.as_ref() == old {
             return false;
         }
+        let path_len = new.as_ref().map(|sel| sel.path.len() as u32);
         match new {
             Some(sel) => {
                 self.loc_rib.install(prefix, sel);
@@ -678,6 +788,7 @@ impl BgpNode {
             }
         }
         self.stats.best_changes += 1;
+        self.trace_push(NodeEvent::BestChanged { prefix, path_len });
         true
     }
 
@@ -691,7 +802,9 @@ impl BgpNode {
         if self.is_busy() {
             return Vec::new();
         }
+        let stale_before = self.queue.deleted_stale();
         let batch = self.queue.pop_batch();
+        self.trace_stale(stale_before);
         if batch.is_empty() {
             return Vec::new();
         }
@@ -748,6 +861,11 @@ impl BgpNode {
                 let sess = self.peers.get_mut(&peer).expect("peer exists");
                 let gen = sess.timer.start();
                 self.stats.mrai_starts += 1;
+                self.trace_push(NodeEvent::MraiStarted {
+                    peer,
+                    prefix: None,
+                    delay,
+                });
                 actions.push(Action::StartMrai {
                     peer,
                     prefix: None,
@@ -795,6 +913,11 @@ impl BgpNode {
                     let sess = self.peers.get_mut(&peer).expect("peer exists");
                     let gen = sess.dest_timers.entry(p).or_default().start();
                     self.stats.mrai_starts += 1;
+                    self.trace_push(NodeEvent::MraiStarted {
+                        peer,
+                        prefix: Some(p),
+                        delay,
+                    });
                     actions.push(Action::StartMrai {
                         peer,
                         prefix: Some(p),
@@ -838,6 +961,13 @@ impl BgpNode {
                     self.stats.announcements_sent += 1;
                     sent_advert = true;
                     sent_any = true;
+                    if let Some(buf) = self.trace.as_mut() {
+                        buf.push(NodeEvent::Sent {
+                            to: peer,
+                            prefix,
+                            advertise: true,
+                        });
+                    }
                     let msg = match pref {
                         Some(p) => UpdateMsg::advertise_with_pref(prefix, path, p),
                         None => UpdateMsg::advertise(prefix, path),
@@ -848,6 +978,13 @@ impl BgpNode {
                     sess.rib_out.withdraw(prefix);
                     self.stats.withdrawals_sent += 1;
                     sent_any = true;
+                    if let Some(buf) = self.trace.as_mut() {
+                        buf.push(NodeEvent::Sent {
+                            to: peer,
+                            prefix,
+                            advertise: false,
+                        });
+                    }
                     actions.push(Action::Send {
                         to: peer,
                         msg: UpdateMsg::withdraw(prefix),
@@ -958,8 +1095,16 @@ impl BgpNode {
                         .dyn_ctrl
                         .as_mut()
                         .expect("dynamic policy has controller");
-                    ctrl.evaluate(now, pending);
-                    ctrl.current_mrai()
+                    let shift = ctrl.evaluate(now, pending);
+                    let mrai = ctrl.current_mrai();
+                    if let Some(s) = shift {
+                        self.trace_push(NodeEvent::MraiLevel {
+                            from: s.from,
+                            to: s.to,
+                            reading: s.reading,
+                        });
+                    }
+                    mrai
                 }
             }
         };
@@ -977,7 +1122,7 @@ impl BgpNode {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::dynmrai::DynamicMraiConfig;
+    use crate::dynmrai::{Detector, DynamicMraiConfig};
     use crate::queue::QueueDiscipline;
     use rand::SeedableRng;
 
@@ -1547,6 +1692,119 @@ mod tests {
             _ => None,
         });
         assert_eq!(delay, Some(SimDuration::from_millis(1250)));
+    }
+
+    #[test]
+    fn level_change_leaves_running_timers_alone() {
+        // `down` = 0 pins the level once raised, so the end of the test
+        // is not sensitive to how fast the backlog drains.
+        let dyn_cfg = DynamicMraiConfig {
+            levels: vec![
+                SimDuration::from_millis(500),
+                SimDuration::from_millis(1250),
+            ],
+            detector: Detector::UnfinishedWork {
+                up: SimDuration::from_millis(650),
+                down: SimDuration::ZERO,
+                mean_processing: SimDuration::from_micros(15_500),
+            },
+        };
+        let cfg = NodeConfig::builder()
+            .mrai_dynamic(dyn_cfg)
+            .jitter(false)
+            .mrai_scope(MraiScope::PerDestination)
+            .build();
+        let mut n = node(1, cfg);
+        n.add_peer(rid(0), false);
+        n.add_peer(rid(2), false);
+        // Arm p0's timer toward rid(2) at the idle level (500 ms).
+        let acts = process_one(
+            &mut n,
+            SimTime::ZERO,
+            0,
+            UpdateMsg::advertise(pfx(0), AsPath::from_hops([asn(0)])),
+        );
+        let (delay0, gen0) = acts
+            .iter()
+            .find_map(|a| match a {
+                Action::StartMrai {
+                    peer,
+                    prefix: Some(p),
+                    delay,
+                    gen,
+                } if *peer == rid(2) && *p == pfx(0) => Some((*delay, *gen)),
+                _ => None,
+            })
+            .expect("p0 timer armed");
+        assert_eq!(delay0, SimDuration::from_millis(500));
+        // Pile a backlog (other destinations, plus one p0 change) while
+        // p0's timer runs. The first completion starts p1's timer; that
+        // start evaluates the controller with ~60 pending updates
+        // (≈ 0.93 s unfinished work > 0.65 s) and raises the level.
+        for i in 1..60 {
+            n.on_update(
+                SimTime::from_millis(40),
+                rid(0),
+                UpdateMsg::advertise(pfx(i), AsPath::from_hops([asn(0)])),
+            );
+        }
+        n.on_update(
+            SimTime::from_millis(41),
+            rid(0),
+            UpdateMsg::advertise(pfx(0), AsPath::from_hops([asn(0), asn(9)])),
+        );
+        // Drain the whole backlog, collecting every action.
+        let mut acts = Vec::new();
+        let mut t = SimTime::from_millis(80);
+        loop {
+            let batch = n.on_proc_done(t);
+            let more = batch
+                .iter()
+                .any(|a| matches!(a, Action::StartProcessing { .. }));
+            acts.extend(batch);
+            if !more {
+                break;
+            }
+            t += SimDuration::from_millis(1);
+        }
+        assert_eq!(n.dynamic_level(), Some(1), "backlog must raise the level");
+        // The level change never touched p0's running timer: no re-arm,
+        // and the gated p0 change stayed queued.
+        assert!(
+            acts.iter().all(|a| !matches!(
+                a,
+                Action::StartMrai { peer, prefix: Some(p), .. }
+                    if *peer == rid(2) && *p == pfx(0)
+            )),
+            "a level change must not re-arm a running timer"
+        );
+        // The original generation expires on its original 500 ms
+        // schedule; the pending p0 change flushes, and only this restart
+        // picks up the raised level.
+        let acts = n.on_mrai_expiry(SimTime::from_millis(530), rid(2), Some(pfx(0)), gen0);
+        assert!(
+            sends(&acts)
+                .iter()
+                .any(|(to, m)| *to == rid(2) && m.prefix == pfx(0)),
+            "gated p0 change flushes at the original expiry time"
+        );
+        let delay1 = acts
+            .iter()
+            .find_map(|a| match a {
+                Action::StartMrai {
+                    peer,
+                    prefix: Some(p),
+                    delay,
+                    ..
+                } if *peer == rid(2) && *p == pfx(0) => Some(*delay),
+                _ => None,
+            })
+            .expect("timer restarts at expiry");
+        assert_eq!(
+            delay1,
+            SimDuration::from_millis(1250),
+            "the raised level applies only from the restart"
+        );
     }
 
     #[test]

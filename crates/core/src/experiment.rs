@@ -164,6 +164,33 @@ impl Experiment {
         net.run_to_quiescence()
     }
 
+    /// Runs a single trial with re-convergence tracing: the network
+    /// converges untraced, a memory sink (capacity `trace_capacity`
+    /// events, [`DEFAULT_MEMORY_CAPACITY`](crate::trace::DEFAULT_MEMORY_CAPACITY)
+    /// when `None`) is attached at failure injection, and the recorded
+    /// stream comes back with the stats. Tracing is observation-only, so
+    /// `stats` is bit-identical to [`run_trial`](Experiment::run_trial).
+    pub fn run_trial_traced(&self, trial: u32, trace_capacity: Option<usize>) -> TracedTrial {
+        let mut net = self.build_network(trial);
+        net.run_initial_convergence();
+        net.inject_failure(&self.failure);
+        let capacity = trace_capacity.unwrap_or(crate::trace::DEFAULT_MEMORY_CAPACITY);
+        net.set_trace_sink(crate::trace::TraceSink::memory(capacity));
+        let stats = net.run_to_quiescence();
+        let failure_time = net.failure_time().expect("failure was injected");
+        let dropped = net
+            .trace_sink()
+            .memory_events()
+            .map(|m| m.dropped())
+            .unwrap_or(0);
+        TracedTrial {
+            stats,
+            failure_time,
+            dropped,
+            events: net.take_trace_events(),
+        }
+    }
+
     /// Builds the trial's network (topology sampled, config applied) but
     /// runs nothing yet.
     fn build_network(&self, trial: u32) -> Network {
@@ -190,6 +217,27 @@ impl Experiment {
             base_seed: self.base_seed,
             trial,
         }
+    }
+}
+
+/// A traced trial: end-of-run stats plus the structured trace of the
+/// re-convergence (see [`Experiment::run_trial_traced`]).
+#[derive(Clone, Debug)]
+pub struct TracedTrial {
+    /// The run's statistics, bit-identical to an untraced trial.
+    pub stats: RunStats,
+    /// When the failure took effect — the `t0` timelines measure from.
+    pub failure_time: bgpsim_des::SimTime,
+    /// Events evicted by the memory ring (0 = the trace is complete).
+    pub dropped: u64,
+    /// The recorded re-convergence events, in global order.
+    pub events: Vec<crate::trace::TraceEvent>,
+}
+
+impl TracedTrial {
+    /// The analysis pass over this trial's events.
+    pub fn timeline(&self) -> crate::trace::Timeline {
+        crate::trace::Timeline::from_events(&self.events)
     }
 }
 
@@ -376,6 +424,27 @@ mod tests {
         assert_eq!(agg.trials(), 2);
         assert!(agg.mean_delay_secs() > 0.0);
         assert!(agg.mean_messages() > 0.0);
+    }
+
+    #[test]
+    fn traced_trial_matches_untraced_and_explains_delay() {
+        let exp = tiny_experiment(5);
+        let traced = exp.run_trial_traced(0, None);
+        assert_eq!(
+            traced.stats,
+            exp.run_trial(0),
+            "tracing must not perturb the simulation"
+        );
+        assert_eq!(traced.dropped, 0);
+        assert!(!traced.events.is_empty());
+        let tl = traced.timeline();
+        // The last per-destination settle the timeline reconstructs is the
+        // last best-path change; the convergence delay additionally counts
+        // trailing non-decision activity (final withdrawals draining), so
+        // it bounds the settle time from above.
+        let settle = tl.last_settle_since(traced.failure_time);
+        assert!(settle <= traced.stats.convergence_delay);
+        assert!(tl.sent > 0 && tl.received > 0 && tl.processed > 0);
     }
 
     #[test]

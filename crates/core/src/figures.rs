@@ -80,13 +80,32 @@ impl FigureData {
 
     /// The x position of the minimum y in the series named `name`
     /// (the "optimal MRAI" of the paper's V-curves).
+    ///
+    /// Non-finite y values (a NaN mean from an empty aggregate, an
+    /// infinity from a degenerate sweep point) are skipped with a warning
+    /// rather than compared; returns `None` when the series is missing or
+    /// no point has a finite y. Ties keep the last minimal point, matching
+    /// `Iterator::min_by`.
     pub fn argmin_of(&self, name: &str) -> Option<f64> {
         let series = self.series_named(name)?;
-        series
-            .points
-            .iter()
-            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite delays"))
-            .map(|&(x, _)| x)
+        let mut skipped = 0usize;
+        let mut best: Option<(f64, f64)> = None;
+        for &(x, y) in &series.points {
+            if !y.is_finite() {
+                skipped += 1;
+                continue;
+            }
+            if best.is_none_or(|(_, by)| y <= by) {
+                best = Some((x, y));
+            }
+        }
+        if skipped > 0 {
+            eprintln!(
+                "figures: argmin_of({:?} in {}): skipped {skipped} non-finite point(s)",
+                name, self.id
+            );
+        }
+        best.map(|(x, _)| x)
     }
 }
 
@@ -476,6 +495,52 @@ pub fn fig13(opts: FigOpts) -> FigureData {
     )
 }
 
+/// Trace-derived companion figure (no direct paper counterpart):
+/// transient invalid-route episodes vs failure size for batching against
+/// plain FIFO processing, both at MRAI = 0.5 s. Quantifies the paper's §5
+/// claim that deleting stale updates keeps invalid intermediate routes
+/// from ever being installed: each y value counts best routes some node
+/// installed during re-convergence and later replaced or withdrew,
+/// reconstructed by [`Timeline`](crate::trace::Timeline) from a traced
+/// trial. Not part of [`all_figures`] — the goldens pin the paper's
+/// thirteen — but exercised by the `trace_timeline` example.
+pub fn fig_transient_routes(opts: FigOpts) -> FigureData {
+    let topology = TopologySpec::seventy_thirty(opts.nodes);
+    let schemes = [
+        Scheme::batching(0.5).named("batching"),
+        Scheme::constant_mrai(0.5),
+    ];
+    let series = schemes
+        .iter()
+        .map(|scheme| Series {
+            name: scheme.name.clone(),
+            points: FAILURE_FRACTIONS
+                .iter()
+                .map(|&f| {
+                    let exp = Experiment {
+                        topology: topology.clone(),
+                        scheme: scheme.clone(),
+                        failure: FailureSpec::CenterFraction(f),
+                        trials: opts.trials,
+                        base_seed: opts.base_seed,
+                    };
+                    let total: u64 = (0..opts.trials)
+                        .map(|t| exp.run_trial_traced(t, None).timeline().transient_routes())
+                        .sum();
+                    (f * 100.0, total as f64 / opts.trials.max(1) as f64)
+                })
+                .collect(),
+        })
+        .collect();
+    FigureData {
+        id: "fig_transient_routes".into(),
+        title: "Transient invalid routes installed during re-convergence".into(),
+        x_label: "failure size (% of nodes)".into(),
+        y_label: "transient routes (mean per trial)".into(),
+        series,
+    }
+}
+
 /// Every figure in order, with its regenerating function.
 pub fn all_figures() -> Vec<(&'static str, FigureFn)> {
     vec![
@@ -530,6 +595,47 @@ mod tests {
         assert_eq!(data.argmin_of("a"), Some(2.0));
         assert!(data.series_named("missing").is_none());
         assert!(data.argmin_of("missing").is_none());
+    }
+
+    #[test]
+    fn argmin_skips_non_finite_points() {
+        let fig = |points: Vec<(f64, f64)>| FigureData {
+            id: "t".into(),
+            title: "t".into(),
+            x_label: "x".into(),
+            y_label: "y".into(),
+            series: vec![Series {
+                name: "a".into(),
+                points,
+            }],
+        };
+        // A NaN mean (empty aggregate) must not panic or win the argmin.
+        let data = fig(vec![
+            (1.0, f64::NAN),
+            (2.0, 3.0),
+            (3.0, f64::INFINITY),
+            (4.0, 7.0),
+        ]);
+        assert_eq!(data.argmin_of("a"), Some(2.0));
+        // All-non-finite series: no argmin rather than a panic.
+        assert_eq!(fig(vec![(1.0, f64::NAN)]).argmin_of("a"), None);
+        // Ties keep the last minimal point (Iterator::min_by semantics).
+        assert_eq!(fig(vec![(1.0, 2.0), (5.0, 2.0)]).argmin_of("a"), Some(5.0));
+    }
+
+    #[test]
+    fn transient_routes_figure_shows_batching_win() {
+        let data = fig_transient_routes(FigOpts {
+            nodes: 24,
+            trials: 1,
+            base_seed: 3,
+            threads: None,
+        });
+        assert_eq!(data.series.len(), 2);
+        for s in &data.series {
+            assert_eq!(s.points.len(), FAILURE_FRACTIONS.len());
+            assert!(s.points.iter().all(|&(_, y)| y.is_finite() && y >= 0.0));
+        }
     }
 
     #[test]

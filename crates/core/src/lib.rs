@@ -25,6 +25,9 @@
 //!   improvements, batching variants, network-size sensitivity.
 //! * [`scenario`] — scripted failure/recovery sequences (flapping regions,
 //!   fail-and-repair cycles) with one measurement per transition.
+//! * [`trace`] — zero-overhead-when-off structured tracing: a deterministic
+//!   event stream (updates, decisions, MRAI transitions, queue depths) and
+//!   the [`trace::Timeline`] analysis pass over it.
 //! * [`report`] — plain-text tables for benches and EXPERIMENTS.md.
 //!
 //! # Quickstart
@@ -62,10 +65,12 @@ pub mod report;
 pub mod scenario;
 pub mod scheme;
 mod shard;
+pub mod trace;
 pub mod warm;
 
 pub use experiment::{Aggregate, Experiment, TopologySpec};
 pub use metrics::RunStats;
 pub use network::{Network, SimConfig};
 pub use scheme::Scheme;
+pub use trace::{Timeline, TraceEvent, TraceSink};
 pub use warm::{NetworkSnapshot, SnapshotCache, SnapshotKey, WarmStats};

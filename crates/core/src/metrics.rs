@@ -55,23 +55,44 @@ impl Aggregate {
         self.runs.len()
     }
 
-    /// Mean convergence delay in seconds.
+    /// Mean convergence delay in seconds; 0.0 for an empty aggregate
+    /// (never NaN — use [`try_mean_delay_secs`](Aggregate::try_mean_delay_secs)
+    /// to distinguish "no trials" from "zero delay").
     pub fn mean_delay_secs(&self) -> f64 {
+        self.try_mean_delay_secs().unwrap_or(0.0)
+    }
+
+    /// Mean convergence delay in seconds, `None` for an empty aggregate.
+    pub fn try_mean_delay_secs(&self) -> Option<f64> {
         mean(self.runs.iter().map(|r| r.convergence_delay.as_secs_f64()))
     }
 
-    /// Sample standard deviation of the convergence delay in seconds.
+    /// Sample standard deviation of the convergence delay in seconds
+    /// (0.0 for fewer than two trials).
     pub fn std_delay_secs(&self) -> f64 {
         std_dev(self.runs.iter().map(|r| r.convergence_delay.as_secs_f64()))
     }
 
-    /// Mean number of update messages.
+    /// Mean number of update messages; 0.0 for an empty aggregate (never
+    /// NaN — see [`try_mean_messages`](Aggregate::try_mean_messages)).
     pub fn mean_messages(&self) -> f64 {
+        self.try_mean_messages().unwrap_or(0.0)
+    }
+
+    /// Mean number of update messages, `None` for an empty aggregate.
+    pub fn try_mean_messages(&self) -> Option<f64> {
         mean(self.runs.iter().map(|r| r.messages as f64))
     }
 
-    /// Mean number of stale updates deleted by batching.
+    /// Mean number of stale updates deleted by batching; 0.0 for an empty
+    /// aggregate (never NaN — see
+    /// [`try_mean_stale_deleted`](Aggregate::try_mean_stale_deleted)).
     pub fn mean_stale_deleted(&self) -> f64 {
+        self.try_mean_stale_deleted().unwrap_or(0.0)
+    }
+
+    /// Mean number of stale deletions, `None` for an empty aggregate.
+    pub fn try_mean_stale_deleted(&self) -> Option<f64> {
         mean(self.runs.iter().map(|r| r.stale_deleted as f64))
     }
 
@@ -98,7 +119,10 @@ impl Aggregate {
             .iter()
             .map(|r| r.convergence_delay.as_secs_f64())
             .collect();
-        delays.sort_by(|a, b| a.partial_cmp(b).expect("finite delays"));
+        // total_cmp: delays are always finite here (they come from
+        // SimDuration), but a total order costs nothing and removes the
+        // panic path partial_cmp would have.
+        delays.sort_by(f64::total_cmp);
         let pos = q * (delays.len() - 1) as f64;
         let (lo, hi) = (pos.floor() as usize, pos.ceil() as usize);
         if lo == hi {
@@ -124,16 +148,18 @@ impl Aggregate {
     }
 }
 
-fn mean(values: impl Iterator<Item = f64>) -> f64 {
+/// `None` for an empty iterator — the 0/0 = NaN case callers must not
+/// silently propagate into figures.
+fn mean(values: impl Iterator<Item = f64>) -> Option<f64> {
     let (mut sum, mut n) = (0.0, 0u32);
     for v in values {
         sum += v;
         n += 1;
     }
     if n == 0 {
-        0.0
+        None
     } else {
-        sum / f64::from(n)
+        Some(sum / f64::from(n))
     }
 }
 
@@ -142,7 +168,7 @@ fn std_dev(values: impl Iterator<Item = f64>) -> f64 {
     if vals.len() < 2 {
         return 0.0;
     }
-    let m = mean(vals.iter().copied());
+    let m = mean(vals.iter().copied()).expect("len >= 2");
     let var = vals.iter().map(|v| (v - m).powi(2)).sum::<f64>() / (vals.len() - 1) as f64;
     var.sqrt()
 }
@@ -174,11 +200,24 @@ mod tests {
     }
 
     #[test]
-    fn empty_aggregate_is_zero() {
+    fn empty_aggregate_is_zero_never_nan() {
         let agg = Aggregate::default();
         assert_eq!(agg.mean_delay_secs(), 0.0);
+        assert_eq!(agg.mean_messages(), 0.0);
+        assert_eq!(agg.mean_stale_deleted(), 0.0);
         assert_eq!(agg.std_delay_secs(), 0.0);
         assert_eq!(agg.max_peak_queue(), 0);
+        assert_eq!(agg.try_mean_delay_secs(), None);
+        assert_eq!(agg.try_mean_messages(), None);
+        assert_eq!(agg.try_mean_stale_deleted(), None);
+    }
+
+    #[test]
+    fn try_means_match_means_when_nonempty() {
+        let agg = Aggregate::new(vec![run(10, 100), run(20, 300)]);
+        assert_eq!(agg.try_mean_delay_secs(), Some(agg.mean_delay_secs()));
+        assert_eq!(agg.try_mean_messages(), Some(agg.mean_messages()));
+        assert_eq!(agg.try_mean_stale_deleted(), Some(agg.mean_stale_deleted()));
     }
 
     #[test]

@@ -462,6 +462,10 @@ pub struct Network {
     pub(crate) dead_links: std::collections::HashSet<(u32, u32)>,
     /// Resolved shard count for the event loop (1 = serial).
     pub(crate) shards: usize,
+    /// Structured trace sink ([`TraceSink::Off`] by default — one branch
+    /// per handler). Events are recorded in global delivery order, so the
+    /// stream is identical under any shard count.
+    pub(crate) trace: crate::trace::TraceSink,
 }
 
 impl std::fmt::Debug for Network {
@@ -595,6 +599,54 @@ impl Network {
             samples: Vec::new(),
             dead_links: std::collections::HashSet::new(),
             shards,
+            trace: crate::trace::TraceSink::Off,
+        }
+    }
+
+    /// Attaches a structured trace sink (see the [`trace`](crate::trace)
+    /// module) and turns node-level event recording on or off to match.
+    /// Call at any point — typically right after
+    /// [`inject_failure`](Network::inject_failure) to trace only the
+    /// re-convergence. Replacing an active sink discards the old one.
+    pub fn set_trace_sink(&mut self, sink: crate::trace::TraceSink) {
+        let on = !sink.is_off();
+        self.trace = sink;
+        for node in self.nodes.iter_mut().flatten() {
+            node.set_tracing(on);
+        }
+    }
+
+    /// The attached trace sink.
+    pub fn trace_sink(&self) -> &crate::trace::TraceSink {
+        &self.trace
+    }
+
+    /// Mutable access to the trace sink (flushing a JSONL stream,
+    /// draining a memory buffer).
+    pub fn trace_sink_mut(&mut self) -> &mut crate::trace::TraceSink {
+        &mut self.trace
+    }
+
+    /// Drains a [`TraceSink::Memory`](crate::trace::TraceSink::Memory)
+    /// buffer (empty for other sinks).
+    pub fn take_trace_events(&mut self) -> Vec<crate::trace::TraceEvent> {
+        self.trace.take_events()
+    }
+
+    /// Stamps and records the events `node` buffered while its handler
+    /// ran at `t`. Serial-loop counterpart of the Phase B commit emission
+    /// in the `shard` module; both record in global delivery order.
+    #[inline]
+    fn drain_node_trace(&mut self, node: RouterId, t: SimTime) {
+        if self.trace.is_off() {
+            return;
+        }
+        let events = match self.nodes[node.index()].as_mut() {
+            Some(n) => n.take_trace(),
+            None => return,
+        };
+        for ev in events {
+            self.trace.record(t, node, ev);
         }
     }
 
@@ -732,6 +784,13 @@ impl Network {
     /// Current simulation time.
     pub fn now(&self) -> SimTime {
         self.sched.now()
+    }
+
+    /// When the last injected failure (or revival) takes effect — the `t0`
+    /// settle times and trace timelines are measured from. `None` before
+    /// any injection.
+    pub fn failure_time(&self) -> Option<SimTime> {
+        self.failure_time
     }
 
     /// Update messages sent since the last counter reset.
@@ -927,12 +986,13 @@ impl Network {
             );
             let node_cfg = self.node_config_for(r);
             let as_id = self.topo.router(r).as_id;
-            let node = BgpNode::new(
+            let mut node = BgpNode::new(
                 r,
                 as_id,
                 node_cfg,
                 streams.stream("node-revived", r.index() as u64),
             );
+            node.set_tracing(!self.trace.is_off());
             self.nodes[r.index()] = Some(node);
         }
         // Sessions and originations come up at t_up.
@@ -986,6 +1046,16 @@ impl Network {
 
     /// Drains the event queue.
     fn pump(&mut self) {
+        // Keep node-level recording coherent with the sink before any
+        // handler runs: cloning a JSONL-traced network (warm-start forks)
+        // drops the sink — a byte stream must not be written by two
+        // networks — but the cloned nodes still carry their tracing
+        // flags, and without this sync their buffers would fill with no
+        // one draining them.
+        let tracing = !self.trace.is_off();
+        for node in self.nodes.iter_mut().flatten() {
+            node.set_tracing(tracing);
+        }
         // The sharded loop (conservative PDES with link-delay lookahead,
         // bit-identical to serial — see the `shard` module) needs a
         // non-zero lookahead and cannot interleave timeline sampling,
@@ -1025,6 +1095,7 @@ impl Network {
                 };
                 let actions = n.originate(t, prefix);
                 self.last_activity = t;
+                self.drain_node_trace(node, t);
                 self.exec(node, actions);
             }
             Ev::Deliver { to, from, msg } => {
@@ -1033,6 +1104,7 @@ impl Network {
                 };
                 self.last_activity = t;
                 let actions = n.on_update(t, from, msg);
+                self.drain_node_trace(to, t);
                 self.exec(to, actions);
             }
             Ev::ProcDone { node } => {
@@ -1041,6 +1113,7 @@ impl Network {
                 };
                 self.last_activity = t;
                 let actions = n.on_proc_done(t);
+                self.drain_node_trace(node, t);
                 self.exec(node, actions);
             }
             Ev::MraiExpiry {
@@ -1056,6 +1129,7 @@ impl Network {
                 if !actions.is_empty() {
                     self.last_activity = t;
                 }
+                self.drain_node_trace(node, t);
                 self.exec(node, actions);
             }
             Ev::PeerDown { node, peer } => {
@@ -1063,6 +1137,7 @@ impl Network {
                     return;
                 };
                 let actions = n.on_peer_down(t, peer);
+                self.drain_node_trace(node, t);
                 self.exec(node, actions);
             }
             Ev::ReuseExpiry {
@@ -1078,6 +1153,7 @@ impl Network {
                 if !actions.is_empty() {
                     self.last_activity = t;
                 }
+                self.drain_node_trace(node, t);
                 self.exec(node, actions);
             }
             Ev::PeerUp { node, peer } => {
@@ -1091,6 +1167,7 @@ impl Network {
                 };
                 self.last_activity = t;
                 let actions = n.on_peer_up(t, peer, ibgp, rel);
+                self.drain_node_trace(node, t);
                 self.exec(node, actions);
             }
         }

@@ -72,6 +72,7 @@ use std::sync::mpsc;
 
 use bgpsim_bgp::node::Action;
 use bgpsim_bgp::policy::relationship_by_tier;
+use bgpsim_bgp::trace::NodeEvent;
 use bgpsim_bgp::BgpNode;
 use bgpsim_des::SimTime;
 use bgpsim_topology::{RouterId, Topology};
@@ -282,9 +283,10 @@ fn dispatch(
 /// One epoch of work for a shard: the epoch's end bound plus the shard's
 /// drained events as `(time, key, event)`.
 type EpochBatch = (SimTime, Vec<(SimTime, u64, Ev)>);
-/// A shard's reply: the action trace of every event it handled, in its
-/// execution order.
-type EpochTrace = Vec<(RouterId, Vec<Action>)>;
+/// A shard's reply: per event it handled, in its execution order, the
+/// actions the handler returned and the trace events it buffered (always
+/// empty with tracing off).
+type EpochTrace = Vec<(RouterId, Vec<Action>, Vec<NodeEvent>)>;
 
 /// A shard worker's main loop: per epoch, run the local `(time, key)`
 /// order to exhaustion and send the action traces back. Exits when the
@@ -310,6 +312,12 @@ fn run_worker(
             let Some((node, actions)) = dispatch(ctx, nodes, base, t, ev) else {
                 continue;
             };
+            // The trace buffer the handler just filled travels with its
+            // actions so the commit phase can emit it in global order.
+            let events = nodes[node.index() - base]
+                .as_mut()
+                .map(BgpNode::take_trace)
+                .unwrap_or_default();
             for action in &actions {
                 if let Some((at2, ev2)) = follow_up(node, t, action) {
                     if at2 < epoch_end {
@@ -322,7 +330,7 @@ fn run_worker(
                     }
                 }
             }
-            trace.push((node, actions));
+            trace.push((node, actions, events));
         }
         if tx.send(trace).is_err() {
             return;
@@ -396,7 +404,8 @@ pub(crate) fn pump_sharded(net: &mut Network) {
         }
 
         // Reused across epochs; both are fully drained by each commit.
-        let mut traces: Vec<VecDeque<Vec<Action>>> = (0..n).map(|_| VecDeque::new()).collect();
+        let mut traces: Vec<VecDeque<(Vec<Action>, Vec<NodeEvent>)>> =
+            (0..n).map(|_| VecDeque::new()).collect();
         let mut replay: BinaryHeap<Pending<CommitEv>> = BinaryHeap::new();
         let mut engaged = vec![false; shards];
 
@@ -436,8 +445,8 @@ pub(crate) fn pump_sharded(net: &mut Network) {
                     continue;
                 }
                 let trace = trace_rxs[s].recv().expect("shard worker alive");
-                for (node, actions) in trace {
-                    traces[node.index()].push_back(actions);
+                for (node, actions, events) in trace {
+                    traces[node.index()].push_back((actions, events));
                 }
             }
 
@@ -467,9 +476,16 @@ pub(crate) fn pump_sharded(net: &mut Network) {
                 if !handled {
                     continue;
                 }
-                let actions = traces[node.index()]
+                let (actions, events) = traces[node.index()]
                     .pop_front()
                     .expect("worker trace aligns with commit order");
+                // Emit the handler's trace events at commit time, before
+                // its actions' global effects — the exact point the serial
+                // loop records them — so the stream is byte-identical to a
+                // serial run's.
+                for ev in events {
+                    net.trace.record(t, node, ev);
+                }
                 match kind {
                     CommitKind::Activity | CommitKind::PeerUp { .. } => net.last_activity = t,
                     CommitKind::Timer if !actions.is_empty() => net.last_activity = t,
@@ -665,6 +681,34 @@ mod tests {
         assert_eq!(a2, b2, "region-failure stats diverged");
         assert_eq!(a3, b3, "revival stats diverged");
         assert_networks_identical(&sharded, &serial, "3 shards");
+    }
+
+    #[test]
+    fn traces_byte_identical_across_shard_counts() {
+        // The tentpole claim of the trace layer: the JSONL byte stream is
+        // a pure function of the simulation, independent of shard count.
+        let run = |shards: usize| {
+            let topo = small_topo(42, 30);
+            let mut cfg = SimConfig::from_scheme(&Scheme::constant_mrai(0.5), 777);
+            cfg.shards = Some(shards);
+            let mut net = Network::new(topo, cfg);
+            net.run_initial_convergence();
+            net.inject_failure(&FailureSpec::CenterFraction(0.10));
+            net.set_trace_sink(crate::trace::TraceSink::memory(1 << 22));
+            let stats = net.run_to_quiescence();
+            let events = net.take_trace_events();
+            assert!(!events.is_empty(), "re-convergence must record events");
+            (stats, crate::trace::to_jsonl(&events))
+        };
+        let (serial_stats, serial_jsonl) = run(1);
+        for shards in [2, 3] {
+            let (stats, jsonl) = run(shards);
+            assert_eq!(stats, serial_stats, "RunStats diverged at {shards} shards");
+            assert_eq!(
+                jsonl, serial_jsonl,
+                "trace bytes diverged at {shards} shards"
+            );
+        }
     }
 
     #[test]

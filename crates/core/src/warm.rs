@@ -28,6 +28,17 @@
 //! [`RunStats`](crate::metrics::RunStats) to a cold run — locked by the
 //! `warm_start_prop` property test over all three scheme families.
 //!
+//! # Trace state across forks
+//!
+//! A snapshot carries the prototype's [`TraceSink`](crate::trace::TraceSink)
+//! with the sink's own clone semantics: `Off` stays off, a `Memory` ring
+//! is deep-copied (each fork owns the buffered prefix and continues the
+//! sequence numbering independently), and a `Jsonl` stream degrades to
+//! `Off` — two simulations must not interleave one byte stream. Node-level
+//! recording flags are re-synced to the sink when a fork next runs, so a
+//! fork of a JSONL-traced network simply runs untraced; attach a fresh
+//! sink per fork to stream it.
+//!
 //! # Cache keying
 //!
 //! [`SnapshotCache`] keys snapshots by the serialized
@@ -296,6 +307,42 @@ mod tests {
         let warm_stats = warm.run_to_quiescence();
 
         assert_eq!(cold_stats, warm_stats);
+    }
+
+    #[test]
+    fn forks_carry_memory_traces_and_drop_jsonl_sinks() {
+        use crate::trace::{to_jsonl, TraceSink};
+
+        // Memory sinks: each fork owns the buffered prefix and two forks
+        // of one traced prototype record identical continuations.
+        let mut traced = converged_net(16);
+        traced.set_trace_sink(TraceSink::memory(1 << 20));
+        let snapshot = traced.snapshot();
+        let run = || {
+            let mut n = snapshot.fork();
+            n.inject_failure(&FailureSpec::CenterFraction(0.1));
+            n.run_to_quiescence();
+            to_jsonl(&n.take_trace_events())
+        };
+        let (a, b) = (run(), run());
+        assert!(!a.is_empty());
+        assert_eq!(a, b, "memory-traced forks must trace identically");
+
+        // JSONL sinks: the fork degrades to Off (a byte stream must not be
+        // written by two networks), node flags re-sync on the next run,
+        // and the untraced fork still converges identically to a cold run.
+        let mut streamed = converged_net(16);
+        streamed.set_trace_sink(TraceSink::jsonl(Box::new(std::io::sink())));
+        let fork_snapshot = streamed.snapshot();
+        let mut fork = fork_snapshot.fork();
+        assert!(fork.trace_sink().is_off(), "JSONL sink must not be cloned");
+        fork.inject_failure(&FailureSpec::CenterFraction(0.1));
+        let forked_stats = fork.run_to_quiescence();
+        assert!(fork.take_trace_events().is_empty());
+
+        let mut cold = converged_net(16);
+        cold.inject_failure(&FailureSpec::CenterFraction(0.1));
+        assert_eq!(forked_stats, cold.run_to_quiescence());
     }
 
     #[test]
