@@ -12,11 +12,16 @@
 //! future-event-list backends (binary heap vs calendar queue, env knob
 //! `BGPSIM_FEL`) on the same matrix; the heap stays the default unless the
 //! calendar wins here. A fourth section exercises the sharded event loop
-//! (`BGPSIM_SHARDS`): single trials at 1/2/4/8 shards on the 120- and
-//! 512-node matrices, asserting bit-identical `RunStats` against the
-//! serial run and reporting requested shards alongside the *effective*
-//! worker parallelism (capped by the machine's cores — on a 1-core box the
-//! sharded rows measure coordination overhead, not speedup, and say so).
+//! (`BGPSIM_SHARDS` / `BGPSIM_COMMIT_STREAMS`): single trials at 1/2/4/8
+//! shards on the 120- and 512-node matrices with the
+//! destination-partitioned parallel commit enabled (one stream per
+//! shard), plus a commit-isolation row at the top shard count with the
+//! parallel commit off — the destination-major axis. Every row asserts
+//! bit-identical `RunStats` against the serial run and reports requested
+//! shards, the *effective* worker parallelism (capped by the machine's
+//! cores — on a 1-core box the sharded rows measure coordination
+//! overhead, not speedup, and say so), and the engine's per-phase
+//! wall-clock split (Phase A execute / Phase B walk / commit+merge).
 //! A fifth section measures structured-tracing overhead: the same
 //! re-convergence with the sink Off (the default one-branch hooks) and
 //! with a Memory ring recording everything, asserting bit-identical
@@ -26,11 +31,19 @@
 //! be compared number-for-number against a recorded baseline.
 //!
 //! ```text
-//! hotpath [--fast] [--nodes N] [--threads T] [--out PATH]
+//! hotpath [--fast] [--nodes N] [--threads T] [--out PATH] [--multicore-gate]
 //! ```
 //!
 //! `--fast` (or `BENCH_FAST=1`) shrinks the matrix to one seed on a small
 //! topology — the CI smoke configuration.
+//!
+//! `--multicore-gate` runs *only* the multi-core speedup gate and exits:
+//! the 512-node batching workload serial vs 4 shards × 4 commit streams,
+//! asserting bit-identity and — on machines with ≥ 4 cores — failing the
+//! process unless the sharded run is ≥ 2× faster. On fewer cores the gate
+//! skips loudly (the speedup is physically unreachable) but still checks
+//! identity; it never passes vacuously without saying so in its output
+//! and JSON (`enforced: false`).
 
 use std::process::ExitCode;
 use std::time::Instant;
@@ -58,6 +71,7 @@ struct Args {
     nodes: Option<usize>,
     threads: Option<usize>,
     out: String,
+    multicore_gate: bool,
 }
 
 impl Default for Args {
@@ -69,6 +83,7 @@ impl Default for Args {
             nodes: None,
             threads: None,
             out: "BENCH_hotpath.json".into(),
+            multicore_gate: false,
         }
     }
 }
@@ -95,6 +110,7 @@ fn parse_args() -> Result<Args, String> {
                 );
             }
             "--out" => args.out = value("--out")?,
+            "--multicore-gate" => args.multicore_gate = true,
             "--help" | "-h" => return Err("help".into()),
             other => return Err(format!("unknown flag {other}")),
         }
@@ -103,7 +119,7 @@ fn parse_args() -> Result<Args, String> {
 }
 
 fn usage() {
-    eprintln!("usage: hotpath [--fast] [--nodes N] [--threads T] [--out PATH]");
+    eprintln!("usage: hotpath [--fast] [--nodes N] [--threads T] [--out PATH] [--multicore-gate]");
 }
 
 /// The scheme axis of the matrix: the paper's three main timer disciplines.
@@ -138,6 +154,125 @@ fn restore_env(key: &str, prev: Option<String>) {
     }
 }
 
+/// The sharded engine's per-phase wall-clock split as a JSON object.
+fn phases_json(t: &bgpsim::ShardPhaseTimings) -> serde_json::Value {
+    serde_json::json!({
+        "epochs": t.epochs,
+        "parallel_commit_epochs": t.parallel_commit_epochs,
+        "phase_a_secs": t.phase_a_secs,
+        "phase_b_secs": t.phase_b_secs,
+        "merge_secs": t.merge_secs,
+    })
+}
+
+/// How many shards and commit streams the multi-core gate runs, and the
+/// aggregate speedup it demands when it has the cores to demand one.
+const GATE_SHARDS: usize = 4;
+const GATE_MIN_SPEEDUP: f64 = 2.0;
+
+/// `--multicore-gate`: serial vs `GATE_SHARDS`-way sharded (one commit
+/// stream per shard) on the 512-node batching workload. Bit-identity is
+/// always a hard failure; the ≥ `GATE_MIN_SPEEDUP`× aggregate-speedup bar
+/// is enforced only on machines with at least `GATE_SHARDS` cores — below
+/// that the bar is physically unreachable, so the gate *skips loudly*:
+/// the verdict line, exit status and JSON (`enforced: false`) all say the
+/// speedup went unchecked rather than passing it silently.
+fn run_multicore_gate(args: &Args) -> ExitCode {
+    let cores = std::thread::available_parallelism()
+        .map(usize::from)
+        .unwrap_or(1);
+    let nodes = args.nodes.unwrap_or(if args.fast { 120 } else { 512 });
+    let exp = Experiment {
+        topology: TopologySpec::seventy_thirty(nodes),
+        scheme: Scheme::batching(0.5),
+        failure: FailureSpec::CenterFraction(FAILURE_FRACTION),
+        trials: 1,
+        base_seed: SEEDS[0],
+    };
+    let prev_shards = std::env::var("BGPSIM_SHARDS").ok();
+    let prev_streams = std::env::var("BGPSIM_COMMIT_STREAMS").ok();
+    let run = |shards: usize| {
+        std::env::set_var("BGPSIM_SHARDS", shards.to_string());
+        std::env::set_var("BGPSIM_COMMIT_STREAMS", shards.to_string());
+        let started = Instant::now();
+        let (stats, net) = exp.run_trial_with_network(0);
+        let wall = started.elapsed().as_secs_f64();
+        (stats, wall, net.shard_phase_timings())
+    };
+    println!("multicore gate: {nodes}-node batching workload, {cores} cores available");
+    let (serial_stats, serial_wall, _) = run(1);
+    println!(
+        "  serial:              {serial_wall:7.2} s   ({} events)",
+        serial_stats.events
+    );
+    let (sharded_stats, sharded_wall, phases) = run(GATE_SHARDS);
+    restore_env("BGPSIM_SHARDS", prev_shards);
+    restore_env("BGPSIM_COMMIT_STREAMS", prev_streams);
+    let identical = sharded_stats == serial_stats;
+    let speedup = if sharded_wall > 0.0 {
+        serial_wall / sharded_wall
+    } else {
+        0.0
+    };
+    println!(
+        "  {GATE_SHARDS} shards x {GATE_SHARDS} streams: {sharded_wall:7.2} s   {speedup:.2}x vs serial"
+    );
+    println!(
+        "    phases: A {:.2} s | walk {:.2} s | commit+merge {:.2} s ({}/{} epochs parallel)",
+        phases.phase_a_secs,
+        phases.phase_b_secs,
+        phases.merge_secs,
+        phases.parallel_commit_epochs,
+        phases.epochs
+    );
+    let enforced = cores >= GATE_SHARDS;
+    let speedup_ok = speedup >= GATE_MIN_SPEEDUP;
+    let passed = identical && (!enforced || speedup_ok);
+    let payload = serde_json::json!({
+        "harness": "hotpath-multicore-gate",
+        "nodes": nodes,
+        "scheme": "batching (MRAI=0.5)",
+        "seed": SEEDS[0],
+        "cores_available": cores,
+        "shards": GATE_SHARDS,
+        "commit_streams": GATE_SHARDS,
+        "serial_wall_secs": serial_wall,
+        "sharded_wall_secs": sharded_wall,
+        "speedup": speedup,
+        "required_speedup": GATE_MIN_SPEEDUP,
+        "identical_to_serial": identical,
+        "phases": phases_json(&phases),
+        "enforced": enforced,
+        "passed": passed,
+    });
+    let text = serde_json::to_string_pretty(&payload).expect("serializable") + "\n";
+    if let Err(e) = std::fs::write(&args.out, &text) {
+        eprintln!("error: cannot write {}: {e}", args.out);
+        return ExitCode::FAILURE;
+    }
+    println!("  written to {}", args.out);
+    if !identical {
+        eprintln!("error: multicore gate: {GATE_SHARDS}-shard run diverged from serial");
+        return ExitCode::FAILURE;
+    }
+    if !enforced {
+        println!(
+            "  SKIPPED (not enforced): {cores} core(s) < {GATE_SHARDS} — a {GATE_MIN_SPEEDUP}x \
+             bar is unreachable here; identity was still verified"
+        );
+        return ExitCode::SUCCESS;
+    }
+    if !speedup_ok {
+        eprintln!(
+            "error: multicore gate: {speedup:.2}x < required {GATE_MIN_SPEEDUP:.2}x \
+             on {cores} cores"
+        );
+        return ExitCode::FAILURE;
+    }
+    println!("  PASSED: {speedup:.2}x >= {GATE_MIN_SPEEDUP:.2}x on {cores} cores");
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(a) => a,
@@ -153,6 +288,10 @@ fn main() -> ExitCode {
             };
         }
     };
+
+    if args.multicore_gate {
+        return run_multicore_gate(&args);
+    }
 
     let nodes = args.nodes.unwrap_or(if args.fast { 40 } else { 120 });
     let seeds: &[u64] = if args.fast { &FAST_SEEDS } else { &SEEDS };
@@ -400,33 +539,65 @@ fn main() -> ExitCode {
     } else {
         vec![1, 2, 4, 8]
     };
+    // Row axis. The main rows run each shard count at the engine's
+    // *default* stream resolution — `min(shards, cores)` — so the
+    // recorded overhead/speedup is what a user gets out of the box on
+    // this machine (on a 1-core container that means inline commit, and
+    // the rows measure determinism overhead exactly as before). The
+    // destination-major axis is then pinned explicitly at the top shard
+    // count: one row with the parallel commit forced fully on (one
+    // stream per shard) and one with it forced off (single stream), so
+    // the commit axis's contribution is measurable in isolation on any
+    // machine.
+    let default_streams = |k: usize| k.min(parallelism_available).max(1);
+    let mut row_specs: Vec<(usize, usize)> = shard_counts
+        .iter()
+        .map(|&k| (k, default_streams(k)))
+        .collect();
+    let &max_shards = shard_counts.iter().max().expect("shard counts nonempty");
+    if max_shards > 1 {
+        for forced in [max_shards, 1] {
+            if default_streams(max_shards) != forced {
+                row_specs.push((max_shards, forced));
+            }
+        }
+    }
     let prev_shards = std::env::var("BGPSIM_SHARDS").ok();
+    let prev_streams = std::env::var("BGPSIM_COMMIT_STREAMS").ok();
     let mut sharded_sections: Vec<serde_json::Value> = Vec::new();
     for &(sz, scheme) in &shard_cases {
         let exp = point(scheme, seeds[0], sz, FAILURE_FRACTION);
         let mut serial: Option<(bgpsim::RunStats, f64)> = None;
         let mut rows: Vec<serde_json::Value> = Vec::new();
-        for &k in &shard_counts {
+        for &(k, streams) in &row_specs {
             std::env::set_var("BGPSIM_SHARDS", k.to_string());
+            std::env::set_var("BGPSIM_COMMIT_STREAMS", streams.to_string());
             let started = Instant::now();
-            let stats = exp.run_trial(0);
+            let (stats, net) = exp.run_trial_with_network(0);
             let wall = started.elapsed().as_secs_f64();
             if let Some((serial_stats, _)) = &serial {
                 if stats != *serial_stats {
                     restore_env("BGPSIM_SHARDS", prev_shards);
-                    eprintln!("error: {k}-shard run diverged from serial at {sz} nodes");
+                    restore_env("BGPSIM_COMMIT_STREAMS", prev_streams);
+                    eprintln!(
+                        "error: {k}-shard / {streams}-stream run diverged from serial at {sz} nodes"
+                    );
                     return ExitCode::FAILURE;
                 }
             }
-            let serial_wall = serial.map(|(_, w)| w).unwrap_or(wall);
+            let serial_wall = serial.as_ref().map(|&(_, w)| w).unwrap_or(wall);
+            let timings = net.shard_phase_timings();
             rows.push(serde_json::json!({
                 "shards_requested": k,
+                "commit_streams": streams,
                 "workers_effective": k.min(parallelism_available),
                 "wall_secs": wall,
                 "events": stats.events,
                 "events_per_sec": if wall > 0.0 { stats.events as f64 / wall } else { 0.0 },
                 "speedup_vs_serial": if wall > 0.0 { serial_wall / wall } else { 0.0 },
                 "identical_to_serial": true,
+                // Serial rows never enter the sharded loop; phases are null.
+                "phases": if k > 1 { phases_json(&timings) } else { serde_json::Value::Null },
             }));
             if serial.is_none() {
                 serial = Some((stats, wall));
@@ -440,6 +611,7 @@ fn main() -> ExitCode {
         }));
     }
     restore_env("BGPSIM_SHARDS", prev_shards);
+    restore_env("BGPSIM_COMMIT_STREAMS", prev_streams);
 
     // ── Tracing overhead ────────────────────────────────────────────────
     // The same re-convergence run three ways: sink left Off (the default —
@@ -630,13 +802,25 @@ fn main() -> ExitCode {
         println!("  {} nodes:", section["nodes"].as_u64().unwrap_or(0));
         for row in section["rows"].as_array().into_iter().flatten() {
             println!(
-                "    {} shards ({} effective): {:6.2} s   {:.0} events/sec   {:.2}x vs serial",
+                "    {} shards x {} streams ({} effective): {:6.2} s   {:.0} events/sec   {:.2}x vs serial",
                 row["shards_requested"].as_u64().unwrap_or(0),
+                row["commit_streams"].as_u64().unwrap_or(0),
                 row["workers_effective"].as_u64().unwrap_or(0),
                 row["wall_secs"].as_f64().unwrap_or(0.0),
                 row["events_per_sec"].as_f64().unwrap_or(0.0),
                 row["speedup_vs_serial"].as_f64().unwrap_or(0.0)
             );
+            let p = &row["phases"];
+            if !p.is_null() {
+                println!(
+                    "      phases: A {:.2} s | walk {:.2} s | commit+merge {:.2} s ({}/{} epochs parallel)",
+                    p["phase_a_secs"].as_f64().unwrap_or(0.0),
+                    p["phase_b_secs"].as_f64().unwrap_or(0.0),
+                    p["merge_secs"].as_f64().unwrap_or(0.0),
+                    p["parallel_commit_epochs"].as_u64().unwrap_or(0),
+                    p["epochs"].as_u64().unwrap_or(0)
+                );
+            }
         }
     }
     println!("tracing overhead (re-convergence, best of {trace_runs}):");

@@ -143,8 +143,18 @@ impl Experiment {
     /// convergence from scratch. The reference the warm path is checked
     /// against.
     pub fn run_trial(&self, trial: u32) -> RunStats {
+        self.run_trial_with_network(trial).0
+    }
+
+    /// Like [`run_trial`](Experiment::run_trial), but hands back the
+    /// finished network alongside the stats so callers can inspect
+    /// post-run instrumentation — notably
+    /// [`Network::shard_phase_timings`] for the sharded event loop's
+    /// per-phase wall-clock breakdown.
+    pub fn run_trial_with_network(&self, trial: u32) -> (RunStats, Network) {
         let mut net = self.build_network(trial);
-        net.run_failure_experiment(&self.failure)
+        let stats = net.run_failure_experiment(&self.failure);
+        (stats, net)
     }
 
     /// Runs a single trial warm-started from `cache`: the converged

@@ -129,6 +129,14 @@ pub struct SimConfig {
     /// Any value yields bit-identical results; >1 buys wall-clock from
     /// cores inside a single trial.
     pub shards: Option<usize>,
+    /// Parallel commit streams for the sharded loop's epoch commit: the
+    /// recorded action traces are partitioned by destination prefix and
+    /// applied on this many worker streams before the deterministic merge
+    /// (see the `shard` module). `None` falls back to the
+    /// `BGPSIM_COMMIT_STREAMS` environment variable, absent →
+    /// `min(shards, available cores)`. Any value yields bit-identical
+    /// results; the value is clamped to `1..=shards`.
+    pub commit_streams: Option<usize>,
     /// Future-event-list backend. `None` falls back to the `BGPSIM_FEL`
     /// environment variable (`heap`/`calendar`), absent → binary heap.
     pub fel: Option<FelKind>,
@@ -159,6 +167,7 @@ impl SimConfig {
             ibgp_mode: IbgpMode::FullMesh,
             policy_tiers: None,
             shards: None,
+            commit_streams: None,
             fel: None,
             seed,
         }
@@ -252,6 +261,31 @@ pub(crate) enum Ev {
 
 /// Wall-clock gap between initial convergence and failure injection.
 const FAILURE_GAP: SimDuration = SimDuration::from_secs(1);
+
+/// Parses a count-valued configuration string (`BGPSIM_SHARDS`,
+/// `BGPSIM_COMMIT_STREAMS`). `None` on anything that is not a
+/// non-negative integer; `name` only labels the warning the env wrapper
+/// prints. Split from the env read so the parsing is unit-testable
+/// without racing other tests on process-global environment state.
+pub(crate) fn parse_count(name: &str, raw: &str) -> Option<usize> {
+    match raw.trim().parse::<usize>() {
+        Ok(v) => Some(v),
+        Err(_) => {
+            eprintln!(
+                "warning: ignoring invalid {name}={raw:?} \
+                 (expected a non-negative integer); running with the default"
+            );
+            None
+        }
+    }
+}
+
+/// Reads a count-valued environment variable, warning on stderr (with the
+/// offending value) instead of silently falling back when it is invalid.
+fn env_count(name: &str) -> Option<usize> {
+    let raw = std::env::var(name).ok()?;
+    parse_count(name, &raw)
+}
 
 /// Normalized router-id pair keying [`Network::dead_links`].
 pub(crate) fn link_key(a: RouterId, b: RouterId) -> (u32, u32) {
@@ -462,6 +496,13 @@ pub struct Network {
     pub(crate) dead_links: std::collections::HashSet<(u32, u32)>,
     /// Resolved shard count for the event loop (1 = serial).
     pub(crate) shards: usize,
+    /// Resolved parallel commit-stream count for the sharded loop's epoch
+    /// commit (1 = inline serial apply); always `<= shards`.
+    pub(crate) commit_streams: usize,
+    /// Accumulated per-phase wall-clock spent in the sharded event loop
+    /// (empty for serial runs). Instrumentation only — never part of
+    /// `RunStats`, so bit-identity comparisons are unaffected.
+    pub(crate) shard_timings: crate::shard::ShardPhaseTimings,
     /// Structured trace sink ([`TraceSink::Off`] by default — one branch
     /// per handler). Events are recorded in global delivery order, so the
     /// stream is identical under any shard count.
@@ -571,13 +612,21 @@ impl Network {
 
         let shards = cfg
             .shards
-            .or_else(|| {
-                std::env::var("BGPSIM_SHARDS")
-                    .ok()
-                    .and_then(|v| v.parse().ok())
-            })
+            .or_else(|| env_count("BGPSIM_SHARDS"))
             .unwrap_or(1)
             .max(1);
+        let commit_streams = cfg
+            .commit_streams
+            .or_else(|| env_count("BGPSIM_COMMIT_STREAMS"))
+            .unwrap_or_else(|| {
+                // Default: one stream per shard, but never more streams
+                // than cores — on a single-core box the parallel apply
+                // would only add channel traffic, so it stays inline.
+                std::thread::available_parallelism()
+                    .map(usize::from)
+                    .unwrap_or(1)
+            })
+            .clamp(1, shards);
         let fel_kind = cfg.fel.or_else(FelKind::from_env).unwrap_or_default();
 
         Network {
@@ -599,6 +648,8 @@ impl Network {
             samples: Vec::new(),
             dead_links: std::collections::HashSet::new(),
             shards,
+            commit_streams,
+            shard_timings: crate::shard::ShardPhaseTimings::default(),
             trace: crate::trace::TraceSink::Off,
         }
     }
@@ -653,6 +704,19 @@ impl Network {
     /// The resolved shard count the event loop runs with (1 = serial).
     pub fn shard_count(&self) -> usize {
         self.shards
+    }
+
+    /// The resolved parallel commit-stream count for the sharded loop's
+    /// epoch commit (1 = inline serial apply). Always `<= shard_count()`;
+    /// purely a wall-clock knob — results are identical for any value.
+    pub fn commit_stream_count(&self) -> usize {
+        self.commit_streams
+    }
+
+    /// Accumulated per-phase wall-clock of the sharded event loop across
+    /// every pump this network has run (all-zero for serial runs).
+    pub fn shard_phase_timings(&self) -> crate::shard::ShardPhaseTimings {
+        self.shard_timings
     }
 
     /// The future-event-list backend this network uses.
@@ -1444,6 +1508,41 @@ mod tests {
     fn small_topo(seed: u64, n: usize) -> Topology {
         let mut rng = SmallRng::seed_from_u64(seed);
         skewed_topology(n, &SkewedSpec::seventy_thirty(), &mut rng).unwrap()
+    }
+
+    #[test]
+    fn parse_count_accepts_integers_and_rejects_garbage() {
+        // Valid values, including surrounding whitespace.
+        assert_eq!(parse_count("BGPSIM_SHARDS", "4"), Some(4));
+        assert_eq!(parse_count("BGPSIM_SHARDS", " 16 "), Some(16));
+        assert_eq!(parse_count("BGPSIM_COMMIT_STREAMS", "0"), Some(0));
+        // Invalid values warn (to stderr) and fall back to the default.
+        assert_eq!(parse_count("BGPSIM_SHARDS", ""), None);
+        assert_eq!(parse_count("BGPSIM_SHARDS", "four"), None);
+        assert_eq!(parse_count("BGPSIM_SHARDS", "-2"), None);
+        assert_eq!(parse_count("BGPSIM_SHARDS", "2.5"), None);
+        assert_eq!(parse_count("BGPSIM_COMMIT_STREAMS", "2,4"), None);
+    }
+
+    #[test]
+    fn commit_stream_resolution_clamps_to_shards() {
+        let topo = small_topo(3, 10);
+        let mut cfg = SimConfig::new(1);
+        cfg.shards = Some(4);
+        cfg.commit_streams = Some(64);
+        assert_eq!(Network::new(topo, cfg).commit_stream_count(), 4);
+
+        let topo = small_topo(3, 10);
+        let mut cfg = SimConfig::new(1);
+        cfg.shards = Some(4);
+        cfg.commit_streams = Some(0);
+        let net = Network::new(topo, cfg);
+        assert_eq!(net.commit_stream_count(), 1, "0 means inline apply");
+        assert_eq!(
+            net.shard_phase_timings().epochs,
+            0,
+            "no pump has run yet, timings start empty"
+        );
     }
 
     #[test]

@@ -1,5 +1,5 @@
 //! The sharded deterministic event loop — conservative PDES with
-//! link-delay lookahead.
+//! link-delay lookahead and a destination-partitioned parallel commit.
 //!
 //! Every inter-node interaction in this model crosses a link with a fixed
 //! one-way delay (`SimConfig::link_delay`, the paper's 25 ms), so an event
@@ -9,26 +9,39 @@
 //! `[t0, t0 + link_delay)` that touch different nodes are causally
 //! independent and may run concurrently.
 //!
-//! The loop therefore runs in synchronous epochs:
+//! The loop therefore runs in synchronous epochs of four stages:
 //!
 //! 1. **Drain.** Pop every pending event strictly before
 //!    `epoch_end = t0 + link_delay` from the global future-event list
 //!    (`t0` = earliest pending time), keeping each event's real
 //!    `(time, id)` key.
-//! 2. **Execute (parallel).** Partition the drained events by owning
-//!    router onto N shard workers. Each worker runs its routers' handlers
-//!    in local `(time, key)` order, feeding handler-created *same-node*
-//!    events that land inside the epoch (ProcDone, MRAI/reuse expiries)
-//!    back into its local heap with keys above [`LOCAL_KEY_BASE`], and
-//!    records one action trace per handled event. Cross-node sends always
-//!    land at `t + link_delay >= epoch_end`, i.e. outside the epoch — the
-//!    lookahead argument — so workers never need to talk to each other.
-//! 3. **Commit (serial).** Replay the epoch's events in global
-//!    `(time, id)` order through the authoritative scheduler: advance the
-//!    clock, consume the matching recorded trace, bump message counters
-//!    and the activity clock, schedule cross-epoch events, and allocate
-//!    *real* event ids for intra-epoch creations in exactly the order a
-//!    serial run would.
+//! 2. **Execute (parallel, Phase A).** Partition the drained events by
+//!    owning router onto N shard workers. Each worker runs its routers'
+//!    handlers in local `(time, key)` order, feeding handler-created
+//!    *same-node* events that land inside the epoch (ProcDone, MRAI/reuse
+//!    expiries) back into its local heap with keys above
+//!    [`LOCAL_KEY_BASE`], and records one action trace per handled event.
+//!    Cross-node sends always land at `t + link_delay >= epoch_end`, i.e.
+//!    outside the epoch — the lookahead argument — so workers never need
+//!    to talk to each other.
+//! 3. **Walk (serial, Phase B).** Replay the epoch's events in global
+//!    `(time, id)` order — but apply only the side effects that *need*
+//!    the order: advance the clock and delivered count, consume the
+//!    matching recorded trace, allocate *real* event ids for every action
+//!    in exactly the order a serial run would, track the activity clock,
+//!    and bin each event's recorded actions into per-destination commit
+//!    streams (keyed by the BGP prefix the event concerns; destinations
+//!    are causally independent within an epoch). The walk touches no
+//!    message payloads — it is the irreducible serial fraction.
+//! 4. **Apply + merge (parallel, then serial).** Each commit stream
+//!    independently expands its binned actions into scheduler entries
+//!    (`Deliver` at `t + link_delay`, cross-epoch timer expiries) under
+//!    the pre-allocated ids, bumps private message counters, and collects
+//!    its trace events. Streams run on the Phase A workers when the epoch
+//!    is large enough to pay for the channel hop, inline otherwise — the
+//!    outputs are identical either way. A deterministic merge then sums
+//!    the counters, inserts the entries into the future-event list in
+//!    global id order, and emits trace events in commit order.
 //!
 //! ## Why this is bit-identical to the serial loop
 //!
@@ -49,17 +62,30 @@
 //! *Cross-node order.* Routers share no mutable state during an epoch —
 //! aliveness, dead links, sessions, topology, and policy tiers are all
 //! frozen while the queue drains — so cross-node interleaving inside an
-//! epoch is unobservable to the nodes. Every *global* side effect
-//! (message counters, `last_activity`, scheduling, id allocation, the
-//! delivered count) is applied exclusively by the serial commit phase, in
-//! serial order, using the recorded traces. The scheduler state at every
-//! epoch boundary is therefore byte-identical to a serial run's, which
-//! carries the invariant into the next epoch — and makes `RunStats`,
-//! goldens, and warm-start snapshots independent of the shard count.
+//! epoch is unobservable to the nodes. Every *global* side effect is
+//! either applied by the serial walk in serial order (clock, delivered
+//! count, id allocation, activity clock) or is order-independent and
+//! reconciled by the merge (counter sums, scheduler inserts under
+//! pre-assigned `(time, id)` keys — delivery order is a pure function of
+//! those keys, not of insertion order; trace emission, restored to commit
+//! order by the plan-index merge). The scheduler state at every epoch
+//! boundary is therefore byte-identical to a serial run's, which carries
+//! the invariant into the next epoch — and makes `RunStats`, goldens,
+//! warm-start snapshots and trace streams independent of both the shard
+//! count and the commit-stream count.
+//!
+//! *Why destinations.* A BGP update concerns exactly one prefix, and
+//! within an epoch the actions recorded for different prefixes never
+//! read each other's state — the per-destination logical queues of the
+//! batching scheme make the same independence explicit at the node
+//! level. Binning by destination therefore yields streams whose applies
+//! commute; events with no prefix (ProcDone, PeerDown/Up, per-peer MRAI)
+//! bin by owning router instead, which is equally order-free at this
+//! stage because *all* ordered effects already happened in the walk.
 //!
 //! *Mailbox merge rule.* Cross-shard (= cross-node) messages surface in
-//! the commit phase's replay heap and the global scheduler, both ordered
-//! by `(time, id)` — the deterministic merge the mailboxes need. An event
+//! the walk's replay heap and the global scheduler, both ordered by
+//! `(time, id)` — the deterministic merge the mailboxes need. An event
 //! landing exactly on an epoch boundary is *not* drained (the window is
 //! half-open) and is delivered at the start of the next epoch, exactly
 //! where the serial order puts it.
@@ -69,12 +95,13 @@
 
 use std::collections::{BinaryHeap, HashSet, VecDeque};
 use std::sync::mpsc;
+use std::time::Instant;
 
 use bgpsim_bgp::node::Action;
 use bgpsim_bgp::policy::relationship_by_tier;
 use bgpsim_bgp::trace::NodeEvent;
 use bgpsim_bgp::BgpNode;
-use bgpsim_des::SimTime;
+use bgpsim_des::{EventId, SimDuration, SimTime};
 use bgpsim_topology::{RouterId, Topology};
 
 use crate::network::{link_key, Ev, Network};
@@ -83,6 +110,52 @@ use crate::network::{link_key, Ev, Network};
 /// any real event id, so a drained event always outranks a same-instant
 /// self-event, exactly like real id assignment would order them.
 const LOCAL_KEY_BASE: u64 = 1 << 63;
+
+/// Epochs with fewer committed ops than this apply their commit streams
+/// inline: the mpsc round trip to the workers costs more than the work.
+/// Deliberately low so modest test topologies still exercise the parallel
+/// path; the outputs are identical either way.
+const COMMIT_PAR_MIN_OPS: usize = 16;
+
+/// Cumulative wall-clock the sharded event loop spent per stage, exposed
+/// through [`Network::shard_phase_timings`]. Instrumentation only — never
+/// part of `RunStats`, so bit-identity comparisons are unaffected.
+///
+/// The Amdahl read: `phase_b_secs` (the serial walk) plus the serial
+/// remainder of `merge_secs` bound the speedup shards can buy;
+/// `phase_a_secs` and the parallel part of `merge_secs` scale with cores.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct ShardPhaseTimings {
+    /// Epochs the loop ran.
+    pub epochs: u64,
+    /// Epochs whose commit streams ran on the worker pool (the rest
+    /// applied inline — too few ops, or one stream configured).
+    pub parallel_commit_epochs: u64,
+    /// Drain + fan-out + parallel node execution + barrier (Phase A).
+    pub phase_a_secs: f64,
+    /// The serial order walk: id allocation, delivery accounting,
+    /// activity clock, commit-stream binning (Phase B).
+    pub phase_b_secs: f64,
+    /// Commit-stream apply (parallel or inline) + deterministic merge:
+    /// counter sums, id-ordered scheduler inserts, trace emission.
+    pub merge_secs: f64,
+}
+
+impl ShardPhaseTimings {
+    /// Accumulates another timing block into this one.
+    pub(crate) fn add(&mut self, other: &ShardPhaseTimings) {
+        self.epochs += other.epochs;
+        self.parallel_commit_epochs += other.parallel_commit_epochs;
+        self.phase_a_secs += other.phase_a_secs;
+        self.phase_b_secs += other.phase_b_secs;
+        self.merge_secs += other.merge_secs;
+    }
+
+    /// Total instrumented wall-clock across all stages.
+    pub fn total_secs(&self) -> f64 {
+        self.phase_a_secs + self.phase_b_secs + self.merge_secs
+    }
+}
 
 /// Min-heap entry ordered by `(at, key)`.
 struct Pending<T> {
@@ -109,8 +182,8 @@ impl<T> Ord for Pending<T> {
     }
 }
 
-/// What the commit phase must do for one replayed event — a compact
-/// stand-in for the event that avoids cloning message payloads.
+/// What the walk must do for one replayed event — a compact stand-in for
+/// the event that avoids cloning message payloads.
 #[derive(Clone, Copy)]
 enum CommitKind {
     /// Originate / Deliver / ProcDone: handled iff the node is alive;
@@ -128,10 +201,15 @@ enum CommitKind {
     },
 }
 
-/// One commit-phase replay entry.
+/// One walk replay entry.
 struct CommitEv {
     node: RouterId,
     kind: CommitKind,
+    /// Destination key binning this event's actions onto a commit stream:
+    /// the prefix the event concerns, or the owning router for events
+    /// with no prefix. Any deterministic mapping preserves bit-identity;
+    /// prefix-major is what makes the streams load-balance.
+    dest: u32,
 }
 
 /// The router whose handler an event invokes.
@@ -147,13 +225,29 @@ fn owner(ev: &Ev) -> RouterId {
     }
 }
 
-/// The commit-phase semantics of an event (mirrors `Network::handle`).
+/// The walk semantics of an event (mirrors `Network::handle`).
 fn commit_kind(ev: &Ev) -> CommitKind {
     match ev {
         Ev::Originate { .. } | Ev::Deliver { .. } | Ev::ProcDone { .. } => CommitKind::Activity,
         Ev::MraiExpiry { .. } | Ev::ReuseExpiry { .. } => CommitKind::Timer,
         Ev::PeerDown { .. } => CommitKind::Silent,
         Ev::PeerUp { peer, .. } => CommitKind::PeerUp { peer: *peer },
+    }
+}
+
+/// The destination stream key of an event: its prefix where it has one,
+/// its owning router otherwise.
+fn commit_dest(ev: &Ev) -> u32 {
+    match ev {
+        Ev::Originate { prefix, .. } => prefix.index() as u32,
+        Ev::Deliver { msg, .. } => msg.prefix.index() as u32,
+        Ev::ReuseExpiry { prefix, .. } => prefix.index() as u32,
+        Ev::MraiExpiry { node, prefix, .. } => {
+            prefix.map_or(node.index() as u32, |p| p.index() as u32)
+        }
+        Ev::ProcDone { node } | Ev::PeerDown { node, .. } | Ev::PeerUp { node, .. } => {
+            node.index() as u32
+        }
     }
 }
 
@@ -196,8 +290,31 @@ fn follow_up(origin: RouterId, t: SimTime, action: &Action) -> Option<(SimTime, 
     }
 }
 
+/// When a non-send action's follow-up event fires — `follow_up` without
+/// building the event, for the walk's intra-epoch test.
+fn follow_at(t: SimTime, action: &Action) -> SimTime {
+    match action {
+        Action::StartProcessing { duration } => t + *duration,
+        Action::StartMrai { delay, .. } | Action::StartReuse { delay, .. } => t + *delay,
+        Action::Send { .. } => unreachable!("sends have no same-node follow-up"),
+    }
+}
+
+/// Walk semantics and destination key of a non-send action's follow-up.
+fn follow_commit(origin: RouterId, action: &Action) -> (CommitKind, u32) {
+    match action {
+        Action::StartProcessing { .. } => (CommitKind::Activity, origin.index() as u32),
+        Action::StartMrai { prefix, .. } => (
+            CommitKind::Timer,
+            prefix.map_or(origin.index() as u32, |p| p.index() as u32),
+        ),
+        Action::StartReuse { prefix, .. } => (CommitKind::Timer, prefix.index() as u32),
+        Action::Send { .. } => unreachable!("sends have no same-node follow-up"),
+    }
+}
+
 /// Read-only world state shared by every shard worker. Everything here is
-/// frozen while the queue drains, which is what makes the parallel phase
+/// frozen while the queue drains, which is what makes the parallel phases
 /// safe.
 #[derive(Clone, Copy)]
 struct ShardCtx<'a> {
@@ -283,56 +400,173 @@ fn dispatch(
 /// One epoch of work for a shard: the epoch's end bound plus the shard's
 /// drained events as `(time, key, event)`.
 type EpochBatch = (SimTime, Vec<(SimTime, u64, Ev)>);
-/// A shard's reply: per event it handled, in its execution order, the
-/// actions the handler returned and the trace events it buffered (always
-/// empty with tracing off).
+/// A shard's Phase A reply: per event it handled, in its execution order,
+/// the actions the handler returned and the trace events it buffered
+/// (always empty with tracing off).
 type EpochTrace = Vec<(RouterId, Vec<Action>, Vec<NodeEvent>)>;
 
+/// One committed event's share of the epoch commit plan, produced by the
+/// walk in global `(time, id)` order and consumed by a commit stream.
+struct ApplyOp {
+    /// Position in the walk's commit order — the key the merge uses to
+    /// restore global trace order across streams.
+    plan_idx: u32,
+    /// Commit (delivery) time of the event.
+    t: SimTime,
+    /// The router whose handler produced the actions.
+    node: RouterId,
+    /// First event id the walk allocated for this op's actions; the
+    /// stream re-derives per-action ids by replaying the walk's
+    /// allocation rule (sends to dead routers consume no id).
+    id_base: u64,
+    /// The handler's recorded actions.
+    actions: Vec<Action>,
+    /// The handler's buffered trace events (empty with tracing off).
+    events: Vec<NodeEvent>,
+}
+
+/// What one commit stream hands back to the merge.
+#[derive(Default)]
+struct ApplyOut {
+    /// Scheduler entries under pre-allocated ids, id-ascending.
+    entries: Vec<(SimTime, u64, Ev)>,
+    /// Advertisements sent by this stream's ops.
+    announcements: u64,
+    /// Withdrawals sent by this stream's ops.
+    withdrawals: u64,
+    /// Trace events per op, `plan_idx`-ascending.
+    traced: Vec<(u32, SimTime, RouterId, Vec<NodeEvent>)>,
+}
+
+/// Expands one commit stream's ops into scheduler entries, message
+/// counters and trace batches. Pure with respect to global state: the
+/// same inputs give the same outputs whether this runs inline or on a
+/// worker, which is what makes the stream count a wall-clock-only knob.
+fn apply_ops(
+    alive: &[bool],
+    link_delay: SimDuration,
+    epoch_end: SimTime,
+    ops: Vec<ApplyOp>,
+) -> ApplyOut {
+    let mut out = ApplyOut::default();
+    for op in ops {
+        if !op.events.is_empty() {
+            out.traced.push((op.plan_idx, op.t, op.node, op.events));
+        }
+        // Re-derive the per-action ids the walk allocated: consecutive
+        // from id_base, skipping sends to dead routers (the serial loop
+        // never schedules those).
+        let mut next_id = op.id_base;
+        for action in op.actions {
+            if let Action::Send { to, msg } = action {
+                if msg.action.is_advertise() {
+                    out.announcements += 1;
+                } else {
+                    out.withdrawals += 1;
+                }
+                // Messages towards failed routers are lost with the link.
+                if alive[to.index()] {
+                    let at2 = op.t + link_delay;
+                    debug_assert!(at2 >= epoch_end, "send inside lookahead window");
+                    out.entries.push((
+                        at2,
+                        next_id,
+                        Ev::Deliver {
+                            to,
+                            from: op.node,
+                            msg,
+                        },
+                    ));
+                    next_id += 1;
+                }
+            } else {
+                let (at2, ev2) = follow_up(op.node, op.t, &action).expect("non-send follows up");
+                let id = next_id;
+                next_id += 1;
+                if at2 >= epoch_end {
+                    // Cross-epoch follow-up: becomes a real scheduler
+                    // entry. (Intra-epoch ones were replayed by the walk
+                    // and never reach a stream.)
+                    out.entries.push((at2, id, ev2));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Work fanned out to a shard worker: a Phase A epoch batch, or a commit
+/// stream to apply.
+enum Work {
+    Epoch(EpochBatch),
+    Commit {
+        epoch_end: SimTime,
+        ops: Vec<ApplyOp>,
+    },
+}
+
+/// A worker's reply, matching the `Work` variant it received.
+enum Reply {
+    Epoch(EpochTrace),
+    Commit(ApplyOut),
+}
+
 /// A shard worker's main loop: per epoch, run the local `(time, key)`
-/// order to exhaustion and send the action traces back. Exits when the
-/// work channel hangs up.
+/// order to exhaustion and send the action traces back; between epochs,
+/// apply any commit stream the coordinator assigns. Exits when the work
+/// channel hangs up.
 fn run_worker(
     ctx: &ShardCtx<'_>,
     base: usize,
     nodes: &mut [Option<BgpNode>],
-    rx: &mpsc::Receiver<EpochBatch>,
-    tx: &mpsc::Sender<EpochTrace>,
+    link_delay: SimDuration,
+    rx: &mpsc::Receiver<Work>,
+    tx: &mpsc::Sender<Reply>,
 ) {
     let mut local: BinaryHeap<Pending<Ev>> = BinaryHeap::new();
-    while let Ok((epoch_end, batch)) = rx.recv() {
-        let mut next_key = LOCAL_KEY_BASE;
-        for (at, key, ev) in batch {
-            local.push(Pending { at, key, item: ev });
-        }
-        let mut trace: EpochTrace = Vec::new();
-        while let Some(Pending {
-            at: t, item: ev, ..
-        }) = local.pop()
-        {
-            let Some((node, actions)) = dispatch(ctx, nodes, base, t, ev) else {
-                continue;
-            };
-            // The trace buffer the handler just filled travels with its
-            // actions so the commit phase can emit it in global order.
-            let events = nodes[node.index() - base]
-                .as_mut()
-                .map(BgpNode::take_trace)
-                .unwrap_or_default();
-            for action in &actions {
-                if let Some((at2, ev2)) = follow_up(node, t, action) {
-                    if at2 < epoch_end {
-                        local.push(Pending {
-                            at: at2,
-                            key: next_key,
-                            item: ev2,
-                        });
-                        next_key += 1;
-                    }
+    while let Ok(work) = rx.recv() {
+        let reply = match work {
+            Work::Epoch((epoch_end, batch)) => {
+                let mut next_key = LOCAL_KEY_BASE;
+                for (at, key, ev) in batch {
+                    local.push(Pending { at, key, item: ev });
                 }
+                let mut trace: EpochTrace = Vec::new();
+                while let Some(Pending {
+                    at: t, item: ev, ..
+                }) = local.pop()
+                {
+                    let Some((node, actions)) = dispatch(ctx, nodes, base, t, ev) else {
+                        continue;
+                    };
+                    // The trace buffer the handler just filled travels
+                    // with its actions so the commit can emit it in
+                    // global order.
+                    let events = nodes[node.index() - base]
+                        .as_mut()
+                        .map(BgpNode::take_trace)
+                        .unwrap_or_default();
+                    for action in &actions {
+                        if let Some((at2, ev2)) = follow_up(node, t, action) {
+                            if at2 < epoch_end {
+                                local.push(Pending {
+                                    at: at2,
+                                    key: next_key,
+                                    item: ev2,
+                                });
+                                next_key += 1;
+                            }
+                        }
+                    }
+                    trace.push((node, actions, events));
+                }
+                Reply::Epoch(trace)
             }
-            trace.push((node, actions, events));
-        }
-        if tx.send(trace).is_err() {
+            Work::Commit { epoch_end, ops } => {
+                Reply::Commit(apply_ops(ctx.alive, link_delay, epoch_end, ops))
+            }
+        };
+        if tx.send(reply).is_err() {
             return;
         }
     }
@@ -344,6 +578,7 @@ pub(crate) fn pump_sharded(net: &mut Network) {
     let debug_pump = std::env::var_os("BGPSIM_DEBUG_PUMP").is_some();
     let n = net.topo.num_routers();
     let shards = net.shards.min(n.max(1));
+    let streams = net.commit_streams.clamp(1, shards);
     let lookahead = net.cfg.link_delay;
     debug_assert!(!lookahead.is_zero(), "sharded loop needs lookahead");
 
@@ -380,25 +615,26 @@ pub(crate) fn pump_sharded(net: &mut Network) {
         debug_assert!(rest.is_empty());
     }
 
-    let mut work_txs: Vec<mpsc::Sender<EpochBatch>> = Vec::with_capacity(shards);
-    let mut trace_rxs: Vec<mpsc::Receiver<EpochTrace>> = Vec::with_capacity(shards);
-    let mut worker_ends: Vec<(mpsc::Receiver<EpochBatch>, mpsc::Sender<EpochTrace>)> =
+    let mut work_txs: Vec<mpsc::Sender<Work>> = Vec::with_capacity(shards);
+    let mut reply_rxs: Vec<mpsc::Receiver<Reply>> = Vec::with_capacity(shards);
+    let mut worker_ends: Vec<(mpsc::Receiver<Work>, mpsc::Sender<Reply>)> =
         Vec::with_capacity(shards);
     for _ in 0..shards {
         let (wtx, wrx) = mpsc::channel();
         let (ttx, trx) = mpsc::channel();
         work_txs.push(wtx);
-        trace_rxs.push(trx);
+        reply_rxs.push(trx);
         worker_ends.push((wrx, ttx));
     }
 
     let link_delay = net.cfg.link_delay;
+    let mut timings = ShardPhaseTimings::default();
     let result = crossbeam::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(shards);
         for (s, ((wrx, ttx), mut chunk)) in worker_ends.into_iter().zip(chunks).enumerate() {
             let base = bounds[s];
             handles.push(scope.spawn(move |_| {
-                run_worker(&ctx, base, &mut chunk, &wrx, &ttx);
+                run_worker(&ctx, base, &mut chunk, link_delay, &wrx, &ttx);
                 chunk
             }));
         }
@@ -410,22 +646,24 @@ pub(crate) fn pump_sharded(net: &mut Network) {
         let mut engaged = vec![false; shards];
 
         while let Some(t0) = net.sched.peek_time() {
+            let epoch_start = Instant::now();
             let epoch_end = t0 + lookahead;
             let drained = net.sched.drain_until(epoch_end);
             debug_assert!(!drained.is_empty(), "peeked event must drain");
 
             // Fan the epoch's events out to their owners' shards, seeding
-            // the commit replay with their real (time, id) keys.
+            // the walk's replay with their real (time, id) keys.
             let mut batches: Vec<Vec<(SimTime, u64, Ev)>> = vec![Vec::new(); shards];
             for (at, id, ev) in drained {
                 let node = owner(&ev);
                 let kind = commit_kind(&ev);
+                let dest = commit_dest(&ev);
                 let key = id.as_u64();
                 debug_assert!(key < LOCAL_KEY_BASE);
                 replay.push(Pending {
                     at,
                     key,
-                    item: CommitEv { node, kind },
+                    item: CommitEv { node, kind, dest },
                 });
                 batches[shard_of[node.index()]].push((at, key, ev));
             }
@@ -433,7 +671,7 @@ pub(crate) fn pump_sharded(net: &mut Network) {
                 engaged[s] = !batch.is_empty();
                 if engaged[s] {
                     work_txs[s]
-                        .send((epoch_end, batch))
+                        .send(Work::Epoch((epoch_end, batch)))
                         .expect("shard worker alive");
                 }
             }
@@ -444,26 +682,43 @@ pub(crate) fn pump_sharded(net: &mut Network) {
                 if !engaged[s] {
                     continue;
                 }
-                let trace = trace_rxs[s].recv().expect("shard worker alive");
-                for (node, actions, events) in trace {
-                    traces[node.index()].push_back((actions, events));
+                match reply_rxs[s].recv().expect("shard worker alive") {
+                    Reply::Epoch(trace) => {
+                        for (node, actions, events) in trace {
+                            traces[node.index()].push_back((actions, events));
+                        }
+                    }
+                    Reply::Commit(_) => unreachable!("protocol: epoch reply expected"),
                 }
             }
+            timings.phase_a_secs += epoch_start.elapsed().as_secs_f64();
+            let walk_start = Instant::now();
 
-            // Serial commit: replay the epoch in global (time, id) order,
-            // applying exactly the side effects Network::handle/exec
-            // would, with real ids allocated in serial order.
+            // Phase B — the serial walk: replay the epoch in global
+            // (time, id) order, applying only the order-dependent side
+            // effects (clock, delivered count, real id allocation in
+            // exactly serial order, activity clock) and binning each
+            // event's recorded actions onto its destination's commit
+            // stream.
+            let delivered_base = net.sched.delivered_count();
+            let mut stream_ops: Vec<Vec<ApplyOp>> = (0..streams).map(|_| Vec::new()).collect();
+            let mut total_ops = 0usize;
+            let mut plan_idx: u32 = 0;
+            let mut popped: u64 = 0;
+            let mut t_last = t0;
+            let mut activity_at: Option<SimTime> = None;
             while let Some(Pending {
                 at: t,
-                item: CommitEv { node, kind },
+                item: CommitEv { node, kind, dest },
                 ..
             }) = replay.pop()
             {
-                net.sched.mark_delivered(t);
-                if debug_pump && net.sched.delivered_count().is_multiple_of(1_000_000) {
+                popped += 1;
+                t_last = t;
+                if debug_pump && (delivered_base + popped).is_multiple_of(1_000_000) {
                     eprintln!(
                         "[pump] events={} simtime={t} pending={}",
-                        net.sched.delivered_count(),
+                        delivered_base + popped,
                         net.sched.len()
                     );
                 }
@@ -479,61 +734,153 @@ pub(crate) fn pump_sharded(net: &mut Network) {
                 let (actions, events) = traces[node.index()]
                     .pop_front()
                     .expect("worker trace aligns with commit order");
-                // Emit the handler's trace events at commit time, before
-                // its actions' global effects — the exact point the serial
-                // loop records them — so the stream is byte-identical to a
-                // serial run's.
-                for ev in events {
-                    net.trace.record(t, node, ev);
-                }
-                match kind {
-                    CommitKind::Activity | CommitKind::PeerUp { .. } => net.last_activity = t,
-                    CommitKind::Timer if !actions.is_empty() => net.last_activity = t,
-                    _ => {}
-                }
-                for action in actions {
-                    if let Action::Send { to, msg } = action {
-                        if msg.action.is_advertise() {
-                            net.announcements += 1;
-                        } else {
-                            net.withdrawals += 1;
-                        }
-                        net.last_activity = t;
-                        // Messages towards failed routers are lost with
-                        // the link.
+                let mut activity = match kind {
+                    CommitKind::Activity | CommitKind::PeerUp { .. } => true,
+                    CommitKind::Timer => !actions.is_empty(),
+                    CommitKind::Silent => false,
+                };
+                // Allocate this op's real ids in serial action order; the
+                // commit stream re-derives them from id_base by replaying
+                // the same rule.
+                let mut id_base = 0u64;
+                let mut id_seen = false;
+                for action in &actions {
+                    if let Action::Send { to, .. } = action {
+                        activity = true;
+                        // Sends to dead routers bump counters but never
+                        // reach the scheduler — no id in serial either.
                         if alive[to.index()] {
-                            let at2 = t + link_delay;
-                            debug_assert!(at2 >= epoch_end, "send inside lookahead window");
-                            net.sched.schedule(
-                                at2,
-                                Ev::Deliver {
-                                    to,
-                                    from: node,
-                                    msg,
-                                },
-                            );
+                            let id = net.sched.alloc_id();
+                            if !id_seen {
+                                id_base = id.as_u64();
+                                id_seen = true;
+                            }
                         }
                     } else {
-                        let (at2, ev2) =
-                            follow_up(node, t, &action).expect("non-send actions follow up");
+                        let at2 = follow_at(t, action);
+                        let id = net.sched.alloc_id();
+                        if !id_seen {
+                            id_base = id.as_u64();
+                            id_seen = true;
+                        }
                         if at2 < epoch_end {
-                            // Already executed on the worker; allocate its
-                            // real id and keep replaying.
-                            let id = net.sched.alloc_id();
+                            // Already executed on the worker; keep
+                            // replaying under its real id.
+                            let (kind2, dest2) = follow_commit(node, action);
                             replay.push(Pending {
                                 at: at2,
                                 key: id.as_u64(),
                                 item: CommitEv {
                                     node,
-                                    kind: commit_kind(&ev2),
+                                    kind: kind2,
+                                    dest: dest2,
                                 },
                             });
-                        } else {
-                            net.sched.schedule(at2, ev2);
                         }
                     }
                 }
+                if activity {
+                    activity_at = Some(t);
+                }
+                if !actions.is_empty() || !events.is_empty() {
+                    stream_ops[dest as usize % streams].push(ApplyOp {
+                        plan_idx,
+                        t,
+                        node,
+                        id_base,
+                        actions,
+                        events,
+                    });
+                    total_ops += 1;
+                }
+                plan_idx += 1;
             }
+            net.sched.mark_delivered_many(t_last, popped);
+            if let Some(t) = activity_at {
+                net.last_activity = t;
+            }
+            timings.phase_b_secs += walk_start.elapsed().as_secs_f64();
+            let merge_start = Instant::now();
+
+            // Apply the commit streams — on the worker pool when the
+            // epoch is large enough to pay for the channel hop, inline
+            // otherwise. Outputs are identical either way.
+            let parallel = streams > 1 && total_ops >= COMMIT_PAR_MIN_OPS;
+            let outs: Vec<ApplyOut> = if parallel {
+                timings.parallel_commit_epochs += 1;
+                let mut sent = vec![false; streams];
+                for (s, ops) in stream_ops.into_iter().enumerate() {
+                    if ops.is_empty() {
+                        continue;
+                    }
+                    sent[s] = true;
+                    work_txs[s]
+                        .send(Work::Commit { epoch_end, ops })
+                        .expect("shard worker alive");
+                }
+                sent.iter()
+                    .enumerate()
+                    .map(|(s, &was_sent)| {
+                        if !was_sent {
+                            return ApplyOut::default();
+                        }
+                        match reply_rxs[s].recv().expect("shard worker alive") {
+                            Reply::Commit(out) => out,
+                            Reply::Epoch(_) => unreachable!("protocol: commit reply expected"),
+                        }
+                    })
+                    .collect()
+            } else {
+                stream_ops
+                    .into_iter()
+                    .map(|ops| apply_ops(&alive, link_delay, epoch_end, ops))
+                    .collect()
+            };
+
+            // Deterministic merge. Counters are order-independent sums;
+            // scheduler entries go in in global id order (each stream is
+            // id-ascending), reproducing the serial insertion sequence;
+            // trace events go out in plan (= commit) order.
+            let mut entry_iters = Vec::with_capacity(outs.len());
+            let mut trace_iters = Vec::with_capacity(outs.len());
+            for out in outs {
+                net.announcements += out.announcements;
+                net.withdrawals += out.withdrawals;
+                entry_iters.push(out.entries.into_iter().peekable());
+                trace_iters.push(out.traced.into_iter().peekable());
+            }
+            loop {
+                let mut best: Option<(u64, usize)> = None;
+                for (s, it) in entry_iters.iter_mut().enumerate() {
+                    if let Some(&(_, id, _)) = it.peek() {
+                        if best.is_none_or(|(b, _)| id < b) {
+                            best = Some((id, s));
+                        }
+                    }
+                }
+                let Some((_, s)) = best else { break };
+                let (at, id, ev) = entry_iters[s].next().expect("peeked entry exists");
+                net.sched.insert_allocated(at, EventId::from_u64(id), ev);
+            }
+            if !net.trace.is_off() {
+                loop {
+                    let mut best: Option<(u32, usize)> = None;
+                    for (s, it) in trace_iters.iter_mut().enumerate() {
+                        if let Some(&(idx, ..)) = it.peek() {
+                            if best.is_none_or(|(b, _)| idx < b) {
+                                best = Some((idx, s));
+                            }
+                        }
+                    }
+                    let Some((_, s)) = best else { break };
+                    let (_, t, node, events) = trace_iters[s].next().expect("peeked entry exists");
+                    for ev in events {
+                        net.trace.record(t, node, ev);
+                    }
+                }
+            }
+            timings.merge_secs += merge_start.elapsed().as_secs_f64();
+            timings.epochs += 1;
             debug_assert!(
                 traces.iter().all(VecDeque::is_empty),
                 "every recorded trace was consumed"
@@ -552,17 +899,18 @@ pub(crate) fn pump_sharded(net: &mut Network) {
         Ok(nodes) => net.nodes = nodes,
         Err(_) => panic!("sharded event loop worker panicked"),
     }
+    net.shard_timings.add(&timings);
 }
 
 #[cfg(test)]
 mod tests {
+    use super::*;
     use crate::network::{Network, SimConfig};
     use crate::scheme::Scheme;
-    use bgpsim_des::SimDuration;
     use bgpsim_topology::degree::SkewedSpec;
     use bgpsim_topology::generators::skewed_topology;
     use bgpsim_topology::region::FailureSpec;
-    use bgpsim_topology::{AsId, Point, Router, RouterId, Topology};
+    use bgpsim_topology::{AsId, Point, Router, Topology};
     use rand::rngs::SmallRng;
     use rand::SeedableRng;
 
@@ -571,12 +919,14 @@ mod tests {
         skewed_topology(n, &SkewedSpec::seventy_thirty(), &mut rng).unwrap()
     }
 
-    /// Full failure experiment under a given shard count; returns the
-    /// stats and the final network for state comparison.
+    /// Full failure experiment under a given shard count, with the
+    /// parallel commit forced on (one stream per shard) so every sharded
+    /// test exercises the destination-partitioned path even on one core.
     fn run_with_shards(shards: usize) -> (crate::RunStats, Network) {
         let topo = small_topo(42, 30);
         let mut cfg = SimConfig::from_scheme(&Scheme::constant_mrai(0.5), 777);
         cfg.shards = Some(shards);
+        cfg.commit_streams = Some(shards);
         let mut net = Network::new(topo, cfg);
         let stats = net.run_failure_experiment(&FailureSpec::CenterFraction(0.10));
         (stats, net)
@@ -617,6 +967,43 @@ mod tests {
     }
 
     #[test]
+    fn parallel_commit_path_runs_and_matches_inline() {
+        // Same workload, same shard count, different stream counts — the
+        // commit-stream knob must be invisible in every observable, and
+        // the multi-stream run must actually take the worker-pool path.
+        let run = |streams: usize| {
+            let topo = small_topo(42, 30);
+            let mut cfg = SimConfig::from_scheme(&Scheme::constant_mrai(0.5), 777);
+            cfg.shards = Some(4);
+            cfg.commit_streams = Some(streams);
+            let mut net = Network::new(topo, cfg);
+            let stats = net.run_failure_experiment(&FailureSpec::CenterFraction(0.10));
+            (stats, net)
+        };
+        let (inline_stats, inline_net) = run(1);
+        assert_eq!(
+            inline_net.shard_phase_timings().parallel_commit_epochs,
+            0,
+            "one stream must apply inline"
+        );
+        for streams in [2, 4] {
+            let (stats, net) = run(streams);
+            assert_eq!(
+                stats, inline_stats,
+                "RunStats diverged at {streams} streams"
+            );
+            assert_networks_identical(&net, &inline_net, &format!("{streams} streams"));
+            let t = net.shard_phase_timings();
+            assert!(
+                t.parallel_commit_epochs > 0,
+                "{streams} streams: no epoch took the parallel commit path"
+            );
+            assert!(t.epochs >= t.parallel_commit_epochs);
+            assert!(t.total_secs() > 0.0, "phase timings were accumulated");
+        }
+    }
+
+    #[test]
     fn epoch_boundary_deliveries_match_serial() {
         // Regression: with a zero origination window, every message lands
         // exactly on an epoch boundary (t0 + link_delay == epoch_end), the
@@ -645,6 +1032,7 @@ mod tests {
             let mut cfg = SimConfig::new(99);
             cfg.origination_window = SimDuration::ZERO;
             cfg.shards = Some(shards);
+            cfg.commit_streams = Some(shards);
             Network::new(topo, cfg)
         };
         let mut serial = build(1);
@@ -664,6 +1052,7 @@ mod tests {
             let topo = small_topo(7, 24);
             let mut cfg = SimConfig::from_scheme(&Scheme::constant_mrai(0.5), 31);
             cfg.shards = Some(shards);
+            cfg.commit_streams = Some(shards);
             let mut net = Network::new(topo, cfg);
             net.run_initial_convergence();
             let edges: Vec<_> = net.topology().edges()[..3].to_vec();
@@ -686,11 +1075,13 @@ mod tests {
     #[test]
     fn traces_byte_identical_across_shard_counts() {
         // The tentpole claim of the trace layer: the JSONL byte stream is
-        // a pure function of the simulation, independent of shard count.
-        let run = |shards: usize| {
+        // a pure function of the simulation, independent of both the
+        // shard count and the commit-stream count.
+        let run = |shards: usize, streams: usize| {
             let topo = small_topo(42, 30);
             let mut cfg = SimConfig::from_scheme(&Scheme::constant_mrai(0.5), 777);
             cfg.shards = Some(shards);
+            cfg.commit_streams = Some(streams);
             let mut net = Network::new(topo, cfg);
             net.run_initial_convergence();
             net.inject_failure(&FailureSpec::CenterFraction(0.10));
@@ -700,13 +1091,16 @@ mod tests {
             assert!(!events.is_empty(), "re-convergence must record events");
             (stats, crate::trace::to_jsonl(&events))
         };
-        let (serial_stats, serial_jsonl) = run(1);
-        for shards in [2, 3] {
-            let (stats, jsonl) = run(shards);
-            assert_eq!(stats, serial_stats, "RunStats diverged at {shards} shards");
+        let (serial_stats, serial_jsonl) = run(1, 1);
+        for (shards, streams) in [(2, 1), (2, 2), (3, 3), (4, 2)] {
+            let (stats, jsonl) = run(shards, streams);
+            assert_eq!(
+                stats, serial_stats,
+                "RunStats diverged at {shards} shards / {streams} streams"
+            );
             assert_eq!(
                 jsonl, serial_jsonl,
-                "trace bytes diverged at {shards} shards"
+                "trace bytes diverged at {shards} shards / {streams} streams"
             );
         }
     }
@@ -717,5 +1111,37 @@ mod tests {
         let mut cfg = SimConfig::new(1);
         cfg.shards = Some(4);
         assert_eq!(Network::new(topo, cfg).shard_count(), 4);
+    }
+
+    #[test]
+    fn commit_dest_is_prefix_major() {
+        use bgpsim_bgp::msg::Prefix;
+        let r = RouterId::new(3);
+        let p = Prefix::new(9);
+        assert_eq!(
+            commit_dest(&Ev::Originate { node: r, prefix: p }),
+            9,
+            "originations key by prefix"
+        );
+        assert_eq!(commit_dest(&Ev::ProcDone { node: r }), 3, "no prefix: node");
+        assert_eq!(
+            commit_dest(&Ev::MraiExpiry {
+                node: r,
+                peer: RouterId::new(1),
+                prefix: Some(p),
+                gen: 0
+            }),
+            9
+        );
+        assert_eq!(
+            commit_dest(&Ev::MraiExpiry {
+                node: r,
+                peer: RouterId::new(1),
+                prefix: None,
+                gen: 0
+            }),
+            3,
+            "per-peer MRAI keys by node"
+        );
     }
 }

@@ -162,10 +162,16 @@ impl<E> CalendarQueue<E> {
             self.now
         );
         let id = self.alloc_id();
+        self.insert_sorted(at, id, payload);
+        id
+    }
+
+    /// Places an entry into its bucket, keeping the bucket sorted by
+    /// `(time, id)`: the insertion point is found from the back (most
+    /// events arrive in near-FIFO order).
+    fn insert_sorted(&mut self, at: SimTime, id: EventId, payload: E) {
         self.live += 1;
         let bucket = self.bucket_of(at);
-        // Keep each bucket sorted by (time, id): find the insertion point
-        // from the back (most events arrive in near-FIFO order).
         let deque = &mut self.buckets[bucket];
         let mut idx = deque.len();
         while idx > 0 {
@@ -183,7 +189,25 @@ impl<E> CalendarQueue<E> {
                 payload: Some(payload),
             },
         );
-        id
+    }
+
+    /// Enqueues `payload` at `at` under an id already handed out by
+    /// [`alloc_id`](CalendarQueue::alloc_id), without counting it as
+    /// scheduled again — see
+    /// [`Scheduler::insert_allocated`](crate::Scheduler::insert_allocated).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is earlier than [`now`](CalendarQueue::now);
+    /// debug-panics if `id` was never allocated.
+    pub fn insert_allocated(&mut self, at: SimTime, id: EventId, payload: E) {
+        assert!(
+            at >= self.now,
+            "cannot schedule event at {at} before current time {}",
+            self.now
+        );
+        debug_assert!(id.as_u64() < self.next_id, "id was never allocated");
+        self.insert_sorted(at, id, payload);
     }
 
     /// Schedules `payload` after `delay`.
@@ -210,6 +234,22 @@ impl<E> CalendarQueue<E> {
         assert!(at >= self.now, "delivery clock cannot go backwards");
         self.now = at;
         self.delivered += 1;
+    }
+
+    /// Advances the clock to `at` and counts `n` deliveries at once — see
+    /// [`Scheduler::mark_delivered_many`](crate::Scheduler::mark_delivered_many).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 0` and `at` is earlier than
+    /// [`now`](CalendarQueue::now).
+    pub fn mark_delivered_many(&mut self, at: SimTime, n: u64) {
+        if n == 0 {
+            return;
+        }
+        assert!(at >= self.now, "delivery clock cannot go backwards");
+        self.now = at;
+        self.delivered += n;
     }
 
     /// Removes and returns every live event strictly before `bound`, in
@@ -400,6 +440,39 @@ mod tests {
         q.mark_delivered(SimTime::from_millis(20));
         assert_eq!(q.now(), SimTime::from_millis(20));
         assert_eq!(q.delivered_count(), 1);
+    }
+
+    #[test]
+    fn insert_allocated_and_mark_delivered_many_match_heap() {
+        // Drive both backends through the split alloc/insert APIs with the
+        // same inputs; delivery order and counters must agree.
+        use crate::sched::Scheduler;
+        let mut heap: Scheduler<u32> = Scheduler::new();
+        let mut cal: CalendarQueue<u32> = CalendarQueue::new();
+        let ha: Vec<EventId> = (0..3).map(|_| heap.alloc_id()).collect();
+        let ca: Vec<EventId> = (0..3).map(|_| cal.alloc_id()).collect();
+        assert_eq!(ha, ca, "id counters agree");
+        // Insert out of id order: same-instant ids 0 and 1 last.
+        for (at, i, p) in [
+            (SimTime::from_millis(9), 2, 22u32),
+            (SimTime::from_millis(4), 0, 20),
+            (SimTime::from_millis(4), 1, 21),
+        ] {
+            heap.insert_allocated(at, ha[i], p);
+            cal.insert_allocated(at, ca[i], p);
+        }
+        heap.mark_delivered_many(SimTime::from_millis(2), 3);
+        cal.mark_delivered_many(SimTime::from_millis(2), 3);
+        let h: Vec<_> = std::iter::from_fn(|| heap.next()).collect();
+        let c: Vec<_> = std::iter::from_fn(|| cal.next()).collect();
+        assert_eq!(h, c, "backends disagree after insert_allocated");
+        assert_eq!(
+            h.iter().map(|&(_, p)| p).collect::<Vec<_>>(),
+            vec![20, 21, 22],
+            "(time, id) order governs, not insertion order"
+        );
+        assert_eq!(heap.delivered_count(), cal.delivered_count());
+        assert_eq!(heap.scheduled_count(), cal.scheduled_count());
     }
 
     #[test]

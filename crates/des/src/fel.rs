@@ -55,6 +55,12 @@ pub trait FutureEventList<E> {
     fn alloc_id(&mut self) -> EventId;
     /// Advances the clock to `at` and counts one delivery, without popping.
     fn mark_delivered(&mut self, at: SimTime);
+    /// Advances the clock to `at` and counts `n` deliveries at once.
+    fn mark_delivered_many(&mut self, at: SimTime, n: u64);
+    /// Enqueues `payload` at `at` under an id previously handed out by
+    /// [`alloc_id`](FutureEventList::alloc_id), without counting it as
+    /// scheduled again.
+    fn insert_allocated(&mut self, at: SimTime, id: EventId, payload: E);
 }
 
 impl<E> FutureEventList<E> for Scheduler<E> {
@@ -90,6 +96,12 @@ impl<E> FutureEventList<E> for Scheduler<E> {
     }
     fn mark_delivered(&mut self, at: SimTime) {
         Scheduler::mark_delivered(self, at)
+    }
+    fn mark_delivered_many(&mut self, at: SimTime, n: u64) {
+        Scheduler::mark_delivered_many(self, at, n)
+    }
+    fn insert_allocated(&mut self, at: SimTime, id: EventId, payload: E) {
+        Scheduler::insert_allocated(self, at, id, payload)
     }
 }
 
@@ -127,6 +139,12 @@ impl<E> FutureEventList<E> for CalendarQueue<E> {
     fn mark_delivered(&mut self, at: SimTime) {
         CalendarQueue::mark_delivered(self, at)
     }
+    fn mark_delivered_many(&mut self, at: SimTime, n: u64) {
+        CalendarQueue::mark_delivered_many(self, at, n)
+    }
+    fn insert_allocated(&mut self, at: SimTime, id: EventId, payload: E) {
+        CalendarQueue::insert_allocated(self, at, id, payload)
+    }
 }
 
 /// Which future-event-list backend to use.
@@ -140,19 +158,30 @@ pub enum FelKind {
 }
 
 impl FelKind {
-    /// Reads the backend choice from the `BGPSIM_FEL` environment variable
-    /// (`heap` or `calendar`, case-insensitive). Returns `None` when unset
-    /// or unrecognized.
-    pub fn from_env() -> Option<FelKind> {
-        match std::env::var("BGPSIM_FEL")
-            .ok()?
-            .to_ascii_lowercase()
-            .as_str()
-        {
+    /// Parses a backend name (`heap` or `calendar`, case-insensitive,
+    /// surrounding whitespace ignored). Returns `None` when unrecognized.
+    pub fn parse(raw: &str) -> Option<FelKind> {
+        match raw.trim().to_ascii_lowercase().as_str() {
             "heap" => Some(FelKind::Heap),
             "calendar" => Some(FelKind::Calendar),
             _ => None,
         }
+    }
+
+    /// Reads the backend choice from the `BGPSIM_FEL` environment variable.
+    /// Returns `None` when unset; an unrecognized value warns on stderr
+    /// (naming the offending value) and also returns `None`, so the caller
+    /// falls back to its default rather than silently misconfiguring.
+    pub fn from_env() -> Option<FelKind> {
+        let raw = std::env::var("BGPSIM_FEL").ok()?;
+        let kind = FelKind::parse(&raw);
+        if kind.is_none() {
+            eprintln!(
+                "warning: ignoring invalid BGPSIM_FEL={raw:?} \
+                 (expected \"heap\" or \"calendar\"); using the default backend"
+            );
+        }
+        kind
     }
 
     /// Stable lowercase name (`heap` / `calendar`).
@@ -296,6 +325,17 @@ impl<E> Fel<E> {
     pub fn mark_delivered(&mut self, at: SimTime) {
         delegate!(self, inner => inner.mark_delivered(at))
     }
+
+    /// Advances the clock to `at` and counts `n` deliveries at once.
+    pub fn mark_delivered_many(&mut self, at: SimTime, n: u64) {
+        delegate!(self, inner => inner.mark_delivered_many(at, n))
+    }
+
+    /// Enqueues `payload` at `at` under an id previously handed out by
+    /// [`alloc_id`](Fel::alloc_id), without counting it as scheduled again.
+    pub fn insert_allocated(&mut self, at: SimTime, id: EventId, payload: E) {
+        delegate!(self, inner => inner.insert_allocated(at, id, payload))
+    }
 }
 
 impl<E> FutureEventList<E> for Fel<E> {
@@ -331,6 +371,12 @@ impl<E> FutureEventList<E> for Fel<E> {
     }
     fn mark_delivered(&mut self, at: SimTime) {
         Fel::mark_delivered(self, at)
+    }
+    fn mark_delivered_many(&mut self, at: SimTime, n: u64) {
+        Fel::mark_delivered_many(self, at, n)
+    }
+    fn insert_allocated(&mut self, at: SimTime, id: EventId, payload: E) {
+        Fel::insert_allocated(self, at, id, payload)
     }
 }
 
@@ -388,5 +434,16 @@ mod tests {
         assert_eq!(FelKind::Heap.name(), "heap");
         assert_eq!(FelKind::Calendar.name(), "calendar");
         assert_eq!(FelKind::default(), FelKind::Heap);
+    }
+
+    #[test]
+    fn fel_kind_parse_accepts_known_names_and_rejects_garbage() {
+        assert_eq!(FelKind::parse("heap"), Some(FelKind::Heap));
+        assert_eq!(FelKind::parse("calendar"), Some(FelKind::Calendar));
+        assert_eq!(FelKind::parse("HEAP"), Some(FelKind::Heap));
+        assert_eq!(FelKind::parse(" Calendar \n"), Some(FelKind::Calendar));
+        assert_eq!(FelKind::parse(""), None);
+        assert_eq!(FelKind::parse("splay"), None);
+        assert_eq!(FelKind::parse("heap,calendar"), None);
     }
 }

@@ -175,6 +175,51 @@ impl<E> Scheduler<E> {
         self.delivered += 1;
     }
 
+    /// Advances the clock to `at` and counts `n` deliveries at once.
+    ///
+    /// Equivalent to `n` [`mark_delivered`](Scheduler::mark_delivered)
+    /// calls ending at `at`: the sharded commit walks a whole epoch in
+    /// order and settles the delivery accounting in one step, with `at`
+    /// the timestamp of the epoch's last event. A no-op when `n == 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 0` and `at` is earlier than [`now`](Scheduler::now).
+    pub fn mark_delivered_many(&mut self, at: SimTime, n: u64) {
+        if n == 0 {
+            return;
+        }
+        assert!(at >= self.now, "delivery clock cannot go backwards");
+        self.now = at;
+        self.delivered += n;
+    }
+
+    /// Enqueues `payload` at `at` under an id already handed out by
+    /// [`alloc_id`](Scheduler::alloc_id), without counting it as scheduled
+    /// again.
+    ///
+    /// The enqueue half of [`schedule`](Scheduler::schedule), for the
+    /// sharded commit's deterministic merge: ids are allocated in serial
+    /// order during the epoch walk, the payloads are built on parallel
+    /// apply streams, and the merge inserts them here in global id order.
+    /// Delivery order is unaffected by insertion order — entries are
+    /// totally ordered by `(time, id)` — but the id **must** come from
+    /// this scheduler's own counter, or ids would collide.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is earlier than [`now`](Scheduler::now); debug-panics
+    /// if `id` was never allocated.
+    pub fn insert_allocated(&mut self, at: SimTime, id: EventId, payload: E) {
+        assert!(
+            at >= self.now,
+            "cannot schedule event at {at} before current time {}",
+            self.now
+        );
+        debug_assert!(id.0 < self.next_id, "id was never allocated");
+        self.heap.push(Entry { at, id, payload });
+    }
+
     /// Removes and returns every live event strictly before `bound`, in
     /// delivery order, without advancing the clock or the delivered count.
     ///
@@ -663,6 +708,45 @@ mod tests {
         assert_eq!(split.now(), serial.now());
         assert_eq!(split.delivered_count(), serial.delivered_count());
         assert_eq!(split.scheduled_count(), serial.scheduled_count());
+    }
+
+    #[test]
+    fn insert_allocated_matches_schedule_order_and_counts() {
+        // alloc first, insert later, in arbitrary insertion order — the
+        // delivery order and lifetime counters must match a plain
+        // `schedule` sequence with the same (time, id) pairs.
+        let mut serial: Scheduler<u32> = Scheduler::new();
+        serial.schedule(SimTime::from_millis(5), 0);
+        serial.schedule(SimTime::from_millis(5), 1);
+        serial.schedule(SimTime::from_millis(3), 2);
+
+        let mut split: Scheduler<u32> = Scheduler::new();
+        let a = split.alloc_id();
+        let b = split.alloc_id();
+        let c = split.alloc_id();
+        // Insert out of id order: total (time, id) order still governs.
+        split.insert_allocated(SimTime::from_millis(3), c, 2);
+        split.insert_allocated(SimTime::from_millis(5), b, 1);
+        split.insert_allocated(SimTime::from_millis(5), a, 0);
+        assert_eq!(split.scheduled_count(), serial.scheduled_count());
+        assert_eq!(split.len(), serial.len());
+        let x: Vec<_> = std::iter::from_fn(|| split.next()).collect();
+        let y: Vec<_> = std::iter::from_fn(|| serial.next()).collect();
+        assert_eq!(x, y, "insert_allocated must not perturb delivery order");
+    }
+
+    #[test]
+    fn mark_delivered_many_batches_accounting() {
+        let mut one: Scheduler<u8> = Scheduler::new();
+        for i in 1..=5u64 {
+            one.mark_delivered(SimTime::from_millis(i));
+        }
+        let mut many: Scheduler<u8> = Scheduler::new();
+        many.mark_delivered_many(SimTime::from_millis(5), 5);
+        assert_eq!(many.now(), one.now());
+        assert_eq!(many.delivered_count(), one.delivered_count());
+        many.mark_delivered_many(SimTime::from_millis(4), 0); // no-op, no panic
+        assert_eq!(many.now(), SimTime::from_millis(5));
     }
 
     #[test]

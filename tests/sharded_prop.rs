@@ -51,6 +51,9 @@ fn run(
 ) -> (RunStats, Network) {
     let mut cfg = SimConfig::from_scheme(scheme, seed);
     cfg.shards = Some(shards);
+    // One commit stream per shard: every sharded run here also exercises
+    // the destination-partitioned parallel commit, not just Phase A.
+    cfg.commit_streams = Some(shards);
     let mut net = Network::new(topo(seed, nodes), cfg);
     let stats = net.run_failure_experiment(&FailureSpec::CenterFraction(fraction));
     (stats, net)
@@ -86,7 +89,9 @@ proptest! {
         let fraction = [0.05, 0.10, 0.20][fraction_idx];
         for scheme in schemes() {
             let (serial_stats, serial_net) = run(&scheme, seed, nodes, fraction, 1);
-            for shards in [2usize, 3, 7] {
+            // 37 exceeds every generated node count: the engine must
+            // clamp to one router per shard and stay identical.
+            for shards in [2usize, 3, 37] {
                 let (stats, net) = run(&scheme, seed, nodes, fraction, shards);
                 prop_assert_eq!(
                     stats,
@@ -106,6 +111,64 @@ proptest! {
 }
 
 #[test]
+fn shard_count_exceeding_node_count_matches_serial() {
+    // Degenerate partition: far more shards (and commit streams) than
+    // routers. The engine clamps to one router per shard; most workers
+    // idle every epoch and most commit streams stay empty, but every
+    // observable must still match serial exactly.
+    let scheme = Scheme::batching(0.5);
+    let (serial_stats, serial_net) = run(&scheme, 2024, 18, 0.10, 1);
+    let (stats, net) = run(&scheme, 2024, 18, 0.10, 64);
+    assert_eq!(stats, serial_stats, "RunStats diverged at 64 shards");
+    assert_state_identical(&net, &serial_net, "64 shards on 18 routers");
+}
+
+#[test]
+fn single_destination_topology_contends_one_commit_stream() {
+    // Degenerate destination partition: every router sits in one AS, so
+    // the whole run concerns a single prefix and every prefix-keyed
+    // commit op lands in the same stream (dest % streams is constant).
+    // The other streams only ever see node-keyed ops; identity must hold
+    // on this maximally contended path, and with a full mesh the epochs
+    // are busy enough that the parallel commit actually engages.
+    use bgpsim_topology::{AsId, Point, Router, RouterId};
+    let n = 24usize;
+    let build = |shards: usize| {
+        let routers = (0..n)
+            .map(|i| Router {
+                as_id: AsId::new(0),
+                pos: Point::new(i as f64, (i % 5) as f64),
+            })
+            .collect();
+        let mut edges = Vec::new();
+        for a in 0..n {
+            for b in (a + 1)..n {
+                edges.push((RouterId::new(a as u32), RouterId::new(b as u32)));
+            }
+        }
+        let mut cfg = SimConfig::new(1234);
+        cfg.shards = Some(shards);
+        cfg.commit_streams = Some(shards);
+        Network::new(Topology::new(routers, edges).unwrap(), cfg)
+    };
+    let mut serial = build(1);
+    let serial_delay = serial.run_initial_convergence();
+    for shards in [2usize, 4] {
+        let mut net = build(shards);
+        let delay = net.run_initial_convergence();
+        assert_eq!(
+            delay, serial_delay,
+            "{shards} shards: convergence delay diverged"
+        );
+        assert_state_identical(&net, &serial, &format!("{shards} shards"));
+        assert!(
+            net.shard_phase_timings().parallel_commit_epochs > 0,
+            "{shards} shards: single-destination run never took the parallel commit path"
+        );
+    }
+}
+
+#[test]
 fn epoch_boundary_messages_keep_serial_order() {
     // Zero origination window: every router originates at t=0, so every
     // Deliver lands exactly at k × link_delay — always on an epoch
@@ -115,6 +178,7 @@ fn epoch_boundary_messages_keep_serial_order() {
         let mut cfg = SimConfig::new(4242);
         cfg.origination_window = SimDuration::ZERO;
         cfg.shards = Some(shards);
+        cfg.commit_streams = Some(shards);
         Network::new(topo(4242, 20), cfg)
     };
     let mut serial = build(1);

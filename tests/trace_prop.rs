@@ -9,10 +9,12 @@
 //!    back into event timing or ordering.
 //! 2. **Traces are deterministic across shard counts.** The JSONL
 //!    serialization of the event stream from a sharded run
-//!    (`SimConfig::shards`) is byte-identical to the serial run's. This
-//!    is stronger than equal `RunStats`: every event, every field, every
-//!    sequence number must match, which pins the Phase B commit-replay
-//!    ordering in `shard.rs`.
+//!    (`SimConfig::shards`) — with the destination-partitioned parallel
+//!    commit enabled (`SimConfig::commit_streams`) — is byte-identical
+//!    to the serial run's. This is stronger than equal `RunStats`: every
+//!    event, every field, every sequence number must match, which pins
+//!    both the Phase B walk order and the plan-index trace merge in
+//!    `shard.rs`.
 
 use bgpsim::metrics::RunStats;
 use bgpsim::network::{Network, SimConfig};
@@ -51,6 +53,9 @@ fn run(
 ) -> (RunStats, Vec<TraceEvent>) {
     let mut cfg = SimConfig::from_scheme(scheme, seed);
     cfg.shards = Some(shards);
+    // One commit stream per shard: sharded runs must stay byte-identical
+    // with the parallel commit on, not just with the serial replay.
+    cfg.commit_streams = Some(shards);
     let mut net = Network::new(topo(seed, nodes), cfg);
     net.run_initial_convergence();
     net.inject_failure(&FailureSpec::CenterFraction(fraction));
@@ -92,8 +97,9 @@ proptest! {
         );
         let serial_jsonl = to_jsonl(&events);
 
-        // Contract 2: serial vs sharded — byte-identical JSONL streams.
-        for shards in [2usize, 3] {
+        // Contract 2: serial vs sharded — byte-identical JSONL streams,
+        // with the parallel destination-partitioned commit engaged.
+        for shards in [2usize, 4] {
             let (stats, events) = run(scheme, seed, nodes, fraction, shards, true);
             prop_assert_eq!(
                 stats,
