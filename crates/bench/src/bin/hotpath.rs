@@ -27,11 +27,22 @@
 //! with a Memory ring recording everything, asserting bit-identical
 //! `RunStats` — the Off row is the number to diff against a pre-tracing
 //! baseline (bar: ≤ 2%).
+//! A sixth, `memory` section runs one batching trial per scale point
+//! (120 and 512 nodes; just the matrix size under `--fast`), each in a
+//! fresh child process (`--memory-point N` re-exec) so the `VmHWM`
+//! watermark is the trial's own peak, and records peak RSS, routing-state
+//! heap bytes per route (`Network::memory_footprint`), resident bytes
+//! per route, the largest single router's RIB heap (the arena
+//! high-water mark), and the interned config-arena entry count — the
+//! numbers the compact delta-encoded RIBs are accountable to
+//! (DESIGN.md §12). The 10k-AS point lives in the separate
+//! `largescale` bin, which CI runs with a hard RSS ceiling.
 //! Results go to `BENCH_hotpath.json` (see README) so hot-path changes can
 //! be compared number-for-number against a recorded baseline.
 //!
 //! ```text
 //! hotpath [--fast] [--nodes N] [--threads T] [--out PATH] [--multicore-gate]
+//!         [--memory-point N]
 //! ```
 //!
 //! `--fast` (or `BENCH_FAST=1`) shrinks the matrix to one seed on a small
@@ -72,6 +83,7 @@ struct Args {
     threads: Option<usize>,
     out: String,
     multicore_gate: bool,
+    memory_point: Option<usize>,
 }
 
 impl Default for Args {
@@ -84,6 +96,7 @@ impl Default for Args {
             threads: None,
             out: "BENCH_hotpath.json".into(),
             multicore_gate: false,
+            memory_point: None,
         }
     }
 }
@@ -111,6 +124,13 @@ fn parse_args() -> Result<Args, String> {
             }
             "--out" => args.out = value("--out")?,
             "--multicore-gate" => args.multicore_gate = true,
+            "--memory-point" => {
+                args.memory_point = Some(
+                    value("--memory-point")?
+                        .parse()
+                        .map_err(|e| format!("--memory-point: {e}"))?,
+                );
+            }
             "--help" | "-h" => return Err("help".into()),
             other => return Err(format!("unknown flag {other}")),
         }
@@ -119,7 +139,9 @@ fn parse_args() -> Result<Args, String> {
 }
 
 fn usage() {
-    eprintln!("usage: hotpath [--fast] [--nodes N] [--threads T] [--out PATH] [--multicore-gate]");
+    eprintln!(
+        "usage: hotpath [--fast] [--nodes N] [--threads T] [--out PATH] [--multicore-gate] [--memory-point N]"
+    );
 }
 
 /// The scheme axis of the matrix: the paper's three main timer disciplines.
@@ -159,10 +181,62 @@ fn phases_json(t: &bgpsim::ShardPhaseTimings) -> serde_json::Value {
     serde_json::json!({
         "epochs": t.epochs,
         "parallel_commit_epochs": t.parallel_commit_epochs,
+        "inline_phase_a_epochs": t.inline_phase_a_epochs,
         "phase_a_secs": t.phase_a_secs,
         "phase_b_secs": t.phase_b_secs,
         "merge_secs": t.merge_secs,
     })
+}
+
+/// `--memory-point N`: child mode for the memory-footprint section. Runs
+/// exactly one batching trial at `N` nodes in this process and prints the
+/// measurement row as JSON on stdout. The parent re-execs itself with this
+/// flag per scale point so every point gets a fresh address space: `VmHWM`
+/// then *is* the trial's peak, untainted by allocator retention from the
+/// earlier matrix/sharded/tracing sections (`clear_refs` only drops the
+/// watermark to the current RSS, which never shrinks below what the
+/// allocator holds on to).
+fn run_memory_point(sz: usize) -> ExitCode {
+    let scheme = Scheme::batching(0.5);
+    let exp = Experiment {
+        topology: TopologySpec::seventy_thirty(sz),
+        scheme: scheme.clone(),
+        failure: FailureSpec::CenterFraction(FAILURE_FRACTION),
+        trials: 1,
+        base_seed: SEEDS[0],
+    };
+    let started = Instant::now();
+    let (stats, net) = exp.run_trial_with_network(0);
+    let wall = started.elapsed().as_secs_f64();
+    let fp = net.memory_footprint();
+    let peak = peak_rss_kb();
+    let row = serde_json::json!({
+        "nodes": sz,
+        "scheme": scheme.name,
+        "seed": SEEDS[0],
+        "wall_secs": wall,
+        "events": stats.events,
+        "peak_rss_kb": peak,
+        "fresh_process": true,
+        "routes": fp.routes,
+        "rib_heap_bytes": fp.rib_heap_bytes,
+        "rib_bytes_per_route": fp.bytes_per_route(),
+        "peak_rss_bytes_per_route": peak
+            .filter(|_| fp.routes > 0)
+            .map(|kb| kb as f64 * 1024.0 / fp.routes as f64),
+        "max_node_rib_heap_bytes": fp.max_node_rib_heap_bytes,
+        "config_arena_entries": fp.config_arena_entries,
+    });
+    match serde_json::to_string(&row) {
+        Ok(s) => {
+            println!("{s}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("memory point: serialization failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
 }
 
 /// How many shards and commit streams the multi-core gate runs, and the
@@ -291,6 +365,9 @@ fn main() -> ExitCode {
 
     if args.multicore_gate {
         return run_multicore_gate(&args);
+    }
+    if let Some(sz) = args.memory_point {
+        return run_memory_point(sz);
     }
 
     let nodes = args.nodes.unwrap_or(if args.fast { 40 } else { 120 });
@@ -669,6 +746,69 @@ fn main() -> ExitCode {
         0.0
     };
 
+    // This totals figure keeps its historical meaning: peak since the last
+    // scheme-batch reset, covering the sweep/FEL/sharded/tracing sections.
+    let totals_peak_rss_kb = peak_rss_kb();
+
+    // ── Memory footprint ────────────────────────────────────────────────
+    // One full batching trial per scale point, each in a *fresh child
+    // process* (re-exec of this binary with `--memory-point N`). A fresh
+    // address space is the only honest watermark: `clear_refs` resets
+    // `VmHWM` to the current RSS, and the allocator retains hundreds of MB
+    // from the earlier 512-node sharded section, so in-process resets made
+    // the small points inherit the big points' peaks. The batching scheme
+    // is the one anyone simulates large topologies with (the 512-node
+    // sharded rows above use it for the same reason); the child keeps its
+    // final network alive so the routing-state heap can be audited route
+    // by route (`Network::memory_footprint`). `peak_rss_kb` is
+    // process-wide (FEL, queues and allocator slack included),
+    // `rib_heap_bytes` is exactly the RIB state — the gap between the two
+    // per-route figures is the non-RIB overhead. The 10k-AS caida-like
+    // point runs in the separate `largescale` bin so this harness stays
+    // minutes, not hours.
+    let memory_scheme = &schemes[1]; // batching (MRAI = 0.5)
+    let memory_sizes: Vec<usize> = if args.fast {
+        vec![nodes]
+    } else {
+        vec![120, 512]
+    };
+    let self_exe = match std::env::current_exe() {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("memory section: cannot locate own binary: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut memory_rows: Vec<serde_json::Value> = Vec::new();
+    for &sz in &memory_sizes {
+        let output = match std::process::Command::new(&self_exe)
+            .args(["--memory-point", &sz.to_string()])
+            .output()
+        {
+            Ok(o) => o,
+            Err(e) => {
+                eprintln!("memory section: spawning --memory-point {sz} failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if !output.status.success() {
+            eprintln!(
+                "memory section: --memory-point {sz} child exited with {}:\n{}",
+                output.status,
+                String::from_utf8_lossy(&output.stderr)
+            );
+            return ExitCode::FAILURE;
+        }
+        let stdout = String::from_utf8_lossy(&output.stdout);
+        match serde_json::from_str::<serde_json::Value>(stdout.trim()) {
+            Ok(row) => memory_rows.push(row),
+            Err(e) => {
+                eprintln!("memory section: --memory-point {sz} produced unparseable output ({e}): {stdout}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
     let payload = serde_json::json!({
         "harness": "hotpath",
         "fast": args.fast,
@@ -688,8 +828,13 @@ fn main() -> ExitCode {
             "events_per_sec": events_per_sec,
             "decisions_per_sec": decisions_per_sec,
             "full_rescan_ratio": full_rescan_ratio,
-            "peak_rss_kb": peak_rss_kb(),
+            "peak_rss_kb": totals_peak_rss_kb,
             "per_scheme_rss": per_scheme_rss,
+        }),
+        "memory": serde_json::json!({
+            "scheme": memory_scheme.name,
+            "failure_fraction": FAILURE_FRACTION,
+            "points": memory_rows,
         }),
         "warm_start": serde_json::json!({
             "failure_fractions": FAILURE_FRACTIONS.to_vec(),
@@ -831,6 +976,22 @@ fn main() -> ExitCode {
         "  sink Memory: {memory_wall:.3} s   ({:+.1}% vs Off, {trace_events_recorded} events)",
         memory_overhead * 100.0
     );
+    println!(
+        "memory footprint ({} workload, fresh process per point):",
+        memory_scheme.name
+    );
+    for row in &memory_rows {
+        println!(
+            "  {:5} nodes: peak RSS {:9} kB   {:9} routes   RIB {:6.1} B/route   RSS {:7.1} B/route   node high-water {} kB   {} config(s)",
+            row["nodes"].as_u64().unwrap_or(0),
+            row["peak_rss_kb"].as_u64().unwrap_or(0),
+            row["routes"].as_u64().unwrap_or(0),
+            row["rib_bytes_per_route"].as_f64().unwrap_or(0.0),
+            row["peak_rss_bytes_per_route"].as_f64().unwrap_or(0.0),
+            row["max_node_rib_heap_bytes"].as_u64().unwrap_or(0) / 1024,
+            row["config_arena_entries"].as_u64().unwrap_or(0)
+        );
+    }
     println!("  written to {}", args.out);
     ExitCode::SUCCESS
 }

@@ -11,6 +11,7 @@
 
 use std::cell::RefCell;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::sync::Arc;
 
 use bgpsim_des::rng::{jittered, uniform_duration};
 use bgpsim_des::{SimDuration, SimTime};
@@ -26,7 +27,9 @@ use crate::msg::{Prefix, UpdateAction, UpdateMsg};
 use crate::path::AsPath;
 use crate::policy::{may_export, PolicyMode, Relationship, RANK_PEER};
 use crate::queue::{InputQueue, WorkItem};
-use crate::rib::{AdjRibIn, AdjRibOut, LocRib, NextHop, RouteEntry, Selected};
+#[cfg(any(test, feature = "dense-rib"))]
+use crate::rib::DenseAdjRibOut;
+use crate::rib::{AdjRibOut, EngineRibIn, LocRib, NextHop, RouteEntry, Selected};
 use crate::stats::NodeStats;
 use crate::trace::NodeEvent;
 
@@ -74,6 +77,11 @@ pub enum Action {
 }
 
 /// Per-peer session state.
+///
+/// The Adj-RIB-Out is delta-encoded against the Loc-RIB (see
+/// [`AdjRibOut`]): its pending set is also the dirty set — a prefix is
+/// pending exactly when an unflushed Loc-RIB change may have outdated what
+/// the peer last heard, and the entry freezes that last-heard path.
 #[derive(Clone, Debug)]
 struct PeerSession {
     ibgp: bool,
@@ -82,7 +90,11 @@ struct PeerSession {
     timer: MraiTimer,
     dest_timers: BTreeMap<Prefix, MraiTimer>,
     rib_out: AdjRibOut,
-    dirty: BTreeSet<Prefix>,
+    /// Dense materialized mirror of what was actually sent, asserted
+    /// against every frozen value the delta representation reports —
+    /// the engine-level half of the dense-vs-compact equivalence proof.
+    #[cfg(any(test, feature = "dense-rib"))]
+    shadow_out: DenseAdjRibOut,
 }
 
 impl PeerSession {
@@ -93,8 +105,86 @@ impl PeerSession {
             timer: MraiTimer::new(),
             dest_timers: BTreeMap::new(),
             rib_out: AdjRibOut::new(),
-            dirty: BTreeSet::new(),
+            #[cfg(any(test, feature = "dense-rib"))]
+            shadow_out: DenseAdjRibOut::new(),
         }
+    }
+}
+
+/// Flat sorted peer table: sessions stored contiguously, ordered by peer
+/// id. Point lookups binary-search; iteration is ascending by
+/// construction — the order every flush and export sweep relies on.
+/// Replaces a `BTreeMap` plus a separate id `Vec`: one allocation, no
+/// tree-node overhead, and snapshot clones are a flat `Vec` copy.
+#[derive(Clone, Debug, Default)]
+struct PeerTable {
+    sessions: Vec<(RouterId, PeerSession)>,
+}
+
+impl PeerTable {
+    fn idx(&self, peer: RouterId) -> Result<usize, usize> {
+        self.sessions.binary_search_by_key(&peer, |&(p, _)| p)
+    }
+
+    fn contains(&self, peer: RouterId) -> bool {
+        self.idx(peer).is_ok()
+    }
+
+    fn get(&self, peer: RouterId) -> Option<&PeerSession> {
+        self.idx(peer).ok().map(|i| &self.sessions[i].1)
+    }
+
+    fn get_mut(&mut self, peer: RouterId) -> Option<&mut PeerSession> {
+        match self.idx(peer) {
+            Ok(i) => Some(&mut self.sessions[i].1),
+            Err(_) => None,
+        }
+    }
+
+    /// Inserts (or replaces) the session for `peer`, keeping order.
+    fn insert(&mut self, peer: RouterId, sess: PeerSession) {
+        match self.idx(peer) {
+            Ok(i) => self.sessions[i].1 = sess,
+            Err(i) => self.sessions.insert(i, (peer, sess)),
+        }
+    }
+
+    fn remove(&mut self, peer: RouterId) -> Option<PeerSession> {
+        self.idx(peer).ok().map(|i| self.sessions.remove(i).1)
+    }
+
+    fn len(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// The `i`-th peer id in ascending order (stable across flushes, which
+    /// never add or remove peers — the index loops rely on this).
+    fn id_at(&self, i: usize) -> RouterId {
+        self.sessions[i].0
+    }
+
+    fn ids(&self) -> impl Iterator<Item = RouterId> + '_ {
+        self.sessions.iter().map(|&(p, _)| p)
+    }
+
+    fn iter_mut(&mut self) -> impl Iterator<Item = (RouterId, &mut PeerSession)> {
+        self.sessions.iter_mut().map(|(p, s)| (*p, s))
+    }
+
+    /// Heap bytes committed to session storage (table capacity plus each
+    /// session's own allocations).
+    fn heap_bytes(&self) -> usize {
+        self.sessions.capacity() * std::mem::size_of::<(RouterId, PeerSession)>()
+            + self
+                .sessions
+                .iter()
+                .map(|(_, s)| {
+                    s.rib_out.heap_bytes()
+                        + s.dest_timers.len()
+                            * (std::mem::size_of::<(Prefix, MraiTimer)>()
+                                + std::mem::size_of::<usize>())
+                })
+                .sum::<usize>()
     }
 }
 
@@ -126,15 +216,15 @@ pub struct BgpNode {
     id: RouterId,
     as_id: AsId,
     own_prefixes: BTreeSet<Prefix>,
-    peers: BTreeMap<RouterId, PeerSession>,
-    /// Current peer ids, ascending — mirrors `peers.keys()` so per-batch
-    /// flushes iterate without collecting a fresh `Vec` each time.
-    peer_order: Vec<RouterId>,
-    rib_in: AdjRibIn,
+    peers: PeerTable,
+    rib_in: EngineRibIn,
     loc_rib: LocRib,
     queue: InputQueue,
     in_service: Vec<WorkItem>,
-    cfg: NodeConfig,
+    /// Shared, refcounted configuration: the network builds one allocation
+    /// per distinct config (the per-network arena) and every node — and
+    /// every snapshot fork — points at it.
+    cfg: Arc<NodeConfig>,
     dyn_ctrl: Option<DynMraiController>,
     /// Flap-damping state per (peer, prefix) — only populated when damping
     /// is configured.
@@ -162,6 +252,24 @@ impl BgpNode {
     ///
     /// Panics if `cfg` is invalid (see [`NodeConfig::validate`]).
     pub fn new(id: RouterId, as_id: AsId, cfg: NodeConfig, rng: SmallRng) -> BgpNode {
+        BgpNode::with_shared_config(id, as_id, Arc::new(cfg), rng)
+    }
+
+    /// Like [`BgpNode::new`], but sharing an already-allocated config.
+    /// The network deduplicates configurations through this: every node
+    /// built from the same settings holds the same allocation, and
+    /// snapshot forks keep sharing it (see
+    /// [`BgpNode::shares_config_allocation`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` is invalid (see [`NodeConfig::validate`]).
+    pub fn with_shared_config(
+        id: RouterId,
+        as_id: AsId,
+        cfg: Arc<NodeConfig>,
+        rng: SmallRng,
+    ) -> BgpNode {
         cfg.validate();
         let dyn_ctrl = match &cfg.mrai {
             MraiPolicy::Dynamic(d) => Some(DynMraiController::new(d.clone())),
@@ -172,9 +280,8 @@ impl BgpNode {
             id,
             as_id,
             own_prefixes: BTreeSet::new(),
-            peers: BTreeMap::new(),
-            peer_order: Vec::new(),
-            rib_in: AdjRibIn::new(),
+            peers: PeerTable::default(),
+            rib_in: EngineRibIn::new(),
             loc_rib: LocRib::new(),
             queue,
             in_service: Vec::new(),
@@ -213,14 +320,11 @@ impl BgpNode {
 
     fn register_peer(&mut self, peer: RouterId, sess: PeerSession) {
         self.peers.insert(peer, sess);
-        if let Err(at) = self.peer_order.binary_search(&peer) {
-            self.peer_order.insert(at, peer);
-        }
     }
 
     /// Ids of current peers, ascending.
     pub fn peer_ids(&self) -> Vec<RouterId> {
-        self.peer_order.clone()
+        self.peers.ids().collect()
     }
 
     /// Read access to the Loc-RIB.
@@ -229,8 +333,34 @@ impl BgpNode {
     }
 
     /// Read access to the Adj-RIB-In.
-    pub fn rib_in(&self) -> &AdjRibIn {
+    pub fn rib_in(&self) -> &EngineRibIn {
         &self.rib_in
+    }
+
+    /// Whether this node shares its config allocation with `other` — true
+    /// for nodes the network built from the same configuration and for
+    /// snapshot forks, which must keep sharing rather than deep-copy.
+    pub fn shares_config_allocation(&self, other: &BgpNode) -> bool {
+        Arc::ptr_eq(&self.cfg, &other.cfg)
+    }
+
+    /// Approximate heap bytes committed to this node's routing state:
+    /// Adj-RIB-In rows, the Loc-RIB table, per-peer sessions (including
+    /// delta Adj-RIB-Out entries), and the input queue. Capacity, not
+    /// just live entries — what the memory benchmark charges per node.
+    pub fn rib_heap_bytes(&self) -> usize {
+        self.rib_in.heap_bytes()
+            + self.loc_rib.heap_bytes()
+            + self.peers.heap_bytes()
+            + self.queue.heap_bytes()
+            + self.in_service.capacity() * std::mem::size_of::<WorkItem>()
+    }
+
+    /// Routes this node currently stores (Adj-RIB-In entries plus
+    /// installed best routes) — the denominator of the bytes-per-route
+    /// memory metric.
+    pub fn route_count(&self) -> usize {
+        self.rib_in.len() + self.loc_rib.len()
     }
 
     /// Accumulated counters.
@@ -256,7 +386,9 @@ impl BgpNode {
     /// of failure"). Running timers are unaffected; the new value applies
     /// from the next timer start, like the dynamic scheme's level changes.
     pub fn set_constant_mrai(&mut self, mrai: SimDuration) {
-        self.cfg.mrai = MraiPolicy::Constant(mrai);
+        // Copy-on-write: this node forks its (possibly shared) config;
+        // everyone else keeps the original allocation.
+        Arc::make_mut(&mut self.cfg).mrai = MraiPolicy::Constant(mrai);
         self.dyn_ctrl = None;
     }
 
@@ -359,6 +491,9 @@ impl BgpNode {
     /// prefixes, is installed in the Loc-RIB and advertised to every peer.
     /// A node may originate any number of prefixes.
     pub fn originate(&mut self, now: SimTime, prefix: Prefix) -> Vec<Action> {
+        // Freeze before the install: the frozen values must capture what
+        // each peer last heard, i.e. the export of the *pre-change* Loc-RIB.
+        self.freeze_out_all(prefix);
         self.own_prefixes.insert(prefix);
         self.loc_rib.install(prefix, Selected::local());
         self.stats.best_changes += 1;
@@ -366,7 +501,6 @@ impl BgpNode {
             prefix,
             path_len: Some(0),
         });
-        self.mark_dirty(prefix);
         self.flush_all(now)
     }
 
@@ -380,7 +514,7 @@ impl BgpNode {
                 advertise: msg.action.is_advertise(),
             });
         }
-        if !self.peers.contains_key(&from) {
+        if !self.peers.contains(from) {
             // Session already torn down; the message is lost.
             return Vec::new();
         }
@@ -413,7 +547,6 @@ impl BgpNode {
             self.trace_push(NodeEvent::Processed { peer, prefix });
             damping_actions.extend(self.apply_item(now, item));
             if self.run_decision(prefix, &[peer]) {
-                self.mark_dirty(prefix);
                 changed.insert(prefix);
             }
         } else {
@@ -435,7 +568,6 @@ impl BgpNode {
             }
             for (prefix, touched) in &affected {
                 if self.run_decision(*prefix, touched) {
-                    self.mark_dirty(*prefix);
                     changed.insert(*prefix);
                 }
             }
@@ -455,8 +587,8 @@ impl BgpNode {
     /// that peer's running MRAI timer and send immediately.
     fn expedite_flush(&mut self, now: SimTime, changed: &BTreeSet<Prefix>) -> Vec<Action> {
         let mut actions = Vec::new();
-        for i in 0..self.peer_order.len() {
-            let peer = self.peer_order[i];
+        for i in 0..self.peers.len() {
+            let peer = self.peers.id_at(i);
             let improving: Vec<Prefix> = changed
                 .iter()
                 .copied()
@@ -465,7 +597,7 @@ impl BgpNode {
             if improving.is_empty() {
                 continue;
             }
-            let sess = self.peers.get_mut(&peer).expect("peer exists");
+            let sess = self.peers.get_mut(peer).expect("peer exists");
             let mut cancelled = false;
             match self.cfg.mrai_scope {
                 MraiScope::PerPeer => {
@@ -496,13 +628,16 @@ impl BgpNode {
     /// they last heard from us (shorter path, or a route where they hold
     /// none).
     fn improves(&self, peer: RouterId, prefix: Prefix) -> bool {
-        let Some(sess) = self.peers.get(&peer) else {
+        let Some(sess) = self.peers.get(peer) else {
             return false;
         };
-        match (self.path_towards(peer, prefix), sess.rib_out.get(prefix)) {
-            (Some((new, _)), Some(old)) => new.len() < old.len(),
-            (Some(_), None) => true,
-            (None, _) => false,
+        // What the peer last heard: the frozen value when pending; the
+        // current export otherwise (mirror invariant) — in which case
+        // nothing can improve on itself.
+        match (self.path_towards(peer, prefix), sess.rib_out.frozen(prefix)) {
+            (Some((new, _)), Some(Some(old))) => new.len() < old.len(),
+            (Some(_), Some(None)) => true,
+            _ => false,
         }
     }
 
@@ -515,7 +650,7 @@ impl BgpNode {
         prefix: Option<Prefix>,
         gen: u64,
     ) -> Vec<Action> {
-        let Some(sess) = self.peers.get_mut(&peer) else {
+        let Some(sess) = self.peers.get_mut(peer) else {
             return Vec::new();
         };
         match prefix {
@@ -559,9 +694,11 @@ impl BgpNode {
     ) -> Vec<Action> {
         self.register_peer(peer, PeerSession::new(ibgp, rel));
         let prefixes: Vec<Prefix> = self.loc_rib.iter().map(|(p, _)| p).collect();
-        let sess = self.peers.get_mut(&peer).expect("just inserted");
+        let sess = self.peers.get_mut(peer).expect("just inserted");
         for p in prefixes {
-            sess.dirty.insert(p);
+            // The new peer has heard nothing yet: every Loc-RIB prefix is
+            // pending with a frozen "nothing advertised" marker.
+            sess.rib_out.freeze_with(p, || None);
         }
         self.flush_peer(now, peer)
     }
@@ -573,11 +710,8 @@ impl BgpNode {
     /// cleanup costs processing time, exactly like received withdrawals
     /// would.
     pub fn on_peer_down(&mut self, now: SimTime, peer: RouterId) -> Vec<Action> {
-        if self.peers.remove(&peer).is_none() {
+        if self.peers.remove(peer).is_none() {
             return Vec::new();
-        }
-        if let Ok(at) = self.peer_order.binary_search(&peer) {
-            self.peer_order.remove(at);
         }
         // Damping state dies with the session (any in-flight reuse timer
         // becomes stale via the generation check in finish_release).
@@ -603,7 +737,7 @@ impl BgpNode {
     fn apply_item(&mut self, now: SimTime, item: WorkItem) -> Option<Action> {
         match item {
             WorkItem::Update { from, msg } => {
-                if !self.peers.contains_key(&from) {
+                if !self.peers.contains(from) {
                     // Session died while the update sat in the queue.
                     return None;
                 }
@@ -612,7 +746,7 @@ impl BgpNode {
                 // (`None` = withdrawn); looped paths count as withdrawals.
                 let new_entry: Option<RouteEntry> = match msg.action {
                     UpdateAction::Advertise(path) if !path.contains(self.as_id) => {
-                        let sess = &self.peers[&from];
+                        let sess = self.peers.get(from).expect("presence checked above");
                         let rank = match self.cfg.policy {
                             PolicyMode::None => 0,
                             PolicyMode::GaoRexford => {
@@ -632,7 +766,7 @@ impl BgpNode {
                     }
                     _ => None,
                 };
-                let ibgp = self.peers[&from].ibgp;
+                let ibgp = self.peers.get(from).expect("presence checked above").ibgp;
                 if let Some(damping) = self.cfg.damping.filter(|_| !ibgp) {
                     let key = (from, prefix);
                     let state = self.damp.entry(key).or_default();
@@ -725,7 +859,7 @@ impl BgpNode {
     fn finish_release(&mut self, now: SimTime, key: (RouterId, Prefix)) -> Vec<Action> {
         let (peer, prefix) = key;
         let parked = self.suppressed_routes.remove(&key).flatten();
-        if self.peers.contains_key(&peer) {
+        if self.peers.contains(peer) {
             match parked {
                 Some(entry) => {
                     self.rib_in.insert(prefix, peer, entry);
@@ -737,7 +871,6 @@ impl BgpNode {
         }
         let mut actions = Vec::new();
         if self.run_decision(prefix, &[peer]) {
-            self.mark_dirty(prefix);
             actions.extend(self.flush_all(now));
         }
         actions
@@ -778,6 +911,10 @@ impl BgpNode {
         if new.as_ref() == old {
             return false;
         }
+        // The best route is about to change: break the Adj-RIB-Out mirror
+        // towards every peer *before* the install, so the frozen values
+        // capture what each peer actually last heard.
+        self.freeze_out_all(prefix);
         let path_len = new.as_ref().map(|sel| sel.path.len() as u32);
         match new {
             Some(sel) => {
@@ -792,9 +929,20 @@ impl BgpNode {
         true
     }
 
-    fn mark_dirty(&mut self, prefix: Prefix) {
-        for sess in self.peers.values_mut() {
-            sess.dirty.insert(prefix);
+    /// Marks `prefix` pending towards every peer, freezing each session's
+    /// current export — by the mirror invariant, exactly what that peer
+    /// last heard — unless an earlier unflushed change already froze it
+    /// (the first break since the last flush wins). MUST run before the
+    /// Loc-RIB change that makes the old export stale.
+    fn freeze_out_all(&mut self, prefix: Prefix) {
+        let (loc_rib, cfg) = (&self.loc_rib, &self.cfg);
+        let (cache, as_id) = (&self.prepend_cache, self.as_id);
+        for (peer, sess) in self.peers.iter_mut() {
+            let (ibgp, rel) = (sess.ibgp, sess.rel);
+            sess.rib_out.freeze_with(prefix, || {
+                BgpNode::export_route(loc_rib, cfg, cache, as_id, ibgp, rel, peer, prefix)
+                    .map(|(path, _)| path)
+            });
         }
     }
 
@@ -824,8 +972,8 @@ impl BgpNode {
         let mut actions = Vec::new();
         // Index loop: flushing never adds or removes peers, and this runs
         // after every service batch — no per-call peer-id Vec.
-        for i in 0..self.peer_order.len() {
-            let peer = self.peer_order[i];
+        for i in 0..self.peers.len() {
+            let peer = self.peers.id_at(i);
             actions.extend(self.flush_peer(now, peer));
         }
         actions
@@ -841,24 +989,25 @@ impl BgpNode {
 
     fn flush_peer_scoped(&mut self, now: SimTime, peer: RouterId) -> Vec<Action> {
         {
-            let Some(sess) = self.peers.get(&peer) else {
+            let Some(sess) = self.peers.get(peer) else {
                 return Vec::new();
             };
-            if sess.timer.is_running() || sess.dirty.is_empty() {
+            if sess.timer.is_running() || sess.rib_out.is_clean() {
                 return Vec::new();
             }
         }
-        let dirty = {
-            let sess = self.peers.get_mut(&peer).expect("checked above");
-            // Take the set whole: `BTreeSet` iterates ascending, same
-            // order the old `Vec` collect produced, without the copy.
-            std::mem::take(&mut sess.dirty)
+        let pending = {
+            let sess = self.peers.get_mut(peer).expect("checked above");
+            // Take the pending set whole: the map iterates ascending by
+            // prefix, the order the old dirty set produced. Draining it
+            // re-establishes the mirror — sending re-syncs the peer.
+            sess.rib_out.take_pending()
         };
-        let (mut actions, sent_advert, sent_any) = self.emit_updates(peer, dirty);
+        let (mut actions, sent_advert, sent_any) = self.emit_updates(peer, pending);
         let start_timer = sent_advert || (self.cfg.withdrawal_rate_limiting && sent_any);
         if start_timer {
             if let Some(delay) = self.next_mrai_interval(now, peer) {
-                let sess = self.peers.get_mut(&peer).expect("peer exists");
+                let sess = self.peers.get_mut(peer).expect("peer exists");
                 let gen = sess.timer.start();
                 self.stats.mrai_starts += 1;
                 self.trace_push(NodeEvent::MraiStarted {
@@ -878,14 +1027,13 @@ impl BgpNode {
     }
 
     fn flush_per_destination(&mut self, now: SimTime, peer: RouterId) -> Vec<Action> {
-        let Some(sess) = self.peers.get(&peer) else {
+        let Some(sess) = self.peers.get(peer) else {
             return Vec::new();
         };
-        // Only prefixes whose own timer is idle may be sent now.
+        // Only pending prefixes whose own timer is idle may be sent now.
         let ready: Vec<Prefix> = sess
-            .dirty
-            .iter()
-            .copied()
+            .rib_out
+            .pending()
             .filter(|p| {
                 !sess
                     .dest_timers
@@ -897,20 +1045,18 @@ impl BgpNode {
         if ready.is_empty() {
             return Vec::new();
         }
-        {
-            let sess = self.peers.get_mut(&peer).expect("checked above");
-            for p in &ready {
-                sess.dirty.remove(p);
-            }
-        }
         let mut actions = Vec::new();
         for p in ready {
-            let (mut acts, sent_advert, sent_any) = self.emit_updates(peer, [p]);
+            let frozen = {
+                let sess = self.peers.get_mut(peer).expect("checked above");
+                sess.rib_out.take(p).expect("listed as pending")
+            };
+            let (mut acts, sent_advert, sent_any) = self.emit_updates(peer, [(p, frozen)]);
             actions.append(&mut acts);
             let start_timer = sent_advert || (self.cfg.withdrawal_rate_limiting && sent_any);
             if start_timer {
                 if let Some(delay) = self.next_mrai_interval(now, peer) {
-                    let sess = self.peers.get_mut(&peer).expect("peer exists");
+                    let sess = self.peers.get_mut(peer).expect("peer exists");
                     let gen = sess.dest_timers.entry(p).or_default().start();
                     self.stats.mrai_starts += 1;
                     self.trace_push(NodeEvent::MraiStarted {
@@ -930,12 +1076,13 @@ impl BgpNode {
         actions
     }
 
-    /// Computes and records the updates for `prefixes` towards `peer`.
-    /// Returns `(actions, sent_advertisement, sent_anything)`.
+    /// Computes and records the updates for the taken pending entries
+    /// (`(prefix, frozen last-advertised)`) towards `peer`. Returns
+    /// `(actions, sent_advertisement, sent_anything)`.
     fn emit_updates(
         &mut self,
         peer: RouterId,
-        prefixes: impl IntoIterator<Item = Prefix>,
+        entries: impl IntoIterator<Item = (Prefix, Option<AsPath>)>,
     ) -> (Vec<Action>, bool, bool) {
         let mut actions = Vec::new();
         let (mut sent_advert, mut sent_any) = (false, false);
@@ -943,21 +1090,28 @@ impl BgpNode {
         // the whole sweep while the export is computed straight from the
         // Loc-RIB, config and prepend cache — what `path_towards` does,
         // minus two session-map lookups per prefix.
-        let Some(sess) = self.peers.get_mut(&peer) else {
+        let Some(sess) = self.peers.get_mut(peer) else {
             return (actions, sent_advert, sent_any);
         };
         let (ibgp, rel) = (sess.ibgp, sess.rel);
         let (loc_rib, cfg) = (&self.loc_rib, &self.cfg);
         let (cache, as_id) = (&self.prepend_cache, self.as_id);
-        for prefix in prefixes {
+        for (prefix, frozen) in entries {
             let advertised =
                 BgpNode::export_route(loc_rib, cfg, cache, as_id, ibgp, rel, peer, prefix);
-            match (advertised, sess.rib_out.get(prefix)) {
-                (Some((path, _)), Some(old)) if &path == old => {
+            #[cfg(any(test, feature = "dense-rib"))]
+            assert_eq!(
+                frozen.as_ref(),
+                sess.shadow_out.get(prefix),
+                "delta Adj-RIB-Out froze a value the dense mirror disagrees with"
+            );
+            match (advertised, frozen) {
+                (Some((path, _)), Some(old)) if path == old => {
                     // Redundant: what we'd send equals what they have.
                 }
                 (Some((path, pref)), _) => {
-                    sess.rib_out.advertise(prefix, path.clone());
+                    #[cfg(any(test, feature = "dense-rib"))]
+                    sess.shadow_out.advertise(prefix, path.clone());
                     self.stats.announcements_sent += 1;
                     sent_advert = true;
                     sent_any = true;
@@ -975,7 +1129,8 @@ impl BgpNode {
                     actions.push(Action::Send { to: peer, msg });
                 }
                 (None, Some(_)) => {
-                    sess.rib_out.withdraw(prefix);
+                    #[cfg(any(test, feature = "dense-rib"))]
+                    sess.shadow_out.withdraw(prefix);
                     self.stats.withdrawals_sent += 1;
                     sent_any = true;
                     if let Some(buf) = self.trace.as_mut() {
@@ -1001,7 +1156,7 @@ impl BgpNode {
     /// be suppressed: unreachable, split horizon, iBGP no-transit, or — in
     /// policy mode — a valley-free export violation.
     fn path_towards(&self, peer: RouterId, prefix: Prefix) -> Option<(AsPath, Option<u8>)> {
-        let sess = self.peers.get(&peer)?;
+        let sess = self.peers.get(peer)?;
         BgpNode::export_route(
             &self.loc_rib,
             &self.cfg,
@@ -1067,7 +1222,7 @@ impl BgpNode {
     fn prepended_in(cache: &PrependCache, as_id: AsId, path: &AsPath) -> AsPath {
         let mut cache = cache.borrow_mut();
         if let Some((parent, child)) = cache.get(&path.storage_key()) {
-            debug_assert!(parent.same_allocation(path));
+            debug_assert!(parent.ptr_eq(path));
             return child.clone();
         }
         let child = path.prepend(as_id);
@@ -1083,7 +1238,7 @@ impl BgpNode {
     /// The jittered MRAI interval for the next timer towards `peer`, or
     /// `None` if the effective MRAI is zero (no pacing).
     fn next_mrai_interval(&mut self, now: SimTime, peer: RouterId) -> Option<SimDuration> {
-        let ibgp = self.peers.get(&peer)?.ibgp;
+        let ibgp = self.peers.get(peer)?.ibgp;
         let base = if ibgp {
             self.cfg.ibgp_mrai
         } else {

@@ -41,7 +41,7 @@ pub struct AsPath(Arc<[AsId]>);
 // pointer check instead of a slice scan.
 impl PartialEq for AsPath {
     fn eq(&self, other: &AsPath) -> bool {
-        self.same_allocation(other) || self.0 == other.0
+        self.ptr_eq(other) || self.0 == other.0
     }
 }
 
@@ -99,8 +99,10 @@ impl AsPath {
 
     /// Whether two paths share the same backing allocation (refcount-bump
     /// clones of one another). Used by the per-node prepend cache to key
-    /// on identity rather than content.
-    pub(crate) fn same_allocation(&self, other: &AsPath) -> bool {
+    /// on identity rather than content, and by memory tests as the
+    /// witness that snapshot forks share path storage instead of deep-
+    /// copying it.
+    pub fn ptr_eq(&self, other: &AsPath) -> bool {
         std::ptr::eq(self.0.as_ptr(), other.0.as_ptr())
     }
 
@@ -206,19 +208,19 @@ mod tests {
     fn clones_share_storage() {
         let p = AsPath::from_hops([asn(1), asn(2)]);
         let q = p.clone();
-        assert!(p.same_allocation(&q));
+        assert!(p.ptr_eq(&q));
         assert_eq!(p.storage_key(), q.storage_key());
         // Equal content, distinct allocations.
         let r = AsPath::from_hops([asn(1), asn(2)]);
         assert_eq!(p, r);
-        assert!(!p.same_allocation(&r));
+        assert!(!p.ptr_eq(&r));
     }
 
     #[test]
     fn local_paths_share_one_allocation() {
-        assert!(AsPath::local().same_allocation(&AsPath::local()));
-        assert!(AsPath::local().same_allocation(&AsPath::default()));
-        assert!(AsPath::local().same_allocation(&AsPath::from_hops([])));
+        assert!(AsPath::local().ptr_eq(&AsPath::local()));
+        assert!(AsPath::local().ptr_eq(&AsPath::default()));
+        assert!(AsPath::local().ptr_eq(&AsPath::from_hops([])));
     }
 
     #[test]

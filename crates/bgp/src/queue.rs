@@ -134,6 +134,13 @@ impl InputQueue {
         self.items.is_empty()
     }
 
+    /// Heap bytes committed to queued items (capacity, not just the live
+    /// backlog) — a quiet post-storm queue can still pin its high-water
+    /// allocation, and the memory benchmark charges for it.
+    pub fn heap_bytes(&self) -> usize {
+        self.items.capacity() * std::mem::size_of::<WorkItem>()
+    }
+
     /// Largest queue length observed so far.
     pub fn peak_len(&self) -> usize {
         self.peak_len

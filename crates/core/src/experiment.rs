@@ -83,6 +83,17 @@ impl TopologySpec {
         }
     }
 
+    /// `n` ASes with the CAIDA-like tiered stub/transit distribution
+    /// (average degree ≈ 4.2, power-law transit tail) — the
+    /// Internet-scale preset for the 10k–70k-AS memory workloads. See
+    /// [`bgpsim_topology::degree::caida_like`].
+    pub fn caida_like(n: usize) -> TopologySpec {
+        TopologySpec::Skewed {
+            n,
+            spec: bgpsim_topology::degree::caida_like(n),
+        }
+    }
+
     /// The paper's realistic multi-router topology over `num_ases` ASes.
     pub fn realistic(num_ases: usize) -> TopologySpec {
         TopologySpec::MultiAs(MultiAsConfig::realistic(num_ases))

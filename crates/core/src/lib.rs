@@ -70,7 +70,7 @@ pub mod warm;
 
 pub use experiment::{Aggregate, Experiment, TopologySpec};
 pub use metrics::RunStats;
-pub use network::{Network, SimConfig};
+pub use network::{MemoryFootprint, Network, SimConfig};
 pub use scheme::Scheme;
 pub use shard::ShardPhaseTimings;
 pub use trace::{Timeline, TraceEvent, TraceSink};

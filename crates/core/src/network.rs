@@ -27,6 +27,7 @@ use bgpsim_des::{Fel, FelKind, RngStreams, SimDuration, SimTime};
 use bgpsim_topology::region::FailureSpec;
 use bgpsim_topology::{AsId, RouterId, Topology};
 use rand::Rng;
+use std::sync::Arc;
 
 use crate::metrics::RunStats;
 use crate::scheme::{MraiAssignment, Scheme};
@@ -287,6 +288,42 @@ fn env_count(name: &str) -> Option<usize> {
     parse_count(name, &raw)
 }
 
+/// Resolves the epoch-commit stream count from the requested value
+/// (config field or `BGPSIM_COMMIT_STREAMS`) and the resolved shard
+/// count. Returns the stream count plus a flag that is true when the
+/// caller asked for parallel streams (`> 1`) on a run that cannot use
+/// them (`shards <= 1`): the request is clamped away, and the caller
+/// warns on stderr so a mis-set variable does not silently evaporate.
+/// Split from the env read for the same reason as [`parse_count`].
+pub(crate) fn resolve_commit_streams(requested: Option<usize>, shards: usize) -> (usize, bool) {
+    let ignored = matches!(requested, Some(r) if r > 1 && shards <= 1);
+    let streams = requested
+        .unwrap_or_else(|| {
+            // Default: one stream per shard, but never more streams
+            // than cores — on a single-core box the parallel apply
+            // would only add channel traffic, so it stays inline.
+            std::thread::available_parallelism()
+                .map(usize::from)
+                .unwrap_or(1)
+        })
+        .clamp(1, shards);
+    (streams, ignored)
+}
+
+/// Interns a node configuration in the network-level config arena: every
+/// node built from identical settings shares one allocation, and snapshot
+/// forks keep sharing it. A network has one to three distinct configs in
+/// practice (the MRAI assignment is the only per-node part), so a linear
+/// equality scan beats any hashing.
+fn intern_node_config(arena: &mut Vec<Arc<NodeConfig>>, node_cfg: NodeConfig) -> Arc<NodeConfig> {
+    if let Some(hit) = arena.iter().find(|c| ***c == node_cfg) {
+        return Arc::clone(hit);
+    }
+    let shared = Arc::new(node_cfg);
+    arena.push(Arc::clone(&shared));
+    shared
+}
+
 /// Normalized router-id pair keying [`Network::dead_links`].
 pub(crate) fn link_key(a: RouterId, b: RouterId) -> (u32, u32) {
     if a < b {
@@ -436,6 +473,36 @@ fn as_core_numbers(adj: &[Vec<usize>]) -> Vec<usize> {
     core
 }
 
+/// Routing-state memory accounting for a whole network, as reported by
+/// [`Network::memory_footprint`]. All byte counts are *heap held by the
+/// routing state* (Adj-RIBs-In, Loc-RIBs, delta Adj-RIBs-Out, per-peer
+/// queues and in-service batches), not process RSS — pair with a
+/// `VmHWM` read for the latter.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MemoryFootprint {
+    /// Route entries currently held across all live routers
+    /// (Adj-RIB-In entries plus Loc-RIB selections).
+    pub routes: usize,
+    /// Total routing-state heap bytes across all live routers.
+    pub rib_heap_bytes: usize,
+    /// Largest single router's routing-state heap — the per-node
+    /// high-water mark (hubs dominate on skewed topologies).
+    pub max_node_rib_heap_bytes: usize,
+    /// Distinct `NodeConfig` allocations in the interned config arena.
+    pub config_arena_entries: usize,
+}
+
+impl MemoryFootprint {
+    /// Average routing-state heap bytes per held route (0 when empty).
+    pub fn bytes_per_route(&self) -> f64 {
+        if self.routes == 0 {
+            0.0
+        } else {
+            self.rib_heap_bytes as f64 / self.routes as f64
+        }
+    }
+}
+
 /// A fully wired simulated network.
 ///
 /// Typical lifecycle: [`new`](Network::new) →
@@ -477,6 +544,10 @@ pub struct Network {
     pub(crate) cfg: SimConfig,
     pub(crate) sched: Fel<Ev>,
     pub(crate) nodes: Vec<Option<BgpNode>>,
+    /// Deduplicated node configurations (see [`intern_node_config`]):
+    /// every node — including revived ones — holds an `Arc` into this
+    /// arena instead of its own copy.
+    cfg_arena: Vec<Arc<NodeConfig>>,
     /// Session peers per router (eBGP link neighbors + iBGP full mesh).
     pub(crate) sessions: Vec<Vec<RouterId>>,
     /// Router that originates each prefix (prefix index == AS index).
@@ -578,11 +649,16 @@ impl Network {
             Vec::new()
         };
         let mut nodes: Vec<Option<BgpNode>> = Vec::with_capacity(n);
+        let mut cfg_arena: Vec<Arc<NodeConfig>> = Vec::new();
         for r in topo.router_ids() {
-            let node_cfg = build_node_config(&cfg, &topo, r);
+            let node_cfg = intern_node_config(&mut cfg_arena, build_node_config(&cfg, &topo, r));
             let as_id = topo.router(r).as_id;
-            let mut node =
-                BgpNode::new(r, as_id, node_cfg, streams.stream("node", r.index() as u64));
+            let mut node = BgpNode::with_shared_config(
+                r,
+                as_id,
+                node_cfg,
+                streams.stream("node", r.index() as u64),
+            );
             for &peer in &sessions[r.index()] {
                 let ibgp = !topo.is_inter_as(r, peer);
                 if cfg.policy && !ibgp {
@@ -615,18 +691,25 @@ impl Network {
             .or_else(|| env_count("BGPSIM_SHARDS"))
             .unwrap_or(1)
             .max(1);
-        let commit_streams = cfg
+        let requested_streams = cfg
             .commit_streams
-            .or_else(|| env_count("BGPSIM_COMMIT_STREAMS"))
-            .unwrap_or_else(|| {
-                // Default: one stream per shard, but never more streams
-                // than cores — on a single-core box the parallel apply
-                // would only add channel traffic, so it stays inline.
-                std::thread::available_parallelism()
-                    .map(usize::from)
-                    .unwrap_or(1)
-            })
-            .clamp(1, shards);
+            .or_else(|| env_count("BGPSIM_COMMIT_STREAMS"));
+        let (commit_streams, streams_ignored) = resolve_commit_streams(requested_streams, shards);
+        if streams_ignored {
+            // Warn once per process, like `parse_count` does for garbage
+            // values: asking for parallel commit streams on a serial run
+            // is a configuration mistake worth a line on stderr, not a
+            // silent no-op — but not one line per constructed network.
+            static STREAMS_IGNORED_WARN: std::sync::Once = std::sync::Once::new();
+            STREAMS_IGNORED_WARN.call_once(|| {
+                eprintln!(
+                    "warning: ignoring BGPSIM_COMMIT_STREAMS={} with shards={shards} \
+                     (parallel epoch commit needs a sharded run, BGPSIM_SHARDS > 1); \
+                     running with 1 stream",
+                    requested_streams.expect("flag only set when a value was requested"),
+                );
+            });
+        }
         let fel_kind = cfg.fel.or_else(FelKind::from_env).unwrap_or_default();
 
         Network {
@@ -634,6 +717,7 @@ impl Network {
             cfg,
             sched: Fel::new(fel_kind),
             nodes,
+            cfg_arena,
             sessions,
             origin_of_prefix,
             last_activity: SimTime::ZERO,
@@ -722,6 +806,31 @@ impl Network {
     /// The future-event-list backend this network uses.
     pub fn fel_kind(&self) -> FelKind {
         self.sched.kind()
+    }
+
+    /// Distinct [`NodeConfig`] allocations in the interned config arena.
+    /// Homogeneous networks intern down to a single entry regardless of
+    /// node count; degree-dependent MRAI adds one entry per distinct
+    /// degree class.
+    pub fn config_arena_len(&self) -> usize {
+        self.cfg_arena.len()
+    }
+
+    /// Measures the routing-state heap of every live router plus the
+    /// config arena — the numbers behind the `memory` section of the
+    /// hotpath benchmark and the `largescale` smoke bin (DESIGN.md §12).
+    pub fn memory_footprint(&self) -> MemoryFootprint {
+        let mut f = MemoryFootprint {
+            config_arena_entries: self.cfg_arena.len(),
+            ..MemoryFootprint::default()
+        };
+        for node in self.nodes.iter().flatten() {
+            let bytes = node.rib_heap_bytes();
+            f.routes += node.route_count();
+            f.rib_heap_bytes += bytes;
+            f.max_node_rib_heap_bytes = f.max_node_rib_heap_bytes.max(bytes);
+        }
+        f
     }
 
     /// Whether the session between `a` and `b` is up (both routers alive
@@ -1048,9 +1157,10 @@ impl Network {
                 self.nodes[r.index()].is_none(),
                 "revive_routers: router {r} is already alive"
             );
-            let node_cfg = self.node_config_for(r);
+            let built = self.node_config_for(r);
+            let node_cfg = intern_node_config(&mut self.cfg_arena, built);
             let as_id = self.topo.router(r).as_id;
-            let mut node = BgpNode::new(
+            let mut node = BgpNode::with_shared_config(
                 r,
                 as_id,
                 node_cfg,
@@ -1543,6 +1653,88 @@ mod tests {
             0,
             "no pump has run yet, timings start empty"
         );
+    }
+
+    #[test]
+    fn commit_streams_request_without_shards_is_flagged() {
+        // > 1 streams requested on a serial run: clamped to 1 AND flagged
+        // so `Network::new` prints the once-per-process stderr warning —
+        // previously this evaporated silently.
+        assert_eq!(resolve_commit_streams(Some(4), 1), (1, true));
+        assert_eq!(resolve_commit_streams(Some(2), 1), (1, true));
+        // 1 (or 0 = "inline apply") is exactly what a serial run does
+        // anyway — nothing is being ignored, so no warning.
+        assert_eq!(resolve_commit_streams(Some(1), 1), (1, false));
+        assert_eq!(resolve_commit_streams(Some(0), 1), (1, false));
+        // Sharded runs honor the request, clamped to the shard count.
+        assert_eq!(resolve_commit_streams(Some(4), 2), (2, false));
+        assert_eq!(resolve_commit_streams(Some(2), 4), (2, false));
+        // No request at all: the default is never "ignored".
+        assert_eq!(resolve_commit_streams(None, 1), (1, false));
+    }
+
+    #[test]
+    fn node_configs_are_interned_in_one_arena() {
+        // Uniform MRAI assignment ⇒ every router is built from the same
+        // settings ⇒ one shared allocation for the whole network.
+        let topo = small_topo(5, 20);
+        let net = Network::new(topo, SimConfig::new(9));
+        assert_eq!(net.cfg_arena.len(), 1);
+        let ids: Vec<RouterId> = net.topology().router_ids().collect();
+        let reference = net.node(ids[0]).unwrap();
+        for &r in &ids[1..] {
+            assert!(
+                net.node(r).unwrap().shares_config_allocation(reference),
+                "router {r} carries a private config copy"
+            );
+        }
+    }
+
+    #[test]
+    fn memory_footprint_accounts_converged_state() {
+        let topo = small_topo(8, 30);
+        let mut net = Network::new(topo, SimConfig::new(5));
+        let before = net.memory_footprint();
+        assert_eq!(before.config_arena_entries, 1);
+        net.run_initial_convergence();
+        let after = net.memory_footprint();
+        // Full reachability: every router selects a route per prefix, and
+        // Adj-RIBs-In hold at least that much again.
+        assert!(after.routes >= 8 * 8, "routes {}", after.routes);
+        assert!(after.rib_heap_bytes > before.rib_heap_bytes);
+        assert!(after.max_node_rib_heap_bytes <= after.rib_heap_bytes);
+        assert!(after.bytes_per_route() > 0.0);
+    }
+
+    #[test]
+    fn revived_routers_reuse_the_interned_config() {
+        let topo = small_topo(6, 20);
+        let mut net = Network::new(
+            topo,
+            SimConfig::from_scheme(&crate::Scheme::constant_mrai(0.5), 11),
+        );
+        net.run_initial_convergence();
+        let failed = net.inject_failure(&FailureSpec::CenterFraction(0.1));
+        assert!(!failed.is_empty());
+        net.run_to_quiescence();
+        net.revive_routers(&failed);
+        assert_eq!(
+            net.cfg_arena.len(),
+            1,
+            "revival must intern into the existing arena, not grow it"
+        );
+        let alive: Vec<RouterId> = net
+            .topology()
+            .router_ids()
+            .filter(|r| !failed.contains(r))
+            .collect();
+        let reference = net.node(alive[0]).unwrap();
+        for &r in &failed {
+            assert!(
+                net.node(r).unwrap().shares_config_allocation(reference),
+                "revived router {r} carries a private config copy"
+            );
+        }
     }
 
     #[test]

@@ -94,7 +94,7 @@
 //! lookahead), and sampling runs (samples read global state mid-epoch).
 
 use std::collections::{BinaryHeap, HashSet, VecDeque};
-use std::sync::mpsc;
+use std::sync::{mpsc, Arc, Mutex};
 use std::time::Instant;
 
 use bgpsim_bgp::node::Action;
@@ -117,6 +117,15 @@ const LOCAL_KEY_BASE: u64 = 1 << 63;
 /// path; the outputs are identical either way.
 const COMMIT_PAR_MIN_OPS: usize = 16;
 
+/// Epochs with fewer drained events than this run Phase A on the
+/// coordinator thread instead of the worker pool — the per-epoch channel
+/// handoff plus barrier costs more than executing a handful of handlers
+/// directly. Mirrors [`COMMIT_PAR_MIN_OPS`], and like it is deliberately
+/// low so modest test topologies still exercise the fan-out path; the
+/// outputs are identical either way (the shared [`run_epoch_batch`] body
+/// runs under the same per-shard order on either thread).
+const PHASE_A_PAR_MIN_OPS: usize = 16;
+
 /// Cumulative wall-clock the sharded event loop spent per stage, exposed
 /// through [`Network::shard_phase_timings`]. Instrumentation only — never
 /// part of `RunStats`, so bit-identity comparisons are unaffected.
@@ -131,6 +140,10 @@ pub struct ShardPhaseTimings {
     /// Epochs whose commit streams ran on the worker pool (the rest
     /// applied inline — too few ops, or one stream configured).
     pub parallel_commit_epochs: u64,
+    /// Epochs whose Phase A ran on the coordinator thread (fewer drained
+    /// events than [`PHASE_A_PAR_MIN_OPS`] — the handoff would cost more
+    /// than the handlers).
+    pub inline_phase_a_epochs: u64,
     /// Drain + fan-out + parallel node execution + barrier (Phase A).
     pub phase_a_secs: f64,
     /// The serial order walk: id allocation, delivery accounting,
@@ -146,6 +159,7 @@ impl ShardPhaseTimings {
     pub(crate) fn add(&mut self, other: &ShardPhaseTimings) {
         self.epochs += other.epochs;
         self.parallel_commit_epochs += other.parallel_commit_epochs;
+        self.inline_phase_a_epochs += other.inline_phase_a_epochs;
         self.phase_a_secs += other.phase_a_secs;
         self.phase_b_secs += other.phase_b_secs;
         self.merge_secs += other.merge_secs;
@@ -511,14 +525,69 @@ enum Reply {
     Commit(ApplyOut),
 }
 
-/// A shard worker's main loop: per epoch, run the local `(time, key)`
-/// order to exhaustion and send the action traces back; between epochs,
-/// apply any commit stream the coordinator assigns. Exits when the work
-/// channel hangs up.
-fn run_worker(
+/// Executes one shard's epoch batch: run the local `(time, key)` order to
+/// exhaustion, feeding intra-epoch same-node follow-ups back into the
+/// heap, and record one `(node, actions, trace)` entry per handled event
+/// in execution order. This is the whole of Phase A for one shard —
+/// shared verbatim by the worker loop and the coordinator's inline path
+/// for small epochs, so the two paths cannot diverge. `local` must be
+/// empty on entry; the loop leaves it empty again (every intra-epoch
+/// follow-up fires before `epoch_end` by construction).
+fn run_epoch_batch(
     ctx: &ShardCtx<'_>,
     base: usize,
     nodes: &mut [Option<BgpNode>],
+    local: &mut BinaryHeap<Pending<Ev>>,
+    epoch_end: SimTime,
+    batch: Vec<(SimTime, u64, Ev)>,
+) -> EpochTrace {
+    let mut next_key = LOCAL_KEY_BASE;
+    for (at, key, ev) in batch {
+        local.push(Pending { at, key, item: ev });
+    }
+    let mut trace: EpochTrace = Vec::new();
+    while let Some(Pending {
+        at: t, item: ev, ..
+    }) = local.pop()
+    {
+        let Some((node, actions)) = dispatch(ctx, nodes, base, t, ev) else {
+            continue;
+        };
+        // The trace buffer the handler just filled travels with its
+        // actions so the commit can emit it in global order.
+        let events = nodes[node.index() - base]
+            .as_mut()
+            .map(BgpNode::take_trace)
+            .unwrap_or_default();
+        for action in &actions {
+            if let Some((at2, ev2)) = follow_up(node, t, action) {
+                if at2 < epoch_end {
+                    local.push(Pending {
+                        at: at2,
+                        key: next_key,
+                        item: ev2,
+                    });
+                    next_key += 1;
+                }
+            }
+        }
+        trace.push((node, actions, events));
+    }
+    trace
+}
+
+/// A shard worker's main loop: per epoch, execute the assigned batch and
+/// send the action traces back; between epochs, apply any commit stream
+/// the coordinator assigns. The node chunk lives behind a mutex so the
+/// coordinator can run *small* epochs inline instead (see
+/// [`PHASE_A_PAR_MIN_OPS`]); the lock is uncontended by construction —
+/// the coordinator only touches a chunk in epochs where it sent that
+/// worker no batch, and the reply barrier orders everything else. Exits
+/// when the work channel hangs up.
+fn run_worker(
+    ctx: &ShardCtx<'_>,
+    base: usize,
+    nodes: &Mutex<Vec<Option<BgpNode>>>,
     link_delay: SimDuration,
     rx: &mpsc::Receiver<Work>,
     tx: &mpsc::Sender<Reply>,
@@ -527,40 +596,10 @@ fn run_worker(
     while let Ok(work) = rx.recv() {
         let reply = match work {
             Work::Epoch((epoch_end, batch)) => {
-                let mut next_key = LOCAL_KEY_BASE;
-                for (at, key, ev) in batch {
-                    local.push(Pending { at, key, item: ev });
-                }
-                let mut trace: EpochTrace = Vec::new();
-                while let Some(Pending {
-                    at: t, item: ev, ..
-                }) = local.pop()
-                {
-                    let Some((node, actions)) = dispatch(ctx, nodes, base, t, ev) else {
-                        continue;
-                    };
-                    // The trace buffer the handler just filled travels
-                    // with its actions so the commit can emit it in
-                    // global order.
-                    let events = nodes[node.index() - base]
-                        .as_mut()
-                        .map(BgpNode::take_trace)
-                        .unwrap_or_default();
-                    for action in &actions {
-                        if let Some((at2, ev2)) = follow_up(node, t, action) {
-                            if at2 < epoch_end {
-                                local.push(Pending {
-                                    at: at2,
-                                    key: next_key,
-                                    item: ev2,
-                                });
-                                next_key += 1;
-                            }
-                        }
-                    }
-                    trace.push((node, actions, events));
-                }
-                Reply::Epoch(trace)
+                let mut chunk = nodes.lock().expect("chunk mutex poisoned");
+                Reply::Epoch(run_epoch_batch(
+                    ctx, base, &mut chunk, &mut local, epoch_end, batch,
+                ))
             }
             Work::Commit { epoch_end, ops } => {
                 Reply::Commit(apply_ops(ctx.alive, link_delay, epoch_end, ops))
@@ -605,11 +644,16 @@ pub(crate) fn pump_sharded(net: &mut Network) {
             *node = s;
         }
     }
-    let mut chunks: Vec<Vec<Option<BgpNode>>> = Vec::with_capacity(shards);
+    // Each shard's router chunk sits behind a mutex shared between its
+    // worker and the coordinator: big epochs run on the worker, small
+    // epochs run inline on the coordinator (see `PHASE_A_PAR_MIN_OPS`),
+    // and the epoch protocol guarantees only one side holds a chunk at a
+    // time.
+    let mut chunks: Vec<Arc<Mutex<Vec<Option<BgpNode>>>>> = Vec::with_capacity(shards);
     {
         let mut rest = std::mem::take(&mut net.nodes);
         for s in (0..shards).rev() {
-            chunks.push(rest.split_off(bounds[s]));
+            chunks.push(Arc::new(Mutex::new(rest.split_off(bounds[s]))));
         }
         chunks.reverse();
         debug_assert!(rest.is_empty());
@@ -631,11 +675,11 @@ pub(crate) fn pump_sharded(net: &mut Network) {
     let mut timings = ShardPhaseTimings::default();
     let result = crossbeam::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(shards);
-        for (s, ((wrx, ttx), mut chunk)) in worker_ends.into_iter().zip(chunks).enumerate() {
+        for (s, (wrx, ttx)) in worker_ends.into_iter().enumerate() {
             let base = bounds[s];
+            let chunk = Arc::clone(&chunks[s]);
             handles.push(scope.spawn(move |_| {
-                run_worker(&ctx, base, &mut chunk, link_delay, &wrx, &ttx);
-                chunk
+                run_worker(&ctx, base, &chunk, link_delay, &wrx, &ttx);
             }));
         }
 
@@ -644,6 +688,9 @@ pub(crate) fn pump_sharded(net: &mut Network) {
             (0..n).map(|_| VecDeque::new()).collect();
         let mut replay: BinaryHeap<Pending<CommitEv>> = BinaryHeap::new();
         let mut engaged = vec![false; shards];
+        // The coordinator's own epoch heap for the inline Phase A path
+        // (workers each have theirs inside `run_worker`).
+        let mut inline_heap: BinaryHeap<Pending<Ev>> = BinaryHeap::new();
 
         while let Some(t0) = net.sched.peek_time() {
             let epoch_start = Instant::now();
@@ -653,6 +700,7 @@ pub(crate) fn pump_sharded(net: &mut Network) {
 
             // Fan the epoch's events out to their owners' shards, seeding
             // the walk's replay with their real (time, id) keys.
+            let inline_phase_a = drained.len() < PHASE_A_PAR_MIN_OPS;
             let mut batches: Vec<Vec<(SimTime, u64, Ev)>> = vec![Vec::new(); shards];
             for (at, id, ev) in drained {
                 let node = owner(&ev);
@@ -667,28 +715,55 @@ pub(crate) fn pump_sharded(net: &mut Network) {
                 });
                 batches[shard_of[node.index()]].push((at, key, ev));
             }
-            for (s, batch) in batches.into_iter().enumerate() {
-                engaged[s] = !batch.is_empty();
-                if engaged[s] {
-                    work_txs[s]
-                        .send(Work::Epoch((epoch_end, batch)))
-                        .expect("shard worker alive");
-                }
-            }
-            // Barrier: collect every engaged shard's traces, grouped per
-            // node (a shard reports its nodes' traces in execution order,
-            // so per-node FIFO order is preserved).
-            for s in 0..shards {
-                if !engaged[s] {
-                    continue;
-                }
-                match reply_rxs[s].recv().expect("shard worker alive") {
-                    Reply::Epoch(trace) => {
-                        for (node, actions, events) in trace {
-                            traces[node.index()].push_back((actions, events));
-                        }
+            if inline_phase_a {
+                // Too few events to pay for the channel handoff: run each
+                // touched shard's batch on this thread, in shard order.
+                // Per-shard execution order — the only order the nodes can
+                // observe — is identical to the fan-out path because both
+                // call `run_epoch_batch`; the workers are idle, so the
+                // chunk locks are free.
+                timings.inline_phase_a_epochs += 1;
+                for (s, batch) in batches.into_iter().enumerate() {
+                    if batch.is_empty() {
+                        continue;
                     }
-                    Reply::Commit(_) => unreachable!("protocol: epoch reply expected"),
+                    let mut chunk = chunks[s].lock().expect("chunk mutex poisoned");
+                    let trace = run_epoch_batch(
+                        &ctx,
+                        bounds[s],
+                        &mut chunk,
+                        &mut inline_heap,
+                        epoch_end,
+                        batch,
+                    );
+                    for (node, actions, events) in trace {
+                        traces[node.index()].push_back((actions, events));
+                    }
+                }
+            } else {
+                for (s, batch) in batches.into_iter().enumerate() {
+                    engaged[s] = !batch.is_empty();
+                    if engaged[s] {
+                        work_txs[s]
+                            .send(Work::Epoch((epoch_end, batch)))
+                            .expect("shard worker alive");
+                    }
+                }
+                // Barrier: collect every engaged shard's traces, grouped
+                // per node (a shard reports its nodes' traces in execution
+                // order, so per-node FIFO order is preserved).
+                for s in 0..shards {
+                    if !engaged[s] {
+                        continue;
+                    }
+                    match reply_rxs[s].recv().expect("shard worker alive") {
+                        Reply::Epoch(trace) => {
+                            for (node, actions, events) in trace {
+                                traces[node.index()].push_back((actions, events));
+                            }
+                        }
+                        Reply::Commit(_) => unreachable!("protocol: epoch reply expected"),
+                    }
                 }
             }
             timings.phase_a_secs += epoch_start.elapsed().as_secs_f64();
@@ -887,11 +962,18 @@ pub(crate) fn pump_sharded(net: &mut Network) {
             );
         }
 
-        // Hang up; workers drain and hand their router chunks back.
+        // Hang up; once every worker has exited, the coordinator holds
+        // the only reference to each chunk and reassembles the node vec.
         drop(work_txs);
-        let mut nodes: Vec<Option<BgpNode>> = Vec::with_capacity(n);
         for h in handles {
-            nodes.extend(h.join().expect("shard worker panicked"));
+            h.join().expect("shard worker panicked");
+        }
+        let mut nodes: Vec<Option<BgpNode>> = Vec::with_capacity(n);
+        for chunk in chunks {
+            let Ok(chunk) = Arc::try_unwrap(chunk) else {
+                unreachable!("joined workers dropped their chunk handles")
+            };
+            nodes.extend(chunk.into_inner().expect("chunk mutex poisoned"));
         }
         nodes
     });
@@ -1103,6 +1185,25 @@ mod tests {
                 "trace bytes diverged at {shards} shards / {streams} streams"
             );
         }
+    }
+
+    #[test]
+    fn small_epochs_run_phase_a_inline() {
+        // The origination trickle and the post-storm tail both produce
+        // epochs with a handful of events — those must take the inline
+        // path, and bigger epochs must still reach the worker pool. The
+        // identity of the two paths is pinned by every other test in this
+        // module (they all run epochs on both sides of the threshold).
+        let (_, net) = run_with_shards(2);
+        let t = net.shard_phase_timings();
+        assert!(
+            t.inline_phase_a_epochs > 0,
+            "no epoch was small enough for the inline Phase A path"
+        );
+        assert!(
+            t.inline_phase_a_epochs < t.epochs,
+            "no epoch was big enough for the worker-pool path"
+        );
     }
 
     #[test]

@@ -294,6 +294,34 @@ mod tests {
     }
 
     #[test]
+    fn forks_share_allocations_with_the_original() {
+        // The arena claim of DESIGN.md §12: forking is a refcount
+        // transaction, not a deep copy. Every fork shares the interned
+        // node-config allocations and the `Arc<[AsId]>` path storage with
+        // the network it was captured from — witnessed by pointer
+        // equality, not just value equality.
+        let net = converged_net(21);
+        let fork = net.snapshot().fork();
+        let mut routes = 0usize;
+        for r in net.topology().router_ids() {
+            let (a, b) = (net.node(r).unwrap(), fork.node(r).unwrap());
+            assert!(
+                a.shares_config_allocation(b),
+                "fork deep-copied the config of {r}"
+            );
+            for (prefix, sel) in a.loc_rib().iter() {
+                let other = b.loc_rib().get(prefix).expect("fork lost a route");
+                assert!(
+                    sel.path.ptr_eq(&other.path),
+                    "fork deep-copied the path for {prefix} at {r}"
+                );
+                routes += 1;
+            }
+        }
+        assert!(routes > 0, "converged network must hold routes");
+    }
+
+    #[test]
     fn fork_continues_bit_identically_to_original() {
         let mut cold = converged_net(11);
         let snapshot = cold.snapshot();

@@ -143,6 +143,78 @@ impl SkewedSpec {
     }
 }
 
+/// CAIDA-like AS-level degree distribution for Internet-scale topologies
+/// (the ROADMAP's 10k–70k-AS target): a tiered stub/transit mix with a
+/// power-law transit tail and overall average degree ≈ 4.2, the shape of
+/// the measured AS graph.
+///
+/// * **Stubs** (82% of ASes) have degree 1–3 — edge networks, single- or
+///   multi-homed to a few providers. This is the low class, so the
+///   degree-dependent MRAI experiments classify exactly the transit tier
+///   as "high" ([`SkewedSpec::min_high_degree`] = 4).
+/// * **Transit** ASes (18%) draw from a truncated power law over
+///   `4..=max`, where `max` grows with `n` (≈ 4·√n, capped at `n/4` — a
+///   hub scale the configuration-model construction still realizes
+///   reliably) and the exponent is solved by bisection so the overall
+///   mean lands on 4.2.
+///
+/// Below roughly 300 ASes the truncation is too tight for the transit
+/// tier to reach its share of the 4.2 target; the exponent saturates and
+/// the mean falls short. The preset asserts only `n >= 64` so small
+/// smoke tests still run, but it is meant for thousands of ASes.
+///
+/// ```
+/// use bgpsim_topology::degree::caida_like;
+///
+/// let spec = caida_like(10_000);
+/// assert!((spec.mean() - 4.2).abs() < 0.05);
+/// assert_eq!(spec.min_high_degree(), 4);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `n < 64` — too few ASes to tier.
+pub fn caida_like(n: usize) -> SkewedSpec {
+    assert!(n >= 64, "caida_like needs a population to tier (n >= 64)");
+    const STUB_FRACTION: f64 = 0.82;
+    const TARGET_MEAN: f64 = 4.2;
+    let stub_mean = 2.0; // uniform 1..=3
+    let transit_fraction = 1.0 - STUB_FRACTION;
+    let transit_mean = (TARGET_MEAN - STUB_FRACTION * stub_mean) / transit_fraction;
+    let max_degree = ((4.0 * (n as f64).sqrt()).round() as u32)
+        .min(n as u32 / 4)
+        .max(8);
+    // Mean of the truncated power law over 4..=max_degree decreases
+    // monotonically in the exponent; bisect to hit the transit target.
+    let mean_for = |gamma: f64| {
+        let (mut num, mut den) = (0.0, 0.0);
+        for d in 4..=max_degree {
+            let w = f64::from(d).powf(-gamma);
+            num += f64::from(d) * w;
+            den += w;
+        }
+        num / den
+    };
+    let (mut lo, mut hi) = (0.0_f64, 8.0_f64);
+    for _ in 0..100 {
+        let mid = (lo + hi) / 2.0;
+        if mean_for(mid) > transit_mean {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    let gamma = (lo + hi) / 2.0;
+    SkewedSpec {
+        low_min: 1,
+        low_max: 3,
+        high: (4..=max_degree)
+            .map(|d| (d, f64::from(d).powf(-gamma)))
+            .collect(),
+        high_fraction: transit_fraction,
+    }
+}
+
 /// A degree distribution specification.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 #[non_exhaustive]
@@ -349,6 +421,47 @@ mod tests {
         assert!((SkewedSpec::fifty_fifty().mean() - 3.8).abs() < 1e-9);
         assert!((SkewedSpec::eighty_five_fifteen().mean() - 3.8).abs() < 1e-9);
         assert!((SkewedSpec::fifty_fifty_dense().mean() - 7.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn caida_like_hits_internet_shape() {
+        for n in [1_000, 10_000, 70_000] {
+            let spec = caida_like(n);
+            assert!(
+                (spec.mean() - 4.2).abs() < 0.05,
+                "n={n}: mean {} off the 4.2 target",
+                spec.mean()
+            );
+            assert_eq!(spec.min_high_degree(), 4, "transit tier starts at 4");
+        }
+        // The hub scale grows with the AS count.
+        let small = caida_like(1_000).high.last().unwrap().0;
+        let large = caida_like(70_000).high.last().unwrap().0;
+        assert!(small < large, "hub cap must scale: {small} !< {large}");
+    }
+
+    #[test]
+    fn caida_like_sample_is_stub_heavy() {
+        let mut rng = SmallRng::seed_from_u64(13);
+        let degrees = caida_like(10_000).sample(10_000, &mut rng);
+        let stubs = degrees.iter().filter(|&&d| d <= 3).count() as f64 / 10_000.0;
+        assert!(
+            (0.79..=0.85).contains(&stubs),
+            "stub fraction {stubs} should be ~0.82"
+        );
+        let m = mean_of(&degrees);
+        assert!((m - 4.2).abs() < 0.4, "sampled mean {m} off target");
+        assert_eq!(
+            degrees.iter().map(|&d| u64::from(d)).sum::<u64>() % 2,
+            0,
+            "degree sum must be even"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "population to tier")]
+    fn caida_like_rejects_tiny_populations() {
+        let _ = caida_like(10);
     }
 
     #[test]

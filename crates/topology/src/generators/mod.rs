@@ -156,6 +156,25 @@ mod tests {
     }
 
     #[test]
+    fn caida_like_spec_generates_at_scale() {
+        // Small enough to stay fast, big enough that the transit tier's
+        // power-law tail (hub cap ≈ 4·√n ≈ 98) is actually exercised by
+        // the configuration-model construction.
+        let mut rng = SmallRng::seed_from_u64(21);
+        let spec = crate::degree::caida_like(600);
+        let topo = skewed_topology(600, &spec, &mut rng).unwrap();
+        assert!(topo.is_connected());
+        let stubs = topo.router_ids().filter(|&r| topo.degree(r) <= 3).count();
+        assert!(
+            (0.70..=0.88).contains(&(stubs as f64 / 600.0)),
+            "stub share {} after construction repair",
+            stubs as f64 / 600.0
+        );
+        let max_deg = topo.router_ids().map(|r| topo.degree(r)).max().unwrap();
+        assert!(max_deg > 20, "transit tail collapsed: max degree {max_deg}");
+    }
+
+    #[test]
     fn power_law_spec_generates() {
         let mut rng = SmallRng::seed_from_u64(3);
         let spec = crate::degree::internet_like(40, 3.4);

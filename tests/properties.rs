@@ -5,7 +5,7 @@ use bgpsim::network::{Network, SimConfig};
 use bgpsim::scheme::Scheme;
 use bgpsim_bgp::decision::select_best;
 use bgpsim_bgp::queue::{InputQueue, QueueDiscipline, WorkItem};
-use bgpsim_bgp::rib::{AdjRibIn, NextHop, RouteEntry};
+use bgpsim_bgp::rib::{EngineRibIn, NextHop, RouteEntry};
 use bgpsim_bgp::{AsPath, Prefix, UpdateMsg};
 use bgpsim_des::{Scheduler, SimTime};
 use bgpsim_topology::degree::{is_graphical, DegreeSpec, SkewedSpec};
@@ -131,7 +131,7 @@ proptest! {
     /// and ties break towards the smallest peer id.
     #[test]
     fn decision_picks_minimum(candidates in prop::collection::vec((0u32..64, 1usize..6), 1..10)) {
-        let mut rib = AdjRibIn::new();
+        let mut rib = EngineRibIn::new();
         let p = Prefix::new(0);
         let mut seen: Vec<(u32, usize)> = Vec::new();
         for &(peer, len) in &candidates {
