@@ -21,7 +21,11 @@
 //! shards, the *effective* worker parallelism (capped by the machine's
 //! cores — on a 1-core box the sharded rows measure coordination
 //! overhead, not speedup, and say so), and the engine's per-phase
-//! wall-clock split (Phase A execute / Phase B walk / commit+merge).
+//! wall-clock split (partition/drain scan, Phase A execute, Phase B
+//! walk, commit+merge, mailbox exchange) plus its serial fraction.
+//! A `small-epoch` section follows: the per-epoch coordination cost of
+//! the old `mpsc` channel handoff vs the parked worker pool, in
+//! ns/epoch for empty and 16-op epochs (see `run_small_epoch_section`).
 //! A fifth section measures structured-tracing overhead: the same
 //! re-convergence with the sink Off (the default one-branch hooks) and
 //! with a Memory ring recording everything, asserting bit-identical
@@ -182,9 +186,12 @@ fn phases_json(t: &bgpsim::ShardPhaseTimings) -> serde_json::Value {
         "epochs": t.epochs,
         "parallel_commit_epochs": t.parallel_commit_epochs,
         "inline_phase_a_epochs": t.inline_phase_a_epochs,
+        "drain_secs": t.drain_secs,
         "phase_a_secs": t.phase_a_secs,
         "phase_b_secs": t.phase_b_secs,
         "merge_secs": t.merge_secs,
+        "mailbox_exchange_secs": t.mailbox_exchange_secs,
+        "serial_fraction": t.serial_fraction(),
     })
 }
 
@@ -237,6 +244,108 @@ fn run_memory_point(sz: usize) -> ExitCode {
             ExitCode::FAILURE
         }
     }
+}
+
+/// `small-epoch` section: per-epoch coordination overhead, measured bare.
+///
+/// Isolates what one sharded epoch costs when the epoch itself is nearly
+/// free — the regime convergence tails live in, where most epochs carry a
+/// handful of MRAI timers. Two mechanisms run the same `workers`-way
+/// fan-out + barrier per epoch:
+///
+/// * `channel`: the old per-epoch handoff — persistent scoped threads,
+///   one `mpsc` work send and one reply receive per worker per epoch.
+/// * `pool`: the parked worker pool the engine now uses
+///   ([`bgpsim::pool`]) — `Scope::spawn` per worker plus the helping
+///   `Scope::wait` barrier, no channels.
+///
+/// Rows measure an empty epoch (pure barrier) and a 16-op epoch (the
+/// `PHASE_A_PAR_MIN_OPS` threshold, ops split across workers; each op is
+/// a black-boxed atomic add). Both mechanisms must produce the same op
+/// sums — a divergence is a harness bug and panics.
+fn run_small_epoch_section(fast: bool) -> serde_json::Value {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::mpsc;
+
+    fn spin(ops: u64, sink: &AtomicU64) {
+        for i in 0..ops {
+            sink.fetch_add(std::hint::black_box(i + 1), Ordering::Relaxed);
+        }
+    }
+
+    let workers = 4usize;
+    let epochs: u64 = if fast { 20_000 } else { 100_000 };
+    let mut rows = Vec::new();
+    for total_ops in [0u64, 16] {
+        let per_worker = total_ops / workers as u64;
+
+        let channel_sink = AtomicU64::new(0);
+        let channel_secs = crossbeam::thread::scope(|scope| {
+            let mut work_txs = Vec::with_capacity(workers);
+            let mut reply_rxs = Vec::with_capacity(workers);
+            for _ in 0..workers {
+                let (wtx, wrx) = mpsc::channel::<u64>();
+                let (rtx, rrx) = mpsc::channel::<()>();
+                let sink = &channel_sink;
+                scope.spawn(move |_| {
+                    while let Ok(ops) = wrx.recv() {
+                        spin(ops, sink);
+                        if rtx.send(()).is_err() {
+                            break;
+                        }
+                    }
+                });
+                work_txs.push(wtx);
+                reply_rxs.push(rrx);
+            }
+            let started = Instant::now();
+            for _ in 0..epochs {
+                for tx in &work_txs {
+                    tx.send(per_worker).expect("bench worker alive");
+                }
+                for rx in &reply_rxs {
+                    rx.recv().expect("bench worker alive");
+                }
+            }
+            let took = started.elapsed().as_secs_f64();
+            drop(work_txs); // hang up so the scope's join can complete
+            took
+        })
+        .expect("channel bench workers don't panic");
+
+        let pool_sink = AtomicU64::new(0);
+        let pool = bgpsim::pool::global();
+        let started = Instant::now();
+        pool.scope(|s| {
+            for _ in 0..epochs {
+                for _ in 0..workers {
+                    let sink = &pool_sink;
+                    s.spawn(move || spin(per_worker, sink));
+                }
+                s.wait();
+            }
+        });
+        let pool_secs = started.elapsed().as_secs_f64();
+
+        assert_eq!(
+            channel_sink.into_inner(),
+            pool_sink.into_inner(),
+            "small-epoch: mechanisms disagree on op count"
+        );
+        let channel_ns = channel_secs * 1e9 / epochs as f64;
+        let pool_ns = pool_secs * 1e9 / epochs as f64;
+        rows.push(serde_json::json!({
+            "ops_per_epoch": total_ops,
+            "channel_ns_per_epoch": channel_ns,
+            "pool_ns_per_epoch": pool_ns,
+            "pool_speedup": if pool_ns > 0.0 { channel_ns / pool_ns } else { 0.0 },
+        }));
+    }
+    serde_json::json!({
+        "workers": workers,
+        "epochs_per_row": epochs,
+        "rows": rows,
+    })
 }
 
 /// How many shards and commit streams the multi-core gate runs, and the
@@ -292,12 +401,16 @@ fn run_multicore_gate(args: &Args) -> ExitCode {
         "  {GATE_SHARDS} shards x {GATE_SHARDS} streams: {sharded_wall:7.2} s   {speedup:.2}x vs serial"
     );
     println!(
-        "    phases: A {:.2} s | walk {:.2} s | commit+merge {:.2} s ({}/{} epochs parallel)",
+        "    phases: drain {:.2} s | A {:.2} s | walk {:.2} s | commit+merge {:.2} s | \
+         exchange {:.2} s ({}/{} epochs parallel, serial fraction {:.0}%)",
+        phases.drain_secs,
         phases.phase_a_secs,
         phases.phase_b_secs,
         phases.merge_secs,
+        phases.mailbox_exchange_secs,
         phases.parallel_commit_epochs,
-        phases.epochs
+        phases.epochs,
+        phases.serial_fraction() * 100.0
     );
     let enforced = cores >= GATE_SHARDS;
     let speedup_ok = speedup >= GATE_MIN_SPEEDUP;
@@ -690,6 +803,9 @@ fn main() -> ExitCode {
     restore_env("BGPSIM_SHARDS", prev_shards);
     restore_env("BGPSIM_COMMIT_STREAMS", prev_streams);
 
+    // ── Small-epoch coordination overhead ───────────────────────────────
+    let small_epoch = run_small_epoch_section(args.fast);
+
     // ── Tracing overhead ────────────────────────────────────────────────
     // The same re-convergence run three ways: sink left Off (the default —
     // every hook site is one `Option` branch), a Memory ring recording the
@@ -864,6 +980,7 @@ fn main() -> ExitCode {
             "shard_counts": shard_counts,
             "sections": sharded_sections,
         }),
+        "small_epoch": small_epoch,
         "tracing": serde_json::json!({
             "runs_per_sink": trace_runs,
             "scheme": schemes[0].name,
@@ -958,15 +1075,33 @@ fn main() -> ExitCode {
             let p = &row["phases"];
             if !p.is_null() {
                 println!(
-                    "      phases: A {:.2} s | walk {:.2} s | commit+merge {:.2} s ({}/{} epochs parallel)",
+                    "      phases: drain {:.2} s | A {:.2} s | walk {:.2} s | commit+merge {:.2} s | \
+                     exchange {:.2} s ({}/{} epochs parallel, serial fraction {:.0}%)",
+                    p["drain_secs"].as_f64().unwrap_or(0.0),
                     p["phase_a_secs"].as_f64().unwrap_or(0.0),
                     p["phase_b_secs"].as_f64().unwrap_or(0.0),
                     p["merge_secs"].as_f64().unwrap_or(0.0),
+                    p["mailbox_exchange_secs"].as_f64().unwrap_or(0.0),
                     p["parallel_commit_epochs"].as_u64().unwrap_or(0),
-                    p["epochs"].as_u64().unwrap_or(0)
+                    p["epochs"].as_u64().unwrap_or(0),
+                    p["serial_fraction"].as_f64().unwrap_or(0.0) * 100.0
                 );
             }
         }
+    }
+    println!(
+        "small-epoch overhead ({} workers, {} epochs/row):",
+        small_epoch["workers"].as_u64().unwrap_or(0),
+        small_epoch["epochs_per_row"].as_u64().unwrap_or(0)
+    );
+    for row in small_epoch["rows"].as_array().into_iter().flatten() {
+        println!(
+            "  {:2}-op epoch: channel handoff {:8.0} ns/epoch   parked pool {:8.0} ns/epoch   ({:.2}x)",
+            row["ops_per_epoch"].as_u64().unwrap_or(0),
+            row["channel_ns_per_epoch"].as_f64().unwrap_or(0.0),
+            row["pool_ns_per_epoch"].as_f64().unwrap_or(0.0),
+            row["pool_speedup"].as_f64().unwrap_or(0.0)
+        );
     }
     println!("tracing overhead (re-convergence, best of {trace_runs}):");
     println!(

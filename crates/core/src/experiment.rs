@@ -368,6 +368,14 @@ fn run_all_parallel_inner(
         .collect();
 
     let workers = threads.min(tasks.len().max(1));
+    // Trial workers are plain scoped threads: there are few of them and
+    // they live for the whole batch, so spawn cost is noise. The epoch
+    // fan-out inside each trial's sharded pump is what runs on the
+    // process-wide parked pool (`crate::pool::global`) — one pool,
+    // reused across every epoch of every trial in the batch, so sweeps
+    // never pay a per-trial thread-pool setup. Concurrent pumps open
+    // concurrent scopes on that shared pool; its helping barrier keeps
+    // them from starving each other even when workers < pumps.
     crossbeam::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|_| loop {

@@ -61,6 +61,7 @@ pub mod extensions;
 pub mod figures;
 pub mod metrics;
 pub mod network;
+pub mod pool;
 pub mod report;
 pub mod scenario;
 pub mod scheme;

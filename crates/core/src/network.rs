@@ -1234,6 +1234,11 @@ impl Network {
         // bit-identical to serial — see the `shard` module) needs a
         // non-zero lookahead and cannot interleave timeline sampling,
         // which reads global state mid-epoch; those runs stay serial.
+        // While sharded, `self.sched` is empty — pending events live in
+        // the shard-owned FELs — but its id allocation and delivery
+        // accounting still advance in serial order, so at quiescence the
+        // scheduler's counters (and any snapshot taken of them) are
+        // identical to a serial run's.
         if self.shards > 1 && self.sample_interval.is_none() && !self.cfg.link_delay.is_zero() {
             crate::shard::pump_sharded(self);
             return;

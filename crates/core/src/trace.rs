@@ -14,12 +14,14 @@
 //! The stream is a pure function of the simulation: the serial loop
 //! stamps each handler's events at delivery, and the sharded loop's
 //! Phase B walk replays the epoch in the same global `(time, id)` order
-//! (see the `shard` module). With the parallel commit the per-event
-//! trace batches travel through the destination-partitioned commit
-//! streams tagged with their walk position, and the deterministic merge
-//! emits them back in exactly that order — so a trace taken at
-//! `BGPSIM_SHARDS=N` is **byte-identical** to the serial one for any
-//! shard *and* commit-stream count. Recording never touches node RNGs
+//! (see the `shard` module) — shard-owned FELs move *where* events wait,
+//! never the walk order that emission follows. With the parallel commit
+//! the per-event trace batches travel through the
+//! destination-partitioned commit streams tagged with their walk
+//! position, and the deterministic merge emits them back in exactly
+//! that order — so a trace taken at `BGPSIM_SHARDS=N` is
+//! **byte-identical** to the serial one for any shard *and*
+//! commit-stream count. Recording never touches node RNGs
 //! or timers, so a traced run also produces bit-identical
 //! [`RunStats`](crate::RunStats) to an untraced one.
 //!

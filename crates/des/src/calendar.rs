@@ -196,17 +196,21 @@ impl<E> CalendarQueue<E> {
     /// scheduled again — see
     /// [`Scheduler::insert_allocated`](crate::Scheduler::insert_allocated).
     ///
+    /// As on the heap scheduler, `id` may come from a different queue's
+    /// counter (shard-owned FELs receive ids allocated by the central
+    /// walk); the local counter is bumped past it so a later local
+    /// allocation can never collide.
+    ///
     /// # Panics
     ///
-    /// Panics if `at` is earlier than [`now`](CalendarQueue::now);
-    /// debug-panics if `id` was never allocated.
+    /// Panics if `at` is earlier than [`now`](CalendarQueue::now).
     pub fn insert_allocated(&mut self, at: SimTime, id: EventId, payload: E) {
         assert!(
             at >= self.now,
             "cannot schedule event at {at} before current time {}",
             self.now
         );
-        debug_assert!(id.as_u64() < self.next_id, "id was never allocated");
+        self.next_id = self.next_id.max(id.as_u64() + 1);
         self.insert_sorted(at, id, payload);
     }
 
@@ -270,6 +274,22 @@ impl<E> CalendarQueue<E> {
             self.cursor_start = (at.as_nanos() / self.bucket_width) * self.bucket_width;
             out.push((at, entry.id, entry.payload.expect("min entry is live")));
         }
+        out
+    }
+
+    /// Removes and returns every live event in **arbitrary order**, without
+    /// advancing the clock or the delivered count — see
+    /// [`Scheduler::drain_all`](crate::Scheduler::drain_all).
+    pub fn drain_all(&mut self) -> Vec<(SimTime, EventId, E)> {
+        let mut out = Vec::with_capacity(self.live);
+        for deque in &mut self.buckets {
+            for entry in deque.drain(..) {
+                if let Some(payload) = entry.payload {
+                    out.push((entry.at, entry.id, payload));
+                }
+            }
+        }
+        self.live = 0;
         out
     }
 
@@ -473,6 +493,68 @@ mod tests {
         );
         assert_eq!(heap.delivered_count(), cal.delivered_count());
         assert_eq!(heap.scheduled_count(), cal.scheduled_count());
+    }
+
+    #[test]
+    fn insert_allocated_out_of_id_order_across_buckets_matches_heap() {
+        // The shard-owned FELs feed `insert_allocated` ids minted by the
+        // central walk, arriving in per-source-shard chunks that are id-
+        // ascending but interleave arbitrarily across chunks — and the
+        // timestamps straddle bucket boundaries (and the year wrap). The
+        // bucket-local back-scan must still produce exactly the heap's
+        // global (time, id) delivery order.
+        use crate::sched::Scheduler;
+        let mut heap: Scheduler<u32> = Scheduler::new();
+        // 4 buckets × 1 ms: events 1 ms apart land in adjacent buckets,
+        // events 4 ms apart collide in the same bucket across year laps.
+        let mut cal: CalendarQueue<u32> = CalendarQueue::with_shape(4, SimDuration::from_millis(1));
+        let entries = [
+            // (time ms, id, payload) — ids deliberately not in time order,
+            // and no id was allocated by either queue's own counter.
+            (9u64, 4u64, 104u32), // bucket 1, second lap
+            (1, 7, 107),          // bucket 1, first lap — same bucket, earlier time, later id
+            (5, 2, 102),          // bucket 1, second lap wrap, earlier than 9 ms
+            (0, 9, 109),          // bucket 0
+            (1, 3, 103),          // bucket 1, same instant as id 7 — id breaks the tie
+            (3, 0, 100),          // bucket 3
+            (2, 6, 106),          // bucket 2
+        ];
+        for &(ms, id, p) in &entries {
+            heap.insert_allocated(SimTime::from_millis(ms), EventId::from_u64(id), p);
+            cal.insert_allocated(SimTime::from_millis(ms), EventId::from_u64(id), p);
+        }
+        let bound = SimTime::from_millis(100);
+        let h = heap.drain_until(bound);
+        let c = cal.drain_until(bound);
+        assert_eq!(h, c, "calendar drain order diverges from the heap");
+        assert_eq!(
+            h.iter().map(|&(_, _, p)| p).collect::<Vec<_>>(),
+            vec![109, 103, 107, 106, 100, 102, 104],
+            "global (time, id) order, independent of insertion order"
+        );
+        // Both counters were bumped past the foreign ids: fresh local
+        // allocations cannot collide with what was inserted.
+        assert_eq!(heap.alloc_id(), EventId::from_u64(10));
+        assert_eq!(cal.alloc_id(), EventId::from_u64(10));
+    }
+
+    #[test]
+    fn drain_all_empties_and_skips_cancelled() {
+        let mut q: CalendarQueue<u32> = CalendarQueue::new();
+        q.schedule(SimTime::from_millis(30), 0);
+        let dead = q.schedule(SimTime::from_millis(10), 1);
+        q.schedule(SimTime::from_millis(20), 2);
+        q.cancel(dead);
+        let mut all = q.drain_all();
+        all.sort_by_key(|&(at, id, _)| (at, id));
+        assert_eq!(
+            all.iter().map(|&(_, _, p)| p).collect::<Vec<_>>(),
+            vec![2, 0],
+            "cancelled entries are retired, live ones all come out"
+        );
+        assert!(q.is_empty());
+        assert_eq!(q.now(), SimTime::ZERO);
+        assert_eq!(q.delivered_count(), 0);
     }
 
     #[test]

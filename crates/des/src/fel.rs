@@ -58,9 +58,13 @@ pub trait FutureEventList<E> {
     /// Advances the clock to `at` and counts `n` deliveries at once.
     fn mark_delivered_many(&mut self, at: SimTime, n: u64);
     /// Enqueues `payload` at `at` under an id previously handed out by
-    /// [`alloc_id`](FutureEventList::alloc_id), without counting it as
+    /// [`alloc_id`](FutureEventList::alloc_id) — possibly another list's;
+    /// the local counter is bumped past it — without counting it as
     /// scheduled again.
     fn insert_allocated(&mut self, at: SimTime, id: EventId, payload: E);
+    /// Removes every live event in arbitrary order, without advancing the
+    /// clock or the delivered count. The sharded engine's partition step.
+    fn drain_all(&mut self) -> Vec<(SimTime, EventId, E)>;
 }
 
 impl<E> FutureEventList<E> for Scheduler<E> {
@@ -103,6 +107,9 @@ impl<E> FutureEventList<E> for Scheduler<E> {
     fn insert_allocated(&mut self, at: SimTime, id: EventId, payload: E) {
         Scheduler::insert_allocated(self, at, id, payload)
     }
+    fn drain_all(&mut self) -> Vec<(SimTime, EventId, E)> {
+        Scheduler::drain_all(self)
+    }
 }
 
 impl<E> FutureEventList<E> for CalendarQueue<E> {
@@ -144,6 +151,9 @@ impl<E> FutureEventList<E> for CalendarQueue<E> {
     }
     fn insert_allocated(&mut self, at: SimTime, id: EventId, payload: E) {
         CalendarQueue::insert_allocated(self, at, id, payload)
+    }
+    fn drain_all(&mut self) -> Vec<(SimTime, EventId, E)> {
+        CalendarQueue::drain_all(self)
     }
 }
 
@@ -332,9 +342,21 @@ impl<E> Fel<E> {
     }
 
     /// Enqueues `payload` at `at` under an id previously handed out by
-    /// [`alloc_id`](Fel::alloc_id), without counting it as scheduled again.
+    /// [`alloc_id`](Fel::alloc_id) — possibly another list's; the local
+    /// counter is bumped past it — without counting it as scheduled again.
     pub fn insert_allocated(&mut self, at: SimTime, id: EventId, payload: E) {
         delegate!(self, inner => inner.insert_allocated(at, id, payload))
+    }
+
+    /// Removes every live event in arbitrary order, without advancing the
+    /// clock or the delivered count. The sharded engine's partition step:
+    /// the central FEL is emptied wholesale at pump start and each event
+    /// re-inserted into its owning shard's FEL.
+    pub fn drain_all(&mut self) -> Vec<(SimTime, EventId, E)> {
+        match self {
+            Fel::Heap(s) => s.drain_all(),
+            Fel::Calendar(q) => q.drain_all(),
+        }
     }
 }
 
@@ -377,6 +399,9 @@ impl<E> FutureEventList<E> for Fel<E> {
     }
     fn insert_allocated(&mut self, at: SimTime, id: EventId, payload: E) {
         Fel::insert_allocated(self, at, id, payload)
+    }
+    fn drain_all(&mut self) -> Vec<(SimTime, EventId, E)> {
+        Fel::drain_all(self)
     }
 }
 
@@ -427,6 +452,30 @@ mod tests {
         let fork = heap.clone();
         assert_eq!(fork.kind(), FelKind::Heap);
         assert_eq!(fork.delivered_count(), heap.delivered_count());
+    }
+
+    #[test]
+    fn drain_all_agrees_across_backends_after_reinsertion() {
+        // Partition round-trip: drain one list wholesale, re-insert into a
+        // fresh list of the other backend, and the delivery order must be
+        // the original (time, id) order — drain_all's arbitrary ordering
+        // must not be observable.
+        let mut src: Fel<u32> = Fel::new(FelKind::Heap);
+        for i in 0..25u64 {
+            src.schedule(SimTime::from_millis(i * 17 % 60), i as u32);
+        }
+        let dead = src.schedule(SimTime::from_millis(5), 999);
+        assert!(src.cancel(dead));
+        let mut reference = src.clone();
+        let mut dst: Fel<u32> = Fel::new(FelKind::Calendar);
+        for (at, id, p) in src.drain_all() {
+            dst.insert_allocated(at, id, p);
+        }
+        assert!(src.is_empty());
+        assert_eq!(dst.len(), 25);
+        let got: Vec<_> = std::iter::from_fn(|| dst.next()).collect();
+        let want: Vec<_> = std::iter::from_fn(|| reference.next()).collect();
+        assert_eq!(got, want, "partition round-trip reordered deliveries");
     }
 
     #[test]

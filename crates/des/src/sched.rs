@@ -199,24 +199,25 @@ impl<E> Scheduler<E> {
     /// again.
     ///
     /// The enqueue half of [`schedule`](Scheduler::schedule), for the
-    /// sharded commit's deterministic merge: ids are allocated in serial
-    /// order during the epoch walk, the payloads are built on parallel
-    /// apply streams, and the merge inserts them here in global id order.
-    /// Delivery order is unaffected by insertion order — entries are
-    /// totally ordered by `(time, id)` — but the id **must** come from
-    /// this scheduler's own counter, or ids would collide.
+    /// sharded engine: ids are allocated in serial order during the epoch
+    /// walk, the payloads are built on parallel apply streams, and each
+    /// destination shard's FEL receives them here. Delivery order is
+    /// unaffected by insertion order — entries are totally ordered by
+    /// `(time, id)` — and the id may come from a *different* scheduler's
+    /// counter (the shard-owned FELs never allocate ids themselves; the
+    /// central walk does). This scheduler's own counter is bumped past
+    /// `id` so a later local allocation can never collide with it.
     ///
     /// # Panics
     ///
-    /// Panics if `at` is earlier than [`now`](Scheduler::now); debug-panics
-    /// if `id` was never allocated.
+    /// Panics if `at` is earlier than [`now`](Scheduler::now).
     pub fn insert_allocated(&mut self, at: SimTime, id: EventId, payload: E) {
         assert!(
             at >= self.now,
             "cannot schedule event at {at} before current time {}",
             self.now
         );
-        debug_assert!(id.0 < self.next_id, "id was never allocated");
+        self.next_id = self.next_id.max(id.0 + 1);
         self.heap.push(Entry { at, id, payload });
     }
 
@@ -234,6 +235,30 @@ impl<E> Scheduler<E> {
                 break;
             }
             let entry = self.heap.pop().expect("peeked entry exists");
+            if self.tomb_live > 0 && self.take_tombstone(entry.id) {
+                continue;
+            }
+            out.push((entry.at, entry.id, entry.payload));
+        }
+        out
+    }
+
+    /// Removes and returns every live event in **arbitrary order**, without
+    /// advancing the clock or the delivered count.
+    ///
+    /// The partition step of the sharded engine: at pump start the central
+    /// FEL is emptied wholesale and every event is re-inserted into its
+    /// owning shard's FEL (via [`insert_allocated`]), so inserts and drains
+    /// become shard-local for the rest of the pump. Cancelled entries are
+    /// retired on the way out, never returned. Callers must not rely on
+    /// the ordering — re-insertion re-establishes the `(time, id)` total
+    /// order wherever the events land.
+    ///
+    /// [`insert_allocated`]: Scheduler::insert_allocated
+    pub fn drain_all(&mut self) -> Vec<(SimTime, EventId, E)> {
+        let entries = std::mem::take(&mut self.heap);
+        let mut out = Vec::with_capacity(entries.len());
+        for entry in entries {
             if self.tomb_live > 0 && self.take_tombstone(entry.id) {
                 continue;
             }

@@ -1,14 +1,17 @@
 //! Property test: the sharded event loop is bit-identical to serial.
 //!
 //! The sharded engine (`BGPSIM_SHARDS` / `SimConfig::shards`) partitions
-//! routers across shard workers and runs them in synchronous epochs of
-//! width `link_delay` (the conservative-PDES lookahead). Its contract is
-//! exact determinism: for any topology, seed, failure fraction, shard
-//! count and scheme family, the run must be indistinguishable from the
-//! serial engine — identical `RunStats` field for field AND identical
-//! final Loc-RIBs on every surviving router. Equality of the Loc-RIBs
-//! (not just the aggregate counters) is what rules out compensating
-//! errors such as two routers swapping best paths.
+//! routers — and, since the shard-owned-FEL refactor (DESIGN.md §13),
+//! their pending events — across shards and runs them in synchronous
+//! epochs of width `link_delay` (the conservative-PDES lookahead). Its
+//! contract is exact determinism: for any topology, seed, failure
+//! fraction, shard count and scheme family, the run must be
+//! indistinguishable from the serial engine — identical `RunStats` field
+//! for field, identical final Loc-RIBs on every surviving router, AND a
+//! byte-identical trace JSONL stream. Equality of the Loc-RIBs (not just
+//! the aggregate counters) is what rules out compensating errors such as
+//! two routers swapping best paths; equality of the trace bytes pins the
+//! interior event order, not just the final state.
 //!
 //! A deterministic regression case pins the epoch-boundary edge:
 //! with a zero origination window every message lands exactly on an
@@ -40,23 +43,32 @@ fn topo(seed: u64, nodes: usize) -> Topology {
     skewed_topology(nodes, &SkewedSpec::seventy_thirty(), &mut rng).unwrap()
 }
 
-/// Runs the full failure experiment under `shards` and returns the stats
-/// plus the final network for state comparison.
+/// Runs the full failure experiment under `shards` with a memory trace
+/// sink attached, and returns the stats, the final network for state
+/// comparison, and the trace serialized to JSONL. The walk emits trace
+/// events in serial order, so the JSONL must match serial byte for byte.
 fn run(
     scheme: &Scheme,
     seed: u64,
     nodes: usize,
     fraction: f64,
     shards: usize,
-) -> (RunStats, Network) {
+) -> (RunStats, Network, String) {
     let mut cfg = SimConfig::from_scheme(scheme, seed);
     cfg.shards = Some(shards);
     // One commit stream per shard: every sharded run here also exercises
     // the destination-partitioned parallel commit, not just Phase A.
     cfg.commit_streams = Some(shards);
     let mut net = Network::new(topo(seed, nodes), cfg);
+    net.set_trace_sink(bgpsim::TraceSink::memory(1 << 20));
     let stats = net.run_failure_experiment(&FailureSpec::CenterFraction(fraction));
-    (stats, net)
+    let mem = net
+        .trace_sink()
+        .memory_events()
+        .expect("memory sink attached");
+    assert_eq!(mem.dropped(), 0, "trace capacity exceeded");
+    let jsonl = bgpsim::trace::to_jsonl(mem.events());
+    (stats, net, jsonl)
 }
 
 /// Asserts the externally observable final state of two runs is identical:
@@ -88,11 +100,14 @@ proptest! {
     ) {
         let fraction = [0.05, 0.10, 0.20][fraction_idx];
         for scheme in schemes() {
-            let (serial_stats, serial_net) = run(&scheme, seed, nodes, fraction, 1);
-            // 37 exceeds every generated node count: the engine must
-            // clamp to one router per shard and stay identical.
-            for shards in [2usize, 3, 37] {
-                let (stats, net) = run(&scheme, seed, nodes, fraction, shards);
+            // shards=0 clamps to 1, i.e. the plain serial engine.
+            let (serial_stats, serial_net, serial_jsonl) =
+                run(&scheme, seed, nodes, fraction, 0);
+            // 1 exercises the shards-set-but-serial fallback; 37 exceeds
+            // every generated node count, so the engine must clamp to one
+            // router per shard and stay identical.
+            for shards in [1usize, 2, 3, 37] {
+                let (stats, net, jsonl) = run(&scheme, seed, nodes, fraction, shards);
                 prop_assert_eq!(
                     stats,
                     serial_stats,
@@ -104,6 +119,12 @@ proptest! {
                     &net,
                     &serial_net,
                     &format!("scheme={} shards={}", scheme.name, shards),
+                );
+                prop_assert!(
+                    jsonl == serial_jsonl,
+                    "trace JSONL diverged from serial: scheme={} shards={}",
+                    scheme.name,
+                    shards
                 );
             }
         }
@@ -117,10 +138,11 @@ fn shard_count_exceeding_node_count_matches_serial() {
     // idle every epoch and most commit streams stay empty, but every
     // observable must still match serial exactly.
     let scheme = Scheme::batching(0.5);
-    let (serial_stats, serial_net) = run(&scheme, 2024, 18, 0.10, 1);
-    let (stats, net) = run(&scheme, 2024, 18, 0.10, 64);
+    let (serial_stats, serial_net, serial_jsonl) = run(&scheme, 2024, 18, 0.10, 1);
+    let (stats, net, jsonl) = run(&scheme, 2024, 18, 0.10, 64);
     assert_eq!(stats, serial_stats, "RunStats diverged at 64 shards");
     assert_state_identical(&net, &serial_net, "64 shards on 18 routers");
+    assert_eq!(jsonl, serial_jsonl, "trace JSONL diverged at 64 shards");
 }
 
 #[test]

@@ -6,6 +6,12 @@
 //! whose `spawn` passes the scope again (so children can spawn siblings),
 //! and the call returns `Err` with the panic payload if any thread
 //! panicked instead of unwinding through the caller.
+//!
+//! The [`pool`] module adds a persistent parked worker pool with the same
+//! borrow-the-stack scope semantics but without the per-scope thread
+//! spawn/join cost — for callers that open thousands of tiny scopes.
+
+pub mod pool;
 
 pub mod thread {
     use std::panic::{catch_unwind, AssertUnwindSafe};

@@ -1,0 +1,317 @@
+//! A persistent, parked worker pool with scoped jobs.
+//!
+//! `std::thread::scope` (and the [`thread`](crate::thread) shim over it)
+//! spawns and joins OS threads on every call — microseconds per scope,
+//! which dwarfs the work itself when the caller opens thousands of tiny
+//! scopes (the sharded simulator's epochs are often a handful of events).
+//! [`WorkerPool`] keeps a fixed set of threads parked on a condvar for the
+//! life of the process; a [`scope`](WorkerPool::scope) submits closures
+//! that may borrow the caller's stack, and waking a parked worker is all a
+//! small scope costs.
+//!
+//! Safety follows the same argument as scoped threads: a job may borrow
+//! the environment only because every exit from `scope` — normal return
+//! or unwind — blocks until all jobs submitted in that scope finished.
+//! The lifetime erasure that hands a borrowing closure to a long-lived
+//! worker is the one `unsafe` in this workspace, and it is confined to
+//! this module; the first-party crates all stay `forbid(unsafe_code)`.
+//!
+//! Waiting threads *help*: [`Scope::wait`] runs queued jobs on the calling
+//! thread instead of parking while work is available, so on a single-core
+//! host a pool-based fan-out degrades to almost-inline execution rather
+//! than a context-switch ping-pong, and nested users (parallel trials
+//! each opening their own scopes on one shared pool) cannot starve each
+//! other — a waiting coordinator makes progress on whatever is queued.
+
+use std::collections::VecDeque;
+use std::marker::PhantomData;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// A type-erased, lifetime-erased job. Only constructed inside
+/// [`Scope::spawn`], which guarantees the closure outlives its borrows.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// The queue every pool thread parks on.
+struct Queue {
+    jobs: Mutex<VecDeque<Job>>,
+    ready: Condvar,
+}
+
+/// Completion accounting for one scope. Shared by the coordinator and the
+/// wrappers around its jobs; multiple scopes coexist on one pool, each
+/// with its own state.
+#[derive(Default)]
+struct ScopeState {
+    counters: Mutex<Counters>,
+    done: Condvar,
+}
+
+#[derive(Default)]
+struct Counters {
+    /// Jobs submitted in this scope and not yet finished.
+    pending: usize,
+    /// Whether any job in this scope panicked (re-raised at the barrier).
+    panicked: bool,
+}
+
+/// A fixed set of parked threads executing scoped jobs.
+///
+/// Threads are detached and live until process exit; dropping the pool
+/// leaks them parked (the intended use is one process-global pool).
+pub struct WorkerPool {
+    queue: Arc<Queue>,
+    threads: usize,
+}
+
+impl WorkerPool {
+    /// Spawns `threads` parked workers (at least one).
+    pub fn new(threads: usize) -> WorkerPool {
+        let threads = threads.max(1);
+        let queue = Arc::new(Queue {
+            jobs: Mutex::new(VecDeque::new()),
+            ready: Condvar::new(),
+        });
+        for i in 0..threads {
+            let q = Arc::clone(&queue);
+            std::thread::Builder::new()
+                .name(format!("pool-worker-{i}"))
+                .spawn(move || worker_loop(&q))
+                .expect("failed to spawn pool worker");
+        }
+        WorkerPool { queue, threads }
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Opens a scope whose jobs may borrow from the enclosing stack frame.
+    ///
+    /// All jobs spawned inside finish before this returns — including when
+    /// `f` unwinds. A panic inside any job is re-raised on the calling
+    /// thread (at the next [`Scope::wait`], or here at scope exit).
+    pub fn scope<'env, R>(&self, f: impl FnOnce(&Scope<'env>) -> R) -> R {
+        let scope = Scope {
+            queue: Arc::clone(&self.queue),
+            state: Arc::new(ScopeState::default()),
+            _env: PhantomData,
+        };
+        // Block every exit path — return or unwind — until the scope's
+        // jobs are done: they may borrow `f`'s environment. The guard's
+        // drop must not panic (it can run during unwinding), so job
+        // panics are re-raised separately below.
+        struct WaitGuard<'a, 'env>(&'a Scope<'env>);
+        impl Drop for WaitGuard<'_, '_> {
+            fn drop(&mut self) {
+                self.0.wait_quiet();
+            }
+        }
+        let guard = WaitGuard(&scope);
+        let result = f(&scope);
+        drop(guard);
+        scope.check_panic();
+        result
+    }
+}
+
+/// Handle for submitting jobs into a [`WorkerPool`] scope.
+pub struct Scope<'env> {
+    queue: Arc<Queue>,
+    state: Arc<ScopeState>,
+    /// Invariant over `'env`, like crossbeam's scope.
+    _env: PhantomData<&'env mut &'env ()>,
+}
+
+impl<'env> Scope<'env> {
+    /// Submits a job; it runs on a pool worker (or on a thread blocked in
+    /// [`wait`](Scope::wait), which helps) sometime before the scope ends.
+    pub fn spawn<F>(&self, job: F)
+    where
+        F: FnOnce() + Send + 'env,
+    {
+        // Count before queueing so no wait can observe pending == 0 while
+        // the job sits in the queue.
+        self.state.counters.lock().unwrap().pending += 1;
+        let job: Box<dyn FnOnce() + Send + 'env> = Box::new(job);
+        // SAFETY: every exit from `WorkerPool::scope` — normal return or
+        // unwind — waits until this scope's `pending` count is zero (the
+        // WaitGuard above), so the job cannot run, nor this box be
+        // dropped, after the `'env` borrows it captures expire. The
+        // transmute only erases that lifetime; layout is identical.
+        let job: Job = unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + 'env>, Job>(job) };
+        let state = Arc::clone(&self.state);
+        let wrapped: Job = Box::new(move || {
+            let panicked = catch_unwind(AssertUnwindSafe(job)).is_err();
+            let mut c = state.counters.lock().unwrap();
+            c.pending -= 1;
+            if panicked {
+                c.panicked = true;
+            }
+            drop(c);
+            state.done.notify_all();
+        });
+        self.queue.jobs.lock().unwrap().push_back(wrapped);
+        self.queue.ready.notify_one();
+    }
+
+    /// Blocks until every job spawned so far in this scope has finished —
+    /// a reusable barrier. Re-raises the first job panic observed.
+    ///
+    /// While jobs are queued (from *any* scope on the pool), the calling
+    /// thread executes them instead of parking.
+    pub fn wait(&self) {
+        self.wait_quiet();
+        self.check_panic();
+    }
+
+    fn wait_quiet(&self) {
+        loop {
+            // Help: run a queued job rather than sleeping.
+            let job = self.queue.jobs.lock().unwrap().pop_front();
+            if let Some(job) = job {
+                job();
+                continue;
+            }
+            let c = self.state.counters.lock().unwrap();
+            if c.pending == 0 {
+                return;
+            }
+            // Parked until some job of this scope completes; re-check the
+            // queue afterwards in case new work arrived meanwhile.
+            drop(self.state.done.wait(c).unwrap());
+        }
+    }
+
+    fn check_panic(&self) {
+        let mut c = self.state.counters.lock().unwrap();
+        if c.panicked {
+            c.panicked = false;
+            drop(c);
+            panic!("a worker-pool job panicked");
+        }
+    }
+}
+
+fn worker_loop(queue: &Queue) {
+    loop {
+        let job = {
+            let mut jobs = queue.jobs.lock().unwrap();
+            loop {
+                if let Some(job) = jobs.pop_front() {
+                    break job;
+                }
+                jobs = queue.ready.wait(jobs).unwrap();
+            }
+        };
+        // The wrapper catches unwinds, so a panicking job cannot take the
+        // worker down.
+        job();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn jobs_borrow_the_stack_and_all_finish() {
+        let pool = WorkerPool::new(3);
+        let data = [1u64, 2, 3, 4, 5, 6, 7, 8];
+        let total = AtomicU64::new(0);
+        pool.scope(|s| {
+            for chunk in data.chunks(3) {
+                s.spawn(|| {
+                    total.fetch_add(chunk.iter().sum(), Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(total.into_inner(), 36);
+    }
+
+    #[test]
+    fn wait_is_a_reusable_barrier_across_rounds() {
+        // Borrowed state must be declared before the scope (as with scoped
+        // threads); each round reuses it across a wait() barrier.
+        let pool = WorkerPool::new(2);
+        let rounds: Vec<AtomicU64> = (0..50).map(|_| AtomicU64::new(0)).collect();
+        pool.scope(|s| {
+            for counter in &rounds {
+                for _ in 0..4 {
+                    s.spawn(|| {
+                        counter.fetch_add(1, Ordering::Relaxed);
+                    });
+                }
+                s.wait();
+                assert_eq!(counter.load(Ordering::Relaxed), 4);
+            }
+        });
+        assert!(rounds.iter().all(|c| c.load(Ordering::Relaxed) == 4));
+    }
+
+    #[test]
+    fn concurrent_scopes_share_one_pool() {
+        let pool = Arc::new(WorkerPool::new(2));
+        let grand_total = Arc::new(AtomicU64::new(0));
+        let handles: Vec<_> = (0..4)
+            .map(|k| {
+                let pool = Arc::clone(&pool);
+                let grand_total = Arc::clone(&grand_total);
+                std::thread::spawn(move || {
+                    let local = AtomicU64::new(0);
+                    pool.scope(|s| {
+                        for _ in 0..16 {
+                            s.spawn(|| {
+                                local.fetch_add(k + 1, Ordering::Relaxed);
+                            });
+                        }
+                    });
+                    grand_total.fetch_add(local.into_inner(), Ordering::Relaxed);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(grand_total.load(Ordering::Relaxed), 16 * (1 + 2 + 3 + 4));
+    }
+
+    #[test]
+    fn single_thread_pool_makes_progress_via_helping() {
+        // One worker, eight jobs, and a barrier per round: the waiting
+        // coordinator must pick up queued jobs itself.
+        let pool = WorkerPool::new(1);
+        let hits = AtomicU64::new(0);
+        pool.scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    hits.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+            s.wait();
+            assert_eq!(hits.load(Ordering::Relaxed), 8);
+        });
+    }
+
+    #[test]
+    fn job_panic_is_reraised_at_the_barrier() {
+        let pool = WorkerPool::new(2);
+        let r = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.scope(|s| {
+                s.spawn(|| panic!("job blew up"));
+                s.wait();
+            });
+        }));
+        assert!(r.is_err(), "the job panic must surface on the coordinator");
+        // The pool survives and keeps executing later scopes.
+        let ok = AtomicU64::new(0);
+        pool.scope(|s| {
+            s.spawn(|| {
+                ok.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(ok.into_inner(), 1);
+    }
+}
