@@ -41,6 +41,12 @@
 //! numbers the compact delta-encoded RIBs are accountable to
 //! (DESIGN.md §12). The 10k-AS point lives in the separate
 //! `largescale` bin, which CI runs with a hard RSS ceiling.
+//! A seventh, `fulltable` section sweeps the routing-table-size axis:
+//! one burst-withdrawal trial per table size (power-law full-table
+//! allocation through the prefix trie, central 10% of origins withdraw
+//! their blocks in one storm), each in a fresh child process
+//! (`--fulltable-point P` re-exec) so peak RSS per table size is the
+//! trial's own watermark, recording events/sec and peak RSS per size.
 //! Results go to `BENCH_hotpath.json` (see README) so hot-path changes can
 //! be compared number-for-number against a recorded baseline.
 //!
@@ -88,6 +94,7 @@ struct Args {
     out: String,
     multicore_gate: bool,
     memory_point: Option<usize>,
+    fulltable_point: Option<u32>,
 }
 
 impl Default for Args {
@@ -101,6 +108,7 @@ impl Default for Args {
             out: "BENCH_hotpath.json".into(),
             multicore_gate: false,
             memory_point: None,
+            fulltable_point: None,
         }
     }
 }
@@ -135,6 +143,13 @@ fn parse_args() -> Result<Args, String> {
                         .map_err(|e| format!("--memory-point: {e}"))?,
                 );
             }
+            "--fulltable-point" => {
+                args.fulltable_point = Some(
+                    value("--fulltable-point")?
+                        .parse()
+                        .map_err(|e| format!("--fulltable-point: {e}"))?,
+                );
+            }
             "--help" | "-h" => return Err("help".into()),
             other => return Err(format!("unknown flag {other}")),
         }
@@ -144,7 +159,8 @@ fn parse_args() -> Result<Args, String> {
 
 fn usage() {
     eprintln!(
-        "usage: hotpath [--fast] [--nodes N] [--threads T] [--out PATH] [--multicore-gate] [--memory-point N]"
+        "usage: hotpath [--fast] [--nodes N] [--threads T] [--out PATH] [--multicore-gate] \
+         [--memory-point N] [--fulltable-point P]"
     );
 }
 
@@ -241,6 +257,65 @@ fn run_memory_point(sz: usize) -> ExitCode {
         }
         Err(e) => {
             eprintln!("memory point: serialization failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// One full-table point: build a small topology carrying `table` prefixes
+/// (power-law split through the prefix trie), converge, withdraw the
+/// central 10% of origins' blocks in one burst, re-converge, and print the
+/// row as JSON on stdout. Runs in a fresh child process (`--fulltable-point`
+/// re-exec) for the same watermark-honesty reason as `run_memory_point`:
+/// the table-size axis exists to show how peak RSS and events/sec scale
+/// with the number of destinations, so each point must own its peak.
+fn run_fulltable_point(table: u32, fast: bool) -> ExitCode {
+    let nodes = if fast { 20 } else { 40 };
+    let scheme = Scheme::batching(0.5).with_full_table(bgpsim::FullTableSpec::internet_like(table));
+    let mut rng = SmallRng::seed_from_u64(SEEDS[0]);
+    let topo = skewed_topology(nodes, &SkewedSpec::seventy_thirty(), &mut rng)
+        .expect("bench topology realizable");
+    let mut net = Network::new(topo, SimConfig::from_scheme(&scheme, SEEDS[0]));
+    let started = Instant::now();
+    net.run_initial_convergence();
+    let convergence_secs = started.elapsed().as_secs_f64();
+    let withdrawn = net
+        .inject_burst_withdrawal(&FailureSpec::CenterFraction(FAILURE_FRACTION))
+        .len();
+    let started = Instant::now();
+    let stats = net.run_to_quiescence();
+    let reconvergence_secs = started.elapsed().as_secs_f64();
+    net.assert_routing_consistent();
+    let fp = net.memory_footprint();
+    let peak = peak_rss_kb();
+    let row = serde_json::json!({
+        "table_size": table,
+        "nodes": nodes,
+        "scheme": scheme.name,
+        "seed": SEEDS[0],
+        "withdrawn_prefixes": withdrawn,
+        "convergence_secs": convergence_secs,
+        "reconvergence_secs": reconvergence_secs,
+        "events": stats.events,
+        "events_per_sec": if reconvergence_secs > 0.0 {
+            stats.events as f64 / reconvergence_secs
+        } else {
+            0.0
+        },
+        "messages": stats.messages,
+        "convergence_delay_secs": stats.convergence_delay.as_secs_f64(),
+        "peak_rss_kb": peak,
+        "fresh_process": true,
+        "routes": fp.routes,
+        "rib_bytes_per_route": fp.bytes_per_route(),
+    });
+    match serde_json::to_string(&row) {
+        Ok(s) => {
+            println!("{s}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("fulltable point: serialization failed: {e}");
             ExitCode::FAILURE
         }
     }
@@ -481,6 +556,9 @@ fn main() -> ExitCode {
     }
     if let Some(sz) = args.memory_point {
         return run_memory_point(sz);
+    }
+    if let Some(table) = args.fulltable_point {
+        return run_fulltable_point(table, args.fast);
     }
 
     let nodes = args.nodes.unwrap_or(if args.fast { 40 } else { 120 });
@@ -925,6 +1003,51 @@ fn main() -> ExitCode {
         }
     }
 
+    // ── Full-table axis ─────────────────────────────────────────────────
+    // One burst-withdrawal trial per routing-table size, fresh child
+    // process each (same honesty argument as the memory section). The
+    // sizes sweep the gap between the paper's one-prefix-per-AS workload
+    // and the Internet's table; the 10^5+ points live in the `largescale`
+    // bin's `--table-size` axis and EXPERIMENTS.md.
+    let fulltable_sizes: Vec<u32> = if args.fast {
+        vec![500, 2_000]
+    } else {
+        vec![1_000, 5_000, 20_000]
+    };
+    let mut fulltable_rows: Vec<serde_json::Value> = Vec::new();
+    for &table in &fulltable_sizes {
+        let mut cmd = std::process::Command::new(&self_exe);
+        cmd.args(["--fulltable-point", &table.to_string()]);
+        if args.fast {
+            cmd.arg("--fast");
+        }
+        let output = match cmd.output() {
+            Ok(o) => o,
+            Err(e) => {
+                eprintln!("fulltable section: spawning --fulltable-point {table} failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if !output.status.success() {
+            eprintln!(
+                "fulltable section: --fulltable-point {table} child exited with {}:\n{}",
+                output.status,
+                String::from_utf8_lossy(&output.stderr)
+            );
+            return ExitCode::FAILURE;
+        }
+        let stdout = String::from_utf8_lossy(&output.stdout);
+        match serde_json::from_str::<serde_json::Value>(stdout.trim()) {
+            Ok(row) => fulltable_rows.push(row),
+            Err(e) => {
+                eprintln!(
+                    "fulltable section: --fulltable-point {table} produced unparseable output ({e}): {stdout}"
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
     let payload = serde_json::json!({
         "harness": "hotpath",
         "fast": args.fast,
@@ -981,6 +1104,10 @@ fn main() -> ExitCode {
             "sections": sharded_sections,
         }),
         "small_epoch": small_epoch,
+        "fulltable": serde_json::json!({
+            "failure_fraction": FAILURE_FRACTION,
+            "points": fulltable_rows,
+        }),
         "tracing": serde_json::json!({
             "runs_per_sink": trace_runs,
             "scheme": schemes[0].name,
@@ -1125,6 +1252,19 @@ fn main() -> ExitCode {
             row["peak_rss_bytes_per_route"].as_f64().unwrap_or(0.0),
             row["max_node_rib_heap_bytes"].as_u64().unwrap_or(0) / 1024,
             row["config_arena_entries"].as_u64().unwrap_or(0)
+        );
+    }
+    println!("full-table burst axis (fresh process per point):");
+    for row in &fulltable_rows {
+        println!(
+            "  {:6}-prefix table ({} nodes): {:7} withdrawn   {:8.0} events/sec   delay {:6.1} s sim   peak RSS {:9} kB   RIB {:5.1} B/route",
+            row["table_size"].as_u64().unwrap_or(0),
+            row["nodes"].as_u64().unwrap_or(0),
+            row["withdrawn_prefixes"].as_u64().unwrap_or(0),
+            row["events_per_sec"].as_f64().unwrap_or(0.0),
+            row["convergence_delay_secs"].as_f64().unwrap_or(0.0),
+            row["peak_rss_kb"].as_u64().unwrap_or(0),
+            row["rib_bytes_per_route"].as_f64().unwrap_or(0.0)
         );
     }
     println!("  written to {}", args.out);

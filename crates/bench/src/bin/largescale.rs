@@ -12,8 +12,16 @@
 //! count.
 //!
 //! ```text
-//! largescale [--nodes N] [--failure F] [--seed S] [--rss-ceiling-mb M] [--out PATH]
+//! largescale [--nodes N] [--failure F] [--table-size P] [--seed S]
+//!            [--rss-ceiling-mb M] [--out PATH]
 //! ```
+//!
+//! `--table-size P` switches to the full-table workload: `P` prefixes
+//! total, power-law split across ASes through the longest-prefix-match
+//! trie, and the failure step becomes a *burst withdrawal* — the central
+//! `--failure` fraction's origins stay up but withdraw their whole prefix
+//! blocks in one event storm. This is the table-size axis of the memory
+//! gate: routes scale with `nodes × P` instead of `nodes²`.
 //!
 //! `--rss-ceiling-mb` turns the trial into a hard gate: the process
 //! exits non-zero if peak RSS exceeds the ceiling. CI's `largescale`
@@ -42,6 +50,7 @@ use rand::SeedableRng;
 struct Args {
     nodes: usize,
     failure: f64,
+    table_size: Option<u32>,
     seed: u64,
     rss_ceiling_mb: Option<u64>,
     out: String,
@@ -52,6 +61,7 @@ impl Default for Args {
         Args {
             nodes: 10_000,
             failure: 0.10,
+            table_size: None,
             seed: 101,
             rss_ceiling_mb: None,
             out: "BENCH_largescale.json".into(),
@@ -75,6 +85,13 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("--failure: {e}"))?;
             }
+            "--table-size" => {
+                args.table_size = Some(
+                    value("--table-size")?
+                        .parse()
+                        .map_err(|e| format!("--table-size: {e}"))?,
+                );
+            }
             "--seed" => {
                 args.seed = value("--seed")?
                     .parse()
@@ -97,7 +114,8 @@ fn parse_args() -> Result<Args, String> {
 
 fn usage() {
     eprintln!(
-        "usage: largescale [--nodes N] [--failure F] [--seed S] [--rss-ceiling-mb M] [--out PATH]"
+        "usage: largescale [--nodes N] [--failure F] [--table-size P] [--seed S] \
+         [--rss-ceiling-mb M] [--out PATH]"
     );
 }
 
@@ -135,10 +153,21 @@ fn main() -> ExitCode {
             };
         }
     };
-    let scheme = Scheme::batching(0.5);
+    let mut scheme = Scheme::batching(0.5);
+    if let Some(table) = args.table_size {
+        scheme = scheme.with_full_table(bgpsim::FullTableSpec::internet_like(table));
+    }
+    let failure_kind = if args.table_size.is_some() {
+        "centre burst withdrawal"
+    } else {
+        "centre failure"
+    };
     println!(
-        "largescale smoke: {} caida-like ASes, {} scheme, {:.0}% centre failure, seed {}",
+        "largescale smoke: {} caida-like ASes{}, {} scheme, {:.0}% {failure_kind}, seed {}",
         args.nodes,
+        args.table_size
+            .map(|t| format!(" × {t}-prefix full table"))
+            .unwrap_or_default(),
         scheme.name,
         args.failure * 100.0,
         args.seed
@@ -175,7 +204,17 @@ fn main() -> ExitCode {
     );
 
     let started = Instant::now();
-    net.inject_failure(&FailureSpec::CenterFraction(args.failure));
+    let withdrawn = if args.table_size.is_some() {
+        let w = net.inject_burst_withdrawal(&FailureSpec::CenterFraction(args.failure));
+        println!(
+            "  burst:          {} prefixes withdrawn in one storm",
+            w.len()
+        );
+        w.len()
+    } else {
+        net.inject_failure(&FailureSpec::CenterFraction(args.failure));
+        0
+    };
     let stats = net.run_to_quiescence();
     let reconverge_secs = started.elapsed().as_secs_f64();
     println!(
@@ -230,6 +269,8 @@ fn main() -> ExitCode {
         "avg_degree": avg_degree,
         "scheme": scheme.name,
         "failure_fraction": args.failure,
+        "table_size": args.table_size,
+        "withdrawn_prefixes": withdrawn,
         "seed": args.seed,
         "topology_secs": topology_secs,
         "convergence_secs": converge_secs,

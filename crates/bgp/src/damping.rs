@@ -146,6 +146,19 @@ impl DampingState {
         self.gen
     }
 
+    /// Rebases the suppression generation to an externally supplied value.
+    ///
+    /// [`record_flap`](Self::record_flap) bumps a *per-state* counter, but
+    /// the state itself can be dropped (session teardown) and re-created
+    /// while a reuse timer for the old suppression is still scheduled; a
+    /// per-state counter would then restart and the stale timer could
+    /// alias the new suppression. Callers that outlive the state (the
+    /// router node) stamp each new suppression from their own monotonic
+    /// counter instead.
+    pub fn set_gen(&mut self, gen: u64) {
+        self.gen = gen;
+    }
+
     /// Attempts to release a suppressed route at `now` for suppression
     /// generation `gen`. Returns:
     ///

@@ -229,6 +229,15 @@ pub struct BgpNode {
     /// Flap-damping state per (peer, prefix) — only populated when damping
     /// is configured.
     damp: BTreeMap<(RouterId, Prefix), DampingState>,
+    /// Monotonic suppression-generation source. Damping state dies with
+    /// its session ([`BgpNode::on_peer_down`]); a per-state counter would
+    /// restart at zero when the session re-forms and the same
+    /// (peer, prefix) gets suppressed again, so a reuse timer still in
+    /// flight from the torn-down state could alias the new suppression
+    /// and release it prematurely (a phantom re-advertisement of the
+    /// parked route). Generations drawn from a counter that survives
+    /// teardown keep stale timers permanently mismatched.
+    damp_next_gen: u64,
     /// The latest route state received while suppressed (`None` =
     /// withdrawn); applied to the Adj-RIB-In at release time.
     suppressed_routes: BTreeMap<(RouterId, Prefix), Option<RouteEntry>>,
@@ -288,6 +297,7 @@ impl BgpNode {
             cfg,
             dyn_ctrl,
             damp: BTreeMap::new(),
+            damp_next_gen: 0,
             suppressed_routes: BTreeMap::new(),
             prepend_cache: RefCell::new(HashMap::new()),
             rng,
@@ -504,6 +514,35 @@ impl BgpNode {
         self.flush_all(now)
     }
 
+    /// Withdraws a locally originated `prefix` — the inverse of
+    /// [`originate`](Self::originate). The zero-hop local route leaves the
+    /// Loc-RIB, the best learned route (if any) takes over, and every peer
+    /// hears the change (withdrawal or replacement) subject to MRAI. A
+    /// no-op if the prefix is not currently originated here.
+    pub fn withdraw_origin(&mut self, now: SimTime, prefix: Prefix) -> Vec<Action> {
+        if !self.own_prefixes.remove(&prefix) {
+            return Vec::new();
+        }
+        // Freeze before the change so the frozen values capture what each
+        // peer last heard (same ordering rule as `originate`).
+        self.freeze_out_all(prefix);
+        // The local route bypassed the decision process entirely; with it
+        // gone a full candidate rescan picks the successor.
+        let new = select_best(prefix, &self.rib_in);
+        let path_len = new.as_ref().map(|sel| sel.path.len() as u32);
+        match new {
+            Some(sel) => {
+                self.loc_rib.install(prefix, sel);
+            }
+            None => {
+                self.loc_rib.remove(prefix);
+            }
+        }
+        self.stats.best_changes += 1;
+        self.trace_push(NodeEvent::BestChanged { prefix, path_len });
+        self.flush_all(now)
+    }
+
     /// Handles an UPDATE arriving from `from`.
     pub fn on_update(&mut self, now: SimTime, from: RouterId, msg: UpdateMsg) -> Vec<Action> {
         self.stats.updates_received += 1;
@@ -713,8 +752,10 @@ impl BgpNode {
         if self.peers.remove(peer).is_none() {
             return Vec::new();
         }
-        // Damping state dies with the session (any in-flight reuse timer
-        // becomes stale via the generation check in finish_release).
+        // Damping state dies with the session. An in-flight reuse timer
+        // becomes stale via the generation check in `on_reuse_expiry`:
+        // generations come from `damp_next_gen`, which survives the
+        // teardown, so re-created state can never reuse one.
         self.damp.retain(|&(p, _), _| p != peer);
         self.suppressed_routes.retain(|&(p, _), _| p != peer);
         let stale_before = self.queue.deleted_stale();
@@ -789,14 +830,25 @@ impl BgpNode {
                     if changed && has_history && state.record_flap(now, &damping) {
                         // Newly suppressed: pull the route out of the
                         // decision process and park the new state.
+                        let delay = state.reuse_delay(now, &damping);
                         self.rib_in.remove(prefix, from);
                         self.suppressed_routes.insert(key, new_entry);
-                        let delay = state.reuse_delay(now, &damping);
+                        // Stamp the suppression from the node-wide counter
+                        // (not the per-state one `record_flap` bumped):
+                        // state dropped by a session teardown and
+                        // re-created later must never repeat a generation
+                        // a still-scheduled reuse timer carries.
+                        self.damp_next_gen += 1;
+                        let gen = self.damp_next_gen;
+                        self.damp
+                            .get_mut(&key)
+                            .expect("entry created above")
+                            .set_gen(gen);
                         return Some(Action::StartReuse {
                             peer: from,
                             prefix,
                             delay,
-                            gen: state.gen(),
+                            gen,
                         });
                     }
                 }
@@ -2443,6 +2495,68 @@ mod tests {
             t += SimDuration::from_secs(1);
         }
         assert_eq!(n.suppressed_count(), 0, "iBGP routes are never damped");
+    }
+
+    #[test]
+    fn reuse_timer_from_before_session_teardown_stays_stale() {
+        // Regression: suppression generations used to come from a counter
+        // *inside* DampingState. `on_peer_down` drops the state, so a
+        // suppression after the session returns restarted the counter at 1
+        // — the same generation an in-flight reuse timer from before the
+        // teardown carries. That stale timer then released the *new*
+        // suppression early: a phantom re-advertisement. Generations now
+        // come from a node-level counter that survives the teardown.
+        use crate::damping::DampingConfig;
+        let cfg = NodeConfig::builder()
+            .mrai_constant(SimDuration::from_millis(500))
+            .jitter(false)
+            .damping(DampingConfig::paper_scale())
+            .build();
+        let mut n = node(1, cfg);
+        n.add_peer(rid(0), false);
+        n.add_peer(rid(2), false);
+        let suppress = |n: &mut BgpNode, t0: SimTime| -> Option<(SimDuration, u64)> {
+            let mut reuse = None;
+            let mut t = t0;
+            for i in 0..4 {
+                let msg = if i % 2 == 0 {
+                    UpdateMsg::advertise(pfx(9), AsPath::from_hops([asn(0)]))
+                } else {
+                    UpdateMsg::withdraw(pfx(9))
+                };
+                let acts = process_one(n, t, 0, msg);
+                for a in &acts {
+                    if let Action::StartReuse { delay, gen, .. } = a {
+                        reuse = Some((*delay, *gen));
+                    }
+                }
+                fire_mrai(n, t + SimDuration::from_millis(600), &acts);
+                t += SimDuration::from_secs(1);
+            }
+            reuse
+        };
+        let (_, gen1) = suppress(&mut n, SimTime::ZERO).expect("first suppression");
+        assert_eq!(n.suppressed_count(), 1);
+        // Session teardown and re-establishment: the damping state for
+        // peer 0 dies while the gen1 reuse timer is still in flight.
+        n.on_peer_down(SimTime::from_secs(10), rid(0));
+        assert_eq!(n.suppressed_count(), 0);
+        n.on_peer_up(SimTime::from_secs(11), rid(0), false, None);
+        let (_, gen2) = suppress(&mut n, SimTime::from_secs(12)).expect("second suppression");
+        assert!(
+            gen2 > gen1,
+            "generations must be monotonic across teardown (gen1 {gen1}, gen2 {gen2})"
+        );
+        assert_eq!(n.suppressed_count(), 1);
+        // The pre-teardown timer fires late enough that the penalty has
+        // decayed — if its generation aliased, this would release the new
+        // suppression and re-advertise a flapping route.
+        let acts = n.on_reuse_expiry(SimTime::from_secs(500), rid(0), pfx(9), gen1);
+        assert!(
+            acts.is_empty(),
+            "stale pre-teardown reuse timer must be a no-op, got {acts:?}"
+        );
+        assert_eq!(n.suppressed_count(), 1, "new suppression must survive");
     }
 
     #[test]

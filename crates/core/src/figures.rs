@@ -541,6 +541,68 @@ pub fn fig_transient_routes(opts: FigOpts) -> FigureData {
     }
 }
 
+/// Full-table companion figure (no direct paper counterpart): convergence
+/// delay and transient invalid-route episodes of a central-region *burst
+/// withdrawal* as the routing table grows from the paper's one prefix per
+/// AS towards Internet scale. Each x value is a network-wide table size
+/// (power-law split across ASes, [`FullTableSpec`](crate::FullTableSpec));
+/// the failed region's origins stay alive and withdraw their whole prefix
+/// blocks in one event storm. Not part of [`all_figures`] — the goldens
+/// pin the paper's thirteen — the `fulltable` sections of the largescale
+/// and hotpath benches drive it instead.
+pub fn fig_fulltable(opts: FigOpts, sizes: &[u32]) -> FigureData {
+    use bgpsim_des::RngStreams;
+    let scheme_base = Scheme::batching(0.5);
+    let mut delay = Series {
+        name: "convergence delay (s)".into(),
+        points: Vec::new(),
+    };
+    let mut transient = Series {
+        name: "transient invalid episodes".into(),
+        points: Vec::new(),
+    };
+    for &size in sizes {
+        let scheme = scheme_base
+            .clone()
+            .with_full_table(crate::FullTableSpec::internet_like(size));
+        let spec = TopologySpec::seventy_thirty(opts.nodes);
+        let mut delay_sum = 0.0;
+        let mut transient_sum = 0u64;
+        for trial in 0..opts.trials {
+            let streams = RngStreams::new(opts.base_seed);
+            let mut topo_rng = streams.stream("topology", u64::from(trial));
+            let topo = spec.generate(&mut topo_rng);
+            use rand::Rng;
+            let sim_seed: u64 = streams.stream("sim-seed", u64::from(trial)).gen();
+            let mut net =
+                crate::Network::new(topo, crate::SimConfig::from_scheme(&scheme, sim_seed));
+            net.run_initial_convergence();
+            // Trace only the storm's re-convergence, like
+            // `Experiment::run_trial_traced`.
+            net.set_trace_sink(crate::trace::TraceSink::memory(
+                crate::trace::DEFAULT_MEMORY_CAPACITY,
+            ));
+            net.inject_burst_withdrawal(&FailureSpec::CenterFraction(0.1));
+            let stats = net.run_to_quiescence();
+            delay_sum += stats.convergence_delay.as_secs_f64();
+            let events = net.take_trace_events();
+            transient_sum += crate::trace::Timeline::from_events(&events).transient_routes();
+        }
+        let trials = f64::from(opts.trials.max(1));
+        delay.points.push((f64::from(size), delay_sum / trials));
+        transient
+            .points
+            .push((f64::from(size), transient_sum as f64 / trials));
+    }
+    FigureData {
+        id: "fig_fulltable".into(),
+        title: "Burst-withdrawal convergence vs routing-table size".into(),
+        x_label: "table size (prefixes)".into(),
+        y_label: "delay (s) / transient episodes".into(),
+        series: vec![delay, transient],
+    }
+}
+
 /// Every figure in order, with its regenerating function.
 pub fn all_figures() -> Vec<(&'static str, FigureFn)> {
     vec![
@@ -578,6 +640,26 @@ mod tests {
             assert!(s.points.iter().all(|&(_, y)| y >= 0.0));
         }
         assert_eq!(data.series[0].points[0].0, 1.0, "x is % of nodes");
+    }
+
+    #[test]
+    fn fig_fulltable_scales_with_table_size() {
+        let data = fig_fulltable(
+            FigOpts {
+                nodes: 20,
+                trials: 1,
+                base_seed: 5,
+                threads: None,
+            },
+            &[20, 200],
+        );
+        assert_eq!(data.series.len(), 2);
+        for s in &data.series {
+            assert_eq!(s.points.len(), 2);
+            assert_eq!(s.points[0].0, 20.0);
+            assert_eq!(s.points[1].0, 200.0);
+            assert!(s.points.iter().all(|&(_, y)| y >= 0.0));
+        }
     }
 
     #[test]

@@ -71,7 +71,7 @@ pub mod warm;
 
 pub use experiment::{Aggregate, Experiment, TopologySpec};
 pub use metrics::RunStats;
-pub use network::{MemoryFootprint, Network, SimConfig};
+pub use network::{FullTableSpec, MemoryFootprint, Network, SimConfig};
 pub use scheme::Scheme;
 pub use shard::ShardPhaseTimings;
 pub use trace::{Timeline, TraceEvent, TraceSink};

@@ -80,6 +80,37 @@ pub enum DetectionMode {
 }
 
 /// Simulation-wide configuration.
+/// Full-table workload: instead of the flat `prefixes_per_as` allocation
+/// (every AS originates exactly `k` prefixes), the table is a power-law-
+/// skewed per-AS block plan behind the IP-prefix layer
+/// ([`bgpsim_bgp::iptrie`]): a few ASes originate thousands of prefixes,
+/// the long tail one or two, totalling `total_prefixes` network-wide —
+/// the §5 "200,000 destinations" observation made a real workload.
+///
+/// The plan is a pure function of `(as_count, total_prefixes, skew)` — no
+/// RNG stream is touched — so full-table runs stay bit-reproducible and
+/// byte-identical between the serial and sharded engines.
+#[derive(Clone, Copy, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct FullTableSpec {
+    /// Total prefixes across the network (every AS originates at least
+    /// one, so the realized table is `max(total_prefixes, as_count)`).
+    pub total_prefixes: u32,
+    /// Zipf exponent over the AS rank: `0.0` = uniform split, `1.0` =
+    /// Internet-like concentration.
+    pub skew: f64,
+}
+
+impl FullTableSpec {
+    /// An Internet-like table: `total` prefixes, Zipf exponent 1.0.
+    pub fn internet_like(total: u32) -> FullTableSpec {
+        FullTableSpec {
+            total_prefixes: total,
+            skew: 1.0,
+        }
+    }
+}
+
+/// Simulation-wide configuration.
 #[derive(Clone, Debug, PartialEq)]
 pub struct SimConfig {
     /// One-way link delay (paper: 25 ms on all links).
@@ -93,6 +124,10 @@ pub struct SimConfig {
     /// per AS — raising this scales the update load per failed AS, the
     /// §5 "200,000 destinations" observation).
     pub prefixes_per_as: usize,
+    /// Full-table workload plan. When set it supersedes `prefixes_per_as`:
+    /// prefix blocks are carved per AS from the power-law plan and interned
+    /// through the longest-prefix-match trie (see [`FullTableSpec`]).
+    pub full_table: Option<FullTableSpec>,
     /// Prefix originations are spread uniformly over this window at t = 0.
     pub origination_window: SimDuration,
     /// How nodes get their MRAI.
@@ -153,6 +188,7 @@ impl SimConfig {
             detection_delay: SimDuration::ZERO,
             detection: DetectionMode::LinkLayer(SimDuration::ZERO),
             prefixes_per_as: 1,
+            full_table: None,
             origination_window: SimDuration::from_secs(1),
             mrai: MraiAssignment::Uniform(MraiPolicy::Constant(SimDuration::from_secs(30))),
             queue: QueueDiscipline::Fifo,
@@ -199,6 +235,9 @@ impl SimConfig {
         if let Some(v) = o.prefixes_per_as {
             cfg.prefixes_per_as = v;
         }
+        if let Some(v) = o.full_table {
+            cfg.full_table = Some(v);
+        }
         if let Some(v) = o.mrai_scope {
             cfg.mrai_scope = v;
         }
@@ -232,6 +271,10 @@ impl SimConfig {
 pub(crate) enum Ev {
     /// `node` originates one of its AS's prefixes.
     Originate { node: RouterId, prefix: Prefix },
+    /// `node` stops originating `prefix` (burst-withdrawal injection):
+    /// the inverse of `Originate` — the local route leaves the Loc-RIB
+    /// and peers hear a withdrawal (or the best learned replacement).
+    WithdrawOrigin { node: RouterId, prefix: Prefix },
     /// `msg` from `from` arrives at `to` after the link delay.
     Deliver {
         to: RouterId,
@@ -550,8 +593,23 @@ pub struct Network {
     cfg_arena: Vec<Arc<NodeConfig>>,
     /// Session peers per router (eBGP link neighbors + iBGP full mesh).
     pub(crate) sessions: Vec<Vec<RouterId>>,
-    /// Router that originates each prefix (prefix index == AS index).
+    /// Router that originates each prefix, indexed by the prefix's dense
+    /// slot (slots are handed out by `prefix_table` in allocation order;
+    /// for the default flat workload slot == `as_index · k + j`).
     origin_of_prefix: Vec<RouterId>,
+    /// The IP-prefix naming layer: CIDR prefix per slot, longest-prefix
+    /// match, and the burst-teardown block queries. Slots are stable for
+    /// the lifetime of the run (see `bgpsim_bgp::iptrie::PrefixTable`).
+    prefix_table: bgpsim_bgp::PrefixTable,
+    /// First prefix slot of each AS (`len == num_ases + 1`): AS `a`
+    /// originates the contiguous slot range `first_slot_of_as[a] ..
+    /// first_slot_of_as[a + 1]`.
+    first_slot_of_as: Vec<u32>,
+    /// Prefixes withdrawn by burst injection and not re-originated since.
+    /// Maintained at injection/revival time only (never from the event
+    /// loop), so serial and sharded runs see identical bookkeeping; the
+    /// ground-truth validators treat these as expected-unreachable.
+    withdrawn: std::collections::BTreeSet<Prefix>,
     pub(crate) last_activity: SimTime,
     pub(crate) announcements: u64,
     pub(crate) withdrawals: u64,
@@ -677,14 +735,41 @@ impl Network {
             nodes.push(Some(node));
         }
 
-        // `prefixes_per_as` prefixes per AS (paper: one), all originated by
-        // the AS's lowest-id member; prefix index = as_index · k + j.
+        // Prefix allocation goes through the IP-prefix layer in every
+        // mode: the per-AS block plan is carved contiguously out of
+        // 10.0.0.0/8 in AS order, and interning each address into the trie
+        // hands out the dense slot the RIB rows are keyed by. The default
+        // (no `full_table`) plan is the uniform split — exactly
+        // `prefixes_per_as` prefixes per AS, so slot == as_index · k + j,
+        // byte-identical to the historical flat allocator. Every prefix is
+        // originated by its AS's lowest-id member.
         let k = cfg.prefixes_per_as.max(1);
-        let mut origin_of_prefix: Vec<RouterId> = Vec::with_capacity(topo.num_ases() * k);
-        for a in topo.as_ids() {
+        let plan = match cfg.full_table {
+            Some(spec) => bgpsim_topology::prefixes::PrefixPlan {
+                total: spec.total_prefixes,
+                skew: spec.skew,
+            },
+            None => bgpsim_topology::prefixes::PrefixPlan::uniform((topo.num_ases() * k) as u32),
+        };
+        let blocks = plan.blocks(topo.num_ases());
+        let mut prefix_table = bgpsim_bgp::PrefixTable::new();
+        let mut origin_of_prefix: Vec<RouterId> =
+            Vec::with_capacity(blocks.iter().map(|b| b.count as usize).sum());
+        let mut first_slot_of_as: Vec<u32> = Vec::with_capacity(topo.num_ases() + 1);
+        for (a, block) in topo.as_ids().zip(&blocks) {
             let origin = *topo.as_members(a).first().expect("AS has members");
-            origin_of_prefix.extend(std::iter::repeat_n(origin, k));
+            first_slot_of_as.push(origin_of_prefix.len() as u32);
+            for j in 0..block.count {
+                let slot = prefix_table.intern(bgpsim_bgp::IpPrefix::new(block.addr(j), 32));
+                debug_assert_eq!(slot.index(), origin_of_prefix.len());
+                origin_of_prefix.push(origin);
+            }
         }
+        first_slot_of_as.push(origin_of_prefix.len() as u32);
+        debug_assert!(
+            cfg.full_table.is_some() || origin_of_prefix.len() == topo.num_ases() * k,
+            "the uniform plan must reproduce the flat allocator"
+        );
 
         let shards = cfg
             .shards
@@ -720,6 +805,9 @@ impl Network {
             cfg_arena,
             sessions,
             origin_of_prefix,
+            prefix_table,
+            first_slot_of_as,
+            withdrawn: std::collections::BTreeSet::new(),
             last_activity: SimTime::ZERO,
             announcements: 0,
             withdrawals: 0,
@@ -948,10 +1036,56 @@ impl Network {
         self.nodes.get(r.index())?.as_ref()
     }
 
-    /// The first prefix originated by `as_id` (ASes originate
-    /// `prefixes_per_as` consecutive prefixes starting here).
+    /// The first prefix originated by `as_id` (ASes originate a contiguous
+    /// slot block starting here — `prefixes_per_as` slots in the default
+    /// workload, the power-law block in full-table mode).
     pub fn prefix_of_as(&self, as_id: AsId) -> Prefix {
-        Prefix::new((as_id.index() * self.cfg.prefixes_per_as.max(1)) as u32)
+        Prefix::new(self.first_slot_of_as[as_id.index()])
+    }
+
+    /// How many prefixes `as_id` originates.
+    pub fn prefix_count_of_as(&self, as_id: AsId) -> usize {
+        let a = as_id.index();
+        (self.first_slot_of_as[a + 1] - self.first_slot_of_as[a]) as usize
+    }
+
+    /// Total prefixes in the routing table (== the dense slot count).
+    pub fn table_size(&self) -> usize {
+        self.origin_of_prefix.len()
+    }
+
+    /// The CIDR prefix behind a dense slot.
+    pub fn ip_of_prefix(&self, prefix: Prefix) -> Option<bgpsim_bgp::IpPrefix> {
+        self.prefix_table.ip_of(prefix)
+    }
+
+    /// The IP-prefix naming layer (longest-prefix match, block queries).
+    pub fn prefix_table(&self) -> &bgpsim_bgp::PrefixTable {
+        &self.prefix_table
+    }
+
+    /// Prefixes withdrawn by burst injection and not re-originated since.
+    pub fn withdrawn_prefixes(&self) -> impl Iterator<Item = Prefix> + '_ {
+        self.withdrawn.iter().copied()
+    }
+
+    /// Validates an externally supplied prefix against the configured
+    /// table. Every scenario/injection entry point that accepts prefixes
+    /// calls this once at the boundary — the RIB hot paths index dense
+    /// rows by slot and must never see an out-of-range `Prefix` (it would
+    /// silently grow every row table it touches).
+    pub fn check_prefix(&self, prefix: Prefix) -> Result<(), String> {
+        let n = self.origin_of_prefix.len();
+        if prefix.index() < n {
+            Ok(())
+        } else {
+            Err(format!(
+                "prefix index {} out of range: this network's table has {n} prefixes \
+                 (the allocation is fixed at Network::new from SimConfig::prefixes_per_as \
+                 or SimConfig::full_table)",
+                prefix.index()
+            ))
+        }
     }
 
     /// Current simulation time.
@@ -1070,6 +1204,89 @@ impl Network {
         failed
     }
 
+    /// Burst-withdrawal failure: every prefix originated inside `region`
+    /// is withdrawn by its origin in one event storm at one second past
+    /// the current time. The origins themselves stay up — this models a
+    /// regional service teardown (depeering, prefix-block outage) rather
+    /// than router death, so the storm is pure withdrawal traffic: the
+    /// dimension that stresses per-destination batching queues and the
+    /// unfinished-work detector at full-table scale.
+    ///
+    /// Counters are reset like [`inject_failure`](Network::inject_failure)
+    /// so [`run_to_quiescence`](Network::run_to_quiescence) measures only
+    /// the storm's re-convergence. Returns the withdrawn prefixes.
+    pub fn inject_burst_withdrawal(&mut self, region: &FailureSpec) -> Vec<Prefix> {
+        let streams = RngStreams::new(self.cfg.seed);
+        let mut rng = streams.stream("failure", 0);
+        let routers = region.resolve(&self.topo, &mut rng);
+        let mut in_region = vec![false; self.topo.num_routers()];
+        for &r in &routers {
+            in_region[r.index()] = true;
+        }
+        let prefixes: Vec<Prefix> = self
+            .origin_of_prefix
+            .iter()
+            .enumerate()
+            .filter(|&(p_idx, &origin)| {
+                in_region[origin.index()]
+                    && self.is_alive(origin)
+                    && !self.withdrawn.contains(&Prefix::new(p_idx as u32))
+            })
+            .map(|(p_idx, _)| Prefix::new(p_idx as u32))
+            .collect();
+        self.schedule_withdrawal_storm(&prefixes);
+        prefixes
+    }
+
+    /// Withdraws an explicit prefix set in one event storm (the scripted
+    /// counterpart of [`inject_burst_withdrawal`](Network::inject_burst_withdrawal)).
+    ///
+    /// This is the network/scenario boundary for externally supplied
+    /// prefixes: each one is bounds-checked against the configured table
+    /// *before* anything is scheduled, and an out-of-range prefix returns
+    /// a descriptive error with the network untouched — it must never
+    /// reach the dense RIB rows, which index by slot unchecked on their
+    /// hot paths. Returns how many withdrawals were scheduled (already
+    /// withdrawn or dead-origin prefixes are skipped).
+    pub fn inject_prefix_withdrawals(&mut self, prefixes: &[Prefix]) -> Result<usize, String> {
+        for &p in prefixes {
+            self.check_prefix(p)?;
+        }
+        let live: Vec<Prefix> = prefixes
+            .iter()
+            .copied()
+            .filter(|&p| {
+                self.is_alive(self.origin_of_prefix[p.index()]) && !self.withdrawn.contains(&p)
+            })
+            .collect();
+        self.schedule_withdrawal_storm(&live);
+        Ok(live.len())
+    }
+
+    /// Schedules one `WithdrawOrigin` per prefix at `now + FAILURE_GAP`
+    /// and resets the measurement counters to the storm.
+    fn schedule_withdrawal_storm(&mut self, prefixes: &[Prefix]) {
+        let t_f = self.sched.now() + FAILURE_GAP;
+        for &p in prefixes {
+            self.withdrawn.insert(p);
+            self.sched.schedule(
+                t_f,
+                Ev::WithdrawOrigin {
+                    node: self.origin_of_prefix[p.index()],
+                    prefix: p,
+                },
+            );
+        }
+        for node in self.nodes.iter_mut().flatten() {
+            node.reset_stats();
+        }
+        self.announcements = 0;
+        self.withdrawals = 0;
+        self.failure_time = Some(t_f);
+        self.last_activity = t_f;
+        self.events_at_failure = self.sched.delivered_count();
+    }
+
     /// Runs until the event queue drains and reports the re-convergence.
     ///
     /// # Panics
@@ -1173,13 +1390,11 @@ impl Network {
         for &r in routers {
             for (p_idx, &origin) in self.origin_of_prefix.iter().enumerate() {
                 if origin == r {
-                    self.sched.schedule(
-                        t_up,
-                        Ev::Originate {
-                            node: r,
-                            prefix: Prefix::new(p_idx as u32),
-                        },
-                    );
+                    let prefix = Prefix::new(p_idx as u32);
+                    // A revived origin re-announces everything it owns,
+                    // including prefixes a burst had withdrawn.
+                    self.withdrawn.remove(&prefix);
+                    self.sched.schedule(t_up, Ev::Originate { node: r, prefix });
                 }
             }
             for &peer in &self.sessions[r.index()] {
@@ -1273,6 +1488,15 @@ impl Network {
                     return;
                 };
                 let actions = n.originate(t, prefix);
+                self.last_activity = t;
+                self.drain_node_trace(node, t);
+                self.exec(node, actions);
+            }
+            Ev::WithdrawOrigin { node, prefix } => {
+                let Some(n) = self.nodes[node.index()].as_mut() else {
+                    return;
+                };
+                let actions = n.withdraw_origin(t, prefix);
                 self.last_activity = t;
                 self.drain_node_trace(node, t);
                 self.exec(node, actions);
@@ -1469,57 +1693,66 @@ impl Network {
                 tiers[self.topo.router(u).as_id.index()],
             )
         };
+        // The closure depends only on the origin, so compute it once per
+        // unique alive origin (full tables originate many prefixes per
+        // router) and copy the column; withdrawn prefixes are
+        // expected-unreachable and stay all-false.
+        let mut reach_of_origin: std::collections::BTreeMap<RouterId, Vec<bool>> =
+            std::collections::BTreeMap::new();
         for (p_idx, &origin) in self.origin_of_prefix.iter().enumerate() {
-            if !self.is_alive(origin) {
+            if !self.is_alive(origin) || self.withdrawn.contains(&Prefix::new(p_idx as u32)) {
                 continue;
             }
-            // Step 1: free = customer-chain reachability (walk up to
-            // providers from the origin).
-            let mut free = vec![false; n];
-            free[origin.index()] = true;
-            let mut stack = vec![origin];
-            while let Some(u) = stack.pop() {
-                for &v in &self.sessions[u.index()] {
-                    if !self.session_alive(u, v) || free[v.index()] {
+            let reach = reach_of_origin.entry(origin).or_insert_with(|| {
+                // Step 1: free = customer-chain reachability (walk up to
+                // providers from the origin).
+                let mut free = vec![false; n];
+                free[origin.index()] = true;
+                let mut stack = vec![origin];
+                while let Some(u) = stack.pop() {
+                    for &v in &self.sessions[u.index()] {
+                        if !self.session_alive(u, v) || free[v.index()] {
+                            continue;
+                        }
+                        // v hears from its customer u.
+                        if rel_to(v, u) == Relationship::Customer {
+                            free[v.index()] = true;
+                            stack.push(v);
+                        }
+                    }
+                }
+                // Step 2: peers of free routers.
+                let mut reach = free.clone();
+                for u in self.topo.router_ids() {
+                    if !free[u.index()] || !self.is_alive(u) {
                         continue;
                     }
-                    // v hears from its customer u.
-                    if rel_to(v, u) == Relationship::Customer {
-                        free[v.index()] = true;
-                        stack.push(v);
+                    for &v in &self.sessions[u.index()] {
+                        if self.session_alive(u, v) && rel_to(v, u) == Relationship::Peer {
+                            reach[v.index()] = true;
+                        }
                     }
                 }
-            }
-            // Step 2: peers of free routers.
-            let mut reach = free.clone();
-            for u in self.topo.router_ids() {
-                if !free[u.index()] || !self.is_alive(u) {
-                    continue;
-                }
-                for &v in &self.sessions[u.index()] {
-                    if self.session_alive(u, v) && rel_to(v, u) == Relationship::Peer {
-                        reach[v.index()] = true;
+                // Step 3: downward closure (everyone exports to customers).
+                let mut stack: Vec<RouterId> = self
+                    .topo
+                    .router_ids()
+                    .filter(|r| reach[r.index()])
+                    .collect();
+                while let Some(u) = stack.pop() {
+                    for &v in &self.sessions[u.index()] {
+                        if !self.session_alive(u, v) || reach[v.index()] {
+                            continue;
+                        }
+                        // v hears from its provider u.
+                        if rel_to(v, u) == Relationship::Provider {
+                            reach[v.index()] = true;
+                            stack.push(v);
+                        }
                     }
                 }
-            }
-            // Step 3: downward closure (everyone exports to customers).
-            let mut stack: Vec<RouterId> = self
-                .topo
-                .router_ids()
-                .filter(|r| reach[r.index()])
-                .collect();
-            while let Some(u) = stack.pop() {
-                for &v in &self.sessions[u.index()] {
-                    if !self.session_alive(u, v) || reach[v.index()] {
-                        continue;
-                    }
-                    // v hears from its provider u.
-                    if rel_to(v, u) == Relationship::Provider {
-                        reach[v.index()] = true;
-                        stack.push(v);
-                    }
-                }
-            }
+                reach
+            });
             for r in 0..n {
                 result[r][p_idx] = reach[r] && self.is_alive(RouterId::new(r as u32));
             }
@@ -1529,39 +1762,47 @@ impl Network {
 
     /// AS-level hop distances from every *alive* router to every alive
     /// origin, through alive routers only. `None` means unreachable.
+    /// Prefixes withdrawn by burst injection are expected-unreachable and
+    /// keep `None` everywhere.
     fn alive_distances(&self) -> Vec<Vec<Option<usize>>> {
-        // BFS per origin over the session graph restricted to alive nodes,
-        // counting a hop whenever an edge crosses an AS boundary.
-        // For single-router-per-AS topologies this is plain BFS.
+        // One search per *unique* alive origin (full-table workloads
+        // originate thousands of prefixes per router — recomputing the
+        // search per prefix would make validation O(table · graph)), the
+        // distance column then copied to every prefix the origin owns.
         let n = self.topo.num_routers();
         let mut result = vec![vec![None; self.origin_of_prefix.len()]; n];
+        let mut dist_of_origin: std::collections::BTreeMap<RouterId, Vec<Option<usize>>> =
+            std::collections::BTreeMap::new();
         for (p_idx, &origin) in self.origin_of_prefix.iter().enumerate() {
-            if !self.is_alive(origin) {
+            if !self.is_alive(origin) || self.withdrawn.contains(&Prefix::new(p_idx as u32)) {
                 continue;
             }
-            // Dijkstra with 0/1 weights (0 inside an AS, 1 across).
-            let mut dist: Vec<Option<usize>> = vec![None; n];
-            let mut deque = std::collections::VecDeque::new();
-            dist[origin.index()] = Some(0);
-            deque.push_back(origin);
-            while let Some(u) = deque.pop_front() {
-                let du = dist[u.index()].expect("queued nodes have distances");
-                for &v in &self.sessions[u.index()] {
-                    if !self.session_alive(u, v) {
-                        continue;
-                    }
-                    let w = usize::from(self.topo.is_inter_as(u, v));
-                    let nd = du + w;
-                    if dist[v.index()].map(|d| nd < d).unwrap_or(true) {
-                        dist[v.index()] = Some(nd);
-                        if w == 0 {
-                            deque.push_front(v);
-                        } else {
-                            deque.push_back(v);
+            let dist = dist_of_origin.entry(origin).or_insert_with(|| {
+                // Dijkstra with 0/1 weights (0 inside an AS, 1 across).
+                let mut dist: Vec<Option<usize>> = vec![None; n];
+                let mut deque = std::collections::VecDeque::new();
+                dist[origin.index()] = Some(0);
+                deque.push_back(origin);
+                while let Some(u) = deque.pop_front() {
+                    let du = dist[u.index()].expect("queued nodes have distances");
+                    for &v in &self.sessions[u.index()] {
+                        if !self.session_alive(u, v) {
+                            continue;
+                        }
+                        let w = usize::from(self.topo.is_inter_as(u, v));
+                        let nd = du + w;
+                        if dist[v.index()].map(|d| nd < d).unwrap_or(true) {
+                            dist[v.index()] = Some(nd);
+                            if w == 0 {
+                                deque.push_front(v);
+                            } else {
+                                deque.push_back(v);
+                            }
                         }
                     }
                 }
-            }
+                dist
+            });
             for r in 0..n {
                 result[r][p_idx] = dist[r];
             }
@@ -2180,6 +2421,93 @@ mod tests {
         let net = Network::new(topo, SimConfig::from_scheme(&scheme, 72));
         assert_eq!(net.prefix_of_as(AsId::new(0)), Prefix::new(0));
         assert_eq!(net.prefix_of_as(AsId::new(2)), Prefix::new(6));
+    }
+
+    #[test]
+    fn full_table_allocation_is_trie_backed_and_skewed() {
+        let topo = small_topo(33, 12);
+        let scheme =
+            crate::Scheme::constant_mrai(0.5).with_full_table(FullTableSpec::internet_like(200));
+        let net = Network::new(topo, SimConfig::from_scheme(&scheme, 73));
+        assert_eq!(net.table_size(), 200);
+        // Zipf split: rank 0 gets the largest block, every AS at least one.
+        let counts: Vec<usize> = (0..12)
+            .map(|a| net.prefix_count_of_as(AsId::new(a)))
+            .collect();
+        assert_eq!(counts.iter().sum::<usize>(), 200);
+        assert!(counts[0] > counts[11], "skew must concentrate: {counts:?}");
+        assert!(counts.iter().all(|&c| c >= 1));
+        // Every slot resolves to a /32 in 10/8 and the trie maps it back.
+        for p_idx in 0..200u32 {
+            let prefix = Prefix::new(p_idx);
+            let ip = net.ip_of_prefix(prefix).expect("allocated slot");
+            assert_eq!(ip.len(), 32);
+            assert_eq!(ip.bits() >> 24, 10, "blocks are carved from 10.0.0.0/8");
+            assert_eq!(net.prefix_table().lookup(ip.bits()), Some(prefix));
+        }
+        assert!(net.check_prefix(Prefix::new(199)).is_ok());
+        assert!(net.check_prefix(Prefix::new(200)).is_err());
+    }
+
+    #[test]
+    fn burst_withdrawal_reconverges_consistently() {
+        let topo = small_topo(34, 20);
+        let scheme =
+            crate::Scheme::constant_mrai(0.5).with_full_table(FullTableSpec::internet_like(60));
+        let mut net = Network::new(topo, SimConfig::from_scheme(&scheme, 74));
+        net.run_initial_convergence();
+        net.assert_routing_consistent();
+        let withdrawn = net.inject_burst_withdrawal(&FailureSpec::CenterFraction(0.2));
+        assert!(
+            !withdrawn.is_empty(),
+            "central region must originate something"
+        );
+        let stats = net.run_to_quiescence();
+        assert!(stats.messages > 0, "a withdrawal storm generates updates");
+        net.assert_routing_consistent();
+        // The withdrawn prefixes are gone from every router's table; the
+        // rest of the table is untouched (origins stayed alive).
+        for r in net.topology().router_ids() {
+            let node = net.node(r).expect("no router failed");
+            for &p in &withdrawn {
+                assert!(
+                    node.loc_rib().get(p).is_none(),
+                    "router {r} kept a route to withdrawn {p:?}"
+                );
+            }
+        }
+        assert_eq!(net.withdrawn_prefixes().count(), withdrawn.len());
+    }
+
+    #[test]
+    fn out_of_range_prefix_withdrawal_is_rejected_without_side_effects() {
+        // Regression (flat-index sweep): the dense RIB rows index by slot
+        // unchecked on their hot paths — `resize_with` would silently grow
+        // the tables for a rogue prefix instead of panicking. The
+        // network/scenario boundary must reject it before anything runs.
+        let topo = small_topo(35, 10);
+        let mut net = Network::new(
+            topo,
+            SimConfig::from_scheme(&crate::Scheme::constant_mrai(0.5), 75),
+        );
+        net.run_initial_convergence();
+        let rogue = Prefix::new(net.table_size() as u32 + 5);
+        let err = net
+            .inject_prefix_withdrawals(&[Prefix::new(0), rogue])
+            .unwrap_err();
+        assert!(err.contains("out of range"), "got: {err}");
+        // Nothing was scheduled — not even for the valid prefix — and the
+        // routing state is untouched.
+        assert_eq!(net.withdrawn_prefixes().count(), 0);
+        assert_eq!(net.table_size(), 10);
+        net.assert_routing_consistent();
+
+        // The same set without the rogue prefix goes through.
+        let n = net.inject_prefix_withdrawals(&[Prefix::new(0)]).unwrap();
+        assert_eq!(n, 1);
+        let stats = net.run_to_quiescence();
+        assert!(stats.messages > 0);
+        net.assert_routing_consistent();
     }
 
     #[test]

@@ -23,6 +23,13 @@ pub enum ScenarioStep {
     FailRouters(FailureSpec),
     /// Fail the central `fraction` of links (routers survive).
     FailCentralLinks(f64),
+    /// Withdraw every prefix whose origin sits in the region, in one burst
+    /// — the origins stay up and keep their sessions, but flood explicit
+    /// withdrawals for their whole prefix blocks (a route leak being pulled
+    /// back, or a disaster severing a region's customer cone). On a
+    /// full-table workload this is the paper's failure storm at table
+    /// scale: thousands of destinations withdrawn in one event storm.
+    BurstWithdraw(FailureSpec),
     /// Revive every currently failed router (full session re-establishment
     /// and table exchange).
     ReviveAll,
@@ -123,6 +130,9 @@ impl Scenario {
                     let links = central_link_fraction(net.topology(), *fraction);
                     net.inject_link_failure(&links);
                 }
+                ScenarioStep::BurstWithdraw(spec) => {
+                    net.inject_burst_withdrawal(spec);
+                }
                 ScenarioStep::ReviveAll => {
                     let revive = std::mem::take(&mut down);
                     net.revive_routers(&revive);
@@ -200,6 +210,25 @@ mod tests {
         network.assert_routing_consistent();
         for r in network.topology().router_ids() {
             assert!(network.is_alive(r), "router {r} not revived");
+        }
+    }
+
+    #[test]
+    fn burst_withdraw_step_keeps_routers_alive_and_drops_routes() {
+        let mut network = net(5, 25);
+        let scenario = Scenario::new(vec![ScenarioStep::BurstWithdraw(
+            FailureSpec::CenterFraction(0.2),
+        )]);
+        let stats = scenario.run(&mut network);
+        assert_eq!(stats.len(), 1);
+        assert!(stats[0].messages > 0, "the storm must generate updates");
+        network.assert_routing_consistent();
+        // No router died — only routes did.
+        assert!(network.topology().router_ids().all(|r| network.is_alive(r)));
+        let gone = network.withdrawn_prefixes().count();
+        assert!(gone > 0);
+        for r in network.topology().router_ids() {
+            assert_eq!(network.node(r).unwrap().loc_rib().len(), 25 - gone);
         }
     }
 

@@ -47,6 +47,10 @@ pub struct SimOverrides {
     pub damping: Option<bgpsim_bgp::damping::DampingConfig>,
     /// Intra-AS session layout (default: full iBGP mesh).
     pub ibgp_mode: Option<crate::network::IbgpMode>,
+    /// Full-table prefix allocation: a fixed network-wide table size split
+    /// across ASes by a power law, instead of `prefixes_per_as` identical
+    /// blocks (default off). Takes precedence over `prefixes_per_as`.
+    pub full_table: Option<crate::network::FullTableSpec>,
 }
 
 /// How per-node MRAIs are assigned across the network.
@@ -270,6 +274,14 @@ impl Scheme {
     #[must_use]
     pub fn with_prefixes_per_as(mut self, k: usize) -> Scheme {
         self.overrides.prefixes_per_as = Some(k);
+        self
+    }
+
+    /// Allocates a fixed network-wide routing table (power-law split across
+    /// ASes) instead of a per-AS prefix count — the full-table workload.
+    #[must_use]
+    pub fn with_full_table(mut self, spec: crate::network::FullTableSpec) -> Scheme {
+        self.overrides.full_table = Some(spec);
         self
     }
 

@@ -280,6 +280,7 @@ struct CommitEv {
 fn owner(ev: &Ev) -> RouterId {
     match ev {
         Ev::Originate { node, .. }
+        | Ev::WithdrawOrigin { node, .. }
         | Ev::ProcDone { node }
         | Ev::MraiExpiry { node, .. }
         | Ev::PeerDown { node, .. }
@@ -292,7 +293,10 @@ fn owner(ev: &Ev) -> RouterId {
 /// The walk semantics of an event (mirrors `Network::handle`).
 fn commit_kind(ev: &Ev) -> CommitKind {
     match ev {
-        Ev::Originate { .. } | Ev::Deliver { .. } | Ev::ProcDone { .. } => CommitKind::Activity,
+        Ev::Originate { .. }
+        | Ev::WithdrawOrigin { .. }
+        | Ev::Deliver { .. }
+        | Ev::ProcDone { .. } => CommitKind::Activity,
         Ev::MraiExpiry { .. } | Ev::ReuseExpiry { .. } => CommitKind::Timer,
         Ev::PeerDown { .. } => CommitKind::Silent,
         Ev::PeerUp { peer, .. } => CommitKind::PeerUp { peer: *peer },
@@ -303,7 +307,7 @@ fn commit_kind(ev: &Ev) -> CommitKind {
 /// its owning router otherwise.
 fn commit_dest(ev: &Ev) -> u32 {
     match ev {
-        Ev::Originate { prefix, .. } => prefix.index() as u32,
+        Ev::Originate { prefix, .. } | Ev::WithdrawOrigin { prefix, .. } => prefix.index() as u32,
         Ev::Deliver { msg, .. } => msg.prefix.index() as u32,
         Ev::ReuseExpiry { prefix, .. } => prefix.index() as u32,
         Ev::MraiExpiry { node, prefix, .. } => {
@@ -313,6 +317,23 @@ fn commit_dest(ev: &Ev) -> u32 {
             node.index() as u32
         }
     }
+}
+
+/// The commit stream a destination key bins into.
+///
+/// A plain `dest % streams` aliases badly on full-table workloads: prefix
+/// slots are handed out in contiguous per-AS blocks, so the prefixes a
+/// single origin withdraws in one burst are *strided* — whenever the block
+/// size shares a factor with the stream count, whole bursts land in one or
+/// two streams and the parallel commit degenerates to serial. A
+/// multiply-shift mix (Fibonacci hashing; the constant is
+/// `2^64 / golden ratio`) decorrelates the low bits first. The binning is
+/// unobservable in simulator output — stream ops are replayed in
+/// `plan_idx` order keyed by pre-allocated `(time, id)` — so this choice
+/// only affects load balance, never results (the byte-identity suite pins
+/// that).
+fn stream_of(dest: u32, streams: usize) -> usize {
+    (((dest as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize) % streams
 }
 
 /// The same-node follow-up event an action asks the driver to schedule
@@ -410,6 +431,10 @@ fn dispatch(
         Ev::Originate { node, prefix } => {
             let n = nodes[node.index() - base].as_mut()?;
             Some((node, n.originate(t, prefix)))
+        }
+        Ev::WithdrawOrigin { node, prefix } => {
+            let n = nodes[node.index() - base].as_mut()?;
+            Some((node, n.withdraw_origin(t, prefix)))
         }
         Ev::Deliver { to, from, msg } => {
             let n = nodes[to.index() - base].as_mut()?;
@@ -987,7 +1012,7 @@ pub(crate) fn pump_sharded(net: &mut Network) {
                     activity_at = Some(t);
                 }
                 if !actions.is_empty() || !events.is_empty() {
-                    stream_ops[dest as usize % streams].push(ApplyOp {
+                    stream_ops[stream_of(dest, streams)].push(ApplyOp {
                         plan_idx,
                         t,
                         node,
@@ -1387,5 +1412,41 @@ mod tests {
             3,
             "per-peer MRAI keys by node"
         );
+    }
+
+    #[test]
+    fn stream_binning_balances_strided_dests() {
+        // Full-table bursts withdraw prefixes at a fixed stride (the per-AS
+        // block size). `dest % streams` aliases whenever the stride shares a
+        // factor with the stream count — e.g. stride 8 into 4 streams puts
+        // *every* op in one stream. The mix must keep occupancy roughly
+        // uniform for strides and stream counts with common factors.
+        for &(stride, streams) in &[(8u32, 4usize), (6, 3), (10, 5), (4, 8), (37, 37)] {
+            let n = 4096u32;
+            let mut occ = vec![0usize; streams];
+            for i in 0..n {
+                occ[stream_of(i * stride, streams)] += 1;
+            }
+            let ideal = n as usize / streams;
+            let max = *occ.iter().max().unwrap();
+            let min = *occ.iter().min().unwrap();
+            assert!(
+                max <= ideal * 2 && min >= ideal / 2,
+                "stride {stride} into {streams} streams skewed: {occ:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn stream_binning_is_total_and_stable() {
+        // Every dest maps into range, and the mapping is a pure function
+        // (determinism depends on it being input-only).
+        for streams in 1..=7usize {
+            for dest in (0..200u32).chain([u32::MAX - 3, u32::MAX]) {
+                let s = stream_of(dest, streams);
+                assert!(s < streams);
+                assert_eq!(s, stream_of(dest, streams));
+            }
+        }
     }
 }

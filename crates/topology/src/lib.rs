@@ -44,6 +44,7 @@ pub mod graph;
 pub mod metrics;
 pub mod multias;
 pub mod placement;
+pub mod prefixes;
 pub mod region;
 
 pub use graph::{AsId, Point, Router, RouterId, Topology, TopologyError};
